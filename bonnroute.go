@@ -1,0 +1,65 @@
+// Package bonnroute is a from-scratch reproduction of "BonnRoute:
+// Algorithms and Data Structures for Fast and Good VLSI Routing" (Gester,
+// Müller, Nieberg, Panten, Schulte, Vygen; DAC 2012 / ACM TODAES 2013).
+//
+// The package exposes the complete routing system: synthetic chip
+// generation (the stand-in for the paper's proprietary IBM designs), the
+// BonnRoute flow — min-max resource sharing global routing (Algorithm 2)
+// over capacities from usable-track estimation, interval-based detailed
+// routing (Algorithm 4) on optimized tracks backed by the shape-grid /
+// fast-grid routing-space representation, τ-feasible off-track pin access
+// with conflict-free selection, and a DRC cleanup pass — and the
+// classical "industry standard router" baseline used as the comparator in
+// the paper's evaluation.
+//
+// Quick start:
+//
+//	c := bonnroute.GenerateChip(bonnroute.ChipParams{Seed: 1, Rows: 8, Cols: 16, NumNets: 80})
+//	res := bonnroute.Route(c, bonnroute.Options{Seed: 1})
+//	fmt.Println(res.Metrics)
+//
+// The building blocks live in internal packages, one per subsystem of the
+// paper (see DESIGN.md for the full inventory); this package is the
+// stable façade.
+package bonnroute
+
+import (
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/report"
+)
+
+// ChipParams parameterize the synthetic chip generator (the substitute
+// for the paper's IBM designs; every value is documented on the
+// underlying type).
+type ChipParams = chip.GenParams
+
+// Chip is a complete routing instance: layers, cells, pins, blockages,
+// and nets.
+type Chip = chip.Chip
+
+// Options tune a routing run (workers, resource-sharing phases, seeds).
+type Options = core.Options
+
+// Result is a completed flow: global and detailed statistics, the DRC
+// audit, per-net geometry, and the Table-I-style metrics row.
+type Result = core.Result
+
+// Metrics is one Table-I row (runtime, netlength, vias, scenic nets,
+// errors).
+type Metrics = report.Metrics
+
+// GenerateChip builds a deterministic synthetic chip.
+func GenerateChip(p ChipParams) *Chip { return chip.Generate(p) }
+
+// Route runs the full BonnRoute flow on the chip: resource-sharing global
+// routing, interval-based detailed routing, DRC cleanup.
+func Route(c *Chip, opt Options) *Result { return core.RouteBonnRoute(c, opt) }
+
+// RouteBaseline runs the ISR-like classical flow (sequential negotiated
+// global routing, node-based maze detailed routing) — the comparator of
+// the paper's Tables I and III.
+func RouteBaseline(c *Chip, opt Options) *Result { return core.RouteBaseline(c, opt) }
+
+// FormatMetrics renders Table-I-style rows.
+func FormatMetrics(rows []Metrics) string { return report.FormatTableI(rows) }

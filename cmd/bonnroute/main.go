@@ -1,0 +1,84 @@
+// Command bonnroute routes a synthetic chip with either the BonnRoute
+// flow (resource-sharing global routing + interval-based detailed
+// routing + DRC cleanup) or the ISR-like baseline flow, and prints the
+// §5.3-style metrics.
+//
+// Usage:
+//
+//	bonnroute [-flow br|isr|both] [-rows N] [-cols N] [-nets N]
+//	          [-seed N] [-workers N] [-phases N] [-layers N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/report"
+)
+
+func main() {
+	var (
+		flow    = flag.String("flow", "both", "br, isr, or both")
+		rows    = flag.Int("rows", 8, "placement rows")
+		cols    = flag.Int("cols", 24, "placement columns")
+		nets    = flag.Int("nets", 120, "number of nets")
+		layers  = flag.Int("layers", 6, "wiring layers")
+		seed    = flag.Int64("seed", 1, "generator / rounding seed")
+		workers = flag.Int("workers", 1, "parallel workers")
+		phases  = flag.Int("phases", 32, "resource sharing phases (t)")
+		radius  = flag.Int("radius", 8, "net locality radius (slots)")
+		verbose = flag.Bool("v", false, "print per-stage details")
+	)
+	flag.Parse()
+
+	gen := func() *chip.Chip {
+		return chip.Generate(chip.GenParams{
+			Seed: *seed, Rows: *rows, Cols: *cols, NumNets: *nets,
+			NumLayers: *layers, LocalityRadius: *radius,
+			PowerStripePeriod: 6,
+		})
+	}
+	opt := core.Options{Workers: *workers, GlobalPhases: *phases, Seed: *seed}
+
+	var rowsOut []report.Metrics
+	runBR := *flow == "br" || *flow == "both"
+	runISR := *flow == "isr" || *flow == "both"
+
+	if runISR {
+		c := gen()
+		fmt.Fprintf(os.Stderr, "routing %d nets (ISR flow)...\n", len(c.Nets))
+		res := core.RouteBaseline(c, opt)
+		rowsOut = append(rowsOut, res.Metrics)
+		if *verbose {
+			printDetails(res)
+		}
+	}
+	if runBR {
+		c := gen()
+		fmt.Fprintf(os.Stderr, "routing %d nets (BonnRoute flow)...\n", len(c.Nets))
+		res := core.RouteBonnRoute(c, opt)
+		rowsOut = append(rowsOut, res.Metrics)
+		if *verbose {
+			printDetails(res)
+		}
+	}
+	fmt.Print(report.FormatTableI(rowsOut))
+}
+
+func printDetails(res *core.Result) {
+	if res.Global != nil {
+		fmt.Printf("  global: λ=%.3f oracle calls=%d reuses=%d rechosen=%d rerouted=%d overflowed=%d (alg2 %v, total %v)\n",
+			res.Global.Lambda, res.Global.OracleCalls, res.Global.OracleReuses,
+			res.Global.Rechosen, res.Global.Rerouted, res.Global.Overflowed,
+			res.Global.AlgTime, res.Global.Total)
+	}
+	fmt.Printf("  detail: routed=%d failed=%d time=%v fastgrid-hit=%.4f cleanup=%v\n",
+		res.Detail.Routed, res.Detail.Failed, res.DetailTime,
+		res.FastGridHitRate, res.CleanupTime)
+	fmt.Printf("  audit: diffnet=%d minarea=%d notch=%d shortedge=%d opens=%d\n",
+		res.Audit.DiffNetViolations, res.Audit.MinAreaViolations,
+		res.Audit.NotchViolations, res.Audit.ShortEdgeShapes, res.Audit.Opens)
+}

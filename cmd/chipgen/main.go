@@ -1,0 +1,109 @@
+// Command chipgen generates a synthetic chip and writes it as JSON to
+// stdout — useful for inspecting the workloads the benchmarks run on and
+// for replaying instances in other tools.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+)
+
+// jsonChip is the serialization schema.
+type jsonChip struct {
+	Name   string      `json:"name"`
+	Area   geom.Rect   `json:"area"`
+	Layers []jsonLayer `json:"layers"`
+	Cells  int         `json:"num_cells"`
+	Pins   []jsonPin   `json:"pins,omitempty"`
+	Nets   []jsonNet   `json:"nets"`
+	Obst   []jsonObst  `json:"obstacles,omitempty"`
+}
+
+type jsonLayer struct {
+	Z     int    `json:"z"`
+	Dir   string `json:"dir"`
+	Pitch int    `json:"pitch"`
+}
+
+type jsonPin struct {
+	Net    int         `json:"net"`
+	Shapes []jsonShape `json:"shapes"`
+}
+
+type jsonShape struct {
+	Layer int       `json:"layer"`
+	Rect  geom.Rect `json:"rect"`
+}
+
+type jsonNet struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Pins     []int  `json:"pins"`
+	Critical bool   `json:"critical,omitempty"`
+	Wide     bool   `json:"wide,omitempty"`
+}
+
+type jsonObst struct {
+	Layer int       `json:"layer"`
+	Rect  geom.Rect `json:"rect"`
+}
+
+func main() {
+	var (
+		rows   = flag.Int("rows", 8, "placement rows")
+		cols   = flag.Int("cols", 16, "placement columns")
+		nets   = flag.Int("nets", 80, "number of nets")
+		layers = flag.Int("layers", 6, "wiring layers")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		full   = flag.Bool("full", false, "include pin and obstacle geometry")
+	)
+	flag.Parse()
+
+	c := chip.Generate(chip.GenParams{
+		Seed: *seed, Rows: *rows, Cols: *cols, NumNets: *nets,
+		NumLayers: *layers, PowerStripePeriod: 6,
+	})
+	if err := c.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "generated chip invalid:", err)
+		os.Exit(1)
+	}
+
+	out := jsonChip{Name: c.Name, Area: c.Area, Cells: len(c.Cells)}
+	for _, l := range c.Layers {
+		out.Layers = append(out.Layers, jsonLayer{
+			Z: l.Z, Dir: l.Dir.String(), Pitch: c.Deck.Layers[l.Z].Pitch,
+		})
+	}
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		out.Nets = append(out.Nets, jsonNet{
+			ID: n.ID, Name: n.Name, Pins: n.Pins,
+			Critical: n.Critical, Wide: n.WireType != 0,
+		})
+	}
+	if *full {
+		for pi := range c.Pins {
+			p := &c.Pins[pi]
+			jp := jsonPin{Net: p.Net}
+			for _, s := range p.Shapes {
+				jp.Shapes = append(jp.Shapes, jsonShape{Layer: s.Layer, Rect: s.Rect})
+			}
+			out.Pins = append(out.Pins, jp)
+		}
+		for _, o := range c.AllObstacles() {
+			out.Obst = append(out.Obst, jsonObst{Layer: o.Layer, Rect: o.Rect})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

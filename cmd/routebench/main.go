@@ -1,0 +1,202 @@
+// Command routebench regenerates the paper's evaluation tables on a
+// suite of synthetic chips: Table I (ISR vs BR+cleanup full flows),
+// Table II (global routing netlength over Steiner length by terminal
+// count), and Table III (BR-global vs ISR-global).
+//
+// Usage:
+//
+//	routebench [-table 0|1|2|3] [-suite small|medium|large] [-workers N]
+//
+// -table 0 (default) prints all three tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bonnroute/internal/baseline"
+	"bonnroute/internal/capest"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/detail"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/report"
+	"bonnroute/internal/sharing"
+	"bonnroute/internal/steiner"
+)
+
+// suite returns the chip parameter sets standing in for the paper's
+// eight IBM designs (scaled to laptop size; three tiers).
+func suite(name string) []chip.GenParams {
+	switch name {
+	case "small":
+		return []chip.GenParams{
+			{Name: "chip1", Seed: 11, Rows: 6, Cols: 16, NumNets: 60, NumLayers: 4, LocalityRadius: 6, PowerStripePeriod: 6},
+			{Name: "chip2", Seed: 12, Rows: 6, Cols: 16, NumNets: 60, NumLayers: 6, LocalityRadius: 10, PowerStripePeriod: 4},
+		}
+	case "large":
+		return []chip.GenParams{
+			{Name: "chip1", Seed: 11, Rows: 10, Cols: 32, NumNets: 260, NumLayers: 4, LocalityRadius: 8, PowerStripePeriod: 6},
+			{Name: "chip2", Seed: 12, Rows: 10, Cols: 32, NumNets: 260, NumLayers: 6, LocalityRadius: 14, PowerStripePeriod: 4},
+			{Name: "chip3", Seed: 13, Rows: 12, Cols: 40, NumNets: 420, NumLayers: 6, LocalityRadius: 10, PowerStripePeriod: 8},
+			{Name: "chip4", Seed: 14, Rows: 12, Cols: 48, NumNets: 520, NumLayers: 6, LocalityRadius: 20, PowerStripePeriod: 8},
+		}
+	default: // medium
+		return []chip.GenParams{
+			{Name: "chip1", Seed: 11, Rows: 8, Cols: 24, NumNets: 140, NumLayers: 4, LocalityRadius: 6, PowerStripePeriod: 6},
+			{Name: "chip2", Seed: 12, Rows: 8, Cols: 24, NumNets: 140, NumLayers: 6, LocalityRadius: 12, PowerStripePeriod: 4},
+			{Name: "chip3", Seed: 13, Rows: 10, Cols: 32, NumNets: 240, NumLayers: 6, LocalityRadius: 8, PowerStripePeriod: 8},
+		}
+	}
+}
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "which table to print (0 = all)")
+		suiteName = flag.String("suite", "medium", "small, medium, or large")
+		workers   = flag.Int("workers", 1, "parallel workers")
+	)
+	flag.Parse()
+
+	params := suite(*suiteName)
+	if *table == 0 || *table == 1 {
+		tableI(params, *workers)
+	}
+	if *table == 0 || *table == 2 {
+		tableII(params, *workers)
+	}
+	if *table == 0 || *table == 3 {
+		tableIII(params)
+	}
+}
+
+func tableI(params []chip.GenParams, workers int) {
+	fmt.Println("=== Table I: full flows (ISR vs BR+cleanup) ===")
+	var rows []report.Metrics
+	for _, p := range params {
+		fmt.Fprintf(os.Stderr, "[table I] %s (%d nets requested)...\n", p.Name, p.NumNets)
+		opt := core.Options{Workers: workers, Seed: p.Seed}
+
+		isr := core.RouteBaseline(chip.Generate(p), opt)
+		isr.Metrics.Name = p.Name + "/ISR"
+		rows = append(rows, isr.Metrics)
+
+		br := core.RouteBonnRoute(chip.Generate(p), opt)
+		br.Metrics.Name = p.Name + "/BR+cleanup"
+		rows = append(rows, br.Metrics)
+	}
+	fmt.Print(report.FormatTableI(rows))
+	fmt.Println()
+}
+
+func tableII(params []chip.GenParams, workers int) {
+	fmt.Println("=== Table II: BR-global netlength over Steiner length by terminal count ===")
+	agg := make([]report.TerminalClassRow, 6)
+	for _, p := range params {
+		fmt.Fprintf(os.Stderr, "[table II] %s...\n", p.Name)
+		c := chip.Generate(p)
+		res := core.RouteBonnRoute(c, core.Options{Workers: workers, Seed: p.Seed, SkipGlobal: false})
+		if res.Global == nil {
+			continue
+		}
+		perNet := make([]report.NetLength, len(c.Nets))
+		for ni := range c.Nets {
+			perNet[ni] = report.NetLength{
+				Length: res.Global.PerNetLength[ni],
+				Routed: res.Global.PerNetLength[ni] > 0,
+			}
+		}
+		// Steiner baselines on the tile-grid metric (global routes run
+		// tile-center to tile-center).
+		g := core.BuildGlobalGraph(c, 8)
+		baselines := report.SteinerBaselinesAt(c, func(pi int) geom.Point {
+			tx, ty := g.TileOf(c.Pins[pi].Center())
+			return g.TileRect(tx, ty).Center()
+		})
+		rows := report.TableII(c, perNet, baselines)
+		for i := range rows {
+			if agg[i].Label == "" {
+				agg[i].Label = rows[i].Label
+			}
+			agg[i].Netlength += rows[i].Netlength
+			agg[i].Steiner += rows[i].Steiner
+		}
+	}
+	fmt.Print(report.FormatTableII(agg))
+	fmt.Println()
+}
+
+func tableIII(params []chip.GenParams) {
+	fmt.Println("=== Table III: global routing (BR-global vs ISR-global) ===")
+	var rows []report.GlobalMetrics
+	for _, p := range params {
+		fmt.Fprintf(os.Stderr, "[table III] %s...\n", p.Name)
+		c := chip.Generate(p)
+		r := detail.New(c, detail.Options{})
+		g := core.BuildGlobalGraph(c, 8)
+		capest.Compute(c, r.TG, g, capest.Params{})
+		capest.ReduceForIntraTile(c, g)
+
+		var steinerLen int64
+		for _, b := range report.SteinerBaselinesAt(c, func(pi int) geom.Point {
+			tx, ty := g.TileOf(c.Pins[pi].Center())
+			return g.TileRect(tx, ty).Center()
+		}) {
+			steinerLen += b
+		}
+
+		// BR-global.
+		start := time.Now()
+		solver := sharing.New(g, core.NetSpecs(c, g), sharing.Options{Phases: 32, Seed: p.Seed})
+		sres := solver.Run()
+		brTotal := time.Since(start)
+		var brLen int64
+		brVias := 0
+		over := 0
+		loads := solver.EdgeLoads(sres)
+		for e, l := range loads {
+			if l > g.Cap[e]+1e-9 {
+				over++
+			}
+		}
+		for ni := range sres.Nets {
+			t := sres.Nets[ni].Tree()
+			edges := make([]int, len(t))
+			for i, e := range t {
+				edges[i] = int(e)
+			}
+			brLen += steiner.TreeLength(g, edges)
+			brVias += steiner.CountVias(g, edges)
+		}
+		rows = append(rows, report.GlobalMetrics{
+			Name:    p.Name + "/BR-glob",
+			Runtime: brTotal, AlgTime: sres.AlgTime, RRTime: sres.RepairTime,
+			Netlength: brLen, Steiner: steinerLen, Vias: brVias, OverloadedE: over,
+		})
+
+		// ISR-global.
+		var gnets []baseline.GNet
+		for _, spec := range core.NetSpecs(c, g) {
+			gnets = append(gnets, baseline.GNet{ID: spec.ID, Terminals: spec.Terminals, Width: spec.Width})
+		}
+		gres := baseline.GlobalRoute(g, gnets, baseline.GlobalOptions{})
+		var isrLen int64
+		isrVias := 0
+		for _, t := range gres.Trees {
+			edges := make([]int, len(t))
+			for i, e := range t {
+				edges[i] = int(e)
+			}
+			isrLen += steiner.TreeLength(g, edges)
+			isrVias += steiner.CountVias(g, edges)
+		}
+		rows = append(rows, report.GlobalMetrics{
+			Name:    p.Name + "/ISR-glob",
+			Runtime: gres.Runtime, Netlength: isrLen, Steiner: steinerLen,
+			Vias: isrVias, OverloadedE: gres.Overflowed,
+		})
+	}
+	fmt.Print(report.FormatTableIII(rows))
+}

@@ -1,0 +1,41 @@
+// Quickstart: generate a small synthetic chip, run the full BonnRoute
+// flow (resource-sharing global routing → interval-based detailed
+// routing → DRC cleanup), and print the routing metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/report"
+)
+
+func main() {
+	// A 6×16-slot standard-cell design with 60 nets on 6 wiring layers.
+	c := chip.Generate(chip.GenParams{
+		Seed: 42, Rows: 6, Cols: 16, NumNets: 60,
+		PowerStripePeriod: 6,
+	})
+	fmt.Printf("chip: %d cells, %d nets, %d pins, area %dx%d DBU\n",
+		len(c.Cells), len(c.Nets), len(c.Pins), c.Area.W(), c.Area.H())
+
+	res := core.RouteBonnRoute(c, core.Options{Seed: 42})
+
+	fmt.Printf("\nglobal routing: λ = %.3f (≤ 1 means within capacity), "+
+		"%d oracle calls, %d reused\n",
+		res.Global.Lambda, res.Global.OracleCalls, res.Global.OracleReuses)
+	fmt.Printf("detailed routing: %d/%d nets routed, fast-grid hit rate %.2f%%\n",
+		res.Detail.Routed, len(c.Nets), 100*res.FastGridHitRate)
+	fmt.Printf("audit: %d diff-net, %d same-net, %d opens\n",
+		res.Audit.DiffNetViolations,
+		res.Audit.MinAreaViolations+res.Audit.NotchViolations+res.Audit.ShortEdgeShapes,
+		res.Audit.Opens)
+
+	fmt.Println()
+	fmt.Print(report.FormatTableI([]report.Metrics{res.Metrics}))
+}

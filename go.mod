@@ -1,0 +1,3 @@
+module bonnroute
+
+go 1.22

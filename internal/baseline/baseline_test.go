@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/steiner"
+)
+
+func testGrid(cap float64) *grid.Graph {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 1000, 1000), 100, 100, dirs)
+	for e := range g.Cap {
+		g.Cap[e] = cap
+	}
+	return g
+}
+
+func TestGlobalRouteBasic(t *testing.T) {
+	g := testGrid(8)
+	var nets []GNet
+	for i := 0; i < 10; i++ {
+		nets = append(nets, GNet{
+			ID:        i,
+			Terminals: [][]int{{g.Vertex(0, i%10, 0)}, {g.Vertex(9, i%10, 0)}},
+			Width:     1,
+		})
+	}
+	res := GlobalRoute(g, nets, GlobalOptions{})
+	if res.Overflowed != 0 {
+		t.Fatalf("overflowed = %d", res.Overflowed)
+	}
+	for ni, tr := range res.Trees {
+		if tr == nil {
+			t.Fatalf("net %d unrouted", ni)
+		}
+		edges := make([]int, len(tr))
+		for i, e := range tr {
+			edges[i] = int(e)
+		}
+		if !steiner.ValidateTree(g, edges, nets[ni].Terminals) {
+			t.Fatalf("net %d invalid tree", ni)
+		}
+	}
+}
+
+func TestGlobalRouteNegotiation(t *testing.T) {
+	// Contention: 6 identical nets over capacity-2 rows; negotiation must
+	// spread them to a zero-overflow solution.
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 1000, 300), 100, 100, dirs)
+	for e := range g.Cap {
+		if g.IsVia(e) || g.EdgeLayer(e) == 1 {
+			g.Cap[e] = 8
+		} else {
+			g.Cap[e] = 2
+		}
+	}
+	var nets []GNet
+	for i := 0; i < 6; i++ {
+		nets = append(nets, GNet{
+			ID:        i,
+			Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(g.NX-1, 0, 0)}},
+			Width:     1,
+		})
+	}
+	res := GlobalRoute(g, nets, GlobalOptions{})
+	if res.Overflowed != 0 {
+		t.Fatalf("negotiation left %d edges overflowed after %d iterations",
+			res.Overflowed, res.Iterations)
+	}
+	// The nets must have spread over several rows (row 0 fits only 2).
+	rows := map[int]bool{}
+	for _, tr := range res.Trees {
+		for _, e := range tr {
+			if !g.IsVia(int(e)) && g.EdgeLayer(int(e)) == 0 {
+				a, _ := g.EdgeEndpoints(int(e))
+				_, ty, _ := g.VertexCoords(a)
+				rows[ty] = true
+			}
+		}
+	}
+	if len(rows) < 2 {
+		t.Fatalf("nets did not spread: rows used = %v", rows)
+	}
+}
+
+func TestGlobalRouteInfeasible(t *testing.T) {
+	g := testGrid(0)
+	nets := []GNet{{ID: 0, Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(5, 0, 0)}}, Width: 1}}
+	res := GlobalRoute(g, nets, GlobalOptions{})
+	if res.Trees[0] != nil {
+		t.Fatal("expected unrouted net on zero-capacity grid")
+	}
+}
+
+func TestNewDetailIsClassicalConfig(t *testing.T) {
+	c := chip.Generate(chip.GenParams{Seed: 1, Rows: 3, Cols: 8, NumNets: 8})
+	r := NewDetail(c, 1)
+	// Uniform tracks: evenly pitched on every layer.
+	for z := 0; z < c.NumLayers(); z++ {
+		coords := r.TG.Layers[z].Coords
+		pitch := c.Deck.Layers[z].Pitch
+		for i := 1; i < len(coords); i++ {
+			if coords[i]-coords[i-1] != pitch {
+				t.Fatalf("layer %d not uniformly pitched: %d", z, coords[i]-coords[i-1])
+			}
+		}
+	}
+	res := r.Route()
+	if res.Routed == 0 {
+		t.Fatal("baseline router routed nothing")
+	}
+}

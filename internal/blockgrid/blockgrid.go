@@ -1,0 +1,410 @@
+// Package blockgrid implements BonnRoute's blockage grid for off-track
+// wiring (paper §3.8): Algorithm 3 generates the candidate coordinates,
+// and a path-preserving digraph — four direction-tagged copies of each
+// grid vertex, with straight arcs between neighbors and post-bend arcs
+// that jump at least τ — lets a plain Dijkstra find shortest rectilinear
+// paths whose every segment has length at least τ (the minimum-segment-
+// length abstraction of the same-net rules, §3.7), avoiding all obstacle
+// interiors. By the theorem of Maßberg–Nieberg the grid contains an
+// optimal τ-feasible path whenever one exists.
+//
+// Obstacles must be pre-inflated by the caller (wire half-width plus
+// required spacing), as usual in gridless routing.
+package blockgrid
+
+import (
+	"container/heap"
+	"sort"
+
+	"bonnroute/internal/geom"
+)
+
+// Coordinates runs Algorithm 3 on one axis: base holds the obstacle
+// border coordinates plus the source/target coordinates; the result adds
+// τ-spaced fill around every cluster of base coordinates closer than 4τ,
+// extended 2τ beyond, clipped to span.
+func Coordinates(base []int, tau int, span geom.Interval) []int {
+	if tau <= 0 || span.Empty() {
+		return nil
+	}
+	sorted := append([]int(nil), base...)
+	sort.Ints(sorted)
+	sorted = dedup(sorted)
+
+	out := map[int]bool{}
+	add := func(x int) {
+		if x >= span.Lo && x <= span.Hi {
+			out[x] = true
+		}
+	}
+	for _, x := range sorted {
+		add(x)
+	}
+	for i, x := range sorted {
+		// Cluster extent around i: extend while consecutive gaps < 4τ.
+		lo, hi := i, i
+		for lo > 0 && sorted[lo]-sorted[lo-1] < 4*tau {
+			lo--
+		}
+		for hi+1 < len(sorted) && sorted[hi+1]-sorted[hi] < 4*tau {
+			hi++
+		}
+		from, to := sorted[lo]-2*tau, sorted[hi]+2*tau
+		// Anchor the τ-lattice at x (phases matter for optimality).
+		start := x - ((x-from)/tau+1)*tau
+		for p := start; p <= to; p += tau {
+			if p >= from {
+				add(p)
+			}
+		}
+	}
+	res := make([]int, 0, len(out))
+	for x := range out {
+		res = append(res, x)
+	}
+	sort.Ints(res)
+	return res
+}
+
+func dedup(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Search finds a shortest τ-feasible rectilinear path from s to t within
+// bounds, avoiding the interiors of the obstacles. It returns the
+// waypoints (including s and t) and the ℓ1 length. ok is false when no
+// τ-feasible path exists on the blockage grid.
+func Search(obstacles []geom.Rect, s, t geom.Point, tau int, bounds geom.Rect) (pts []geom.Point, length int, ok bool) {
+	if s == t {
+		return []geom.Point{s}, 0, true
+	}
+	var xs, ys []int
+	xs = append(xs, s.X, t.X, bounds.XMin, bounds.XMax)
+	ys = append(ys, s.Y, t.Y, bounds.YMin, bounds.YMax)
+	for _, o := range obstacles {
+		xs = append(xs, o.XMin, o.XMax)
+		ys = append(ys, o.YMin, o.YMax)
+	}
+	gx := Coordinates(xs, tau, geom.Interval{Lo: bounds.XMin, Hi: bounds.XMax})
+	gy := Coordinates(ys, tau, geom.Interval{Lo: bounds.YMin, Hi: bounds.YMax})
+	g := &bgraph{
+		xs: gx, ys: gy, tau: tau,
+		obstacles: obstacles,
+	}
+	si, ok1 := g.vertexOf(s)
+	ti, ok2 := g.vertexOf(t)
+	if !ok1 || !ok2 {
+		return nil, 0, false
+	}
+	return g.dijkstra(si, ti)
+}
+
+// Directions of travel.
+const (
+	dirNone = iota // at the source, no incoming direction
+	dirE
+	dirW
+	dirN
+	dirS
+	numDirs
+)
+
+type bgraph struct {
+	xs, ys    []int
+	tau       int
+	obstacles []geom.Rect
+}
+
+type bvertex struct {
+	xi, yi int
+}
+
+func (g *bgraph) vertexOf(p geom.Point) (bvertex, bool) {
+	xi := sort.SearchInts(g.xs, p.X)
+	yi := sort.SearchInts(g.ys, p.Y)
+	if xi >= len(g.xs) || g.xs[xi] != p.X || yi >= len(g.ys) || g.ys[yi] != p.Y {
+		return bvertex{}, false
+	}
+	return bvertex{xi, yi}, true
+}
+
+// segmentFree reports whether the axis-parallel segment between grid
+// points a and b avoids all obstacle interiors. Running exactly along an
+// obstacle border is allowed (the obstacles arrive pre-inflated).
+func (g *bgraph) segmentFree(ax, ay, bx, by int) bool {
+	seg := geom.R(ax, ay, bx, by)
+	for _, o := range g.obstacles {
+		if !segAvoidsInterior(seg, o) {
+			return false
+		}
+	}
+	return true
+}
+
+func segAvoidsInterior(seg, o geom.Rect) bool {
+	if seg.YMin == seg.YMax { // horizontal (or degenerate point)
+		if seg.YMin <= o.YMin || seg.YMin >= o.YMax {
+			return true
+		}
+		return seg.XMax <= o.XMin || seg.XMin >= o.XMax
+	}
+	// Vertical.
+	if seg.XMin <= o.XMin || seg.XMin >= o.XMax {
+		return true
+	}
+	return seg.YMax <= o.YMin || seg.YMin >= o.YMax
+}
+
+type bstate struct {
+	v   bvertex
+	dir uint8
+}
+
+// sid maps a state to a dense index for the array-based Dijkstra.
+func (g *bgraph) sid(st bstate) int {
+	return (st.v.xi*len(g.ys)+st.v.yi)*int(numDirs) + int(st.dir)
+}
+
+func (g *bgraph) dijkstra(s, t bvertex) ([]geom.Point, int, bool) {
+	n := len(g.xs) * len(g.ys) * int(numDirs)
+	const unset = int(^uint(0) >> 2)
+	dist := make([]int, n)
+	parent := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = unset
+		parent[i] = -1
+	}
+	stateOf := func(id int) bstate {
+		d := uint8(id % int(numDirs))
+		id /= int(numDirs)
+		return bstate{bvertex{id / len(g.ys), id % len(g.ys)}, d}
+	}
+	pq := &bheap{}
+	relax := func(st bstate, d int, from int32) {
+		id := g.sid(st)
+		if dist[id] <= d {
+			return
+		}
+		dist[id] = d
+		parent[id] = from
+		heap.Push(pq, bitem{d, int32(id)})
+	}
+	relax(bstate{s, dirNone}, 0, -1)
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(bitem)
+		id := int(it.id)
+		if done[id] || it.d > dist[id] {
+			continue
+		}
+		done[id] = true
+		st := stateOf(id)
+		if st.v == t {
+			// Reconstruct.
+			var pts []geom.Point
+			for cur := int32(id); cur >= 0; cur = parent[cur] {
+				cs := stateOf(int(cur))
+				p := geom.Pt(g.xs[cs.v.xi], g.ys[cs.v.yi])
+				if len(pts) == 0 || pts[len(pts)-1] != p {
+					pts = append(pts, p)
+				}
+			}
+			for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+				pts[i], pts[j] = pts[j], pts[i]
+			}
+			return pts, it.d, true
+		}
+		g.neighbors(st, func(nb bstate, cost int) {
+			relax(nb, it.d+cost, int32(id))
+		})
+	}
+	return nil, 0, false
+}
+
+// neighbors enumerates arcs: straight continuation to the adjacent grid
+// coordinate, and — from a bend (or the source) — jumps of length ≥ τ in
+// each perpendicular (resp. every) direction.
+func (g *bgraph) neighbors(st bstate, visit func(nb bstate, cost int)) {
+	x, y := g.xs[st.v.xi], g.ys[st.v.yi]
+
+	straight := func(dir uint8) {
+		switch dir {
+		case dirE:
+			if st.v.xi+1 < len(g.xs) {
+				nx := g.xs[st.v.xi+1]
+				if g.segmentFree(x, y, nx, y) {
+					visit(bstate{bvertex{st.v.xi + 1, st.v.yi}, dirE}, nx-x)
+				}
+			}
+		case dirW:
+			if st.v.xi > 0 {
+				nx := g.xs[st.v.xi-1]
+				if g.segmentFree(nx, y, x, y) {
+					visit(bstate{bvertex{st.v.xi - 1, st.v.yi}, dirW}, x-nx)
+				}
+			}
+		case dirN:
+			if st.v.yi+1 < len(g.ys) {
+				ny := g.ys[st.v.yi+1]
+				if g.segmentFree(x, y, x, ny) {
+					visit(bstate{bvertex{st.v.xi, st.v.yi + 1}, dirN}, ny-y)
+				}
+			}
+		case dirS:
+			if st.v.yi > 0 {
+				ny := g.ys[st.v.yi-1]
+				if g.segmentFree(x, ny, x, y) {
+					visit(bstate{bvertex{st.v.xi, st.v.yi - 1}, dirS}, y-ny)
+				}
+			}
+		}
+	}
+
+	// jump emits the post-bend arc: the nearest vertex at distance ≥ τ.
+	jump := func(dir uint8) {
+		switch dir {
+		case dirE:
+			for xi := st.v.xi + 1; xi < len(g.xs); xi++ {
+				if g.xs[xi]-x >= g.tau {
+					if g.segmentFree(x, y, g.xs[xi], y) {
+						visit(bstate{bvertex{xi, st.v.yi}, dirE}, g.xs[xi]-x)
+					}
+					return
+				}
+			}
+		case dirW:
+			for xi := st.v.xi - 1; xi >= 0; xi-- {
+				if x-g.xs[xi] >= g.tau {
+					if g.segmentFree(g.xs[xi], y, x, y) {
+						visit(bstate{bvertex{xi, st.v.yi}, dirW}, x-g.xs[xi])
+					}
+					return
+				}
+			}
+		case dirN:
+			for yi := st.v.yi + 1; yi < len(g.ys); yi++ {
+				if g.ys[yi]-y >= g.tau {
+					if g.segmentFree(x, y, x, g.ys[yi]) {
+						visit(bstate{bvertex{st.v.xi, yi}, dirN}, g.ys[yi]-y)
+					}
+					return
+				}
+			}
+		case dirS:
+			for yi := st.v.yi - 1; yi >= 0; yi-- {
+				if y-g.ys[yi] >= g.tau {
+					if g.segmentFree(x, g.ys[yi], x, y) {
+						visit(bstate{bvertex{st.v.xi, yi}, dirS}, y-g.ys[yi])
+					}
+					return
+				}
+			}
+		}
+	}
+
+	switch st.dir {
+	case dirNone:
+		// First segment must also be ≥ τ.
+		jump(dirE)
+		jump(dirW)
+		jump(dirN)
+		jump(dirS)
+	case dirE, dirW:
+		straight(st.dir)
+		jump(dirN)
+		jump(dirS)
+	case dirN, dirS:
+		straight(st.dir)
+		jump(dirE)
+		jump(dirW)
+	}
+}
+
+type bitem struct {
+	d  int
+	id int32
+}
+
+type bheap []bitem
+
+func (h bheap) Len() int            { return len(h) }
+func (h bheap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h bheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bheap) Push(x interface{}) { *h = append(*h, x.(bitem)) }
+func (h *bheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// MergeCollinear merges consecutive waypoints that continue in the same
+// signed direction into single segments (a segment is a maximal straight
+// piece; waypoint lists may subdivide it).
+func MergeCollinear(pts []geom.Point) []geom.Point {
+	if len(pts) <= 2 {
+		return pts
+	}
+	out := pts[:1:1]
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		last := out[len(out)-1]
+		if p == last {
+			continue
+		}
+		if len(out) >= 2 {
+			prev := out[len(out)-2]
+			sameDir := (prev.X == last.X && last.X == p.X && sign(last.Y-prev.Y) == sign(p.Y-last.Y)) ||
+				(prev.Y == last.Y && last.Y == p.Y && sign(last.X-prev.X) == sign(p.X-last.X))
+			if sameDir {
+				out[len(out)-1] = p
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// SegmentsOK verifies that every maximal segment of a rectilinear path
+// has length ≥ τ and avoids obstacle interiors (the τ-feasibility audit
+// used in tests and by pin access). Collinear waypoint runs are merged
+// first.
+func SegmentsOK(pts []geom.Point, tau int, obstacles []geom.Rect) bool {
+	pts = MergeCollinear(pts)
+	if len(pts) < 2 {
+		return true
+	}
+	g := &bgraph{obstacles: obstacles}
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if a.X != b.X && a.Y != b.Y {
+			return false // not rectilinear
+		}
+		if a.Dist1(b) < tau {
+			return false
+		}
+		if !g.segmentFree(min(a.X, b.X), min(a.Y, b.Y), max(a.X, b.X), max(a.Y, b.Y)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,315 @@
+// Package capest computes global routing edge capacities (paper §2.5):
+// usable-track counting between tile centers with blockage extension for
+// wire edges, crossing counting for via edges, capacity reduction for
+// intra-tile connections (pre-routed short nets and Steiner-length
+// estimates of longer nets' local wiring), and the stacked-via capacity
+// model.
+package capest
+
+import (
+	"math/rand"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/steiner"
+	"bonnroute/internal/tracks"
+)
+
+// Params tune the estimation.
+type Params struct {
+	// BlockageExtension extends each blockage in preferred direction
+	// before counting usable track length (§2.5); 0 uses one pitch.
+	BlockageExtension int
+	// ViaSpacingFactor divides the raw crossing count of a tile to get
+	// via capacity (cut spacing consumes roughly every other crossing);
+	// 0 uses 2.
+	ViaSpacingFactor float64
+	// StackedViaDensity is the expected number of stacked vias per tile
+	// per layer, as a fraction of the tile's track count, fed into the
+	// lattice model; 0 uses 0.05.
+	StackedViaDensity float64
+	// ViaPadBlocking scales capacity loss on layers whose via pads extend
+	// to neighboring tracks (§2.5 last paragraph); 0 uses 1 (no extra
+	// blocking).
+	ViaPadBlocking float64
+}
+
+func (p *Params) setDefaults(pitch int) {
+	if p.BlockageExtension <= 0 {
+		p.BlockageExtension = pitch
+	}
+	if p.ViaSpacingFactor <= 0 {
+		p.ViaSpacingFactor = 2
+	}
+	if p.StackedViaDensity <= 0 {
+		p.StackedViaDensity = 0.05
+	}
+	if p.ViaPadBlocking <= 0 {
+		p.ViaPadBlocking = 1
+	}
+}
+
+// Compute fills g.Cap from the chip's obstacles and track graph.
+func Compute(c *chip.Chip, tg *tracks.Graph, g *grid.Graph, p Params) {
+	p.setDefaults(c.Deck.Layers[0].Pitch)
+
+	// Per-layer obstacle lists with the §2.5 extension in preferred
+	// direction.
+	obstacles := make([][]geom.Rect, c.NumLayers())
+	for _, o := range c.AllObstacles() {
+		obstacles[o.Layer] = append(obstacles[o.Layer],
+			o.Rect.ExpandedDir(c.Dir(o.Layer), p.BlockageExtension))
+	}
+
+	// Wire edges: sum over tracks crossing the inter-center region of
+	// the usable fraction.
+	for z := 0; z < g.NZ; z++ {
+		dir := g.Dirs[z]
+		layer := &tg.Layers[z]
+		stacked := stackedViaReduction(p.StackedViaDensity, len(layer.Coords))
+		for ty := 0; ty < g.NY; ty++ {
+			for tx := 0; tx < g.NX; tx++ {
+				e := g.WireEdge(tx, ty, z)
+				if e < 0 {
+					continue
+				}
+				var region geom.Rect
+				t0 := g.TileRect(tx, ty)
+				if dir == geom.Horizontal {
+					t1 := g.TileRect(tx+1, ty)
+					region = geom.Rect{
+						XMin: t0.Center().X, XMax: t1.Center().X,
+						YMin: t0.YMin, YMax: t0.YMax,
+					}
+				} else {
+					t1 := g.TileRect(tx, ty+1)
+					region = geom.Rect{
+						XMin: t0.XMin, XMax: t0.XMax,
+						YMin: t0.Center().Y, YMax: t1.Center().Y,
+					}
+				}
+				usable := geom.SubtractRects(region, obstacles[z])
+				regionLen := region.Span(dir).Len()
+				if regionLen <= 0 {
+					continue
+				}
+				cap := 0.0
+				ortho := region.Span(dir.Perp())
+				for _, tc := range layer.TracksRange(ortho.Lo, ortho.Hi-1) {
+					cov := geom.CoveredLength(usable, dir, tc)
+					cap += float64(cov) / float64(regionLen)
+				}
+				cap *= stacked
+				if z > 0 && z+1 < g.NZ {
+					cap /= p.ViaPadBlocking
+				}
+				g.Cap[e] = cap
+			}
+		}
+	}
+
+	// Via edges: usable crossings in the tile divided by the spacing
+	// factor.
+	for z := 0; z+1 < g.NZ; z++ {
+		lo, hi := &tg.Layers[z], &tg.Layers[z+1]
+		for ty := 0; ty < g.NY; ty++ {
+			for tx := 0; tx < g.NX; tx++ {
+				tile := g.TileRect(tx, ty)
+				loTracks := tracksIn(lo, tile)
+				hiTracks := tracksIn(hi, tile)
+				free := 0
+				for _, a := range loTracks {
+					for _, b := range hiTracks {
+						var pt geom.Point
+						if lo.Dir == geom.Horizontal {
+							pt = geom.Pt(b, a)
+						} else {
+							pt = geom.Pt(a, b)
+						}
+						if !pointBlocked(obstacles[z], pt) && !pointBlocked(obstacles[z+1], pt) {
+							free++
+						}
+					}
+				}
+				g.Cap[g.ViaEdge(tx, ty, z)] = float64(free) / p.ViaSpacingFactor
+			}
+		}
+	}
+}
+
+func tracksIn(l *tracks.Layer, tile geom.Rect) []int {
+	s := tile.Span(l.Dir.Perp())
+	return l.TracksRange(s.Lo, s.Hi-1)
+}
+
+func pointBlocked(obst []geom.Rect, p geom.Point) bool {
+	for _, r := range obst {
+		if r.ContainsClosed(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceForIntraTile lowers edge capacities around tiles with local
+// wiring: nets fully inside one tile are "pre-routed" (§2.5) and their
+// Steiner length converted into an equivalent number of blocked tracks;
+// multi-tile nets reduce capacity by their estimated intra-tile stub
+// lengths (the GLARE-style correction). It must run after Compute.
+func ReduceForIntraTile(c *chip.Chip, g *grid.Graph) {
+	// Intra-tile demand in DBU of wiring per (tile, 2D).
+	demand := make([]float64, g.NX*g.NY)
+	idx := func(tx, ty int) int { return ty*g.NX + tx }
+
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		var pts []geom.Point
+		tiles := map[[2]int]bool{}
+		for _, pi := range n.Pins {
+			ctr := c.Pins[pi].Center()
+			pts = append(pts, ctr)
+			tx, ty := g.TileOf(ctr)
+			tiles[[2]int{tx, ty}] = true
+		}
+		if len(tiles) == 1 {
+			// Fully local: whole Steiner length is intra-tile.
+			for t := range tiles {
+				demand[idx(t[0], t[1])] += float64(steiner.RSMTLength(pts))
+			}
+			continue
+		}
+		// Multi-tile: each pin contributes a stub from the pin to its
+		// tile center (the expected local wiring of the global route).
+		for _, pi := range n.Pins {
+			ctr := c.Pins[pi].Center()
+			tx, ty := g.TileOf(ctr)
+			tc := g.TileRect(tx, ty).Center()
+			demand[idx(tx, ty)] += float64(ctr.Dist1(tc)) * 0.5
+		}
+	}
+
+	// Convert demand to capacity reduction: a tile with D DBU of local
+	// wiring across NZ layers loses D / (tileSpan · NZ) tracks on each
+	// incident wire edge.
+	for ty := 0; ty < g.NY; ty++ {
+		for tx := 0; tx < g.NX; tx++ {
+			d := demand[idx(tx, ty)]
+			if d == 0 {
+				continue
+			}
+			for z := 0; z < g.NZ; z++ {
+				span := float64(g.TileW)
+				if g.Dirs[z] == geom.Vertical {
+					span = float64(g.TileH)
+				}
+				loss := d / (span * float64(g.NZ))
+				for _, e := range incidentWireEdges(g, tx, ty, z) {
+					g.Cap[e] = maxf(0, g.Cap[e]-loss/2)
+				}
+			}
+		}
+	}
+}
+
+func incidentWireEdges(g *grid.Graph, tx, ty, z int) []int {
+	var out []int
+	if e := g.WireEdge(tx, ty, z); e >= 0 {
+		out = append(out, e)
+	}
+	if g.Dirs[z] == geom.Horizontal {
+		if e := g.WireEdge(tx-1, ty, z); e >= 0 {
+			out = append(out, e)
+		}
+	} else {
+		if e := g.WireEdge(tx, ty-1, z); e >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// stackedViaReduction evaluates the §2.5 stacked-via model: the expected
+// fraction of per-track capacity that survives k stacked vias of
+// footprint p placed uniformly in a tile with the given track count. It
+// wraps StackedViaColumnLoad with the default footprint.
+func stackedViaReduction(density float64, trackCount int) float64 {
+	if trackCount <= 0 {
+		return 1
+	}
+	k := int(density * float64(trackCount))
+	if k <= 0 {
+		return 1
+	}
+	load := StackedViaColumnLoad(k, 2, trackCount, trackCount)
+	frac := load / float64(trackCount)
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	return 1 - frac
+}
+
+// StackedViaColumnLoad estimates, for k disjoint stacked vias each
+// occupying p consecutive sites in x-direction placed uniformly at random
+// in an m×rows lattice, the expected maximum number of occupied sites in
+// any column — the paper's §2.5 proxy for the capacity a population of
+// stacked vias destroys. The estimate is a deterministic seeded Monte
+// Carlo (the paper precomputes the same quantity by counting).
+func StackedViaColumnLoad(k, p, m, rows int) float64 {
+	if k <= 0 || p <= 0 || m < p || rows <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(int64(k)*1_000_003 + int64(p)*10_007 + int64(m)*101 + int64(rows)))
+	const trials = 200
+	total := 0.0
+	col := make([]int, m)
+	rowFree := make([][]bool, rows)
+	for i := range rowFree {
+		rowFree[i] = make([]bool, m)
+	}
+	for t := 0; t < trials; t++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for r := range rowFree {
+			for x := range rowFree[r] {
+				rowFree[r][x] = true
+			}
+		}
+		placed := 0
+		for attempt := 0; attempt < 50*k && placed < k; attempt++ {
+			r := rng.Intn(rows)
+			x := rng.Intn(m - p + 1)
+			ok := true
+			for d := 0; d < p; d++ {
+				if !rowFree[r][x+d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for d := 0; d < p; d++ {
+				rowFree[r][x+d] = false
+				col[x+d]++
+			}
+			placed++
+		}
+		maxLoad := 0
+		for _, cnt := range col {
+			if cnt > maxLoad {
+				maxLoad = cnt
+			}
+		}
+		total += float64(maxLoad)
+	}
+	return total / trials
+}

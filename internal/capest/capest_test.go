@@ -1,0 +1,164 @@
+package capest
+
+import (
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/tracks"
+)
+
+// buildWorld makes a small chip, its tracks and an empty grid.
+func buildWorld(t *testing.T, p chip.GenParams) (*chip.Chip, *tracks.Graph, *grid.Graph) {
+	t.Helper()
+	c := chip.Generate(p)
+	tg := buildTracks(c)
+	tileW := 8 * c.Deck.Layers[0].Pitch
+	g := grid.New(c.Area, tileW, tileW, layerDirs(c))
+	return c, tg, g
+}
+
+func layerDirs(c *chip.Chip) []geom.Direction {
+	dirs := make([]geom.Direction, c.NumLayers())
+	for z := range dirs {
+		dirs[z] = c.Dir(z)
+	}
+	return dirs
+}
+
+func buildTracks(c *chip.Chip) *tracks.Graph {
+	obstacles := make([][]geom.Rect, c.NumLayers())
+	for _, o := range c.AllObstacles() {
+		obstacles[o.Layer] = append(obstacles[o.Layer], o.Rect)
+	}
+	coords := make([][]int, c.NumLayers())
+	for z := 0; z < c.NumLayers(); z++ {
+		lr := c.Deck.Layers[z]
+		clear := lr.MinWidth/2 + lr.Spacing[0].Spacing
+		usable := tracks.UsableAreas(c.Area, obstacles[z], clear)
+		span := c.Area.Span(c.Dir(z).Perp())
+		coords[z], _ = tracks.Optimize(usable, c.Dir(z), lr.Pitch, span)
+	}
+	return tracks.BuildGraph(c.Area, layerDirs(c), coords)
+}
+
+func TestComputeProducesPositiveCapacities(t *testing.T) {
+	c, tg, g := buildWorld(t, chip.GenParams{Seed: 1, Rows: 4, Cols: 8, NumNets: 20})
+	Compute(c, tg, g, Params{})
+	pos, zero := 0, 0
+	for _, cp := range g.Cap {
+		if cp > 0 {
+			pos++
+		} else {
+			zero++
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no positive capacities")
+	}
+	// Upper layers are mostly free: their edges should be near the track
+	// count per tile.
+	z := c.NumLayers() - 1
+	e := g.WireEdge(g.NX/2, g.NY/2, z)
+	if e < 0 {
+		t.Fatal("no edge")
+	}
+	if g.Cap[e] < 2 {
+		t.Fatalf("free layer capacity = %f, implausibly low", g.Cap[e])
+	}
+}
+
+func TestBlockageReducesCapacity(t *testing.T) {
+	c, tg, g := buildWorld(t, chip.GenParams{Seed: 2, Rows: 4, Cols: 8, NumNets: 10})
+	Compute(c, tg, g, Params{})
+	z := 3 // layer with power stripes potential; add our own blockage
+	e := g.WireEdge(2, 2, z)
+	before := g.Cap[e]
+
+	// Add a blockage covering the edge region and recompute.
+	t0 := g.TileRect(2, 2)
+	c.Obstacles = append(c.Obstacles, chip.Obstacle{
+		Rect:  t0.Union(g.TileRect(2, 3)).Union(g.TileRect(3, 2)),
+		Layer: z,
+	})
+	tg2 := buildTracks(c)
+	g2 := grid.New(c.Area, g.TileW, g.TileH, layerDirs(c))
+	Compute(c, tg2, g2, Params{})
+	after := g2.Cap[e]
+	if after >= before {
+		t.Fatalf("blockage did not reduce capacity: %f -> %f", before, after)
+	}
+}
+
+func TestViaEdgeCapacities(t *testing.T) {
+	c, tg, g := buildWorld(t, chip.GenParams{Seed: 3, Rows: 4, Cols: 8, NumNets: 10})
+	Compute(c, tg, g, Params{})
+	// Via capacity in an upper, free tile must be positive.
+	e := g.ViaEdge(g.NX/2, g.NY/2, c.NumLayers()-2)
+	if g.Cap[e] <= 0 {
+		t.Fatalf("via capacity = %f", g.Cap[e])
+	}
+}
+
+func TestReduceForIntraTile(t *testing.T) {
+	c, tg, g := buildWorld(t, chip.GenParams{Seed: 4, Rows: 4, Cols: 8, NumNets: 40, LocalityRadius: 1})
+	Compute(c, tg, g, Params{})
+	before := append([]float64(nil), g.Cap...)
+	ReduceForIntraTile(c, g)
+	reduced, increased := 0, 0
+	for e := range g.Cap {
+		switch {
+		case g.Cap[e] < before[e]-1e-12:
+			reduced++
+		case g.Cap[e] > before[e]+1e-12:
+			increased++
+		}
+	}
+	if reduced == 0 {
+		t.Fatal("intra-tile correction reduced nothing")
+	}
+	if increased > 0 {
+		t.Fatal("correction must never increase capacity")
+	}
+	for _, cp := range g.Cap {
+		if cp < 0 {
+			t.Fatal("negative capacity")
+		}
+	}
+}
+
+func TestStackedViaColumnLoadMonotone(t *testing.T) {
+	// More stacked vias → higher expected max column load.
+	prev := 0.0
+	for k := 1; k <= 8; k *= 2 {
+		l := StackedViaColumnLoad(k, 2, 20, 20)
+		if l < prev {
+			t.Fatalf("column load not monotone in k: k=%d %f < %f", k, l, prev)
+		}
+		prev = l
+	}
+	// Degenerate inputs.
+	if StackedViaColumnLoad(0, 2, 20, 20) != 0 {
+		t.Fatal("k=0 must be 0")
+	}
+	if StackedViaColumnLoad(3, 5, 4, 4) != 0 {
+		t.Fatal("m < p must be 0")
+	}
+	// Sub-linearity (§2.5: "expected capacity reduction is sublinear in
+	// the number of stacked vias"): doubling k must not double the load
+	// once the lattice is busy.
+	l8 := StackedViaColumnLoad(8, 2, 10, 10)
+	l16 := StackedViaColumnLoad(16, 2, 10, 10)
+	if l16 >= 2*l8 {
+		t.Fatalf("column load not sublinear: k=8 %f, k=16 %f", l8, l16)
+	}
+}
+
+func TestStackedViaDeterministic(t *testing.T) {
+	a := StackedViaColumnLoad(5, 2, 30, 30)
+	b := StackedViaColumnLoad(5, 2, 30, 30)
+	if a != b {
+		t.Fatal("Monte Carlo must be deterministic for fixed parameters")
+	}
+}

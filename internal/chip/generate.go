@@ -1,0 +1,350 @@
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+)
+
+// GenParams parameterize the synthetic chip generator. All randomness
+// derives from Seed, so a given parameter set is fully reproducible.
+type GenParams struct {
+	Name string
+	Seed int64
+	// Rows and Cols define the placement grid of cell slots.
+	Rows, Cols int
+	// NumLayers is the wiring stack height (≥ 2, default 6).
+	NumLayers int
+	// Pitch is the minimum pitch of the lower layers (default 40 DBU).
+	Pitch int
+	// NumNets is the number of nets to generate.
+	NumNets int
+	// MaxDegree caps pins per net (default 24). Degrees follow a
+	// geometric-ish distribution concentrated on 2–4 pins, matching the
+	// terminal-count mix of Table II.
+	MaxDegree int
+	// Utilization is the fraction of slots filled with cells, in percent
+	// (default 70).
+	Utilization int
+	// LocalityRadius is the slot radius within which net pins cluster
+	// (default 8). A 5% tail of nets is drawn chip-wide, producing the
+	// long-distance connections that exercise interval path search.
+	LocalityRadius int
+	// PowerStripePeriod places a vertical wide stripe blockage on layer 3
+	// every this many columns (0 disables).
+	PowerStripePeriod int
+	// WideNetPct is the percentage of nets using the 2x-wide wire type.
+	WideNetPct int
+	// CriticalPct is the percentage of nets flagged critical.
+	CriticalPct int
+}
+
+func (p *GenParams) setDefaults() {
+	if p.Name == "" {
+		p.Name = "synthetic"
+	}
+	if p.Rows <= 0 {
+		p.Rows = 8
+	}
+	if p.Cols <= 0 {
+		p.Cols = 16
+	}
+	if p.NumLayers < 2 {
+		p.NumLayers = 6
+	}
+	if p.Pitch <= 0 {
+		p.Pitch = 40
+	}
+	if p.MaxDegree < 2 {
+		p.MaxDegree = 24
+	}
+	if p.Utilization <= 0 || p.Utilization > 100 {
+		p.Utilization = 70
+	}
+	if p.LocalityRadius <= 0 {
+		p.LocalityRadius = 8
+	}
+}
+
+// Generate builds a synthetic chip. The result always passes Validate.
+func Generate(p GenParams) *Chip {
+	p.setDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	deck := rules.DefaultDeck(rules.DeckParams{NumLayers: p.NumLayers, Pitch: p.Pitch})
+	w := deck.Layers[0].MinWidth
+	pitch := deck.Layers[0].Pitch
+	slotW := 8 * pitch
+	rowH := 12 * pitch
+
+	c := &Chip{
+		Name: p.Name,
+		Deck: deck,
+		Area: geom.Rect{XMin: 0, YMin: 0, XMax: p.Cols * slotW, YMax: p.Rows * rowH},
+		WireTypes: []*rules.WireType{
+			deck.StandardWireType(),
+			deck.WideWireType(2),
+		},
+	}
+	for z := 0; z < p.NumLayers; z++ {
+		dir := geom.Horizontal
+		if z%2 == 1 {
+			dir = geom.Vertical
+		}
+		c.Layers = append(c.Layers, Layer{Z: z, Dir: dir})
+	}
+
+	c.Protos = makeProtoLibrary(pitch, w, rng)
+
+	// Place cells row by row; alternate rows mirror (as real placements
+	// flip for power-rail sharing), multiplying circuit classes.
+	type slotPin struct{ cell, pin int }
+	var freePins []slotPin               // all placeable pin endpoints
+	bySlot := make(map[[2]int][]slotPin) // (col,row) -> pins
+	occupied := make([][]bool, p.Rows)   // slot occupancy
+	for r := range occupied {
+		occupied[r] = make([]bool, p.Cols)
+	}
+	for row := 0; row < p.Rows; row++ {
+		for col := 0; col < p.Cols; {
+			proto := rng.Intn(len(c.Protos))
+			wSlots := c.Protos[proto].Size.XMax / slotW
+			if col+wSlots > p.Cols {
+				col++
+				continue
+			}
+			if rng.Intn(100) >= p.Utilization {
+				col += wSlots
+				continue
+			}
+			cellIdx := len(c.Cells)
+			c.Cells = append(c.Cells, Cell{
+				Proto:    proto,
+				Origin:   geom.Pt(col*slotW, row*rowH),
+				Mirrored: row%2 == 1,
+			})
+			for pi := range c.Protos[proto].Pins {
+				sp := slotPin{cellIdx, pi}
+				freePins = append(freePins, sp)
+				key := [2]int{col, row}
+				bySlot[key] = append(bySlot[key], sp)
+			}
+			for dc := 0; dc < wSlots; dc++ {
+				occupied[row][col+dc] = true
+			}
+			col += wSlots
+		}
+	}
+
+	// Power rails: horizontal blockage strips on layer 0 at each row
+	// boundary, leaving the cell-internal area routable.
+	railH := 2 * w
+	for row := 0; row <= p.Rows; row++ {
+		y := row * rowH
+		c.Obstacles = append(c.Obstacles, Obstacle{
+			Rect:  geom.Rect{XMin: 0, YMin: y - railH/2, XMax: c.Area.XMax, YMax: y + railH/2},
+			Layer: 0,
+		})
+	}
+	// Vertical power stripes on layer 3 (if present).
+	if p.PowerStripePeriod > 0 && p.NumLayers > 3 {
+		stripeW := 3 * w
+		for col := p.PowerStripePeriod; col < p.Cols; col += p.PowerStripePeriod {
+			x := col * slotW
+			c.Obstacles = append(c.Obstacles, Obstacle{
+				Rect:  geom.Rect{XMin: x - stripeW/2, YMin: 0, XMax: x + stripeW/2, YMax: c.Area.YMax},
+				Layer: 3,
+			})
+		}
+	}
+
+	// Netlist: locality-clustered pin groups over the free pins.
+	used := make(map[slotPin]bool)
+	takeFrom := func(key [2]int) (slotPin, bool) {
+		for _, sp := range bySlot[key] {
+			if !used[sp] {
+				used[sp] = true
+				return sp, true
+			}
+		}
+		return slotPin{}, false
+	}
+	degreeOf := func() int {
+		// Concentrated on 2–4 with a geometric tail, as in Table II.
+		d := 2
+		for d < p.MaxDegree && rng.Float64() < 0.38 {
+			d++
+		}
+		return d
+	}
+	unused := len(freePins)
+	for netID := 0; len(c.Nets) < p.NumNets && unused >= 2; netID++ {
+		if netID > 20*p.NumNets {
+			break // placement exhausted
+		}
+		deg := degreeOf()
+		radius := p.LocalityRadius
+		if rng.Intn(100) < 5 {
+			radius = max(p.Cols, p.Rows) // chip-spanning net
+		}
+		seedCol, seedRow := rng.Intn(p.Cols), rng.Intn(p.Rows)
+		var members []slotPin
+		for r := 0; r <= radius && len(members) < deg; r++ {
+			// Visit the ring of slots at Chebyshev radius r in random
+			// phase so nets do not all grow the same way.
+			ring := ringSlots(seedCol, seedRow, r, p.Cols, p.Rows)
+			rng.Shuffle(len(ring), func(i, j int) { ring[i], ring[j] = ring[j], ring[i] })
+			for _, key := range ring {
+				for len(members) < deg {
+					sp, ok := takeFrom(key)
+					if !ok {
+						break
+					}
+					members = append(members, sp)
+				}
+			}
+		}
+		if len(members) < 2 {
+			for _, sp := range members {
+				used[sp] = false // return to pool
+			}
+			continue
+		}
+		unused -= len(members)
+		n := Net{
+			ID:   len(c.Nets),
+			Name: fmt.Sprintf("n%d", len(c.Nets)),
+		}
+		if rng.Intn(100) < p.WideNetPct {
+			n.WireType = 1
+		}
+		if rng.Intn(100) < p.CriticalPct {
+			n.Critical = true
+		}
+		for _, sp := range members {
+			cell := &c.Cells[sp.cell]
+			proto := &c.Protos[cell.Proto]
+			pin := Pin{Net: n.ID, Cell: sp.cell, ProtoPin: sp.pin}
+			for _, ps := range proto.Pins[sp.pin] {
+				pin.Shapes = append(pin.Shapes, PinShape{
+					Rect:  c.cellRect(cell, ps.Rect),
+					Layer: ps.Layer,
+				})
+			}
+			n.Pins = append(n.Pins, len(c.Pins))
+			c.Pins = append(c.Pins, pin)
+		}
+		c.Nets = append(c.Nets, n)
+	}
+
+	return c
+}
+
+// ringSlots returns the slot coordinates at Chebyshev distance r from
+// (col,row) clipped to the grid; r == 0 returns the center itself.
+func ringSlots(col, row, r, cols, rows int) [][2]int {
+	var out [][2]int
+	add := func(cx, cy int) {
+		if cx >= 0 && cx < cols && cy >= 0 && cy < rows {
+			out = append(out, [2]int{cx, cy})
+		}
+	}
+	if r == 0 {
+		add(col, row)
+		return out
+	}
+	for d := -r; d <= r; d++ {
+		add(col+d, row-r)
+		add(col+d, row+r)
+	}
+	for d := -r + 1; d <= r-1; d++ {
+		add(col-r, row+d)
+		add(col+r, row+d)
+	}
+	return out
+}
+
+// makeProtoLibrary builds a small standard-cell library. Pin geometries
+// are deliberately irregular — off the track grid, multiple rects,
+// internal blockages — to exercise off-track pin access (§4.3). Every
+// pin position is jittered by a per-proto sub-pitch offset so pins align
+// with no fixed track lattice, as on real chips.
+func makeProtoLibrary(pitch, w int, rng *rand.Rand) []CellProto {
+	slotW := 8 * pitch
+	rowH := 12 * pitch
+	pinRect := func(x, y int) geom.Rect {
+		jx := rng.Intn(2*w+1) - w
+		jy := rng.Intn(2*w+1) - w
+		x, y = x+jx, y+jy
+		return geom.Rect{XMin: x, YMin: y, XMax: x + w, YMax: y + 3*w}
+	}
+	lib := []CellProto{
+		{
+			// INV-like: 2 pins, 1 slot.
+			Name: "inv",
+			Size: geom.Rect{XMax: slotW, YMax: rowH},
+			Pins: [][]PinShape{
+				{{Rect: pinRect(2*pitch, 3*pitch), Layer: 0}},
+				{{Rect: pinRect(5*pitch+w/3, 6*pitch), Layer: 0}},
+			},
+			Blockages: []Obstacle{
+				{Rect: geom.Rect{XMin: 3 * pitch, YMin: 2 * pitch, XMax: 3*pitch + w, YMax: 9 * pitch}, Layer: 0},
+			},
+		},
+		{
+			// NAND2-like: 3 pins, 1 slot, one pin off-track.
+			Name: "nand2",
+			Size: geom.Rect{XMax: slotW, YMax: rowH},
+			Pins: [][]PinShape{
+				{{Rect: pinRect(pitch+w/2, 3*pitch), Layer: 0}},
+				{{Rect: pinRect(4*pitch, 7*pitch), Layer: 0}},
+				{{Rect: pinRect(6*pitch+w/4, 4*pitch+w/2), Layer: 0}},
+			},
+			Blockages: []Obstacle{
+				{Rect: geom.Rect{XMin: 2*pitch + w, YMin: 5 * pitch, XMax: 5 * pitch, YMax: 5*pitch + w}, Layer: 0},
+			},
+		},
+		{
+			// AOI-like: 4 pins, 2 slots, L-shaped pin (two rects).
+			Name: "aoi22",
+			Size: geom.Rect{XMax: 2 * slotW, YMax: rowH},
+			Pins: [][]PinShape{
+				{{Rect: pinRect(2*pitch, 3*pitch), Layer: 0},
+					{Rect: geom.Rect{XMin: 2 * pitch, YMin: 3 * pitch, XMax: 2*pitch + 3*w, YMax: 3*pitch + w}, Layer: 0}},
+				{{Rect: pinRect(6*pitch, 6*pitch), Layer: 0}},
+				{{Rect: pinRect(10*pitch+w/2, 4*pitch), Layer: 0}},
+				{{Rect: pinRect(13*pitch, 7*pitch+w/3), Layer: 0}},
+			},
+			Blockages: []Obstacle{
+				{Rect: geom.Rect{XMin: 8 * pitch, YMin: 2 * pitch, XMax: 8*pitch + w, YMax: 10 * pitch}, Layer: 0},
+				{Rect: geom.Rect{XMin: 4 * pitch, YMin: 9 * pitch, XMax: 12 * pitch, YMax: 9*pitch + w}, Layer: 1},
+			},
+		},
+		{
+			// FF-like: 3 pins, 3 slots, pin on layer 1.
+			Name: "dff",
+			Size: geom.Rect{XMax: 3 * slotW, YMax: rowH},
+			Pins: [][]PinShape{
+				{{Rect: pinRect(3*pitch, 4*pitch), Layer: 0}},
+				{{Rect: pinRect(12*pitch, 5*pitch), Layer: 1}},
+				{{Rect: pinRect(20*pitch+w/2, 6*pitch), Layer: 0}},
+			},
+			Blockages: []Obstacle{
+				{Rect: geom.Rect{XMin: 6 * pitch, YMin: 3 * pitch, XMax: 18 * pitch, YMax: 3*pitch + w}, Layer: 0},
+				{Rect: geom.Rect{XMin: 9 * pitch, YMin: 2 * pitch, XMax: 9*pitch + w, YMax: 10 * pitch}, Layer: 1},
+			},
+		},
+		{
+			// BUF-like: 2 pins, 1 slot, clean geometry (on-track friendly).
+			Name: "buf",
+			Size: geom.Rect{XMax: slotW, YMax: rowH},
+			Pins: [][]PinShape{
+				{{Rect: pinRect(2*pitch, 4*pitch), Layer: 0}},
+				{{Rect: pinRect(6*pitch, 8*pitch), Layer: 0}},
+			},
+		},
+	}
+	return lib
+}

@@ -1,0 +1,340 @@
+// Package core is the public façade of the BonnRoute reproduction: it
+// wires the substrates into the two flows of the paper's evaluation —
+// the BonnRoute flow (min-max resource sharing global routing, capacity
+// estimation, interval-based detailed routing with fast grid and
+// conflict-free pin access, plus a DRC cleanup pass) and the ISR-like
+// baseline flow (sequential negotiated global routing, node-based maze
+// detailed routing) — and computes the §5.3 metrics for both.
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"bonnroute/internal/baseline"
+	"bonnroute/internal/capest"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/detail"
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/report"
+	"bonnroute/internal/sharing"
+	"bonnroute/internal/steiner"
+)
+
+// Options tune a routing run.
+type Options struct {
+	// Workers is the parallelism for both stages. Default 1.
+	Workers int
+	// GlobalPhases is Algorithm 2's t. Default 32.
+	GlobalPhases int
+	// TileTracks sets the global tile size in tracks (the paper uses
+	// 50–100; the synthetic chips are smaller, default 8).
+	TileTracks int
+	// Seed drives randomized rounding.
+	Seed int64
+	// PowerCap enables the power resource in global routing.
+	PowerCap float64
+	// SkipGlobal routes without global guidance (detailed-only mode).
+	SkipGlobal bool
+	// UsePFuture enables the blockage-aware future cost in detailed
+	// routing.
+	UsePFuture bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.GlobalPhases <= 0 {
+		o.GlobalPhases = 32
+	}
+	if o.TileTracks <= 0 {
+		o.TileTracks = 8
+	}
+}
+
+// GlobalStats reports the global routing stage.
+type GlobalStats struct {
+	Lambda        float64
+	LambdaHistory []float64
+	OracleCalls   int64
+	OracleReuses  int64
+	Rechosen      int
+	Rerouted      int
+	Violations    int
+	Unrouted      int
+	Overflowed    int
+	// PerNetLength and PerNetVias are the global-route geometry per net.
+	PerNetLength []int64
+	PerNetVias   []int
+	// AlgTime is the Algorithm 2 (or negotiation) time; RRTime the
+	// rounding/repair time.
+	AlgTime, RRTime, Total time.Duration
+}
+
+// Result is a complete flow outcome.
+type Result struct {
+	Flow    string
+	Chip    *chip.Chip
+	Global  *GlobalStats
+	Detail  *detail.Result
+	Router  *detail.Router
+	Audit   drc.AuditResult
+	PerNet  []report.NetLength
+	Metrics report.Metrics
+	// CleanupTime is the DRC cleanup pass duration (BonnRoute flow).
+	CleanupTime time.Duration
+	// DetailTime is the detailed routing duration.
+	DetailTime time.Duration
+	// FastGridHitRate is the §3.6 statistic.
+	FastGridHitRate float64
+}
+
+// BuildGlobalGraph constructs the global routing grid for a chip.
+func BuildGlobalGraph(c *chip.Chip, tileTracks int) *grid.Graph {
+	pitch := c.Deck.Layers[0].Pitch
+	tile := tileTracks * pitch
+	dirs := make([]geom.Direction, c.NumLayers())
+	for z := range dirs {
+		dirs[z] = c.Dir(z)
+	}
+	return grid.New(c.Area, tile, tile, dirs)
+}
+
+// NetSpecs derives the global routing net descriptions: one terminal
+// vertex set per pin at the pin's tile and layer; wide nets get width 2
+// and may take extra space.
+func NetSpecs(c *chip.Chip, g *grid.Graph) []sharing.NetSpec {
+	specs := make([]sharing.NetSpec, len(c.Nets))
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		spec := sharing.NetSpec{ID: ni, Width: 1}
+		if n.WireType != 0 {
+			spec.Width = 2
+			spec.AllowExtra = true
+		}
+		for _, pi := range n.Pins {
+			p := &c.Pins[pi]
+			tx, ty := g.TileOf(p.Center())
+			spec.Terminals = append(spec.Terminals, []int{g.Vertex(tx, ty, p.Shapes[0].Layer)})
+		}
+		specs[ni] = spec
+	}
+	return specs
+}
+
+// RouteBonnRoute runs the full BonnRoute flow.
+func RouteBonnRoute(c *chip.Chip, opt Options) *Result {
+	opt.setDefaults()
+	res := &Result{Flow: "BR+cleanup", Chip: c}
+	start := time.Now()
+
+	// Detailed-router construction first: it owns routing space, tracks
+	// and the fast grid, which capacity estimation also needs.
+	r := detail.New(c, detail.Options{Workers: opt.Workers, UsePFuture: opt.UsePFuture})
+	res.Router = r
+
+	var trees [][]int32
+	if !opt.SkipGlobal {
+		g := BuildGlobalGraph(c, opt.TileTracks)
+		capest.Compute(c, r.TG, g, capest.Params{})
+		capest.ReduceForIntraTile(c, g)
+
+		specs := NetSpecs(c, g)
+		algStart := time.Now()
+		solver := sharing.New(g, specs, sharing.Options{
+			Phases:   opt.GlobalPhases,
+			Workers:  opt.Workers,
+			Seed:     opt.Seed,
+			PowerCap: opt.PowerCap,
+		})
+		sres := solver.Run()
+		total := time.Since(algStart)
+
+		gs := &GlobalStats{
+			Lambda:        sres.LambdaFrac,
+			LambdaHistory: sres.LambdaHistory,
+			OracleCalls:   sres.OracleCalls,
+			OracleReuses:  sres.OracleReuses,
+			Rechosen:      sres.RechooseChanges,
+			Rerouted:      sres.Rerouted,
+			Violations:    sres.RoundingViolations,
+			Unrouted:      sres.Unrouted,
+			AlgTime:       sres.AlgTime,
+			RRTime:        sres.RepairTime,
+			Total:         total,
+		}
+		gs.PerNetLength = make([]int64, len(c.Nets))
+		gs.PerNetVias = make([]int, len(c.Nets))
+		trees = make([][]int32, len(c.Nets))
+		loads := solver.EdgeLoads(sres)
+		for e, l := range loads {
+			if l > g.Cap[e]+1e-9 {
+				gs.Overflowed++
+			}
+		}
+		for ni := range sres.Nets {
+			t := sres.Nets[ni].Tree()
+			trees[ni] = t
+			edges := make([]int, len(t))
+			for i, e := range t {
+				edges[i] = int(e)
+			}
+			gs.PerNetLength[ni] = steiner.TreeLength(g, edges)
+			gs.PerNetVias[ni] = steiner.CountVias(g, edges)
+		}
+		res.Global = gs
+		r.SetGlobalCorridors(g, trees)
+	}
+
+	dStart := time.Now()
+	res.Detail = r.Route()
+	res.DetailTime = time.Since(dStart)
+
+	// DRC cleanup pass (§5.2): rip and reroute nets implicated in
+	// remaining violations.
+	cStart := time.Now()
+	Cleanup(r, 2)
+	res.CleanupTime = time.Since(cStart)
+
+	res.finish(c, r, time.Since(start))
+	return res
+}
+
+// RouteBaseline runs the ISR-like flow.
+func RouteBaseline(c *chip.Chip, opt Options) *Result {
+	opt.setDefaults()
+	res := &Result{Flow: "ISR", Chip: c}
+	start := time.Now()
+
+	r := baseline.NewDetail(c, opt.Workers)
+	res.Router = r
+
+	if !opt.SkipGlobal {
+		g := BuildGlobalGraph(c, opt.TileTracks)
+		capest.Compute(c, r.TG, g, capest.Params{})
+
+		var gnets []baseline.GNet
+		for _, spec := range NetSpecs(c, g) {
+			gnets = append(gnets, baseline.GNet{ID: spec.ID, Terminals: spec.Terminals, Width: spec.Width})
+		}
+		gres := baseline.GlobalRoute(g, gnets, baseline.GlobalOptions{})
+		gs := &GlobalStats{
+			Overflowed: gres.Overflowed,
+			Total:      gres.Runtime,
+		}
+		gs.PerNetLength = make([]int64, len(c.Nets))
+		gs.PerNetVias = make([]int, len(c.Nets))
+		for ni, t := range gres.Trees {
+			edges := make([]int, len(t))
+			for i, e := range t {
+				edges[i] = int(e)
+			}
+			gs.PerNetLength[ni] = steiner.TreeLength(g, edges)
+			gs.PerNetVias[ni] = steiner.CountVias(g, edges)
+		}
+		res.Global = gs
+		r.SetGlobalCorridors(g, gres.Trees)
+	}
+
+	dStart := time.Now()
+	res.Detail = r.Route()
+	res.DetailTime = time.Since(dStart)
+
+	res.finish(c, r, time.Since(start))
+	return res
+}
+
+// finish computes metrics shared by both flows.
+func (res *Result) finish(c *chip.Chip, r *detail.Router, total time.Duration) {
+	res.PerNet = make([]report.NetLength, len(c.Nets))
+	var totalLen int64
+	vias := 0
+	unrouted := 0
+	for ni := range c.Nets {
+		st := r.NetStats(ni)
+		res.PerNet[ni] = report.NetLength{Length: st.Length, Vias: st.Vias, Routed: st.Routed}
+		if st.Routed {
+			totalLen += st.Length
+			vias += st.Vias
+		} else {
+			unrouted++
+		}
+	}
+	res.Audit = auditRouter(r)
+	res.FastGridHitRate = r.FastGridHitRate()
+
+	baselines := report.SteinerBaselines(c)
+	s25, s50 := report.Scenic(res.PerNet, baselines)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	res.Metrics = report.Metrics{
+		Name:      res.Flow,
+		Nets:      len(c.Nets),
+		Runtime:   total,
+		RuntimeBR: res.DetailTime,
+		Netlength: totalLen,
+		Vias:      vias,
+		Scenic25:  s25,
+		Scenic50:  s50,
+		Errors:    res.Audit.Errors(),
+		Unrouted:  unrouted,
+	}
+}
+
+// auditRouter runs the full-chip audit with each routed net's pins.
+func auditRouter(r *detail.Router) drc.AuditResult {
+	c := r.Chip
+	netPins := map[int32][]drc.LayerRect{}
+	for ni := range c.Nets {
+		if !r.NetStats(ni).Routed {
+			continue
+		}
+		for _, pi := range c.Nets[ni].Pins {
+			p := &c.Pins[pi]
+			netPins[int32(ni)] = append(netPins[int32(ni)], drc.LayerRect{
+				Rect: p.Shapes[0].Rect, Layer: p.Shapes[0].Layer,
+			})
+		}
+	}
+	return r.Space.Audit(c.Area, netPins)
+}
+
+// Cleanup is the external-DRC-cleanup stand-in (§5.2): nets owning
+// shapes in diff-net violations are ripped and rerouted, up to `passes`
+// times.
+func Cleanup(r *detail.Router, passes int) int {
+	fixed := 0
+	for pass := 0; pass < passes; pass++ {
+		bad := violatingNets(r)
+		if len(bad) == 0 {
+			break
+		}
+		for _, ni := range bad {
+			r.Unroute(ni)
+			if r.RouteNet(ni, 1) {
+				fixed++
+			}
+		}
+	}
+	return fixed
+}
+
+// violatingNets lists routed nets involved in diff-net violations.
+func violatingNets(r *detail.Router) []int {
+	c := r.Chip
+	pairs := r.Space.ViolatingNetPairs(c.Area)
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range pairs {
+		for _, ni := range p {
+			if ni >= 0 && !seen[int(ni)] {
+				seen[int(ni)] = true
+				out = append(out, int(ni))
+			}
+		}
+	}
+	return out
+}

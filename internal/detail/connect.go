@@ -1,0 +1,764 @@
+package detail
+
+import (
+	"sort"
+
+	"sync/atomic"
+
+	"bonnroute/internal/drc"
+	"bonnroute/internal/fastgrid"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/pathsearch"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// searchConfig builds the path-search configuration for one net: the
+// fast grid answers most legality queries; blocked verdicts are refined
+// with net-aware rule-checker queries so the net's own shapes (pins,
+// reservations, earlier wiring) never block it — the equivalent of the
+// paper's temporary removal of component shapes from routing space
+// (§4.4).
+func (r *Router) searchConfig(ni int, area *pathsearch.Area, pi pathsearch.FutureCost,
+	maxNeed drc.Need, penalty func(drc.Need) int) *pathsearch.Config {
+
+	net := int32(ni)
+	wt := r.wireTypeOf(ni)
+	slot := r.FG.Slot(wt)
+	if r.opt.NoFastGrid {
+		slot = -1 // every query goes to the rule checker
+	}
+
+	// The fast grid is net-independent, so cached "blocked" verdicts near
+	// the net's OWN geometry must be re-checked net-aware (the stand-in
+	// for §4.4's temporary removal of component shapes). Anywhere else a
+	// blocked verdict is final — refinement is scoped to the net's own
+	// boxes, which keeps the fast-grid hit rate high.
+	ownBoxes := r.ownGeometry(ni)
+	nearOwn := func(z int, rect geom.Rect) bool {
+		for _, b := range ownBoxes[z] {
+			if b.Intersects(rect) {
+				return true
+			}
+		}
+		return false
+	}
+
+	return &pathsearch.Config{
+		Tracks:       r.TG,
+		Costs:        r.costs,
+		Pi:           pi,
+		Area:         area,
+		MaxNeed:      maxNeed,
+		RipupPenalty: penalty,
+		SpreadCost:   r.opt.SpreadCost,
+		WireRuns: func(z, ti, lo, hi int, visit func(lo, hi int, need drc.Need)) {
+			layer := &r.TG.Layers[z]
+			model := wt.Oriented(z, layer.Dir, layer.Dir)
+			coord := layer.Coords[ti]
+			if slot < 0 {
+				// Uncached wire type: full rule-checker sweep.
+				atomic.AddInt64(&r.FG.Misses, 1)
+				r.Space.TrackNeeds(z, layer.Dir, coord, geom.Iv(lo, hi+1), model, net, visit)
+				return
+			}
+			// One track sweep answered from the cache counts as a hit;
+			// each blocked run that must be refined by the rule checker
+			// counts as a miss (the §3.6 accounting).
+			atomic.AddInt64(&r.FG.Hits, 1)
+			r.FG.Runs(z, ti, lo, hi+1, func(rlo, rhi int, word uint64) bool {
+				need := fastgrid.PrefNeedAt(word, slot)
+				if need == 0 {
+					return true
+				}
+				var runRect geom.Rect
+				if layer.Dir == geom.Horizontal {
+					runRect = geom.Rect{XMin: rlo, XMax: rhi, YMin: coord, YMax: coord + 1}
+				} else {
+					runRect = geom.Rect{XMin: coord, XMax: coord + 1, YMin: rlo, YMax: rhi}
+				}
+				if !nearOwn(z, runRect) {
+					visit(rlo, rhi, need) // blocked by others: verdict final
+					return true
+				}
+				// Blocked near the net's own geometry: refine with a
+				// net-aware sweep over just this run.
+				atomic.AddInt64(&r.FG.Misses, 1)
+				r.Space.TrackNeeds(z, layer.Dir, coord, geom.Iv(rlo, rhi), model, net, visit)
+				return true
+			})
+		},
+		JogNeed: func(z, lowerTi, along int) drc.Need {
+			need, ok := r.FG.JogUpNeed(z, lowerTi, along, wt)
+			if ok && need == 0 {
+				return 0
+			}
+			layer := &r.TG.Layers[z]
+			c0, c1 := layer.Coords[lowerTi], layer.Coords[lowerTi+1]
+			var a, b geom.Point
+			if layer.Dir == geom.Horizontal {
+				a, b = geom.Pt(along, c0), geom.Pt(along, c1)
+			} else {
+				a, b = geom.Pt(c0, along), geom.Pt(c1, along)
+			}
+			if ok && !nearOwn(z, geom.R(a.X, a.Y, b.X, b.Y).Expanded(1)) {
+				return need // blocked by others: verdict final
+			}
+			atomic.AddInt64(&r.FG.Misses, 1)
+			return r.Space.SegmentNeed(z, a, b, wt, net)
+		},
+		ViaNeed: func(v, botTi, topTi int, pos geom.Point) drc.Need {
+			need, ok := r.FG.ViaNeed(v, botTi, topTi, pos, wt)
+			if ok && need == 0 {
+				return 0
+			}
+			if ok {
+				pt := geom.Rect{XMin: pos.X, YMin: pos.Y, XMax: pos.X + 1, YMax: pos.Y + 1}
+				if !nearOwn(v, pt) && !nearOwn(v+1, pt) {
+					return need
+				}
+			}
+			atomic.AddInt64(&r.FG.Misses, 1)
+			return r.Space.ViaNeed(v, pos, wt, net)
+		},
+	}
+}
+
+// ownGeometry collects per-layer bounding boxes of the net's own shapes
+// (pins, access reservations, committed segments, via pads, patches),
+// expanded by the worst-case interaction distance.
+func (r *Router) ownGeometry(ni int) [][]geom.Rect {
+	out := make([][]geom.Rect, r.Chip.NumLayers())
+	add := func(z int, rect geom.Rect) {
+		margin := r.Chip.Deck.MaxSpacing(z) + 2*r.Chip.Deck.Layers[z].Pitch
+		out[z] = append(out[z], rect.Expanded(margin))
+	}
+	n := &r.Chip.Nets[ni]
+	rt := &r.routes[ni]
+	for _, pi := range n.Pins {
+		for _, s := range r.Chip.Pins[pi].Shapes {
+			add(s.Layer, s.Rect)
+		}
+	}
+	for _, ap := range rt.access {
+		if ap == nil {
+			continue
+		}
+		var bbox geom.Rect
+		for _, p := range ap.Points {
+			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
+		}
+		add(ap.Layer, bbox)
+	}
+	for _, s := range rt.segments {
+		add(s.Z, geom.R(s.A.X, s.A.Y, s.B.X, s.B.Y))
+	}
+	for _, v := range rt.vias {
+		pad := geom.Rect{XMin: v.At.X, YMin: v.At.Y, XMax: v.At.X + 1, YMax: v.At.Y + 1}.Expanded(2 * r.Chip.Deck.Layers[0].Pitch)
+		add(v.V, pad)
+		add(v.V+1, pad)
+	}
+	for _, p := range rt.patches {
+		add(p.z, p.sh.Rect)
+	}
+	return out
+}
+
+// netComponents groups the net's pins into connected components based on
+// committed wiring. Each component carries its on-track attachment
+// points.
+type component struct {
+	pins   []int // pin slots within the net
+	points []geom.Point3
+}
+
+// components derives the current components of a net: initially one per
+// pin; pins become connected through committed wiring. Connectivity is
+// tracked through points: pin attachment points, committed segment
+// endpoints and interior crossings, and via locations; two elements join
+// when they coincide or a point lies on a segment.
+func (r *Router) components(ni int) []component {
+	n := &r.Chip.Nets[ni]
+	rt := &r.routes[ni]
+
+	attach := make([]geom.Point3, len(n.Pins))
+	for k := range n.Pins {
+		attach[k] = r.pinAttachment(ni, k)
+	}
+
+	// Element ids: pins [0, P), then one per distinct point.
+	P := len(n.Pins)
+	pointID := map[geom.Point3]int{}
+	var points []geom.Point3
+	idOf := func(p geom.Point3) int {
+		if id, ok := pointID[p]; ok {
+			return id
+		}
+		id := P + len(points)
+		pointID[p] = id
+		points = append(points, p)
+		return id
+	}
+	// Register all relevant points up front.
+	for k := range n.Pins {
+		idOf(attach[k])
+	}
+	segPoints := r.segmentPoints(ni)
+	for _, p := range segPoints {
+		idOf(p)
+	}
+	for _, v := range rt.vias {
+		idOf(geom.Pt3(v.At.X, v.At.Y, v.V))
+		idOf(geom.Pt3(v.At.X, v.At.Y, v.V+1))
+	}
+
+	parent := make([]int, P+len(points))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for k := range n.Pins {
+		union(k, idOf(attach[k]))
+	}
+	// Segments connect every registered point lying on them.
+	for _, s := range rt.segments {
+		a := idOf(geom.Pt3(s.A.X, s.A.Y, s.Z))
+		union(a, idOf(geom.Pt3(s.B.X, s.B.Y, s.Z)))
+		for p, id := range pointID {
+			if p.Z == s.Z && onSegment(s, p.XY()) {
+				union(a, id)
+			}
+		}
+	}
+	for _, v := range rt.vias {
+		union(idOf(geom.Pt3(v.At.X, v.At.Y, v.V)), idOf(geom.Pt3(v.At.X, v.At.Y, v.V+1)))
+	}
+
+	groups := map[int]*component{}
+	for k := range n.Pins {
+		root := find(k)
+		g := groups[root]
+		if g == nil {
+			g = &component{}
+			groups[root] = g
+		}
+		g.pins = append(g.pins, k)
+		g.points = append(g.points, attach[k])
+	}
+	// Wiring points enlarge their group's attachment set.
+	for _, p := range segPoints {
+		if g, ok := groups[find(idOf(p))]; ok {
+			g.points = append(g.points, p)
+		}
+	}
+
+	out := make([]component, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pins[0] < out[j].pins[0] })
+	return out
+}
+
+// pinAttachment is the on-track point where pin slot k of net ni is
+// entered: the reserved access path endpoint, or the nearest track vertex
+// to the pin center as fallback.
+func (r *Router) pinAttachment(ni, k int) geom.Point3 {
+	rt := &r.routes[ni]
+	n := &r.Chip.Nets[ni]
+	if ap := rt.access[k]; ap != nil {
+		return geom.Pt3(ap.End.X, ap.End.Y, ap.Layer)
+	}
+	p := &r.Chip.Pins[n.Pins[k]]
+	s := p.Shapes[0]
+	z := s.Layer
+	l := &r.TG.Layers[z]
+	ctr := s.Rect.Center()
+	if len(l.Coords) == 0 {
+		return geom.Pt3(ctr.X, ctr.Y, z)
+	}
+	tc := l.NearestTrack(ctr.Coord(l.Dir.Perp()))
+	cc := nearestIn(l.Cross, ctr.Coord(l.Dir))
+	if l.Dir == geom.Horizontal {
+		return geom.Pt3(cc, tc, z)
+	}
+	return geom.Pt3(tc, cc, z)
+}
+
+func nearestIn(sorted []int, x int) int {
+	if len(sorted) == 0 {
+		return x
+	}
+	i := sort.SearchInts(sorted, x)
+	if i == 0 {
+		return sorted[0]
+	}
+	if i == len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	if sorted[i]-x < x-sorted[i-1] {
+		return sorted[i]
+	}
+	return sorted[i-1]
+}
+
+// segmentPoints returns on-track points along the net's committed
+// segments (endpoints plus up to 32 interior crossings each) so the next
+// connection can attach anywhere on the existing wiring.
+func (r *Router) segmentPoints(ni int) []geom.Point3 {
+	var out []geom.Point3
+	for _, s := range r.routes[ni].segments {
+		out = append(out, geom.Pt3(s.A.X, s.A.Y, s.Z), geom.Pt3(s.B.X, s.B.Y, s.Z))
+		layer := &r.TG.Layers[s.Z]
+		if s.A.Coord(layer.Dir.Perp()) != s.B.Coord(layer.Dir.Perp()) {
+			continue // jog: endpoints only
+		}
+		lo := min(s.A.Coord(layer.Dir), s.B.Coord(layer.Dir))
+		hi := max(s.A.Coord(layer.Dir), s.B.Coord(layer.Dir))
+		cr := layer.CrossRange(lo, hi)
+		step := 1
+		if len(cr) > 32 {
+			step = len(cr) / 32
+		}
+		for i := 0; i < len(cr); i += step {
+			var p geom.Point3
+			if layer.Dir == geom.Horizontal {
+				p = geom.Pt3(cr[i], s.A.Y, s.Z)
+			} else {
+				p = geom.Pt3(s.A.X, cr[i], s.Z)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func onSegment(s Segment, p geom.Point) bool {
+	if s.A.X == s.B.X {
+		return p.X == s.A.X && p.Y >= min(s.A.Y, s.B.Y) && p.Y <= max(s.A.Y, s.B.Y)
+	}
+	return p.Y == s.A.Y && p.X >= min(s.A.X, s.B.X) && p.X <= max(s.A.X, s.B.X)
+}
+
+// routeArea derives the search area: the net's global corridor when
+// available (±margin tiles, plus all layers of those tiles), otherwise
+// the bounding box of the attachment points with margin.
+func (r *Router) routeArea(ni int, S, T []geom.Point3) *pathsearch.Area {
+	nl := r.Chip.NumLayers()
+	area := pathsearch.NewArea(nl)
+	// §4.4: nets reconsidered after failures get an extended routing
+	// area; from the third attempt the corridor is dropped entirely.
+	attempt := r.routes[ni].attempt
+	margin := r.opt.CorridorMarginTiles * max(1, attempt)
+	useCorridor := attempt < 3
+	if useCorridor && r.corridors != nil && r.ggraph != nil && ni < len(r.corridors) && len(r.corridors[ni]) > 0 {
+		g := r.ggraph
+		for _, e := range r.corridors[ni] {
+			a, b := g.EdgeEndpoints(int(e))
+			for _, v := range [2]int{a, b} {
+				tx, ty, _ := g.VertexCoords(v)
+				rect := g.TileRect(max(0, tx-margin), max(0, ty-margin)).
+					Union(g.TileRect(min(g.NX-1, tx+margin), min(g.NY-1, ty+margin)))
+				// Crossing existing wiring requires neighbor layers
+				// (§4.4), so open the tile on every layer.
+				for z := 0; z < nl; z++ {
+					area.Add(z, rect)
+				}
+			}
+		}
+		return area
+	}
+	var bbox geom.Rect
+	for _, p := range append(append([]geom.Point3(nil), S...), T...) {
+		bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
+	}
+	pitch := r.Chip.Deck.Layers[0].Pitch
+	bbox = bbox.Expanded(16 * pitch * max(1, attempt)).Intersection(r.Chip.Area)
+	for z := 0; z < nl; z++ {
+		area.Add(z, bbox)
+	}
+	return area
+}
+
+// RouteNet connects all pins of net ni. It returns true when the net is
+// fully routed. ripupBudget counts how many victim nets may be ripped.
+func (r *Router) RouteNet(ni int, ripupBudget int) bool {
+	rt := &r.routes[ni]
+	rt.attempt++
+	if rt.attempt >= 2 {
+		// §4.4: regenerate access paths whose endpoints have been walled
+		// in by other nets' wiring since reservation time.
+		r.mu.Lock()
+		r.refreshAccess(ni)
+		r.mu.Unlock()
+	}
+	for iter := 0; iter < 4*len(r.Chip.Nets[ni].Pins); iter++ {
+		comps := r.components(ni)
+		if len(comps) <= 1 {
+			rt.routed = true
+			r.mu.Lock()
+			r.patchNotches(ni)
+			r.mu.Unlock()
+			r.recomputeLength(ni)
+			return true
+		}
+		if !r.connectOnce(ni, comps, ripupBudget) {
+			rt.routed = false
+			return false
+		}
+	}
+	rt.routed = false
+	return false
+}
+
+// patchNotches is the §4.4 same-net postprocessing where on-track and
+// off-track paths meet: slots narrower than the notch spacing between the
+// net's own shapes are filled with patch metal where that is legal.
+// Caller holds the write lock.
+func (r *Router) patchNotches(ni int) {
+	net := int32(ni)
+	rt := &r.routes[ni]
+
+	var bbox geom.Rect
+	for _, s := range rt.segments {
+		bbox = bbox.Union(geom.R(s.A.X, s.A.Y, s.B.X, s.B.Y))
+	}
+	for _, ap := range rt.access {
+		if ap == nil {
+			continue
+		}
+		for _, p := range ap.Points {
+			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
+		}
+	}
+	if bbox.Empty() {
+		return
+	}
+	bbox = bbox.Expanded(4 * r.Chip.Deck.Layers[0].Pitch)
+
+	for z := range r.Space.Wiring {
+		ns := r.Chip.Deck.Layers[z].NotchSpacing
+		var own []shapegrid.Shape
+		r.Space.Wiring[z].Query(bbox, func(sh shapegrid.Shape) bool {
+			if sh.Net == net {
+				own = append(own, sh)
+			}
+			return true
+		})
+		rects := make([]geom.Rect, len(own))
+		for i := range own {
+			rects[i] = own[i].Rect
+		}
+		for i := range own {
+			for j := i + 1; j < len(own); j++ {
+				gap2 := own[i].Rect.Dist2Sq(own[j].Rect)
+				if gap2 == 0 || gap2 >= int64(ns)*int64(ns) {
+					continue
+				}
+				box := drc.GapBox(own[i].Rect, own[j].Rect)
+				if box.Empty() {
+					continue
+				}
+				for _, piece := range geom.SubtractRects(box, rects) {
+					if r.Space.RectNeed(z, piece, rules.ClassStandard, net) != 0 {
+						continue
+					}
+					sh := shapegrid.Shape{
+						Rect: piece, Net: net,
+						Class: rules.ClassStandard,
+						Ripup: r.ripupLevelOf(ni),
+						Kind:  shapegrid.KindWire,
+					}
+					r.Space.AddShape(z, sh)
+					r.FG.OnShapeAdded(z, sh)
+					rt.patches = append(rt.patches, patchRec{z: z, sh: sh})
+					rects = append(rects, piece)
+				}
+			}
+		}
+	}
+}
+
+// connectOnce connects the first component of the net to any other.
+func (r *Router) connectOnce(ni int, comps []component, ripupBudget int) bool {
+	src := comps[0]
+	var T []geom.Point3
+	compOf := map[geom.Point3]int{}
+	for ci := 1; ci < len(comps); ci++ {
+		for _, p := range comps[ci].points {
+			T = append(T, p)
+			compOf[p] = ci
+		}
+	}
+	S := src.points
+	area := r.routeArea(ni, S, T)
+	pi := r.futureCost(ni, T, area)
+
+	r.mu.RLock()
+	var path *pathsearch.Path
+	if r.opt.NodeSearch {
+		path = pathsearch.NodeSearch(r.searchConfig(ni, area, pi, 0, nil), S, T)
+	} else {
+		path = pathsearch.Search(r.searchConfig(ni, area, pi, 0, nil), S, T)
+	}
+	r.mu.RUnlock()
+
+	// Rip-up uses the interval engine in both flows (the baseline's
+	// negotiation-style rip-up shares this machinery).
+	if path == nil && ripupBudget > 0 {
+		// Rip-up mode (§4.2/§4.4): allow standard-level victims at a
+		// penalty that grows with this net's attempts.
+		rt := &r.routes[ni]
+		penaltyBase := (1 + rt.attempt) * 20 * r.Chip.Deck.Layers[0].Pitch
+		r.mu.RLock()
+		path = pathsearch.Search(r.searchConfig(ni, area, pi,
+			shapegrid.RipupStandard+1,
+			func(need drc.Need) int { return penaltyBase * int(need) }), S, T)
+		r.mu.RUnlock()
+		if path != nil {
+			if !r.commitWithRipup(ni, path, ripupBudget) {
+				return false
+			}
+			return true
+		}
+	}
+	if path == nil {
+		return false
+	}
+	r.mu.Lock()
+	r.commitPath(ni, path)
+	r.mu.Unlock()
+	return true
+}
+
+// futureCost builds π_H (or π_P for long-detour connections) toward T.
+func (r *Router) futureCost(ni int, T []geom.Point3, area *pathsearch.Area) pathsearch.FutureCost {
+	targets := map[int][]geom.Rect{}
+	for _, t := range T {
+		targets[t.Z] = append(targets[t.Z], geom.Rect{XMin: t.X, YMin: t.Y, XMax: t.X + 1, YMax: t.Y + 1})
+	}
+	if r.opt.UsePFuture {
+		bounds := area.Bounds()
+		obst := r.blockedCells()
+		return pathsearch.NewPFuture(r.Chip.NumLayers(), r.costs, targets, bounds,
+			pathsearch.PFutureConfig{
+				Cell: 8 * r.Chip.Deck.Layers[0].Pitch,
+				Blocked: func(z int, cell geom.Rect) bool {
+					for _, o := range obst[z] {
+						if o.ContainsRect(cell) {
+							return true
+						}
+					}
+					return false
+				},
+			})
+	}
+	return pathsearch.NewHFuture(r.Chip.NumLayers(), r.costs, targets)
+}
+
+func (r *Router) blockedCells() [][]geom.Rect {
+	out := make([][]geom.Rect, r.Chip.NumLayers())
+	for _, o := range r.Chip.AllObstacles() {
+		out[o.Layer] = append(out[o.Layer], o.Rect)
+	}
+	return out
+}
+
+// commitPath inserts a found path into the routing space. Caller holds
+// the write lock.
+func (r *Router) commitPath(ni int, path *pathsearch.Path) {
+	rt := &r.routes[ni]
+	wt := r.wireTypeOf(ni)
+	level := r.ripupLevelOf(ni)
+	net := int32(ni)
+	pts := path.Points
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if a.Z == b.Z {
+			seg := r.postprocessSegment(ni, Segment{Z: a.Z, A: a.XY(), B: b.XY()})
+			sh := r.Space.AddWire(seg.Z, seg.A, seg.B, wt, net, level)
+			r.FG.OnShapeAdded(seg.Z, sh)
+			rt.segments = append(rt.segments, seg)
+		} else {
+			lo, hi := a.Z, b.Z
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for v := lo; v < hi; v++ {
+				bot, top, cut, proj := r.Space.ViaShapes(v, a.XY(), wt, net, level)
+				r.Space.AddVia(v, a.XY(), wt, net, level)
+				r.FG.OnShapeAdded(v, bot)
+				r.FG.OnShapeAdded(v+1, top)
+				r.FG.OnCutAdded(v, cut)
+				if proj != nil {
+					r.FG.OnCutAdded(v+1, *proj)
+				}
+				rt.vias = append(rt.vias, ViaRec{V: v, At: a.XY()})
+			}
+		}
+	}
+}
+
+// postprocessSegment applies the §4.4 same-net cleanup: segments shorter
+// than the minimum segment length are stretched symmetrically — but only
+// when the grown metal stays legal (growth must never introduce diff-net
+// violations; a residual same-net error is preferable, per §5.2's
+// priority ordering).
+func (r *Router) postprocessSegment(ni int, s Segment) Segment {
+	lr := &r.Chip.Deck.Layers[s.Z]
+	length := s.A.Dist1(s.B)
+	if length >= lr.MinSegLen || length == 0 {
+		return s
+	}
+	grow := (lr.MinSegLen - length + 1) / 2
+	g := s
+	if g.A.X == g.B.X {
+		if g.A.Y < g.B.Y {
+			g.A.Y -= grow
+			g.B.Y += grow
+		} else {
+			g.A.Y += grow
+			g.B.Y -= grow
+		}
+	} else {
+		if g.A.X < g.B.X {
+			g.A.X -= grow
+			g.B.X += grow
+		} else {
+			g.A.X += grow
+			g.B.X -= grow
+		}
+	}
+	if r.Space.SegmentNeed(g.Z, g.A, g.B, r.wireTypeOf(ni), int32(ni)) != 0 {
+		return s
+	}
+	return g
+}
+
+// commitWithRipup removes the victim nets blocking the path, commits the
+// path, and re-routes the victims (bounded recursion, §4.4).
+func (r *Router) commitWithRipup(ni int, path *pathsearch.Path, budget int) bool {
+	wt := r.wireTypeOf(ni)
+	net := int32(ni)
+
+	// Victims: nets whose removable shapes conflict with the path metal.
+	victims := map[int]bool{}
+	r.mu.RLock()
+	pts := path.Points
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if a.Z != b.Z {
+			// Via stack: pads on every traversed layer can conflict.
+			lo, hi := a.Z, b.Z
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for v := lo; v < hi; v++ {
+				m := wt.Via(v, r.Chip.Dir(v))
+				for _, rect := range []geom.Rect{m.Bot.Translated(a.XY()), m.Top.Translated(a.XY())} {
+					z := v
+					cl := m.BotClass
+					if rect == m.Top.Translated(a.XY()) {
+						z, cl = v+1, m.TopClass
+					}
+					for _, vn := range r.Space.BlockerNets(z, rect, cl, net, shapegrid.RipupStandard) {
+						victims[int(vn)] = true
+					}
+				}
+			}
+			continue
+		}
+		layer := &r.TG.Layers[a.Z]
+		dir := geom.Horizontal
+		if a.X == b.X && a.Y != b.Y {
+			dir = geom.Vertical
+		}
+		m := wt.Oriented(a.Z, dir, layer.Dir)
+		rect := m.Metal(a.XY(), b.XY())
+		for _, v := range r.Space.BlockerNets(a.Z, rect, m.Class, net, shapegrid.RipupStandard) {
+			victims[int(v)] = true
+		}
+	}
+	r.mu.RUnlock()
+
+	if len(victims) > budget {
+		return false
+	}
+	r.mu.Lock()
+	for v := range victims {
+		r.unrouteNet(v)
+	}
+	r.commitPath(ni, path)
+	r.mu.Unlock()
+
+	// Re-route victims with a reduced budget.
+	for v := range victims {
+		r.RouteNet(v, budget-len(victims))
+	}
+	return true
+}
+
+// unrouteNet removes all committed wiring of a net (reservations stay).
+// Caller holds the write lock.
+func (r *Router) unrouteNet(ni int) {
+	rt := &r.routes[ni]
+	wt := r.wireTypeOf(ni)
+	level := r.ripupLevelOf(ni)
+	net := int32(ni)
+	for _, s := range rt.segments {
+		if r.Space.RemoveWire(s.Z, s.A, s.B, wt, net, level) {
+			m := wt.Oriented(s.Z, segDir(s), r.Chip.Dir(s.Z))
+			r.FG.OnWiringChange(s.Z, m.Metal(s.A, s.B))
+		}
+	}
+	for _, v := range rt.vias {
+		if r.Space.RemoveVia(v.V, v.At, wt, net, level) {
+			pad := wt.Via(v.V, r.Chip.Dir(v.V))
+			dirty := pad.Bot.Union(pad.Top).Translated(v.At)
+			r.FG.OnWiringChange(v.V, dirty)
+			r.FG.OnWiringChange(v.V+1, dirty)
+			r.FG.OnCutChange(v.V, dirty)
+		}
+	}
+	rt.segments = nil
+	rt.vias = nil
+	rt.routed = false
+	rt.length = 0
+}
+
+func segDir(s Segment) geom.Direction {
+	if s.A.X == s.B.X && s.A.Y != s.B.Y {
+		return geom.Vertical
+	}
+	return geom.Horizontal
+}
+
+// recomputeLength refreshes the net's length tally: committed segments
+// plus access paths.
+func (r *Router) recomputeLength(ni int) {
+	rt := &r.routes[ni]
+	var total int64
+	for _, s := range rt.segments {
+		total += int64(s.A.Dist1(s.B))
+	}
+	for _, ap := range rt.access {
+		if ap != nil {
+			total += int64(ap.Length)
+		}
+	}
+	rt.length = total
+}

@@ -1,0 +1,156 @@
+package detail
+
+import (
+	"sort"
+	"sync"
+
+	"bonnroute/internal/geom"
+)
+
+// Route runs the full detailed routing flow (§4.4, §5.1): a critical-net
+// prepass, then region-partitioned parallel rounds over progressively
+// fewer, wider regions, and a final serial round with rip-up enabled for
+// whatever is left.
+func (r *Router) Route() *Result {
+	res := &Result{PerNet: make([]NetStats, len(r.Chip.Nets))}
+
+	var critical, normal []int
+	for ni := range r.Chip.Nets {
+		if r.Chip.Nets[ni].Critical {
+			critical = append(critical, ni)
+		} else {
+			normal = append(normal, ni)
+		}
+	}
+
+	// Critical nets first, serially, with rip-up allowed (§5.1: wide or
+	// timing-critical wires are routed before the masses).
+	for _, ni := range critical {
+		r.RouteNet(ni, 2)
+	}
+
+	// Sort remaining nets by bounding-box half-perimeter: short local
+	// nets first pack tightly, long nets later get the leftovers.
+	sort.Slice(normal, func(a, b int) bool {
+		return r.netSpan(normal[a]) < r.netSpan(normal[b])
+	})
+
+	pending := normal
+	regions := r.opt.Workers
+	for round := 0; regions >= 1 && len(pending) > 0; round++ {
+		if regions == 1 {
+			// Final serial round with rip-up.
+			var fail []int
+			for _, ni := range pending {
+				if !r.RouteNet(ni, 2) {
+					fail = append(fail, ni)
+				}
+			}
+			pending = fail
+			break
+		}
+		strips := r.partition(regions)
+		assigned := make([][]int, len(strips))
+		var next []int
+		for _, ni := range pending {
+			si := r.stripOf(ni, strips)
+			if si < 0 {
+				next = append(next, ni)
+				continue
+			}
+			assigned[si] = append(assigned[si], ni)
+		}
+		var wg sync.WaitGroup
+		var failMu sync.Mutex
+		for si := range assigned {
+			if len(assigned[si]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(nets []int) {
+				defer wg.Done()
+				var local []int
+				for _, ni := range nets {
+					// No rip-up in parallel rounds: rip-up may touch nets
+					// owned by other regions (§5.1's "only changes that do
+					// not affect regions assigned to other threads").
+					if !r.RouteNet(ni, 0) {
+						local = append(local, ni)
+					}
+				}
+				failMu.Lock()
+				next = append(next, local...)
+				failMu.Unlock()
+			}(assigned[si])
+		}
+		wg.Wait()
+		pending = next
+		regions /= 2
+	}
+	// Anything still pending gets last serial attempts with rip-up and
+	// progressively extended routing areas (§4.4).
+	var failed []int
+	for _, ni := range pending {
+		ok := false
+		for try := 0; try < 3 && !ok; try++ {
+			ok = r.RouteNet(ni, 2)
+		}
+		if !ok {
+			failed = append(failed, ni)
+		}
+	}
+
+	for ni := range r.Chip.Nets {
+		st := r.NetStats(ni)
+		res.PerNet[ni] = st
+		if st.Routed {
+			res.Routed++
+		} else {
+			res.Failed++
+		}
+	}
+	return res
+}
+
+// netSpan is the half-perimeter of the net's pin bounding box.
+func (r *Router) netSpan(ni int) int {
+	var bbox geom.Rect
+	for _, pi := range r.Chip.Nets[ni].Pins {
+		ctr := r.Chip.Pins[pi].Center()
+		bbox = bbox.Union(geom.Rect{XMin: ctr.X, YMin: ctr.Y, XMax: ctr.X + 1, YMax: ctr.Y + 1})
+	}
+	return bbox.W() + bbox.H()
+}
+
+// partition splits the chip into vertical strips.
+func (r *Router) partition(k int) []geom.Rect {
+	area := r.Chip.Area
+	strips := make([]geom.Rect, k)
+	w := area.W() / k
+	for i := 0; i < k; i++ {
+		strips[i] = geom.Rect{
+			XMin: area.XMin + i*w, YMin: area.YMin,
+			XMax: area.XMin + (i+1)*w, YMax: area.YMax,
+		}
+	}
+	strips[k-1].XMax = area.XMax
+	return strips
+}
+
+// stripOf returns the strip wholly containing the net's interaction
+// region (bbox + routing margin), or -1 when the net crosses strips.
+func (r *Router) stripOf(ni int, strips []geom.Rect) int {
+	var bbox geom.Rect
+	for _, pi := range r.Chip.Nets[ni].Pins {
+		ctr := r.Chip.Pins[pi].Center()
+		bbox = bbox.Union(geom.Rect{XMin: ctr.X, YMin: ctr.Y, XMax: ctr.X + 1, YMax: ctr.Y + 1})
+	}
+	margin := 18 * r.Chip.Deck.Layers[0].Pitch
+	bbox = bbox.Expanded(margin)
+	for si, s := range strips {
+		if s.ContainsRect(bbox.Intersection(r.Chip.Area)) {
+			return si
+		}
+	}
+	return -1
+}

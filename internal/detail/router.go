@@ -1,0 +1,629 @@
+// Package detail implements BonnRoute's detailed routing (paper §4):
+// the per-net connection procedure of §4.4 — source/target construction
+// from net components, corridor restriction from global routing,
+// on-track interval path search combined with precomputed off-track pin
+// access, same-net postprocessing, and rip-up sequences — plus the
+// region-partitioned parallelism of §5.1.
+package detail
+
+import (
+	"sort"
+	"sync"
+
+	"bonnroute/internal/blockgrid"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/drc"
+	"bonnroute/internal/fastgrid"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/pathsearch"
+	"bonnroute/internal/pinaccess"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+	"bonnroute/internal/tracks"
+)
+
+// Options tune the detailed router.
+type Options struct {
+	// BetaJog and GammaVia are the edge cost parameters of §4.1.
+	// Defaults: 3 and 4 pitches.
+	BetaJog, GammaVia int
+	// Workers enables region-partitioned parallel routing (§5.1); ≤ 1 is
+	// serial.
+	Workers int
+	// MaxRipupDepth bounds rip-up recursion (§4.4). Default 2.
+	MaxRipupDepth int
+	// CorridorMarginTiles widens the global-routing corridor (§4.4).
+	// Default 1.
+	CorridorMarginTiles int
+	// AccessRadius is the pin-access search radius in pitches. Default 4.
+	AccessRadius int
+	// UsePFuture switches long-detour connections to the blockage-aware
+	// future cost π_P (§4.1).
+	UsePFuture bool
+	// SpreadCost is the optional wire-spreading hook (§4.2).
+	SpreadCost func(z, trackIdx, lo, hi int) int
+
+	// Baseline/ablation knobs. The ISR-like comparison router of §5.3 is
+	// this engine with the classical choices switched on:
+	// NodeSearch labels vertices individually instead of intervals;
+	// NoFastGrid answers every legality query from the rule checker;
+	// UniformTracks skips track optimization; GreedyAccess picks each
+	// pin's first candidate instead of the conflict-free selection.
+	NodeSearch    bool
+	NoFastGrid    bool
+	UniformTracks bool
+	GreedyAccess  bool
+}
+
+func (o *Options) setDefaults(pitch int) {
+	if o.BetaJog <= 0 {
+		o.BetaJog = 2
+	}
+	if o.GammaVia <= 0 {
+		o.GammaVia = 4 * pitch
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxRipupDepth <= 0 {
+		o.MaxRipupDepth = 2
+	}
+	if o.CorridorMarginTiles <= 0 {
+		o.CorridorMarginTiles = 1
+	}
+	if o.AccessRadius <= 0 {
+		o.AccessRadius = 4
+	}
+}
+
+// Segment is one stick of routed wiring on a layer.
+type Segment struct {
+	Z    int
+	A, B geom.Point
+}
+
+// ViaRec is a placed via between wiring layers V and V+1.
+type ViaRec struct {
+	V  int
+	At geom.Point
+}
+
+// netRoute is the mutable routing state of one net.
+type netRoute struct {
+	routed   bool
+	attempt  int
+	segments []Segment
+	vias     []ViaRec
+	// access[k] is the reserved/used access path of the net's k-th pin
+	// (nil entries: pin has no off-track access and connects directly).
+	access []*pinaccess.AccessPath
+	// patches are same-net notch fills added by postprocessing (§4.4).
+	patches []patchRec
+	length  int64
+}
+
+type patchRec struct {
+	z  int
+	sh shapegrid.Shape
+}
+
+// Result summarizes a detailed routing run.
+type Result struct {
+	Routed, Failed int
+	RipupEvents    int
+	PerNet         []NetStats
+}
+
+// NetStats reports one net's routed geometry.
+type NetStats struct {
+	Routed bool
+	Length int64
+	Vias   int
+}
+
+// Router is the detailed router.
+type Router struct {
+	Chip  *chip.Chip
+	Space *drc.Space
+	TG    *tracks.Graph
+	FG    *fastgrid.Grid
+	opt   Options
+
+	costs  pathsearch.Costs
+	routes []netRoute
+
+	// corridors[ni] holds the net's global routing tree edges (nil: no
+	// global guidance).
+	corridors [][]int32
+	ggraph    *grid.Graph
+
+	mu sync.RWMutex // guards Space+FG: R during searches, W during commits
+}
+
+// New builds the routing space, tracks, fast grid, and pin-access
+// reservations for the chip.
+func New(c *chip.Chip, opt Options) *Router {
+	pitch := c.Deck.Layers[0].Pitch
+	opt.setDefaults(pitch)
+
+	dirs := make([]geom.Direction, c.NumLayers())
+	for z := range dirs {
+		dirs[z] = c.Dir(z)
+	}
+	space := drc.NewSpace(c.Deck, c.Area, dirs)
+
+	// Fixed geometry: blockages and pins.
+	obstacles := make([][]geom.Rect, c.NumLayers())
+	for _, o := range c.AllObstacles() {
+		space.AddObstacle(o.Layer, o.Rect)
+		obstacles[o.Layer] = append(obstacles[o.Layer], o.Rect)
+	}
+	for pi := range c.Pins {
+		p := &c.Pins[pi]
+		for _, s := range p.Shapes {
+			space.AddPin(s.Layer, int32(p.Net), s.Rect)
+		}
+	}
+
+	// Routing tracks (§3.5): optimize per layer over the usable areas,
+	// or uniform-pitch tracks for the classical baseline.
+	coords := make([][]int, c.NumLayers())
+	for z := 0; z < c.NumLayers(); z++ {
+		lr := c.Deck.Layers[z]
+		span := c.Area.Span(c.Dir(z).Perp())
+		if opt.UniformTracks {
+			for t := span.Lo + lr.Pitch/2; t < span.Hi; t += lr.Pitch {
+				coords[z] = append(coords[z], t)
+			}
+			continue
+		}
+		clear := lr.MinWidth/2 + lr.Spacing[0].Spacing
+		usable := tracks.UsableAreas(c.Area, obstacles[z], clear)
+		// §3.5: pin alignment — bonus rectangles modelling track positions
+		// that give on-track pin access pull tracks onto pin rows.
+		var bonus []geom.Rect
+		w := 6 * lr.Pitch
+		for pi := range c.Pins {
+			for _, ps := range c.Pins[pi].Shapes {
+				if ps.Layer != z {
+					continue
+				}
+				ctr := ps.Rect.Center()
+				if c.Dir(z) == geom.Horizontal {
+					bonus = append(bonus, geom.Rect{XMin: ctr.X - w/2, YMin: ctr.Y, XMax: ctr.X + w/2, YMax: ctr.Y + 1})
+				} else {
+					bonus = append(bonus, geom.Rect{XMin: ctr.X, YMin: ctr.Y - w/2, XMax: ctr.X + 1, YMax: ctr.Y + w/2})
+				}
+			}
+		}
+		coords[z], _ = tracks.OptimizeWithBonus(usable, bonus, c.Dir(z), lr.Pitch, span)
+	}
+	tg := tracks.BuildGraph(c.Area, dirs, coords)
+
+	fg := fastgrid.New(space, tg, c.WireTypes)
+
+	r := &Router{
+		Chip: c, Space: space, TG: tg, FG: fg, opt: opt,
+		costs:  pathsearch.UniformCosts(c.NumLayers(), opt.BetaJog, opt.GammaVia),
+		routes: make([]netRoute, len(c.Nets)),
+	}
+	for ni := range r.routes {
+		r.routes[ni].access = make([]*pinaccess.AccessPath, len(c.Nets[ni].Pins))
+	}
+	r.prepareAccess()
+	// Pins without a catalogue path get a dynamically generated access
+	// path (§4.4: "we dynamically generate new access paths") so every
+	// pin is physically connected to its on-track attachment point.
+	for ni := range r.routes {
+		for k := range r.routes[ni].access {
+			if r.routes[ni].access[k] == nil {
+				r.dynamicAccess(ni, k)
+			}
+		}
+	}
+	return r
+}
+
+// dynamicAccess synthesizes and reserves an access path from pin slot k
+// of net ni to its nearest on-track vertex: τ-feasible via the blockage
+// grid when possible, an L-stub as last resort.
+func (r *Router) dynamicAccess(ni, k int) {
+	n := &r.Chip.Nets[ni]
+	p := &r.Chip.Pins[n.Pins[k]]
+	s := p.Shapes[0]
+	z := s.Layer
+	ctr := s.Rect.Center()
+	att := r.pinAttachment(ni, k) // access[k] is nil → nearest-vertex fallback
+	end := att.XY()
+	// Candidate endpoints: nearby vertices from which an on-track wire
+	// can actually start (§4.3's continuation criterion).
+	pitch := r.Chip.Deck.Layers[0].Pitch
+	var ends []geom.Point
+	for _, cand := range r.vertexCandidatesNear(z, ctr, 5*pitch) {
+		if r.continuationOK(z, cand, int32(ni)) {
+			ends = append(ends, cand)
+			if len(ends) == 8 {
+				break
+			}
+		}
+	}
+	if len(ends) == 0 {
+		ends = []geom.Point{end}
+	}
+	end = ends[0]
+	tau := r.Chip.Deck.Layers[z].MinSegLen
+
+	// Obstacles for the τ-feasible stub search: nearby fixed geometry of
+	// other nets, inflated by half-width plus spacing.
+	wt0 := r.Chip.WireTypes[0]
+	// Clearance covers the worst-case metal extent around the stick:
+	// half-width plus spacing, plus the pessimistic line-end extension
+	// (stub segments are preferred-direction wires whose metal overhangs
+	// the stick ends).
+	lr0 := &r.Chip.Deck.Layers[z]
+	infl := lr0.MinWidth/2 + lr0.Spacing[0].Spacing + lr0.LineEndSpacing
+	win := geom.R(ctr.X, ctr.Y, end.X, end.Y).Expanded(6 * tau)
+	// Obstacles are inflated by half-width plus spacing; but clearance
+	// zones that contain the pin center or a candidate endpoint shrink
+	// to the raw metal — a stub starting inside a clearance region can
+	// only respect the metal itself (pin vicinities are exempt from
+	// spacing in exactly this way in production routers).
+	var rawObst []shapegrid.Shape
+	r.Space.Wiring[z].Query(win, func(sh shapegrid.Shape) bool {
+		if sh.Net != int32(ni) {
+			rawObst = append(rawObst, sh)
+		}
+		return true
+	})
+	// relax=false keeps the full clearance except in a tiny exit window
+	// around each kept point; relax=true shrinks whole clearance zones
+	// containing a kept point to the raw metal (last resort).
+	obstaclesFor := func(relax bool, keep ...geom.Point) []geom.Rect {
+		var windows []geom.Rect
+		for _, p := range keep {
+			windows = append(windows, geom.Rect{
+				XMin: p.X - infl - 4, YMin: p.Y - infl - 4,
+				XMax: p.X + infl + 4, YMax: p.Y + infl + 4,
+			})
+		}
+		var out []geom.Rect
+		for _, sh := range rawObst {
+			inflated := sh.Rect.Expanded(infl)
+			shrink := false
+			for _, p := range keep {
+				if inflated.ContainsClosed(p) {
+					shrink = true
+					break
+				}
+			}
+			if !shrink {
+				out = append(out, inflated)
+				continue
+			}
+			hard := sh.Rect.Expanded(1)
+			inside := false
+			for _, p := range keep {
+				if hard.ContainsClosed(p) {
+					inside = true
+					break
+				}
+			}
+			if inside {
+				continue // start on the metal itself: placement issue
+			}
+			if relax {
+				out = append(out, sh.Rect)
+			} else {
+				out = append(out, sh.Rect)
+				out = append(out, geom.SubtractRects(inflated, windows)...)
+			}
+		}
+		return out
+	}
+	inFree := func(p geom.Point, obst []geom.Rect) bool {
+		for _, o := range obst {
+			if o.ContainsClosed(p) {
+				return false
+			}
+		}
+		return true
+	}
+	// verified checks a candidate stub against the rule checker — the
+	// authoritative legality test (conflicts with the pin's own net are
+	// exempt by construction of SegmentNeed).
+	wtStd := r.Chip.WireTypes[0]
+	verified := func(cand []geom.Point) bool {
+		for i := 1; i < len(cand); i++ {
+			if cand[i-1] == cand[i] {
+				continue
+			}
+			if r.Space.SegmentNeed(z, cand[i-1], cand[i], wtStd, int32(ni)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var pts []geom.Point
+	if ctr == end {
+		pts = []geom.Point{ctr}
+	}
+	// Obstacle-aware τ-feasible search, trying alternate endpoints: first
+	// with full clearance (plus pin exit windows), then with relaxed
+	// clearance around the pin. The first rule-checker-verified stub
+	// wins; an unverified one is kept only as last resort (the rare §5.2
+	// exceptions).
+	var fallback []geom.Point
+	fallbackEnd := end
+	if pts == nil {
+	searchLoop:
+		for _, relax := range []bool{false, true} {
+			for _, e := range ends {
+				obst := obstaclesFor(relax, ctr, e)
+				if !inFree(ctr, obst) || !inFree(e, obst) {
+					continue
+				}
+				w := geom.R(ctr.X, ctr.Y, e.X, e.Y).Expanded(6 * tau).Intersection(r.Chip.Area)
+				got, _, ok := blockgrid.Search(obst, ctr, e, tau, w)
+				if !ok {
+					continue
+				}
+				if verified(got) {
+					pts = got
+					end = e
+					break searchLoop
+				}
+				if fallback == nil {
+					fallback = got
+					fallbackEnd = e
+				}
+			}
+		}
+	}
+	if pts == nil && fallback != nil {
+		pts = fallback
+		end = fallbackEnd
+	}
+	if pts == nil {
+		// Obstacle-blind fallback.
+		if got, _, ok := blockgridSearch(ctr, end, tau, r.Chip.Area); ok {
+			pts = got
+		} else {
+			pts = []geom.Point{ctr, geom.Pt(end.X, ctr.Y), end}
+		}
+	}
+	_ = wt0
+	length := 0
+	for i := 1; i < len(pts); i++ {
+		length += pts[i-1].Dist1(pts[i])
+	}
+	ap := &pinaccess.AccessPath{
+		Pin: p.ProtoPin, Layer: z, Points: pts, End: end, Length: length,
+	}
+	wt := r.Chip.WireTypes[0]
+	net := int32(ni)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1] == pts[i] {
+			continue
+		}
+		sh := r.Space.AddWire(z, pts[i-1], pts[i], wt, net, shapegrid.RipupReserved)
+		r.FG.OnShapeAdded(z, sh)
+	}
+	r.routes[ni].access[k] = ap
+}
+
+// SetGlobalCorridors supplies the global routing solution: per net, the
+// tree edges in g. Passing nil for a net disables its corridor.
+func (r *Router) SetGlobalCorridors(g *grid.Graph, trees [][]int32) {
+	r.ggraph = g
+	r.corridors = trees
+}
+
+// prepareAccess builds pin-access catalogues per circuit class (§4.3) and
+// reserves the conflict-free primary paths in the routing space.
+func (r *Router) prepareAccess() {
+	c := r.Chip
+	pitch := c.Deck.Layers[0].Pitch
+	cats := map[string]*pinaccess.Catalogue{}
+	catCell := map[string]int{}
+	for ci := range c.Cells {
+		key := pinaccess.ClassKey(c, ci, pitch)
+		if _, ok := cats[key]; !ok {
+			cats[key] = pinaccess.BuildCatalogue(c, r.TG, ci, pinaccess.Params{
+				Radius: r.opt.AccessRadius * pitch,
+			})
+			catCell[key] = ci
+		}
+	}
+
+	for pi := range c.Pins {
+		p := &c.Pins[pi]
+		if p.Cell < 0 {
+			continue
+		}
+		key := pinaccess.ClassKey(c, p.Cell, pitch)
+		cat := cats[key]
+		chosen := -1
+		if cat != nil && p.ProtoPin < len(cat.Chosen) {
+			chosen = cat.Chosen[p.ProtoPin]
+			if r.opt.GreedyAccess && len(cat.PerPin[p.ProtoPin]) > 0 {
+				chosen = 0 // the greedy trap of Fig. 7
+			}
+		}
+		if chosen < 0 {
+			continue
+		}
+		off := c.Cells[p.Cell].Origin.Sub(c.Cells[catCell[key]].Origin)
+		ap := cat.PerPin[p.ProtoPin][chosen].Translated(off)
+
+		// Verify against current routing space (diff-net, §4.3), demand a
+		// feasible on-track continuation at the endpoint, and try
+		// alternates when either fails.
+		// The translated endpoint must land on an actual track vertex:
+		// optimized track coordinates are not translation-invariant, so
+		// instances whose surroundings differ from the representative's
+		// (the paper folds track coordinates into its equivalence
+		// classes) fall back to alternates or dynamic access.
+		usable := func(a *pinaccess.AccessPath) bool {
+			return r.TG.IsVertex(geom.Pt3(a.End.X, a.End.Y, a.Layer)) &&
+				r.accessClean(a, int32(p.Net)) &&
+				r.continuationOK(a.Layer, a.End, int32(p.Net))
+		}
+		if !usable(&ap) {
+			ok := false
+			for ci := range cat.PerPin[p.ProtoPin] {
+				alt := cat.PerPin[p.ProtoPin][ci].Translated(off)
+				if usable(&alt) {
+					ap = alt
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		r.reserveAccess(pi, &ap)
+	}
+}
+
+// accessClean checks an access path against the routing space for the
+// given net.
+func (r *Router) accessClean(ap *pinaccess.AccessPath, net int32) bool {
+	wt := r.Chip.WireTypes[0]
+	for i := 1; i < len(ap.Points); i++ {
+		if r.Space.SegmentNeed(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reserveAccess inserts the access path metal as a reservation.
+func (r *Router) reserveAccess(pi int, ap *pinaccess.AccessPath) {
+	p := &r.Chip.Pins[pi]
+	net := int32(p.Net)
+	wt := r.Chip.WireTypes[0]
+	for i := 1; i < len(ap.Points); i++ {
+		sh := r.Space.AddWire(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net, shapegrid.RipupReserved)
+		r.FG.OnShapeAdded(ap.Layer, sh)
+	}
+	// Find this pin's slot within the net.
+	n := &r.Chip.Nets[p.Net]
+	for k, qi := range n.Pins {
+		if qi == pi {
+			r.routes[p.Net].access[k] = ap
+			break
+		}
+	}
+}
+
+// continuationOK reports whether an on-track wire of the net's type can
+// start at vertex pt of layer z — the §4.3 "feasible on-track
+// continuation" criterion for access endpoints.
+func (r *Router) continuationOK(z int, pt geom.Point, net int32) bool {
+	wt := r.Chip.WireTypes[0]
+	m := wt.Oriented(z, r.Chip.Dir(z), r.Chip.Dir(z))
+	return r.Space.RectNeed(z, m.Shape.Translated(pt), m.Class, net) == 0
+}
+
+// vertexCandidatesNear lists track-graph vertices of layer z near pt,
+// closest first.
+func (r *Router) vertexCandidatesNear(z int, pt geom.Point, radius int) []geom.Point {
+	l := &r.TG.Layers[z]
+	var out []geom.Point
+	ortho := pt.Coord(l.Dir.Perp())
+	along := pt.Coord(l.Dir)
+	for _, tc := range l.TracksRange(ortho-radius, ortho+radius) {
+		for _, cc := range l.CrossRange(along-radius, along+radius) {
+			if l.Dir == geom.Horizontal {
+				out = append(out, geom.Pt(cc, tc))
+			} else {
+				out = append(out, geom.Pt(tc, cc))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return pt.Dist1(out[i]) < pt.Dist1(out[j]) })
+	return out
+}
+
+// blockgridSearch adapts the blockage-grid τ-feasible search for dynamic
+// access (no obstacles: the stub is short and verified by audits).
+func blockgridSearch(from, to geom.Point, tau int, bounds geom.Rect) ([]geom.Point, int, bool) {
+	win := geom.R(from.X, from.Y, to.X, to.Y).Expanded(4 * tau).Intersection(bounds)
+	return blockgrid.Search(nil, from, to, tau, win)
+}
+
+// wireTypeOf returns a net's wire type.
+func (r *Router) wireTypeOf(ni int) *rules.WireType {
+	return r.Chip.WireTypes[r.Chip.Nets[ni].WireType]
+}
+
+// ripupLevelOf returns the ripup level for a net's wiring.
+func (r *Router) ripupLevelOf(ni int) uint8 {
+	if r.Chip.Nets[ni].Critical {
+		return shapegrid.RipupCritical
+	}
+	return shapegrid.RipupStandard
+}
+
+// Stats of the routed net (after Route).
+func (r *Router) NetStats(ni int) NetStats {
+	rt := &r.routes[ni]
+	return NetStats{Routed: rt.routed, Length: rt.length, Vias: len(rt.vias)}
+}
+
+// Segments returns a copy of a net's routed segments (for inspection).
+func (r *Router) Segments(ni int) []Segment {
+	return append([]Segment(nil), r.routes[ni].segments...)
+}
+
+// FastGridHitRate exposes the §3.6 statistic.
+func (r *Router) FastGridHitRate() float64 { return r.FG.HitRate() }
+
+// refreshAccess re-generates the access paths of pins whose on-track
+// endpoints are no longer usable (walled in by later wiring). Caller
+// holds the write lock.
+func (r *Router) refreshAccess(ni int) {
+	rt := &r.routes[ni]
+	net := int32(ni)
+	wt := r.Chip.WireTypes[0]
+	for k, ap := range rt.access {
+		if ap == nil {
+			continue
+		}
+		if r.continuationOK(ap.Layer, ap.End, net) {
+			continue
+		}
+		// Remove the stub metal and synthesize a fresh path.
+		for i := 1; i < len(ap.Points); i++ {
+			if ap.Points[i-1] == ap.Points[i] {
+				continue
+			}
+			if r.Space.RemoveWire(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net, shapegrid.RipupReserved) {
+				m := wt.Oriented(ap.Layer, segDirPts(ap.Points[i-1], ap.Points[i]), r.Chip.Dir(ap.Layer))
+				r.FG.OnWiringChange(ap.Layer, m.Metal(ap.Points[i-1], ap.Points[i]))
+			}
+		}
+		rt.access[k] = nil
+		r.dynamicAccess(ni, k)
+	}
+}
+
+func segDirPts(a, b geom.Point) geom.Direction {
+	if a.X == b.X && a.Y != b.Y {
+		return geom.Vertical
+	}
+	return geom.Horizontal
+}
+
+// Unroute removes all committed wiring of a net (thread-safe wrapper).
+func (r *Router) Unroute(ni int) {
+	r.mu.Lock()
+	r.unrouteNet(ni)
+	r.mu.Unlock()
+}
+
+// AccessPath exposes a pin's reserved access path (inspection/tests).
+func (r *Router) AccessPath(ni, k int) *pinaccess.AccessPath { return r.routes[ni].access[k] }

@@ -1,0 +1,386 @@
+package drc
+
+import (
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// AuditResult collects the error classes counted in the paper's Table I:
+// design-rule violations (diff-net spacing, same-net minimum area and
+// notch rules) plus opens (connected components minus nets).
+type AuditResult struct {
+	DiffNetViolations int
+	MinAreaViolations int
+	NotchViolations   int
+	ShortEdgeShapes   int // tiny metal fragments (short-edge rule proxy)
+	Opens             int
+}
+
+// Errors returns the total error count (the "Errors" column of Table I).
+func (a AuditResult) Errors() int {
+	return a.DiffNetViolations + a.MinAreaViolations + a.NotchViolations + a.ShortEdgeShapes + a.Opens
+}
+
+// Audit checks the entire routing space for rule violations, and
+// connectivity of the given nets. netPins[i] lists, for net i, a
+// representative rectangle per pin on its layer; a net is open if its
+// shapes plus pins form more than one connected component.
+func (s *Space) Audit(area geom.Rect, netPins map[int32][]LayerRect) AuditResult {
+	var res AuditResult
+	perNetShapes := map[int32][]indexedShape{}
+
+	for z := range s.Wiring {
+		margin := s.Deck.MaxSpacing(z)
+		shapes := s.Wiring[z].QueryAll(area.Expanded(margin))
+		// Diff-net: neighborhood query per shape; each unordered pair is
+		// counted once (only when the neighbor sorts after the anchor).
+		// Violations between two pieces of fixed pre-routing geometry
+		// (pins, blockages) are the placement's, not the router's, and
+		// are excluded as the paper's DRC flow does.
+		for _, a := range shapes {
+			if a.Net != shapegrid.NoNet {
+				perNetShapes[a.Net] = append(perNetShapes[a.Net], indexedShape{z, a})
+			}
+			a := a
+			s.Wiring[z].Query(a.Rect.Expanded(margin), func(b shapegrid.Shape) bool {
+				if !shapeBefore(a, b) {
+					return true
+				}
+				if a.Net == b.Net && a.Net != shapegrid.NoNet {
+					return true
+				}
+				routedA := a.Kind == shapegrid.KindWire || a.Kind == shapegrid.KindVia
+				routedB := b.Kind == shapegrid.KindWire || b.Kind == shapegrid.KindVia
+				if !routedA && !routedB {
+					return true
+				}
+				if s.pairViolates(z, a, b) {
+					res.DiffNetViolations++
+				}
+				return true
+			})
+		}
+	}
+
+	// Same-net rules and opens, per net.
+	for net, shapes := range perNetShapes {
+		comps := newDSU(len(shapes))
+		for i := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				a, b := shapes[i], shapes[j]
+				if a.z == b.z && a.s.Rect.Touches(b.s.Rect) {
+					comps.union(i, j)
+				}
+			}
+			// Notch: same-layer same-net shapes separated by less than the
+			// notch spacing with positive run-length — but only when the
+			// gap slot is not itself filled with same-net metal (filled
+			// gaps are solid polygon, not a notch).
+			for j := i + 1; j < len(shapes); j++ {
+				a, b := shapes[i], shapes[j]
+				if a.z != b.z {
+					continue
+				}
+				gap2 := a.s.Rect.Dist2Sq(b.s.Rect)
+				ns := int64(s.Deck.Layers[a.z].NotchSpacing)
+				if gap2 > 0 && gap2 < ns*ns && positiveRunLength(a.s.Rect, b.s.Rect) {
+					if !s.gapFilled(a, b, shapes) {
+						res.NotchViolations++
+					}
+				}
+			}
+		}
+		// Vias join layers: any cut of this net unions the shapes its
+		// rectangle touches on the two adjacent wiring layers.
+		for v := range s.Cuts {
+			for _, cut := range s.Cuts[v].QueryAll(area) {
+				if cut.Net != net || cut.Class != rules.ClassViaCut {
+					continue
+				}
+				var first = -1
+				for i := range shapes {
+					if (shapes[i].z == v || shapes[i].z == v+1) && shapes[i].s.Rect.Touches(cut.Rect) {
+						if first < 0 {
+							first = i
+						} else {
+							comps.union(first, i)
+						}
+					}
+				}
+			}
+		}
+		// Minimum area per connected metal polygon.
+		groups := map[int][]geom.Rect{}
+		groupLayer := map[int]int{}
+		for i := range shapes {
+			r := comps.find(i)
+			groups[r] = append(groups[r], shapes[i].s.Rect)
+			groupLayer[r] = shapes[i].z // polygons per layer: see below
+		}
+		for root, rects := range groups {
+			// A cross-layer component has vias, whose pads individually
+			// satisfy min-area by construction; check only single-layer
+			// groups strictly (conservative proxy for polygon area).
+			singleLayer := true
+			for i := range shapes {
+				if comps.find(i) == root && shapes[i].z != groupLayer[root] {
+					singleLayer = false
+					break
+				}
+			}
+			if !singleLayer {
+				continue
+			}
+			if geom.UnionArea(rects) < s.Deck.Layers[groupLayer[root]].MinArea {
+				res.MinAreaViolations++
+			}
+		}
+		// Short-edge proxy: fragments tiny in both dimensions that do not
+		// merge into larger metal.
+		for i := range shapes {
+			lr := &s.Deck.Layers[shapes[i].z]
+			r := shapes[i].s.Rect
+			if r.W() < lr.MinEdge && r.H() < lr.MinEdge && len(groups[comps.find(i)]) == 1 {
+				res.ShortEdgeShapes++
+			}
+		}
+		// Opens: components containing pins or wiring must all connect.
+		pins := netPins[net]
+		if len(pins) > 0 {
+			res.Opens += s.openCount(shapes, comps, pins)
+		}
+	}
+	return res
+}
+
+// LayerRect is a rectangle on a wiring layer.
+type LayerRect struct {
+	Rect  geom.Rect
+	Layer int
+}
+
+// openCount returns (connected components containing a pin) - 1, where a
+// pin joins the component of any net shape touching it; pins with no
+// touching shape each count as their own component.
+func (s *Space) openCount(shapes []indexedShape, comps *dsu, pins []LayerRect) int {
+	// Extend the DSU with one element per pin.
+	n := len(shapes)
+	ext := newDSU(n + len(pins))
+	for i := 0; i < n; i++ {
+		ext.parent[i] = comps.find(i)
+	}
+	for pi, p := range pins {
+		for i := range shapes {
+			if shapes[i].z == p.Layer && shapes[i].s.Rect.Touches(p.Rect) {
+				ext.union(n+pi, i)
+			}
+		}
+		// Pins of the same net touching each other are connected in the
+		// placement (same cell metal); approximate by rect touch.
+		for qi := 0; qi < pi; qi++ {
+			if pins[qi].Layer == p.Layer && pins[qi].Rect.Touches(p.Rect) {
+				ext.union(n+pi, n+qi)
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for pi := range pins {
+		roots[ext.find(n+pi)] = true
+	}
+	if len(roots) == 0 {
+		return 0
+	}
+	return len(roots) - 1
+}
+
+func (s *Space) pairViolates(z int, a, b shapegrid.Shape) bool {
+	if a.Rect.Intersects(b.Rect) {
+		return true
+	}
+	var rl int
+	switch {
+	case a.Rect.DistY(b.Rect) > 0 && a.Rect.DistX(b.Rect) == 0:
+		rl = a.Rect.RunLength(b.Rect, geom.Horizontal)
+	case a.Rect.DistX(b.Rect) > 0 && a.Rect.DistY(b.Rect) == 0:
+		rl = a.Rect.RunLength(b.Rect, geom.Vertical)
+	}
+	sp := s.Deck.Spacing(z, a.Class, b.Class, a.Rect.Width(), b.Rect.Width(), rl)
+	return a.Rect.Dist2Sq(b.Rect) < int64(sp)*int64(sp)
+}
+
+// shapeBefore imposes a strict total order on shapes so each unordered
+// pair is visited exactly once.
+func shapeBefore(a, b shapegrid.Shape) bool {
+	if a.Rect != b.Rect {
+		if a.Rect.XMin != b.Rect.XMin {
+			return a.Rect.XMin < b.Rect.XMin
+		}
+		if a.Rect.YMin != b.Rect.YMin {
+			return a.Rect.YMin < b.Rect.YMin
+		}
+		if a.Rect.XMax != b.Rect.XMax {
+			return a.Rect.XMax < b.Rect.XMax
+		}
+		return a.Rect.YMax < b.Rect.YMax
+	}
+	if a.Net != b.Net {
+		return a.Net < b.Net
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Ripup != b.Ripup {
+		return a.Ripup < b.Ripup
+	}
+	return a.Kind < b.Kind
+}
+
+// GapBox returns the open slot between two axis-separated rectangles
+// over their projection overlap (empty when they overlap diagonally).
+func GapBox(a, b geom.Rect) geom.Rect {
+	switch {
+	case a.DistX(b) > 0 && a.RunLength(b, geom.Vertical) > 0:
+		return geom.Rect{
+			XMin: min(a.XMax, b.XMax), XMax: max(a.XMin, b.XMin),
+			YMin: max(a.YMin, b.YMin), YMax: min(a.YMax, b.YMax),
+		}
+	case a.DistY(b) > 0 && a.RunLength(b, geom.Horizontal) > 0:
+		return geom.Rect{
+			XMin: max(a.XMin, b.XMin), XMax: min(a.XMax, b.XMax),
+			YMin: min(a.YMax, b.YMax), YMax: max(a.YMin, b.YMin),
+		}
+	}
+	return geom.Rect{}
+}
+
+// gapFilled reports whether the slot between a and b is fully covered by
+// other same-net shapes on the same layer.
+func (s *Space) gapFilled(a, b indexedShape, shapes []indexedShape) bool {
+	box := GapBox(a.s.Rect, b.s.Rect)
+	if box.Empty() {
+		return true // diagonal separation: no parallel-edge slot
+	}
+	var cover []geom.Rect
+	for _, o := range shapes {
+		if o.z == a.z {
+			cover = append(cover, o.s.Rect)
+		}
+	}
+	return len(geom.SubtractRects(box, cover)) == 0
+}
+
+func positiveRunLength(a, b geom.Rect) bool {
+	return a.RunLength(b, geom.Horizontal) > 0 || a.RunLength(b, geom.Vertical) > 0
+}
+
+type indexedShape struct {
+	z int
+	s shapegrid.Shape
+}
+
+// dsu is a plain union-find.
+type dsu struct {
+	parent []int
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}
+
+// PairViolatesForTest exposes the pairwise check to integration tests.
+func (s *Space) PairViolatesForTest(z int, a, b shapegrid.Shape) bool {
+	return s.pairViolates(z, a, b)
+}
+
+// ViolatingNetPairs returns the distinct net pairs involved in diff-net
+// violations where at least one shape is routed wiring (the input to the
+// DRC cleanup pass). Fixed-geometry partners are reported as NoNet.
+func (s *Space) ViolatingNetPairs(area geom.Rect) [][2]int32 {
+	seen := map[[2]int32]bool{}
+	var out [][2]int32
+	for z := range s.Wiring {
+		margin := s.Deck.MaxSpacing(z)
+		for _, a := range s.Wiring[z].QueryAll(area.Expanded(margin)) {
+			a := a
+			s.Wiring[z].Query(a.Rect.Expanded(margin), func(b shapegrid.Shape) bool {
+				if !shapeBefore(a, b) {
+					return true
+				}
+				if a.Net == b.Net && a.Net != shapegrid.NoNet {
+					return true
+				}
+				routedA := a.Kind == shapegrid.KindWire || a.Kind == shapegrid.KindVia
+				routedB := b.Kind == shapegrid.KindWire || b.Kind == shapegrid.KindVia
+				if !routedA && !routedB {
+					return true
+				}
+				if !s.pairViolates(z, a, b) {
+					return true
+				}
+				key := [2]int32{a.Net, b.Net}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// DebugNotches prints up to limit same-net notch pairs (test helper).
+func (s *Space) DebugNotches(area geom.Rect, limit int) {
+	printed := 0
+	perNet := map[int32][]indexedShape{}
+	for z := range s.Wiring {
+		for _, sh := range s.Wiring[z].QueryAll(area.Expanded(100)) {
+			if sh.Net != shapegrid.NoNet {
+				perNet[sh.Net] = append(perNet[sh.Net], indexedShape{z, sh})
+			}
+		}
+	}
+	for net, shapes := range perNet {
+		for i := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				a, b := shapes[i], shapes[j]
+				if a.z != b.z {
+					continue
+				}
+				gap2 := a.s.Rect.Dist2Sq(b.s.Rect)
+				ns := int64(s.Deck.Layers[a.z].NotchSpacing)
+				if gap2 > 0 && gap2 < ns*ns && positiveRunLength(a.s.Rect, b.s.Rect) {
+					if printed < limit {
+						println("notch net", net, "z", a.z,
+							"A", a.s.Rect.XMin, a.s.Rect.YMin, a.s.Rect.XMax, a.s.Rect.YMax, "kind", int(a.s.Kind),
+							"B", b.s.Rect.XMin, b.s.Rect.YMin, b.s.Rect.XMax, b.s.Rect.YMax, "kind", int(b.s.Kind))
+						printed++
+					}
+				}
+			}
+		}
+	}
+}

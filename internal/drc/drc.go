@@ -1,0 +1,309 @@
+// Package drc implements BonnRoute's distance rule checking module
+// (paper §3.4): the interface between the shape grid and the routing
+// algorithms. It owns the per-plane shape grids (wiring layers and via
+// layers), answers "can this wire/via model be placed here, and at what
+// ripup effort" queries, computes the forbidden-interval sweeps that the
+// fast grid is built from, and audits finished routings for diff-net,
+// same-net, and connectivity errors (§5.2/§5.3 error counts).
+package drc
+
+import (
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// Need encodes the rip-up effort required to legally place a shape:
+//
+//	0           — free, no conflicts;
+//	k in 1..6   — conflicts exist, all removable when the search may rip
+//	              shapes of level ≤ k-1;
+//	NeedNever=7 — conflicts with fixed geometry (pins, blockages).
+//
+// Three bits, exactly the eight levels the fast grid packs (§3.6).
+type Need = uint8
+
+// NeedNever marks placements blocked by unremovable shapes.
+const NeedNever Need = 7
+
+// AnyNet is a net id matching no stored shape: queries with AnyNet treat
+// every net's shapes as potential conflicts. The fast grid caches
+// net-independent data this way; the detailed router makes it usable by
+// temporarily removing the active net's own component shapes from the
+// routing space during a search, exactly as §4.4 prescribes.
+const AnyNet int32 = -2
+
+// needOf converts a conflicting shape's ripup level into a Need.
+func needOf(s shapegrid.Shape) Need {
+	if s.Ripup >= shapegrid.RipupNever-1 || s.Net == shapegrid.NoNet {
+		return NeedNever
+	}
+	return s.Ripup + 1
+}
+
+// Space is the complete routing space of a chip: one shape grid per
+// wiring layer and one per via layer, plus the rule deck and layer
+// directions needed to evaluate distance rules.
+type Space struct {
+	Deck *rules.Deck
+	// Dirs[z] is the preferred direction of wiring layer z.
+	Dirs []geom.Direction
+	// Wiring[z] stores wire, pin, pad and blockage shapes of layer z.
+	Wiring []*shapegrid.Grid
+	// Cuts[v] stores via cut shapes of via layer v plus, when inter-layer
+	// via rules apply, the projections of the cuts of layer v-1.
+	Cuts []*shapegrid.Grid
+}
+
+// NewSpace creates an empty routing space over area.
+func NewSpace(deck *rules.Deck, area geom.Rect, dirs []geom.Direction) *Space {
+	s := &Space{Deck: deck, Dirs: dirs}
+	for z := 0; z < deck.NumWiringLayers(); z++ {
+		cell := deck.Layers[z].Pitch
+		s.Wiring = append(s.Wiring, shapegrid.NewGrid(area, dirs[z], cell))
+		if z+1 < deck.NumWiringLayers() {
+			s.Cuts = append(s.Cuts, shapegrid.NewGrid(area, dirs[z], cell))
+		}
+	}
+	return s
+}
+
+// AddShape stores one wiring-layer shape.
+func (s *Space) AddShape(z int, sh shapegrid.Shape) { s.Wiring[z].Add(sh) }
+
+// RemoveShape removes one wiring-layer shape.
+func (s *Space) RemoveShape(z int, sh shapegrid.Shape) bool { return s.Wiring[z].Remove(sh) }
+
+// AddObstacle stores a blockage rectangle on wiring layer z.
+func (s *Space) AddObstacle(z int, r geom.Rect) {
+	s.Wiring[z].Add(shapegrid.Shape{
+		Rect:  r,
+		Net:   shapegrid.NoNet,
+		Class: rules.ClassBlockage,
+		Ripup: shapegrid.RipupNever,
+		Kind:  shapegrid.KindBlockage,
+	})
+}
+
+// AddPin stores a pin shape of net on wiring layer z. Pins are never
+// rippable.
+func (s *Space) AddPin(z int, net int32, r geom.Rect) {
+	s.Wiring[z].Add(shapegrid.Shape{
+		Rect:  r,
+		Net:   net,
+		Class: rules.ClassStandard,
+		Ripup: shapegrid.RipupNever,
+		Kind:  shapegrid.KindPin,
+	})
+}
+
+// wireShape materializes the metal of a stick segment.
+func (s *Space) wireShape(z int, a, b geom.Point, wt *rules.WireType, net int32, ripup uint8) shapegrid.Shape {
+	dir := geom.Horizontal
+	if a.X == b.X && a.Y != b.Y {
+		dir = geom.Vertical
+	}
+	m := wt.Oriented(z, dir, s.Dirs[z])
+	return shapegrid.Shape{
+		Rect:  m.Metal(a, b),
+		Net:   net,
+		Class: m.Class,
+		Ripup: ripup,
+		Kind:  shapegrid.KindWire,
+	}
+}
+
+// AddWire inserts the metal of a stick segment from a to b on layer z.
+// It returns the stored shape so the caller can remove it later.
+func (s *Space) AddWire(z int, a, b geom.Point, wt *rules.WireType, net int32, ripup uint8) shapegrid.Shape {
+	sh := s.wireShape(z, a, b, wt, net, ripup)
+	s.Wiring[z].Add(sh)
+	return sh
+}
+
+// ViaShapes materializes the shapes of a via at p between layers v and
+// v+1: bottom pad, top pad, cut, and optional inter-layer projection.
+func (s *Space) ViaShapes(v int, p geom.Point, wt *rules.WireType, net int32, ripup uint8) (bot, top, cut shapegrid.Shape, proj *shapegrid.Shape) {
+	m := wt.Via(v, s.Dirs[v])
+	bot = shapegrid.Shape{Rect: m.Bot.Translated(p), Net: net, Class: m.BotClass, Ripup: ripup, Kind: shapegrid.KindVia}
+	top = shapegrid.Shape{Rect: m.Top.Translated(p), Net: net, Class: m.TopClass, Ripup: ripup, Kind: shapegrid.KindVia}
+	cut = shapegrid.Shape{Rect: m.Cut.Translated(p), Net: net, Class: m.CutClass, Ripup: ripup, Kind: shapegrid.KindVia}
+	if m.HasProjection && v+1 < len(s.Cuts) {
+		pr := shapegrid.Shape{Rect: m.Cut.Translated(p), Net: net, Class: rules.ClassViaProj, Ripup: ripup, Kind: shapegrid.KindVia}
+		proj = &pr
+	}
+	return bot, top, cut, proj
+}
+
+// AddVia inserts a via at p between wiring layers v and v+1.
+func (s *Space) AddVia(v int, p geom.Point, wt *rules.WireType, net int32, ripup uint8) {
+	bot, top, cut, proj := s.ViaShapes(v, p, wt, net, ripup)
+	s.Wiring[v].Add(bot)
+	s.Wiring[v+1].Add(top)
+	s.Cuts[v].Add(cut)
+	if proj != nil {
+		s.Cuts[v+1].Add(*proj)
+	}
+}
+
+// RemoveVia removes the via inserted by AddVia with identical arguments.
+func (s *Space) RemoveVia(v int, p geom.Point, wt *rules.WireType, net int32, ripup uint8) bool {
+	bot, top, cut, proj := s.ViaShapes(v, p, wt, net, ripup)
+	ok := s.Wiring[v].Remove(bot)
+	ok = s.Wiring[v+1].Remove(top) && ok
+	ok = s.Cuts[v].Remove(cut) && ok
+	if proj != nil {
+		ok = s.Cuts[v+1].Remove(*proj) && ok
+	}
+	return ok
+}
+
+// RemoveWire removes the wire inserted by AddWire with identical
+// arguments.
+func (s *Space) RemoveWire(z int, a, b geom.Point, wt *rules.WireType, net int32, ripup uint8) bool {
+	return s.Wiring[z].Remove(s.wireShape(z, a, b, wt, net, ripup))
+}
+
+// conflictNeed evaluates whether candidate metal (rect, class) on wiring
+// layer z conflicts with stored shape sh under the deck's diff-net rules,
+// returning the Need contribution (0 when compatible).
+func (s *Space) conflictNeed(z int, rect geom.Rect, class rules.ShapeClass, net int32, sh shapegrid.Shape) Need {
+	if sh.Net == net && sh.Net != shapegrid.NoNet {
+		return 0 // same net: diff-net rules do not apply
+	}
+	if rect.Intersects(sh.Rect) {
+		return needOf(sh)
+	}
+	// Run-length is measured along the axis orthogonal to the separation.
+	var rl int
+	if rect.DistY(sh.Rect) > 0 && rect.DistX(sh.Rect) == 0 {
+		rl = rect.RunLength(sh.Rect, geom.Horizontal)
+	} else if rect.DistX(sh.Rect) > 0 && rect.DistY(sh.Rect) == 0 {
+		rl = rect.RunLength(sh.Rect, geom.Vertical)
+	} else {
+		// Diagonal separation: no positive run-length on either axis.
+		rl = 0
+	}
+	sp := s.Deck.Spacing(z, class, sh.Class, rect.Width(), sh.Rect.Width(), rl)
+	if rect.Dist2Sq(sh.Rect) < int64(sp)*int64(sp) {
+		return needOf(sh)
+	}
+	return 0
+}
+
+// RectNeed returns the rip-up effort needed to place metal rect of class
+// on wiring layer z for net.
+func (s *Space) RectNeed(z int, rect geom.Rect, class rules.ShapeClass, net int32) Need {
+	margin := s.Deck.MaxSpacing(z)
+	var need Need
+	s.Wiring[z].Query(rect.Expanded(margin), func(sh shapegrid.Shape) bool {
+		if n := s.conflictNeed(z, rect, class, net, sh); n > need {
+			need = n
+			if need == NeedNever {
+				return false
+			}
+		}
+		return true
+	})
+	return need
+}
+
+// SegmentNeed returns the rip-up effort needed to route the stick segment
+// a-b on layer z with wire type wt for net.
+func (s *Space) SegmentNeed(z int, a, b geom.Point, wt *rules.WireType, net int32) Need {
+	sh := s.wireShape(z, a, b, wt, net, 0)
+	return s.RectNeed(z, sh.Rect, sh.Class, net)
+}
+
+// cutNeed evaluates a via-layer conflict: cut-to-cut spacing within the
+// layer, cut-to-projection spacing for inter-layer via rules.
+func (s *Space) cutNeed(v int, rect geom.Rect, class rules.ShapeClass, net int32) Need {
+	vr := s.Deck.ViaLayers[v]
+	margin := vr.CutSpacing
+	if vr.InterLayerSpacing > margin {
+		margin = vr.InterLayerSpacing
+	}
+	var need Need
+	s.Cuts[v].Query(rect.Expanded(margin), func(sh shapegrid.Shape) bool {
+		if sh.Net == net {
+			return true
+		}
+		var sp int
+		switch {
+		case class == rules.ClassViaCut && sh.Class == rules.ClassViaCut:
+			sp = vr.CutSpacing
+		case class != sh.Class: // cut vs projection (either order)
+			sp = vr.InterLayerSpacing
+		default:
+			return true // projection vs projection: checked in layer below
+		}
+		if rect.Dist2Sq(sh.Rect) < int64(sp)*int64(sp) {
+			if n := needOf(sh); n > need {
+				need = n
+			}
+		}
+		return need < NeedNever
+	})
+	return need
+}
+
+// ViaNeed returns the rip-up effort needed to place a via of wt at p
+// between wiring layers v and v+1 for net: the maximum over bottom pad,
+// top pad, cut (and inter-layer projection checks).
+func (s *Space) ViaNeed(v int, p geom.Point, wt *rules.WireType, net int32) Need {
+	bot, top, cut, proj := s.ViaShapes(v, p, wt, net, 0)
+	need := s.RectNeed(v, bot.Rect, bot.Class, net)
+	if need == NeedNever {
+		return need
+	}
+	if n := s.RectNeed(v+1, top.Rect, top.Class, net); n > need {
+		need = n
+	}
+	if need == NeedNever {
+		return need
+	}
+	if n := s.cutNeed(v, cut.Rect, cut.Class, net); n > need {
+		need = n
+	}
+	if proj != nil && need < NeedNever {
+		if n := s.cutNeed(v+1, proj.Rect, proj.Class, net); n > need {
+			need = n
+		}
+	}
+	return need
+}
+
+// BlockerNets returns the nets whose removal would reduce the Need of
+// placing rect on layer z (the shape grid's removable-net service used by
+// rip-up and reroute). A net is a blocker when any of its conflicting
+// shapes is rippable at ≤ maxRipup; its other, fixed shapes (pins) do
+// not disqualify it — the path search already avoided positions those
+// block.
+func (s *Space) BlockerNets(z int, rect geom.Rect, class rules.ShapeClass, net int32, maxRipup uint8) []int32 {
+	margin := s.Deck.MaxSpacing(z)
+	blockers := map[int32]bool{}
+	s.Wiring[z].Query(rect.Expanded(margin), func(sh shapegrid.Shape) bool {
+		if s.conflictNeed(z, rect, class, net, sh) == 0 {
+			return true
+		}
+		if sh.Net == shapegrid.NoNet || sh.Ripup > maxRipup {
+			return true
+		}
+		blockers[sh.Net] = true
+		return true
+	})
+	out := make([]int32, 0, len(blockers))
+	for n := range blockers {
+		out = append(out, n)
+	}
+	sortInt32s(out)
+	return out
+}
+
+func sortInt32s(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package drc
+
+import (
+	"bonnroute/internal/geom"
+	"bonnroute/internal/intervalmap"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// TrackNeeds computes, for a zero-length stick of wire model m placed at
+// positions p along the track {ortho == trackCoord} of wiring layer z,
+// the Need value as a function of p over span, emitted as maximal runs in
+// ascending order (gaps between runs are Need 0). This is the bulk query
+// the fast grid is rebuilt from (§3.6): instead of asking the rule checker
+// per vertex, one sweep produces the legality of an entire track.
+//
+// dir is the axis the track runs along (the layer's preferred direction
+// for wire tracks). net's own shapes never conflict.
+func (s *Space) TrackNeeds(z int, dir geom.Direction, trackCoord int, span geom.Interval,
+	m rules.WireModel, net int32, emit func(lo, hi int, need Need)) {
+	if span.Empty() {
+		return
+	}
+	// Metal of the stick point at position p: model translated so that
+	// along-track coordinate is p and orthogonal coordinate trackCoord.
+	// Extents of the model along/orthogonal to the track:
+	along := m.Shape.Span(dir)
+	ortho := m.Shape.Span(dir.Perp())
+
+	margin := s.Deck.MaxSpacing(z) + geom.Abs(along.Lo) + along.Hi + 1
+	var window geom.Rect
+	if dir == geom.Horizontal {
+		window = geom.Rect{
+			XMin: span.Lo - margin, XMax: span.Hi + margin,
+			YMin: trackCoord + ortho.Lo - margin, YMax: trackCoord + ortho.Hi + margin,
+		}
+	} else {
+		window = geom.Rect{
+			XMin: trackCoord + ortho.Lo - margin, XMax: trackCoord + ortho.Hi + margin,
+			YMin: span.Lo - margin, YMax: span.Hi + margin,
+		}
+	}
+
+	var needs intervalmap.Map
+	s.Wiring[z].Query(window, func(sh shapegrid.Shape) bool {
+		if sh.Net == net && sh.Net != shapegrid.NoNet {
+			return true
+		}
+		n := needOf(sh)
+		s.forbiddenAlongTrack(z, dir, trackCoord, along, ortho, m.Class, sh, func(lo, hi int) {
+			lo, hi = max(lo, span.Lo), min(hi, span.Hi)
+			if lo < hi {
+				needs.Update(lo, hi, func(old uint64) uint64 {
+					if uint64(n) > old {
+						return uint64(n)
+					}
+					return old
+				})
+			}
+		})
+		return true
+	})
+	needs.Runs(span.Lo, span.Hi, func(lo, hi int, v uint64) bool {
+		emit(lo, hi, Need(v))
+		return true
+	})
+}
+
+// forbiddenAlongTrack computes the positions p where metal
+// (p+along) × (trackCoord+ortho) conflicts with shape sh, calling emitted
+// for each forbidden interval. Intervals may overlap; the caller merges.
+func (s *Space) forbiddenAlongTrack(z int, dir geom.Direction, trackCoord int,
+	along, orthoSpan geom.Interval, class rules.ShapeClass, sh shapegrid.Shape, emitted func(lo, hi int)) {
+
+	// Shape extents in track coordinates.
+	shAlong := sh.Rect.Span(dir)
+	shOrtho := sh.Rect.Span(dir.Perp())
+
+	metalOrtho := geom.Interval{Lo: trackCoord + orthoSpan.Lo, Hi: trackCoord + orthoSpan.Hi}
+	// Orthogonal gap between the (fixed) metal band and the shape.
+	dOrtho := 0
+	if g := max(metalOrtho.Lo, shOrtho.Lo) - min(metalOrtho.Hi, shOrtho.Hi); g > 0 {
+		dOrtho = g
+	}
+	rlOrtho := min(metalOrtho.Hi, shOrtho.Hi) - max(metalOrtho.Lo, shOrtho.Lo)
+
+	metalW := min(along.Len(), orthoSpan.Len())
+	widthBound := min(metalW, sh.Rect.Width())
+
+	// Candidate spacing values: evaluate the table per run-length regime.
+	// For each spacing-table row we get one forbidden interval; their
+	// union is the exact forbidden set because spacing is nondecreasing
+	// in run-length.
+	lr := &s.Deck.Layers[z]
+	type regime struct {
+		minRL   int // along-track run-length needed for this row
+		spacing int
+	}
+	var regimes []regime
+	baseSp := s.Deck.Spacing(z, class, sh.Class, widthBound, widthBound, rlOrtho)
+	regimes = append(regimes, regime{0, baseSp})
+	for _, row := range lr.Spacing {
+		if row.RunLengthAtLeast > 0 && widthBound >= row.WidthAtLeast {
+			sp := s.Deck.Spacing(z, class, sh.Class, widthBound, widthBound, row.RunLengthAtLeast)
+			regimes = append(regimes, regime{row.RunLengthAtLeast, sp})
+		}
+	}
+
+	for _, rg := range regimes {
+		var maxDAlong int // largest along-track gap still conflicting
+		if dOrtho == 0 {
+			// Shapes side by side along the track (or ortho-overlapping):
+			// run-length for the spacing lookup is the orthogonal overlap,
+			// conflict iff along-track gap < spacing. Run-length regimes
+			// beyond the base only matter for the ortho axis, which is
+			// fixed; regime rows model along-track run-length and need
+			// ortho separation, so only the base row applies here.
+			if rg.minRL > 0 {
+				if rlOrtho < rg.minRL {
+					continue
+				}
+				// Ortho run-length qualifies: same as base with higher sp.
+			}
+			maxDAlong = rg.spacing - 1
+			// Forbidden: along-track gap ≤ maxDAlong. Inclusive position
+			// bounds, emitted half-open.
+			lo := shAlong.Lo - along.Hi - maxDAlong
+			hi := shAlong.Hi - along.Lo + maxDAlong + 1
+			if lo < hi {
+				emitted(lo, hi)
+			}
+			continue
+		}
+		// Ortho-separated: conflict iff dAlong² + dOrtho² < sp² and, for
+		// regime rows, the along-track run-length ≥ minRL.
+		sp2 := int64(rg.spacing) * int64(rg.spacing)
+		dO2 := int64(dOrtho) * int64(dOrtho)
+		if dO2 >= sp2 {
+			continue // ortho distance alone satisfies this regime
+		}
+		maxDAlong = isqrt(sp2 - dO2 - 1) // largest d with d² < sp² - dOrtho²
+		lo := shAlong.Lo - along.Hi - maxDAlong
+		hi := shAlong.Hi - along.Lo + maxDAlong + 1
+		if rg.minRL > 0 {
+			// Along-track run-length of metal [p+along] vs shape must be
+			// ≥ minRL: p+along.Hi ≥ shAlong.Lo+minRL etc. Intersect.
+			rlLo := shAlong.Lo + rg.minRL - along.Hi
+			rlHi := shAlong.Hi - rg.minRL - along.Lo
+			lo, hi = max(lo, rlLo), min(hi, rlHi+1)
+		}
+		if lo < hi {
+			emitted(lo, hi)
+		}
+	}
+}
+
+// isqrt returns floor(sqrt(x)) for x ≥ 0.
+func isqrt(x int64) int {
+	if x < 0 {
+		return 0
+	}
+	r := int64(0)
+	bit := int64(1) << 62
+	for bit > x {
+		bit >>= 2
+	}
+	for bit != 0 {
+		if x >= r+bit {
+			x -= r + bit
+			r = r>>1 + bit
+		} else {
+			r >>= 1
+		}
+		bit >>= 2
+	}
+	return int(r)
+}
+
+// TrackCutNeeds computes, for a via cut of model rect cut (relative to
+// the via position) placed along the track {ortho == trackCoord} in via
+// layer v, the Need as a function of the along-track position, emitted as
+// runs. proj selects whether the candidate is an actual cut (false) or an
+// inter-layer projection from below (true); projections only conflict
+// with cuts under the inter-layer rule.
+func (s *Space) TrackCutNeeds(v int, dir geom.Direction, trackCoord int, span geom.Interval,
+	cut geom.Rect, net int32, proj bool, emit func(lo, hi int, need Need)) {
+	if span.Empty() {
+		return
+	}
+	vr := s.Deck.ViaLayers[v]
+	along := cut.Span(dir)
+	ortho := cut.Span(dir.Perp())
+	margin := max(vr.CutSpacing, vr.InterLayerSpacing) + geom.Abs(along.Lo) + along.Hi + 1
+	var window geom.Rect
+	if dir == geom.Horizontal {
+		window = geom.Rect{
+			XMin: span.Lo - margin, XMax: span.Hi + margin,
+			YMin: trackCoord + ortho.Lo - margin, YMax: trackCoord + ortho.Hi + margin,
+		}
+	} else {
+		window = geom.Rect{
+			XMin: trackCoord + ortho.Lo - margin, XMax: trackCoord + ortho.Hi + margin,
+			YMin: span.Lo - margin, YMax: span.Hi + margin,
+		}
+	}
+	var needs intervalmap.Map
+	s.Cuts[v].Query(window, func(sh shapegrid.Shape) bool {
+		if sh.Net == net && sh.Net != shapegrid.NoNet {
+			return true
+		}
+		// Rule selection mirrors cutNeed.
+		shIsCut := sh.Class == rules.ClassViaCut
+		var sp int
+		switch {
+		case !proj && shIsCut:
+			sp = vr.CutSpacing
+		case proj && !shIsCut:
+			return true // projection vs projection: checked in layer below
+		default:
+			sp = vr.InterLayerSpacing
+		}
+		if sp <= 0 {
+			return true
+		}
+		n := needOf(sh)
+		shAlong := sh.Rect.Span(dir)
+		shOrtho := sh.Rect.Span(dir.Perp())
+		metalOrtho := geom.Interval{Lo: trackCoord + ortho.Lo, Hi: trackCoord + ortho.Hi}
+		dOrtho := 0
+		if g := max(metalOrtho.Lo, shOrtho.Lo) - min(metalOrtho.Hi, shOrtho.Hi); g > 0 {
+			dOrtho = g
+		}
+		sp2 := int64(sp) * int64(sp)
+		dO2 := int64(dOrtho) * int64(dOrtho)
+		if dO2 >= sp2 {
+			return true
+		}
+		maxD := isqrt(sp2 - dO2 - 1)
+		lo := max(shAlong.Lo-along.Hi-maxD, span.Lo)
+		hi := min(shAlong.Hi-along.Lo+maxD+1, span.Hi)
+		if lo < hi {
+			needs.Update(lo, hi, func(old uint64) uint64 {
+				if uint64(n) > old {
+					return uint64(n)
+				}
+				return old
+			})
+		}
+		return true
+	})
+	needs.Runs(span.Lo, span.Hi, func(lo, hi int, v uint64) bool {
+		emit(lo, hi, Need(v))
+		return true
+	})
+}
+
+// TrackViaNeeds sweeps via legality along a track: for each position p on
+// the track of wiring layer z (between layers v=z-1 below and v=z above,
+// whichever exists and is selected by up), the Need of placing a via of
+// wt there. Unlike wires, via legality spans three planes, so the sweep
+// simply evaluates candidate positions; callers pass the discrete
+// crossing coordinates rather than a continuous span.
+func (s *Space) TrackViaNeeds(v int, dir geom.Direction, trackCoord int, positions []int,
+	wt *rules.WireType, net int32) []Need {
+	out := make([]Need, len(positions))
+	for i, p := range positions {
+		var pt geom.Point
+		if dir == geom.Horizontal {
+			pt = geom.Pt(p, trackCoord)
+		} else {
+			pt = geom.Pt(trackCoord, p)
+		}
+		out[i] = s.ViaNeed(v, pt, wt, net)
+	}
+	return out
+}
+
+// ShapeWireNeeds computes the Need contribution of the single shape sh to
+// placements of wire model m along the track {ortho == trackCoord} of
+// layer z within span, emitted as forbidden runs. It is the incremental
+// counterpart of TrackNeeds used by fast-grid updates on shape insertion
+// (adding a shape can only raise Needs, so the caller maxes the runs into
+// its fields).
+func (s *Space) ShapeWireNeeds(z int, dir geom.Direction, trackCoord int, span geom.Interval,
+	m rules.WireModel, sh shapegrid.Shape, emit func(lo, hi int, need Need)) {
+	if span.Empty() {
+		return
+	}
+	along := m.Shape.Span(dir)
+	ortho := m.Shape.Span(dir.Perp())
+	n := needOf(sh)
+	s.forbiddenAlongTrack(z, dir, trackCoord, along, ortho, m.Class, sh, func(lo, hi int) {
+		lo, hi = max(lo, span.Lo), min(hi, span.Hi)
+		if lo < hi {
+			emit(lo, hi, n)
+		}
+	})
+}
+
+// ShapeCutNeeds is the incremental counterpart of TrackCutNeeds for a
+// single cut-layer shape.
+func (s *Space) ShapeCutNeeds(v int, dir geom.Direction, trackCoord int, span geom.Interval,
+	cut geom.Rect, sh shapegrid.Shape, proj bool, emit func(lo, hi int, need Need)) {
+	if span.Empty() {
+		return
+	}
+	vr := s.Deck.ViaLayers[v]
+	shIsCut := sh.Class == rules.ClassViaCut
+	var sp int
+	switch {
+	case !proj && shIsCut:
+		sp = vr.CutSpacing
+	case proj && !shIsCut:
+		return
+	default:
+		sp = vr.InterLayerSpacing
+	}
+	if sp <= 0 {
+		return
+	}
+	along := cut.Span(dir)
+	ortho := cut.Span(dir.Perp())
+	shAlong := sh.Rect.Span(dir)
+	shOrtho := sh.Rect.Span(dir.Perp())
+	metalOrtho := geom.Interval{Lo: trackCoord + ortho.Lo, Hi: trackCoord + ortho.Hi}
+	dOrtho := 0
+	if g := max(metalOrtho.Lo, shOrtho.Lo) - min(metalOrtho.Hi, shOrtho.Hi); g > 0 {
+		dOrtho = g
+	}
+	sp2 := int64(sp) * int64(sp)
+	dO2 := int64(dOrtho) * int64(dOrtho)
+	if dO2 >= sp2 {
+		return
+	}
+	maxD := isqrt(sp2 - dO2 - 1)
+	lo := max(shAlong.Lo-along.Hi-maxD, span.Lo)
+	hi := min(shAlong.Hi-along.Lo+maxD+1, span.Hi)
+	if lo < hi {
+		emit(lo, hi, needOf(sh))
+	}
+}

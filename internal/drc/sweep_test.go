@@ -1,0 +1,169 @@
+package drc
+
+import (
+	"math/rand"
+	"testing"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// TestTrackCutNeedsMatchesPointQueries fuzzes the via-layer sweep against
+// the point-wise cutNeed on random cut populations.
+func TestTrackCutNeedsMatchesPointQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := testSpace()
+		wt := std(s)
+		// Scatter vias of random nets.
+		for i := 0; i < 6; i++ {
+			p := geom.Pt(100+rng.Intn(1700), 100+rng.Intn(1700))
+			s.AddVia(0, p, wt, int32(10+i), shapegrid.RipupStandard)
+		}
+		m := wt.Via(0, s.Dirs[0])
+		span := geom.Iv(0, 2000)
+		coord := 100 + 40*rng.Intn(40)
+		dense := make([]Need, span.Len())
+		s.TrackCutNeeds(0, geom.Horizontal, coord, span, m.Cut, 1, false, func(lo, hi int, need Need) {
+			for x := lo; x < hi; x++ {
+				dense[x] = need
+			}
+		})
+		for x := 0; x < 2000; x += 13 {
+			want := s.cutNeed(0, m.Cut.Translated(geom.Pt(x, coord)), rules.ClassViaCut, 1)
+			if dense[x] != want {
+				t.Fatalf("trial %d x=%d coord=%d: sweep %d point %d", trial, x, coord, dense[x], want)
+			}
+		}
+	}
+}
+
+// TestShapeWireNeedsSubsetOfTrackNeeds: the single-shape sweep never
+// reports more restriction than the full sweep and covers exactly that
+// shape's contribution.
+func TestShapeWireNeedsSubsetOfTrackNeeds(t *testing.T) {
+	s := testSpace()
+	wt := std(s)
+	sh := s.AddWire(0, geom.Pt(300, 300), geom.Pt(900, 300), wt, 5, shapegrid.RipupCritical)
+	m := wt.Oriented(0, geom.Horizontal, geom.Horizontal)
+	span := geom.Iv(0, 2000)
+
+	full := make([]Need, span.Len())
+	s.TrackNeeds(0, geom.Horizontal, 340, span, m, AnyNet, func(lo, hi int, need Need) {
+		for x := lo; x < hi; x++ {
+			full[x] = need
+		}
+	})
+	single := make([]Need, span.Len())
+	s.ShapeWireNeeds(0, geom.Horizontal, 340, span, m, sh, func(lo, hi int, need Need) {
+		for x := lo; x < hi; x++ {
+			if need > single[x] {
+				single[x] = need
+			}
+		}
+	})
+	for x := range full {
+		if single[x] > full[x] {
+			t.Fatalf("x=%d: single-shape %d exceeds full %d", x, single[x], full[x])
+		}
+	}
+	// With only one shape in the space, the two must be identical.
+	for x := range full {
+		if single[x] != full[x] {
+			t.Fatalf("x=%d: single %d != full %d (only shape present)", x, single[x], full[x])
+		}
+	}
+}
+
+// TestRectNeedSymmetry: need is determined by geometry, not insertion
+// order.
+func TestRectNeedOrderIndependence(t *testing.T) {
+	build := func(order []int) *Space {
+		s := testSpace()
+		wt := std(s)
+		shapes := []struct {
+			a, b geom.Point
+			net  int32
+			lvl  uint8
+		}{
+			{geom.Pt(100, 100), geom.Pt(700, 100), 1, shapegrid.RipupStandard},
+			{geom.Pt(100, 180), geom.Pt(700, 180), 2, shapegrid.RipupCritical},
+			{geom.Pt(100, 260), geom.Pt(700, 260), 3, shapegrid.RipupStandard},
+		}
+		for _, i := range order {
+			sh := shapes[i]
+			s.AddWire(0, sh.a, sh.b, wt, sh.net, sh.lvl)
+		}
+		return s
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	wt := std(a)
+	m := wt.Oriented(0, geom.Horizontal, geom.Horizontal)
+	for y := 80; y <= 300; y += 20 {
+		for x := 50; x < 800; x += 50 {
+			r := m.Shape.Translated(geom.Pt(x, y))
+			if a.RectNeed(0, r, m.Class, 9) != b.RectNeed(0, r, m.Class, 9) {
+				t.Fatalf("order dependence at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestViolatingNetPairs(t *testing.T) {
+	s := testSpace()
+	wt := std(s)
+	s.AddWire(0, geom.Pt(100, 100), geom.Pt(500, 100), wt, 1, shapegrid.RipupStandard)
+	s.AddWire(0, geom.Pt(100, 112), geom.Pt(500, 112), wt, 2, shapegrid.RipupStandard)
+	s.AddWire(0, geom.Pt(100, 400), geom.Pt(500, 400), wt, 3, shapegrid.RipupStandard)
+	pairs := s.ViolatingNetPairs(geom.R(0, 0, 2000, 2000))
+	if len(pairs) != 1 || pairs[0] != [2]int32{1, 2} {
+		t.Fatalf("pairs = %v, want [[1 2]]", pairs)
+	}
+}
+
+func TestGapBox(t *testing.T) {
+	// Horizontal separation.
+	a, b := geom.R(0, 0, 10, 20), geom.R(16, 5, 30, 25)
+	box := GapBox(a, b)
+	if box != geom.R(10, 5, 16, 20) {
+		t.Fatalf("x gap box = %v", box)
+	}
+	// Order independence.
+	if GapBox(b, a) != box {
+		t.Fatal("GapBox not symmetric")
+	}
+	// Vertical separation.
+	c := geom.R(2, 26, 8, 40)
+	if GapBox(a, c) != geom.R(2, 20, 8, 26) {
+		t.Fatalf("y gap box = %v", GapBox(a, c))
+	}
+	// Diagonal: empty.
+	d := geom.R(20, 30, 25, 40)
+	if !GapBox(a, d).Empty() {
+		t.Fatalf("diagonal gap box = %v", GapBox(a, d))
+	}
+}
+
+// TestAuditNotchFilledGap: a filled slot between same-net shapes is not a
+// notch.
+func TestAuditNotchFilledGap(t *testing.T) {
+	s := testSpace()
+	wt := std(s)
+	s.AddWire(0, geom.Pt(100, 100), geom.Pt(300, 100), wt, 1, shapegrid.RipupStandard)
+	s.AddWire(0, geom.Pt(100, 130), geom.Pt(300, 130), wt, 1, shapegrid.RipupStandard)
+	res := s.Audit(geom.R(0, 0, 2000, 2000), nil)
+	if res.NotchViolations == 0 {
+		t.Fatal("open slot must be a notch")
+	}
+	// Fill the slot.
+	s.AddShape(0, shapegrid.Shape{
+		Rect: geom.R(80, 108, 320, 122), Net: 1,
+		Class: rules.ClassStandard, Ripup: shapegrid.RipupStandard, Kind: shapegrid.KindWire,
+	})
+	res = s.Audit(geom.R(0, 0, 2000, 2000), nil)
+	if res.NotchViolations != 0 {
+		t.Fatalf("filled slot still counts %d notches", res.NotchViolations)
+	}
+}

@@ -1,0 +1,448 @@
+// Package fastgrid implements BonnRoute's fast grid (paper §3.6): a
+// per-track cache of bit-packed legality data for a small set of
+// frequently used wire types, so that on-track path search almost never
+// has to consult the (much slower) distance rule checking module.
+//
+// Layout follows the paper: on wiring layers, 12 bits per wire type and
+// interval encode the minimal rip-up level (3 bits, eight levels) at which
+// each of four shape kinds can be placed — the preferred-direction wire
+// model, the non-preferred (jog) model, and the bottom and top pads of
+// vias. On via layers, 6 bits per wire type encode cut and inter-layer
+// projection legality. A 64-bit word therefore caches five wire types.
+// Intervals of equal words along a track are run-length compressed
+// (package intervalmap).
+//
+// One refinement relative to the paper's vertex storage: the jog field at
+// a position caches the legality of the whole jog segment from this track
+// to the next track above, so adjacent-track jog edges are decided
+// entirely from the cache and no "ask the shape grid" escape bit is
+// needed for them. Queries for uncached wire types or off-track
+// locations fall back to the rule checker and are counted as misses,
+// reproducing the hit-rate statistic of §3.6.
+package fastgrid
+
+import (
+	"sync/atomic"
+
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/intervalmap"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+	"bonnroute/internal/tracks"
+)
+
+// MaxWireTypes is the number of wire types one 64-bit word can cache.
+const MaxWireTypes = 5
+
+// Shape kinds cached per wiring-layer position.
+const (
+	KindPref   = 0 // preferred-direction wire model placement
+	KindJogUp  = 1 // jog segment from this track to the next track above
+	KindBotPad = 2 // bottom pad of a via to the layer above
+	KindTopPad = 3 // top pad of a via to the layer below
+)
+
+// Grid is the fast grid of one chip.
+type Grid struct {
+	space *drc.Space
+	tg    *tracks.Graph
+	wts   []*rules.WireType
+
+	// wiring[z][t] maps along-track positions of track t on layer z to
+	// packed words.
+	wiring [][]intervalmap.Map
+	// cuts[v][t] maps along-track positions (tracks of wiring layer v)
+	// to packed via-layer words.
+	cuts [][]intervalmap.Map
+
+	// Counters for the §3.6 statistic (updated atomically: parallel
+	// detailed routing queries the grid concurrently).
+	Hits, Misses int64
+}
+
+// New builds the fast grid for up to MaxWireTypes wire types and performs
+// the initial full sweep.
+func New(space *drc.Space, tg *tracks.Graph, wts []*rules.WireType) *Grid {
+	if len(wts) > MaxWireTypes {
+		wts = wts[:MaxWireTypes]
+	}
+	g := &Grid{space: space, tg: tg, wts: wts}
+	g.wiring = make([][]intervalmap.Map, tg.NumLayers())
+	g.cuts = make([][]intervalmap.Map, tg.NumLayers()-1)
+	for z := range g.wiring {
+		g.wiring[z] = make([]intervalmap.Map, len(tg.Layers[z].Coords))
+	}
+	for v := range g.cuts {
+		g.cuts[v] = make([]intervalmap.Map, len(tg.Layers[v].Coords))
+	}
+	for z := range g.wiring {
+		for t := range g.wiring[z] {
+			g.rebuildWiringTrack(z, t, tg.Area.Span(tg.Layers[z].Dir))
+		}
+	}
+	for v := range g.cuts {
+		for t := range g.cuts[v] {
+			g.rebuildCutTrack(v, t, tg.Area.Span(tg.Layers[v].Dir))
+		}
+	}
+	return g
+}
+
+// wtIndex returns the cache slot of wt, or -1 if uncached.
+func (g *Grid) wtIndex(wt *rules.WireType) int {
+	for i, w := range g.wts {
+		if w == wt {
+			return i
+		}
+	}
+	return -1
+}
+
+// field computes the bit offset of (wire type slot, kind).
+func field(slot, kind int) uint { return uint(slot*12 + kind*3) }
+
+func cutField(slot int, proj bool) uint {
+	o := uint(slot * 6)
+	if proj {
+		o += 3
+	}
+	return o
+}
+
+// setField returns w with the 3-bit field at off set to max(old, need)
+// ... no: rebuilds overwrite, so plain set.
+func setField(w uint64, off uint, need drc.Need) uint64 {
+	return (w &^ (7 << off)) | uint64(need)<<off
+}
+
+func getField(w uint64, off uint) drc.Need { return drc.Need(w>>off) & 7 }
+
+// rebuildWiringTrack recomputes all fields of track t on layer z within
+// span (along-track coordinates).
+func (g *Grid) rebuildWiringTrack(z, t int, span geom.Interval) {
+	layer := &g.tg.Layers[z]
+	coord := layer.Coords[t]
+	m := &g.wiring[z][t]
+	// Clear all fields in span, then OR in each sweep.
+	m.SetRange(span.Lo, span.Hi, 0)
+	apply := func(off uint, lo, hi int, need drc.Need) {
+		if need == 0 {
+			return
+		}
+		m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
+	}
+	for slot, wt := range g.wts {
+		// Preferred wire model.
+		pm := wt.Oriented(z, layer.Dir, layer.Dir)
+		g.space.TrackNeeds(z, layer.Dir, coord, span, pm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+			apply(field(slot, KindPref), lo, hi, need)
+		})
+		// Jog segment to the next track above.
+		if t+1 < len(layer.Coords) {
+			jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
+			gap := layer.Coords[t+1] - coord
+			span2 := jogSpanModel(jm, layer.Dir, gap)
+			g.space.TrackNeeds(z, layer.Dir, coord, span, span2, drc.AnyNet, func(lo, hi int, need drc.Need) {
+				apply(field(slot, KindJogUp), lo, hi, need)
+			})
+		}
+		// Via pads.
+		if z+1 < g.tg.NumLayers() {
+			vm := wt.Via(z, g.tg.Layers[z].Dir)
+			bm := rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}
+			g.space.TrackNeeds(z, layer.Dir, coord, span, bm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+				apply(field(slot, KindBotPad), lo, hi, need)
+			})
+		}
+		if z > 0 {
+			vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
+			tm := rules.WireModel{Shape: vm.Top, Class: vm.TopClass}
+			g.space.TrackNeeds(z, layer.Dir, coord, span, tm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+				apply(field(slot, KindTopPad), lo, hi, need)
+			})
+		}
+	}
+}
+
+// jogSpanModel builds a synthetic wire model whose metal, placed at a
+// track position, covers the whole jog segment from this track to the
+// track gap away (in +ortho direction).
+func jogSpanModel(jm rules.WireModel, dir geom.Direction, gap int) rules.WireModel {
+	s := jm.Shape
+	if dir == geom.Horizontal {
+		// Track runs in x; jog extends in +y by gap.
+		s.YMax += gap
+	} else {
+		s.XMax += gap
+	}
+	return rules.WireModel{Shape: s, Class: jm.Class}
+}
+
+// rebuildCutTrack recomputes via-layer fields of track t (tracks of the
+// lower wiring layer v) within span.
+func (g *Grid) rebuildCutTrack(v, t int, span geom.Interval) {
+	layer := &g.tg.Layers[v]
+	coord := layer.Coords[t]
+	m := &g.cuts[v][t]
+	m.SetRange(span.Lo, span.Hi, 0)
+	apply := func(off uint, lo, hi int, need drc.Need) {
+		if need == 0 {
+			return
+		}
+		m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
+	}
+	for slot, wt := range g.wts {
+		vm := wt.Via(v, layer.Dir)
+		g.space.TrackCutNeeds(v, layer.Dir, coord, span, vm.Cut, drc.AnyNet, false, func(lo, hi int, need drc.Need) {
+			apply(cutField(slot, false), lo, hi, need)
+		})
+		if vm.HasProjection && v+1 < len(g.space.Cuts) {
+			g.space.TrackCutNeeds(v+1, layer.Dir, coord, span, vm.Cut, drc.AnyNet, true, func(lo, hi int, need drc.Need) {
+				apply(cutField(slot, true), lo, hi, need)
+			})
+		}
+	}
+}
+
+// OnWiringChange re-sweeps the cached data invalidated by a shape change
+// (insertion or removal) on wiring layer z covering rect.
+func (g *Grid) OnWiringChange(z int, rect geom.Rect) {
+	layer := &g.tg.Layers[z]
+	margin := g.space.Deck.MaxSpacing(z) + 4*g.space.Deck.Layers[z].Pitch
+	dirty := rect.Expanded(margin)
+	ortho := dirty.Span(layer.Dir.Perp())
+	along := dirty.Span(layer.Dir)
+	for t, c := range layer.Coords {
+		// The jog field of a track extends up to the next track; extend
+		// the orthogonal reach accordingly.
+		reach := ortho
+		if t+1 < len(layer.Coords) {
+			reach = geom.Interval{Lo: ortho.Lo - (layer.Coords[t+1] - c), Hi: ortho.Hi}
+		}
+		if c >= reach.Lo && c < reach.Hi {
+			g.rebuildWiringTrack(z, t, along)
+		}
+	}
+}
+
+// OnCutChange re-sweeps via-layer data invalidated by a cut change in via
+// layer v covering rect.
+func (g *Grid) OnCutChange(v int, rect geom.Rect) {
+	vr := g.space.Deck.ViaLayers[v]
+	margin := max(vr.CutSpacing, vr.InterLayerSpacing) + 4*g.space.Deck.Layers[v].Pitch
+	dirty := rect.Expanded(margin)
+	// Cuts in layer v are cached on layer-v tracks, and (as projections)
+	// influence layer v-1 caches.
+	for _, lv := range []int{v, v - 1} {
+		if lv < 0 || lv >= len(g.cuts) {
+			continue
+		}
+		layer := &g.tg.Layers[lv]
+		ortho := dirty.Span(layer.Dir.Perp())
+		along := dirty.Span(layer.Dir)
+		for t, c := range layer.Coords {
+			if c >= ortho.Lo && c < ortho.Hi {
+				g.rebuildCutTrack(lv, t, along)
+			}
+		}
+	}
+}
+
+// WireNeed returns the rip-up Need for placing a preferred-direction wire
+// of wt at the track-graph vertex (trackIdx, along) of layer z. ok is
+// false when the wire type is not cached; the caller must fall back to
+// the rule checker (counted as a miss).
+func (g *Grid) WireNeed(z, trackIdx, along int, wt *rules.WireType) (need drc.Need, ok bool) {
+	slot := g.wtIndex(wt)
+	if slot < 0 {
+		atomic.AddInt64(&g.Misses, 1)
+		return 0, false
+	}
+	atomic.AddInt64(&g.Hits, 1)
+	w := g.wiring[z][trackIdx].Get(along)
+	return getField(w, field(slot, KindPref)), true
+}
+
+// JogUpNeed returns the Need of the jog segment from vertex (trackIdx,
+// along) of layer z to the next track above.
+func (g *Grid) JogUpNeed(z, trackIdx, along int, wt *rules.WireType) (need drc.Need, ok bool) {
+	slot := g.wtIndex(wt)
+	if slot < 0 || trackIdx+1 >= len(g.tg.Layers[z].Coords) {
+		atomic.AddInt64(&g.Misses, 1)
+		return 0, false
+	}
+	atomic.AddInt64(&g.Hits, 1)
+	w := g.wiring[z][trackIdx].Get(along)
+	return getField(w, field(slot, KindJogUp)), true
+}
+
+// ViaNeed returns the Need of a via of wt between layers v and v+1 whose
+// position is at along-track coordinate `along` of track botTrack on
+// layer v and track topTrack on layer v+1 (the caller resolves the
+// geometry). It combines bottom pad, top pad, cut and projection fields.
+func (g *Grid) ViaNeed(v, botTrack, topTrack int, pos geom.Point, wt *rules.WireType) (need drc.Need, ok bool) {
+	slot := g.wtIndex(wt)
+	if slot < 0 {
+		atomic.AddInt64(&g.Misses, 1)
+		return 0, false
+	}
+	atomic.AddInt64(&g.Hits, 1)
+	botDir := g.tg.Layers[v].Dir
+	alongBot := pos.Coord(botDir)
+	alongTop := pos.Coord(botDir.Perp())
+	wBot := g.wiring[v][botTrack].Get(alongBot)
+	need = getField(wBot, field(slot, KindBotPad))
+	wTop := g.wiring[v+1][topTrack].Get(alongTop)
+	if n := getField(wTop, field(slot, KindTopPad)); n > need {
+		need = n
+	}
+	wCut := g.cuts[v][botTrack].Get(alongBot)
+	if n := getField(wCut, cutField(slot, false)); n > need {
+		need = n
+	}
+	if n := getField(wCut, cutField(slot, true)); n > need {
+		need = n
+	}
+	return need, true
+}
+
+// Runs exposes the packed runs of one track (used by the interval-based
+// path search to enumerate legality intervals, and by tests).
+func (g *Grid) Runs(z, trackIdx int, lo, hi int, visit func(lo, hi int, word uint64) bool) {
+	g.wiring[z][trackIdx].Runs(lo, hi, visit)
+}
+
+// Word returns the raw packed word at a position.
+func (g *Grid) Word(z, trackIdx, along int) uint64 { return g.wiring[z][trackIdx].Get(along) }
+
+// PrefNeedAt decodes the preferred-wire Need for slot from a packed word.
+func PrefNeedAt(word uint64, slot int) drc.Need { return getField(word, field(slot, KindPref)) }
+
+// JogUpNeedAt decodes the jog-up Need for slot from a packed word.
+func JogUpNeedAt(word uint64, slot int) drc.Need { return getField(word, field(slot, KindJogUp)) }
+
+// Slot returns the cache slot of wt, or -1.
+func (g *Grid) Slot(wt *rules.WireType) int { return g.wtIndex(wt) }
+
+// IntervalCount returns the total stored runs (the §3.6 interval count).
+func (g *Grid) IntervalCount() int {
+	n := 0
+	for z := range g.wiring {
+		for t := range g.wiring[z] {
+			n += g.wiring[z][t].Len()
+		}
+	}
+	for v := range g.cuts {
+		for t := range g.cuts[v] {
+			n += g.cuts[v][t].Len()
+		}
+	}
+	return n
+}
+
+// HitRate returns the fraction of legality queries answered from the
+// cache (the 97.89 % statistic of §3.6).
+func (g *Grid) HitRate() float64 {
+	h := atomic.LoadInt64(&g.Hits)
+	m := atomic.LoadInt64(&g.Misses)
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// maxField raises the 3-bit field at off to at least need.
+func maxField(w uint64, off uint, need drc.Need) uint64 {
+	if getField(w, off) >= need {
+		return w
+	}
+	return setField(w, off, need)
+}
+
+// OnShapeAdded incrementally folds a newly inserted wiring-layer shape
+// into the cache: adding a shape can only raise Needs, so its forbidden
+// intervals are maxed into the affected fields — far cheaper than the
+// full re-sweep needed after removals.
+func (g *Grid) OnShapeAdded(z int, sh shapegrid.Shape) {
+	layer := &g.tg.Layers[z]
+	margin := g.space.Deck.MaxSpacing(z) + 4*g.space.Deck.Layers[z].Pitch
+	dirty := sh.Rect.Expanded(margin)
+	ortho := dirty.Span(layer.Dir.Perp())
+	along := dirty.Span(layer.Dir)
+	for t, c := range layer.Coords {
+		reach := ortho
+		if t+1 < len(layer.Coords) {
+			reach = geom.Interval{Lo: ortho.Lo - (layer.Coords[t+1] - c), Hi: ortho.Hi}
+		}
+		if c < reach.Lo || c >= reach.Hi {
+			continue
+		}
+		m := &g.wiring[z][t]
+		apply := func(off uint) func(lo, hi int, need drc.Need) {
+			return func(lo, hi int, need drc.Need) {
+				if need == 0 {
+					return
+				}
+				m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
+			}
+		}
+		for slot, wt := range g.wts {
+			pm := wt.Oriented(z, layer.Dir, layer.Dir)
+			g.space.ShapeWireNeeds(z, layer.Dir, c, along, pm, sh, apply(field(slot, KindPref)))
+			if t+1 < len(layer.Coords) {
+				jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
+				gap := layer.Coords[t+1] - c
+				g.space.ShapeWireNeeds(z, layer.Dir, c, along, jogSpanModel(jm, layer.Dir, gap), sh, apply(field(slot, KindJogUp)))
+			}
+			if z+1 < g.tg.NumLayers() {
+				vm := wt.Via(z, g.tg.Layers[z].Dir)
+				g.space.ShapeWireNeeds(z, layer.Dir, c, along,
+					rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}, sh, apply(field(slot, KindBotPad)))
+			}
+			if z > 0 {
+				vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
+				g.space.ShapeWireNeeds(z, layer.Dir, c, along,
+					rules.WireModel{Shape: vm.Top, Class: vm.TopClass}, sh, apply(field(slot, KindTopPad)))
+			}
+		}
+	}
+}
+
+// OnCutAdded incrementally folds a newly inserted via-layer shape (cut or
+// projection) into the via-layer cache.
+func (g *Grid) OnCutAdded(v int, sh shapegrid.Shape) {
+	vr := g.space.Deck.ViaLayers[v]
+	margin := max(vr.CutSpacing, vr.InterLayerSpacing) + 4*g.space.Deck.Layers[v].Pitch
+	dirty := sh.Rect.Expanded(margin)
+	for _, lv := range []int{v, v - 1} {
+		if lv < 0 || lv >= len(g.cuts) {
+			continue
+		}
+		layer := &g.tg.Layers[lv]
+		ortho := dirty.Span(layer.Dir.Perp())
+		along := dirty.Span(layer.Dir)
+		for t, c := range layer.Coords {
+			if c < ortho.Lo || c >= ortho.Hi {
+				continue
+			}
+			m := &g.cuts[lv][t]
+			for slot, wt := range g.wts {
+				vm := wt.Via(lv, layer.Dir)
+				slotV := slot
+				// Candidate cut on layer lv versus the new shape: the new
+				// shape lives in layer v; when lv == v it is a same-layer
+				// conflict, when lv == v-1 the candidate's projection (in
+				// layer v) conflicts with it.
+				proj := lv != v
+				g.space.ShapeCutNeeds(v, layer.Dir, c, along, vm.Cut, sh, proj, func(lo, hi int, need drc.Need) {
+					if need == 0 {
+						return
+					}
+					off := cutField(slotV, proj)
+					m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
+				})
+			}
+		}
+	}
+}

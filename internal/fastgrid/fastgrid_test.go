@@ -1,0 +1,318 @@
+package fastgrid
+
+import (
+	"testing"
+
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+	"bonnroute/internal/tracks"
+)
+
+// fixture builds a 4-layer space with uniform tracks and a fast grid.
+type fixture struct {
+	space *drc.Space
+	tg    *tracks.Graph
+	fg    *Grid
+	wt    *rules.WireType
+	wide  *rules.WireType
+}
+
+func newFixture(t *testing.T) *fixture {
+	deck := rules.DefaultDeck(rules.DeckParams{NumLayers: 4, Pitch: 40})
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical, geom.Horizontal, geom.Vertical}
+	area := geom.R(0, 0, 1200, 1200)
+	space := drc.NewSpace(deck, area, dirs)
+	coords := make([][]int, 4)
+	for z := range coords {
+		for c := 20; c < 1200; c += 40 {
+			coords[z] = append(coords[z], c)
+		}
+	}
+	tg := tracks.BuildGraph(area, dirs, coords)
+	wt := deck.StandardWireType()
+	wide := deck.WideWireType(2)
+	fg := New(space, tg, []*rules.WireType{wt, wide})
+	return &fixture{space: space, tg: tg, fg: fg, wt: wt, wide: wide}
+}
+
+func TestEmptySpaceAllFree(t *testing.T) {
+	f := newFixture(t)
+	for z := 0; z < 4; z++ {
+		for ti := range f.tg.Layers[z].Coords {
+			need, ok := f.fg.WireNeed(z, ti, 600, f.wt)
+			if !ok || need != 0 {
+				t.Fatalf("layer %d track %d: need=%d ok=%v", z, ti, need, ok)
+			}
+		}
+	}
+	if f.fg.IntervalCount() != 0 {
+		t.Fatalf("interval count on empty space = %d", f.fg.IntervalCount())
+	}
+}
+
+func TestUncachedWireTypeMisses(t *testing.T) {
+	f := newFixture(t)
+	other := f.space.Deck.WideWireType(3)
+	if _, ok := f.fg.WireNeed(0, 0, 600, other); ok {
+		t.Fatal("uncached wire type must miss")
+	}
+	if f.fg.Misses != 1 {
+		t.Fatalf("misses = %d", f.fg.Misses)
+	}
+	if f.fg.HitRate() != 0 {
+		t.Fatalf("hit rate = %f", f.fg.HitRate())
+	}
+	f.fg.WireNeed(0, 0, 600, f.wt)
+	if f.fg.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %f, want 0.5", f.fg.HitRate())
+	}
+}
+
+// TestCacheMatchesChecker is the central consistency property: for every
+// vertex and cached wire type, the fast grid answer equals a direct rule
+// checker query — after arbitrary shape insertions and removals.
+func TestCacheMatchesChecker(t *testing.T) {
+	f := newFixture(t)
+
+	mutate := func(do func()) { do() }
+	// A batch of shape changes with invalidation, exercising all planes.
+	obst := geom.R(300, 90, 500, 150)
+	mutate(func() {
+		f.space.AddObstacle(0, obst)
+		f.fg.OnWiringChange(0, obst)
+	})
+	wA, wB := geom.Pt(200, 500), geom.Pt(800, 500)
+	mutate(func() {
+		f.space.AddWire(0, wA, wB, f.wt, 9, shapegrid.RipupStandard)
+		f.fg.OnWiringChange(0, geom.R(wA.X, wA.Y, wB.X, wB.Y).Expanded(60))
+	})
+	viaP := geom.Pt(620, 740)
+	mutate(func() {
+		f.space.AddVia(0, viaP, f.wt, 9, shapegrid.RipupCritical)
+		f.fg.OnWiringChange(0, geom.R(viaP.X, viaP.Y, viaP.X, viaP.Y).Expanded(80))
+		f.fg.OnWiringChange(1, geom.R(viaP.X, viaP.Y, viaP.X, viaP.Y).Expanded(80))
+		f.fg.OnCutChange(0, geom.R(viaP.X, viaP.Y, viaP.X, viaP.Y).Expanded(80))
+	})
+	// Remove the wire again: cache must follow.
+	mutate(func() {
+		f.space.RemoveWire(0, wA, wB, f.wt, 9, shapegrid.RipupStandard)
+		f.fg.OnWiringChange(0, geom.R(wA.X, wA.Y, wB.X, wB.Y).Expanded(60))
+	})
+
+	for z := 0; z < 2; z++ {
+		layer := &f.tg.Layers[z]
+		pm := f.wt.Oriented(z, layer.Dir, layer.Dir)
+		for ti, c := range layer.Coords {
+			for along := 0; along < 1200; along += 20 {
+				var pt geom.Point
+				if layer.Dir == geom.Horizontal {
+					pt = geom.Pt(along, c)
+				} else {
+					pt = geom.Pt(c, along)
+				}
+				want := f.space.RectNeed(z, pm.Shape.Translated(pt), pm.Class, drc.AnyNet)
+				got, ok := f.fg.WireNeed(z, ti, along, f.wt)
+				if !ok || got != want {
+					t.Fatalf("layer %d track %d along %d: cache %d checker %d", z, ti, along, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestViaNeedMatchesChecker(t *testing.T) {
+	f := newFixture(t)
+	p := geom.Pt(420, 580)
+	f.space.AddVia(0, p, f.wt, 9, shapegrid.RipupStandard)
+	f.fg.OnWiringChange(0, geom.R(p.X, p.Y, p.X, p.Y).Expanded(100))
+	f.fg.OnWiringChange(1, geom.R(p.X, p.Y, p.X, p.Y).Expanded(100))
+	f.fg.OnCutChange(0, geom.R(p.X, p.Y, p.X, p.Y).Expanded(100))
+
+	l0, l1 := &f.tg.Layers[0], &f.tg.Layers[1]
+	for _, y := range l0.Coords {
+		for _, x := range l1.Coords {
+			want := f.space.ViaNeed(0, geom.Pt(x, y), f.wt, drc.AnyNet)
+			got, ok := f.fg.ViaNeed(0, l0.TrackAt(y), l1.TrackAt(x), geom.Pt(x, y), f.wt)
+			if !ok {
+				t.Fatal("cached type must hit")
+			}
+			if got != want {
+				t.Fatalf("via at (%d,%d): cache %d checker %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestJogUpNeed(t *testing.T) {
+	f := newFixture(t)
+	// An obstacle straddling the gap between tracks y=500 (idx 12) and
+	// y=540 (idx 13). (At minimum pitch the inter-track gap equals the
+	// spacing, so anything in the gap also blocks the track wires — the
+	// reason the paper's "not deducible from vertices" escape bit is
+	// rarely needed.)
+	f.space.AddObstacle(0, geom.R(590, 516, 620, 526))
+	f.fg.OnWiringChange(0, geom.R(590, 516, 620, 526))
+
+	// The jog from track 12 up to track 13 at x=600 must be blocked.
+	need, ok := f.fg.JogUpNeed(0, 12, 600, f.wt)
+	if !ok || need != drc.NeedNever {
+		t.Fatalf("jog over obstacle: need=%d ok=%v", need, ok)
+	}
+	// Cached jog data must agree with the rule checker segment query at
+	// every sampled position.
+	for x := 0; x < 1200; x += 30 {
+		want := f.space.SegmentNeed(0, geom.Pt(x, 500), geom.Pt(x, 540), f.wt, drc.AnyNet)
+		got, ok := f.fg.JogUpNeed(0, 12, x, f.wt)
+		if !ok || got != want {
+			t.Fatalf("jog at x=%d: cache %d checker %d", x, got, want)
+		}
+	}
+	// A jog far from the obstacle is free.
+	if n, _ := f.fg.JogUpNeed(0, 12, 100, f.wt); n != 0 {
+		t.Fatalf("distant jog need = %d", n)
+	}
+	// Topmost track has no jog-up.
+	last := len(f.tg.Layers[0].Coords) - 1
+	if _, ok := f.fg.JogUpNeed(0, last, 100, f.wt); ok {
+		t.Fatal("topmost track cannot answer jog-up")
+	}
+}
+
+// TestFigure4Style reproduces the structure of paper Fig. 4: blockage
+// near tracks produces a small number of intervals encoding where wires
+// and jogs may start.
+func TestFigure4Style(t *testing.T) {
+	f := newFixture(t)
+	f.space.AddObstacle(0, geom.R(400, 490, 700, 550)) // covers tracks y=500,540
+	f.fg.OnWiringChange(0, geom.R(400, 490, 700, 550))
+
+	// Track y=500 (idx 12): blocked interval around [400,700), free
+	// elsewhere; the packed runs must reflect that with few intervals.
+	runs := 0
+	blockedSeen := false
+	f.fg.Runs(0, 12, 0, 1200, func(lo, hi int, w uint64) bool {
+		runs++
+		if PrefNeedAt(w, 0) == drc.NeedNever && lo <= 500 && hi >= 600 {
+			blockedSeen = true
+		}
+		return true
+	})
+	if !blockedSeen {
+		t.Fatal("blocked interval not found on track 12")
+	}
+	// Different shape kinds have different clearances, so the blocked
+	// region decomposes into a handful of runs (pad-only fringes around
+	// an all-blocked core) — but never one run per vertex.
+	if runs > 7 {
+		t.Fatalf("track 12 stores %d runs; interval compression broken", runs)
+	}
+	// Wire need on a track far away is unaffected (0 runs there).
+	if n, _ := f.fg.WireNeed(0, 2, 550, f.wt); n != 0 {
+		t.Fatalf("distant track polluted: need %d", n)
+	}
+}
+
+func TestWideTypeSlots(t *testing.T) {
+	f := newFixture(t)
+	if f.fg.Slot(f.wt) != 0 || f.fg.Slot(f.wide) != 1 {
+		t.Fatalf("slots: %d %d", f.fg.Slot(f.wt), f.fg.Slot(f.wide))
+	}
+	// A wide wire demands more clearance: positions legal for standard
+	// but not for wide must exist next to an obstacle.
+	f.space.AddObstacle(0, geom.R(300, 420, 600, 460))
+	f.fg.OnWiringChange(0, geom.R(300, 420, 600, 460))
+	// Track y=500 (one pitch above the obstacle edge at 460).
+	nStd, _ := f.fg.WireNeed(0, 12, 450, f.wt)
+	nWide, _ := f.fg.WireNeed(0, 12, 450, f.wide)
+	if nStd != 0 {
+		t.Fatalf("standard wire near obstacle: need %d", nStd)
+	}
+	if nWide == 0 {
+		t.Fatal("wide wire near obstacle must conflict")
+	}
+}
+
+func TestWordPacking(t *testing.T) {
+	var w uint64
+	w = setField(w, field(2, KindJogUp), 5)
+	w = setField(w, field(2, KindPref), 3)
+	w = setField(w, field(4, KindTopPad), 7)
+	if getField(w, field(2, KindJogUp)) != 5 ||
+		getField(w, field(2, KindPref)) != 3 ||
+		getField(w, field(4, KindTopPad)) != 7 {
+		t.Fatal("packing roundtrip failed")
+	}
+	// Overwrite clears previous bits.
+	w = setField(w, field(2, KindJogUp), 1)
+	if getField(w, field(2, KindJogUp)) != 1 {
+		t.Fatal("overwrite failed")
+	}
+	// Five wire types fit in 60 bits; slot 4 kind 3 uses bits 57..59.
+	if field(4, KindTopPad)+3 > 64 {
+		t.Fatal("layout exceeds word")
+	}
+	if cutField(4, true)+3 > 64 {
+		t.Fatal("cut layout exceeds word")
+	}
+}
+
+func TestMoreThanFiveTypesTruncated(t *testing.T) {
+	deck := rules.DefaultDeck(rules.DeckParams{NumLayers: 2, Pitch: 40})
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	area := geom.R(0, 0, 200, 200)
+	space := drc.NewSpace(deck, area, dirs)
+	coords := [][]int{{20, 60, 100, 140, 180}, {20, 60, 100, 140, 180}}
+	tg := tracks.BuildGraph(area, dirs, coords)
+	var wts []*rules.WireType
+	for i := 1; i <= 7; i++ {
+		wts = append(wts, deck.WideWireType(i))
+	}
+	fg := New(space, tg, wts)
+	if fg.Slot(wts[4]) != 4 {
+		t.Fatal("fifth type must be cached")
+	}
+	if fg.Slot(wts[5]) != -1 {
+		t.Fatal("sixth type must be dropped")
+	}
+}
+
+// TestIncrementalAddMatchesRebuild checks that OnShapeAdded/OnCutAdded
+// leave the cache exactly as a full rebuild would.
+func TestIncrementalAddMatchesRebuild(t *testing.T) {
+	f := newFixture(t)
+	g := newFixture(t) // reference, rebuilt via OnWiringChange
+
+	w1 := f.space.AddWire(0, geom.Pt(200, 500), geom.Pt(800, 500), f.wt, 9, shapegrid.RipupStandard)
+	f.fg.OnShapeAdded(0, w1)
+	w2 := g.space.AddWire(0, geom.Pt(200, 500), geom.Pt(800, 500), g.wt, 9, shapegrid.RipupStandard)
+	g.fg.OnWiringChange(0, w2.Rect)
+
+	p := geom.Pt(620, 740)
+	bot, top, cut, proj := f.space.ViaShapes(0, p, f.wt, 9, shapegrid.RipupCritical)
+	f.space.AddVia(0, p, f.wt, 9, shapegrid.RipupCritical)
+	f.fg.OnShapeAdded(0, bot)
+	f.fg.OnShapeAdded(1, top)
+	f.fg.OnCutAdded(0, cut)
+	if proj != nil {
+		f.fg.OnCutAdded(1, *proj)
+	}
+	g.space.AddVia(0, p, g.wt, 9, shapegrid.RipupCritical)
+	dirty := geom.R(p.X, p.Y, p.X, p.Y).Expanded(120)
+	g.fg.OnWiringChange(0, dirty)
+	g.fg.OnWiringChange(1, dirty)
+	g.fg.OnCutChange(0, dirty)
+	g.fg.OnCutChange(1, dirty)
+
+	for z := 0; z < 2; z++ {
+		for ti := range f.tg.Layers[z].Coords {
+			for along := 0; along < 1200; along += 10 {
+				if f.fg.Word(z, ti, along) != g.fg.Word(z, ti, along) {
+					t.Fatalf("layer %d track %d along %d: incremental %x vs rebuild %x",
+						z, ti, along, f.fg.Word(z, ti, along), g.fg.Word(z, ti, along))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package geom provides the integer geometry substrate used throughout
+// BonnRoute: points, axis-parallel rectangles, one-dimensional intervals,
+// and the ℓ1/ℓ∞ distance helpers that the routing-space data structures
+// and design-rule checks are built on.
+//
+// All coordinates are integer database units (DBU). Rectangles are
+// half-open boxes [XMin, XMax) × [YMin, YMax), the convention used by
+// most layout databases: a rectangle with XMin == XMax is empty, and two
+// rectangles that merely share an edge do not intersect but do touch.
+package geom
+
+// Direction is an axis of Manhattan routing. Every wiring layer has a
+// preferred direction; wires running orthogonally are jogs.
+type Direction uint8
+
+const (
+	// Horizontal means wires run parallel to the x-axis.
+	Horizontal Direction = iota
+	// Vertical means wires run parallel to the y-axis.
+	Vertical
+)
+
+// Perp returns the orthogonal direction.
+func (d Direction) Perp() Direction {
+	if d == Horizontal {
+		return Vertical
+	}
+	return Horizontal
+}
+
+func (d Direction) String() string {
+	if d == Horizontal {
+		return "horizontal"
+	}
+	return "vertical"
+}
+
+// Point is a point in one routing plane.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist1 returns the ℓ1 (Manhattan) distance between p and q.
+func (p Point) Dist1(q Point) int { return Abs(p.X-q.X) + Abs(p.Y-q.Y) }
+
+// Coord returns the coordinate of p along d: X for Horizontal, Y for
+// Vertical.
+func (p Point) Coord(d Direction) int {
+	if d == Horizontal {
+		return p.X
+	}
+	return p.Y
+}
+
+// Point3 is a point in the three-dimensional routing space; Z indexes a
+// wiring layer (0 = lowest).
+type Point3 struct {
+	X, Y, Z int
+}
+
+// Pt3 is shorthand for Point3{x, y, z}.
+func Pt3(x, y, z int) Point3 { return Point3{x, y, z} }
+
+// XY projects p to its routing plane.
+func (p Point3) XY() Point { return Point{p.X, p.Y} }
+
+// Dist1 returns the ℓ1 distance of the plane projections (vias are costed
+// separately by the path search).
+func (p Point3) Dist1(q Point3) int { return Abs(p.X-q.X) + Abs(p.Y-q.Y) }
+
+// Rect is a half-open axis-parallel rectangle [XMin, XMax) × [YMin, YMax).
+type Rect struct {
+	XMin, YMin, XMax, YMax int
+}
+
+// R builds a rectangle from two corner coordinates, normalizing the order.
+func R(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.XMin >= r.XMax || r.YMin >= r.YMax }
+
+// W returns the extent of r along the x-axis.
+func (r Rect) W() int { return r.XMax - r.XMin }
+
+// H returns the extent of r along the y-axis.
+func (r Rect) H() int { return r.YMax - r.YMin }
+
+// Area returns the area of r; an empty rectangle has area 0.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return int64(r.W()) * int64(r.H())
+}
+
+// Width returns the smaller of the two extents. For design-rule purposes
+// the width of a rectangle is the edge length of the largest enclosed
+// square, which for a single rectangle is exactly min(W, H).
+func (r Rect) Width() int { return min(r.W(), r.H()) }
+
+// Span returns the interval covered by r along d.
+func (r Rect) Span(d Direction) Interval {
+	if d == Horizontal {
+		return Interval{r.XMin, r.XMax}
+	}
+	return Interval{r.YMin, r.YMax}
+}
+
+// Center returns the center point of r, rounding down.
+func (r Rect) Center() Point { return Point{(r.XMin + r.XMax) / 2, (r.YMin + r.YMax) / 2} }
+
+// Contains reports whether p lies in the half-open box.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.XMin && p.X < r.XMax && p.Y >= r.YMin && p.Y < r.YMax
+}
+
+// ContainsClosed reports whether p lies in the closure of r, i.e. border
+// points count. Track endpoints frequently sit on shape borders, so the
+// routing-space queries need this variant.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.XMin && p.X <= r.XMax && p.Y >= r.YMin && p.Y <= r.YMax
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.XMin >= r.XMin && s.XMax <= r.XMax && s.YMin >= r.YMin && s.YMax <= r.YMax
+}
+
+// Intersects reports whether r and s share interior area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.XMin < s.XMax && s.XMin < r.XMax && r.YMin < s.YMax && s.YMin < r.YMax
+}
+
+// Touches reports whether the closures of r and s intersect, i.e. the
+// rectangles overlap or abut (zero spacing).
+func (r Rect) Touches(s Rect) bool {
+	return r.XMin <= s.XMax && s.XMin <= r.XMax && r.YMin <= s.YMax && s.YMin <= r.YMax
+}
+
+// Intersection returns the common area of r and s; it may be empty.
+func (r Rect) Intersection(s Rect) Rect {
+	return Rect{
+		max(r.XMin, s.XMin), max(r.YMin, s.YMin),
+		min(r.XMax, s.XMax), min(r.YMax, s.YMax),
+	}
+}
+
+// Union returns the bounding box of r and s. Empty inputs are ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		min(r.XMin, s.XMin), min(r.YMin, s.YMin),
+		max(r.XMax, s.XMax), max(r.YMax, s.YMax),
+	}
+}
+
+// Expanded returns r grown by d on every side (shrunk for negative d).
+func (r Rect) Expanded(d int) Rect {
+	return Rect{r.XMin - d, r.YMin - d, r.XMax + d, r.YMax + d}
+}
+
+// ExpandedDir returns r grown by d at both ends of direction dir only.
+// BonnRoute uses this for line-end extensions in preferred direction.
+func (r Rect) ExpandedDir(dir Direction, d int) Rect {
+	if dir == Horizontal {
+		return Rect{r.XMin - d, r.YMin, r.XMax + d, r.YMax}
+	}
+	return Rect{r.XMin, r.YMin - d, r.XMax, r.YMax + d}
+}
+
+// Translated returns r shifted by p.
+func (r Rect) Translated(p Point) Rect {
+	return Rect{r.XMin + p.X, r.YMin + p.Y, r.XMax + p.X, r.YMax + p.Y}
+}
+
+// MinkowskiPt returns the Minkowski sum of r with the single point p; this
+// is just translation and exists for symmetry with MinkowskiSeg.
+func (r Rect) MinkowskiPt(p Point) Rect { return r.Translated(p) }
+
+// MinkowskiSeg returns the Minkowski sum of r with the axis-parallel
+// segment from a to b. This is how a wire model rectangle is swept along a
+// stick figure to produce the metal shape (paper §3.2).
+func MinkowskiSeg(model Rect, a, b Point) Rect {
+	return Rect{
+		min(a.X, b.X) + model.XMin, min(a.Y, b.Y) + model.YMin,
+		max(a.X, b.X) + model.XMax, max(a.Y, b.Y) + model.YMax,
+	}
+}
+
+// RunLength returns the common run-length of r and s along d: the length
+// of the intersection of their projections onto the d axis. A negative
+// value means the projections are disjoint and its magnitude is the gap.
+func (r Rect) RunLength(s Rect, d Direction) int {
+	a, b := r.Span(d), s.Span(d)
+	return min(a.Hi, b.Hi) - max(a.Lo, b.Lo)
+}
+
+// DistX returns the horizontal gap between r and s (0 if the projections
+// overlap).
+func (r Rect) DistX(s Rect) int {
+	if d := max(r.XMin, s.XMin) - min(r.XMax, s.XMax); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// DistY returns the vertical gap between r and s (0 if the projections
+// overlap).
+func (r Rect) DistY(s Rect) int {
+	if d := max(r.YMin, s.YMin) - min(r.YMax, s.YMax); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Dist2Sq returns the squared Euclidean distance between r and s; 0 when
+// they touch or overlap. Minimum-distance rules in the ℓ2 metric compare
+// against this to stay in integer arithmetic.
+func (r Rect) Dist2Sq(s Rect) int64 {
+	dx, dy := int64(r.DistX(s)), int64(r.DistY(s))
+	return dx*dx + dy*dy
+}
+
+// Dist1Pt returns the ℓ1 distance from p to (the closure of) r.
+func (r Rect) Dist1Pt(p Point) int {
+	var dx, dy int
+	if p.X < r.XMin {
+		dx = r.XMin - p.X
+	} else if p.X > r.XMax {
+		dx = p.X - r.XMax
+	}
+	if p.Y < r.YMin {
+		dy = r.YMin - p.Y
+	} else if p.Y > r.YMax {
+		dy = p.Y - r.YMax
+	}
+	return dx + dy
+}
+
+// Interval is a half-open integer interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Iv is shorthand for Interval{lo, hi}.
+func Iv(lo, hi int) Interval { return Interval{lo, hi} }
+
+// Empty reports whether the interval contains no integer point.
+func (i Interval) Empty() bool { return i.Lo >= i.Hi }
+
+// Len returns Hi-Lo, or 0 for an empty interval.
+func (i Interval) Len() int {
+	if i.Empty() {
+		return 0
+	}
+	return i.Hi - i.Lo
+}
+
+// Contains reports whether x lies in [Lo, Hi).
+func (i Interval) Contains(x int) bool { return x >= i.Lo && x < i.Hi }
+
+// Intersects reports whether i and j overlap.
+func (i Interval) Intersects(j Interval) bool { return i.Lo < j.Hi && j.Lo < i.Hi }
+
+// Intersection returns the overlap of i and j (possibly empty).
+func (i Interval) Intersection(j Interval) Interval {
+	return Interval{max(i.Lo, j.Lo), min(i.Hi, j.Hi)}
+}
+
+// Union returns the smallest interval containing both i and j; empty
+// inputs are ignored.
+func (i Interval) Union(j Interval) Interval {
+	if i.Empty() {
+		return j
+	}
+	if j.Empty() {
+		return i
+	}
+	return Interval{min(i.Lo, j.Lo), max(i.Hi, j.Hi)}
+}
+
+// Abs returns |x|.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

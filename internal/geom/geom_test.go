@@ -1,0 +1,394 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionPerp(t *testing.T) {
+	if Horizontal.Perp() != Vertical || Vertical.Perp() != Horizontal {
+		t.Fatalf("Perp is not an involution swap")
+	}
+	if Horizontal.String() != "horizontal" || Vertical.String() != "vertical" {
+		t.Fatalf("unexpected String: %q %q", Horizontal, Vertical)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(3, -2), Pt(-1, 5)
+	if got := p.Add(q); got != Pt(2, 3) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -7) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Dist1(q); got != 4+7 {
+		t.Errorf("Dist1 = %d", got)
+	}
+	if p.Coord(Horizontal) != 3 || p.Coord(Vertical) != -2 {
+		t.Errorf("Coord wrong: %d %d", p.Coord(Horizontal), p.Coord(Vertical))
+	}
+}
+
+func TestPoint3(t *testing.T) {
+	p := Pt3(1, 2, 3)
+	if p.XY() != Pt(1, 2) {
+		t.Errorf("XY = %v", p.XY())
+	}
+	if got := p.Dist1(Pt3(4, 6, 0)); got != 7 {
+		t.Errorf("Dist1 = %d", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Fatalf("R did not normalize: %+v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if r.W() != 10 || r.H() != 4 || r.Area() != 40 || r.Width() != 4 {
+		t.Fatalf("basics wrong: %v %v %v %v", r.W(), r.H(), r.Area(), r.Width())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !(Rect{3, 3, 3, 9}).Empty() {
+		t.Fatal("degenerate rect not empty")
+	}
+	if (Rect{3, 3, 3, 9}).Area() != 0 {
+		t.Fatal("empty rect with nonzero area")
+	}
+	if r.Center() != Pt(5, 2) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+	if r.Span(Horizontal) != Iv(0, 10) || r.Span(Vertical) != Iv(0, 4) {
+		t.Fatal("Span wrong")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p        Point
+		in, inCl bool
+	}{
+		{Pt(0, 0), true, true},
+		{Pt(10, 10), false, true},
+		{Pt(9, 9), true, true},
+		{Pt(10, 0), false, true},
+		{Pt(11, 5), false, false},
+		{Pt(-1, 5), false, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.in {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.in)
+		}
+		if got := r.ContainsClosed(c.p); got != c.inCl {
+			t.Errorf("ContainsClosed(%v) = %v, want %v", c.p, got, c.inCl)
+		}
+	}
+	if !r.ContainsRect(R(2, 2, 8, 8)) || r.ContainsRect(R(2, 2, 12, 8)) {
+		t.Error("ContainsRect wrong")
+	}
+}
+
+func TestIntersectTouch(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(10, 0, 20, 10) // abuts a
+	c := R(5, 5, 15, 15)  // overlaps a
+	d := R(30, 30, 40, 40)
+	if a.Intersects(b) {
+		t.Error("abutting rects must not Intersect")
+	}
+	if !a.Touches(b) {
+		t.Error("abutting rects must Touch")
+	}
+	if !a.Intersects(c) || a.Intersection(c) != R(5, 5, 10, 10) {
+		t.Error("overlap wrong")
+	}
+	if a.Touches(d) {
+		t.Error("distant rects must not Touch")
+	}
+	if !a.Intersection(d).Empty() {
+		t.Error("empty intersection expected")
+	}
+}
+
+func TestUnionExpand(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(5, 5, 6, 9)
+	if a.Union(b) != R(0, 0, 6, 9) {
+		t.Errorf("Union = %v", a.Union(b))
+	}
+	var e Rect
+	if e.Union(a) != a || a.Union(e) != a {
+		t.Error("Union must ignore empty inputs")
+	}
+	if a.Expanded(3) != R(-3, -3, 5, 5) {
+		t.Errorf("Expanded = %v", a.Expanded(3))
+	}
+	if a.ExpandedDir(Horizontal, 4) != R(-4, 0, 6, 2) {
+		t.Errorf("ExpandedDir H = %v", a.ExpandedDir(Horizontal, 4))
+	}
+	if a.ExpandedDir(Vertical, 4) != R(0, -4, 2, 6) {
+		t.Errorf("ExpandedDir V = %v", a.ExpandedDir(Vertical, 4))
+	}
+	if a.Translated(Pt(7, -1)) != R(7, -1, 9, 1) {
+		t.Error("Translated wrong")
+	}
+	if a.MinkowskiPt(Pt(1, 1)) != a.Translated(Pt(1, 1)) {
+		t.Error("MinkowskiPt must equal Translated")
+	}
+}
+
+func TestMinkowskiSeg(t *testing.T) {
+	model := R(-2, -1, 2, 1) // wire half-width 1, end extension 2
+	// A horizontal stick from (10,5) to (20,5).
+	got := MinkowskiSeg(model, Pt(10, 5), Pt(20, 5))
+	want := R(8, 4, 22, 6)
+	if got != want {
+		t.Fatalf("MinkowskiSeg = %v, want %v", got, want)
+	}
+	// Degenerate stick (a via location).
+	if MinkowskiSeg(model, Pt(3, 3), Pt(3, 3)) != R(1, 2, 5, 4) {
+		t.Fatal("point stick wrong")
+	}
+	// Order of endpoints must not matter.
+	if MinkowskiSeg(model, Pt(20, 5), Pt(10, 5)) != want {
+		t.Fatal("MinkowskiSeg must be symmetric in endpoints")
+	}
+}
+
+func TestRunLengthAndDistances(t *testing.T) {
+	a := R(0, 0, 10, 2)
+	b := R(4, 5, 20, 7) // above a, x-overlap [4,10)
+	if rl := a.RunLength(b, Horizontal); rl != 6 {
+		t.Errorf("RunLength H = %d", rl)
+	}
+	if rl := a.RunLength(b, Vertical); rl != -3 {
+		t.Errorf("RunLength V = %d (want -3: disjoint by 3)", rl)
+	}
+	if a.DistX(b) != 0 || a.DistY(b) != 3 {
+		t.Errorf("DistX/DistY = %d/%d", a.DistX(b), a.DistY(b))
+	}
+	if a.Dist2Sq(b) != 9 {
+		t.Errorf("Dist2Sq = %d", a.Dist2Sq(b))
+	}
+	c := R(13, 6, 15, 8)
+	if a.DistX(c) != 3 || a.DistY(c) != 4 || a.Dist2Sq(c) != 25 {
+		t.Errorf("diagonal distances wrong: %d %d %d", a.DistX(c), a.DistY(c), a.Dist2Sq(c))
+	}
+}
+
+func TestDist1Pt(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p Point
+		d int
+	}{
+		{Pt(5, 5), 0}, {Pt(0, 0), 0}, {Pt(10, 10), 0},
+		{Pt(12, 5), 2}, {Pt(-3, -4), 7}, {Pt(5, 13), 3},
+	}
+	for _, c := range cases {
+		if got := r.Dist1Pt(c.p); got != c.d {
+			t.Errorf("Dist1Pt(%v) = %d, want %d", c.p, got, c.d)
+		}
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a, b := Iv(0, 10), Iv(10, 20)
+	if a.Intersects(b) {
+		t.Error("half-open abutting intervals must not intersect")
+	}
+	if !a.Intersects(Iv(9, 11)) {
+		t.Error("overlapping intervals must intersect")
+	}
+	if a.Intersection(Iv(5, 15)) != Iv(5, 10) {
+		t.Error("Intersection wrong")
+	}
+	if a.Union(b) != Iv(0, 20) {
+		t.Error("Union wrong")
+	}
+	var e Interval
+	if e.Union(a) != a || a.Union(e) != a {
+		t.Error("Union must ignore empty")
+	}
+	if !e.Empty() || e.Len() != 0 || a.Len() != 10 {
+		t.Error("Len/Empty wrong")
+	}
+	if !a.Contains(0) || a.Contains(10) || a.Contains(-1) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(-7) != 7 || Abs(7) != 7 || Abs(0) != 0 {
+		t.Fatal("Abs wrong")
+	}
+}
+
+// Property: Intersects is symmetric and consistent with Intersection.
+func TestQuickIntersection(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 int16) bool {
+		a := R(int(x0), int(y0), int(x0)+int(w0%100), int(y0)+int(h0%100))
+		b := R(int(x1), int(y1), int(x1)+int(w1%100), int(y1)+int(h1%100))
+		inter := a.Intersection(b)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		if a.Empty() || b.Empty() {
+			return !a.Intersects(b)
+		}
+		return a.Intersects(b) == !inter.Empty() &&
+			(inter.Empty() || (a.ContainsRect(inter) && b.ContainsRect(inter)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dist2Sq is zero iff rects touch, and symmetric.
+func TestQuickDist(t *testing.T) {
+	f := func(x0, y0, x1, y1 int8) bool {
+		a := R(int(x0), int(y0), int(x0)+5, int(y0)+5)
+		b := R(int(x1), int(y1), int(x1)+5, int(y1)+5)
+		if a.Dist2Sq(b) != b.Dist2Sq(a) {
+			return false
+		}
+		return (a.Dist2Sq(b) == 0) == a.Touches(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dist1Pt(p) == 0 iff ContainsClosed(p).
+func TestQuickDist1Pt(t *testing.T) {
+	f := func(px, py int8) bool {
+		r := R(-10, -10, 10, 10)
+		p := Pt(int(px)/2, int(py)/2)
+		return (r.Dist1Pt(p) == 0) == r.ContainsClosed(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractRectsBasic(t *testing.T) {
+	base := R(0, 0, 10, 10)
+	// Punch a hole in the middle.
+	out := SubtractRects(base, []Rect{R(4, 4, 6, 6)})
+	var area int64
+	for _, r := range out {
+		area += r.Area()
+		if !base.ContainsRect(r) {
+			t.Fatalf("output %v escapes base", r)
+		}
+		if r.Intersects(R(4, 4, 6, 6)) {
+			t.Fatalf("output %v overlaps hole", r)
+		}
+	}
+	if area != 100-4 {
+		t.Fatalf("area = %d, want 96", area)
+	}
+}
+
+func TestSubtractRectsEdgeCases(t *testing.T) {
+	if out := SubtractRects(Rect{}, []Rect{R(0, 0, 1, 1)}); out != nil {
+		t.Fatal("empty base must yield nil")
+	}
+	base := R(0, 0, 4, 4)
+	if out := SubtractRects(base, []Rect{R(-5, -5, 20, 20)}); len(out) != 0 {
+		t.Fatalf("fully covered base must yield nothing, got %v", out)
+	}
+	out := SubtractRects(base, nil)
+	if len(out) != 1 || out[0] != base {
+		t.Fatalf("no holes must return base, got %v", out)
+	}
+	// Holes outside base are ignored.
+	out = SubtractRects(base, []Rect{R(100, 100, 110, 110)})
+	if len(out) != 1 || out[0] != base {
+		t.Fatalf("outside hole must be ignored, got %v", out)
+	}
+}
+
+// Property: SubtractRects output is disjoint, avoids all holes, and has
+// complementary area.
+func TestQuickSubtractRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		base := R(0, 0, 50, 50)
+		n := rng.Intn(6)
+		holes := make([]Rect, n)
+		for i := range holes {
+			x, y := rng.Intn(50), rng.Intn(50)
+			holes[i] = R(x, y, x+1+rng.Intn(20), y+1+rng.Intn(20))
+		}
+		out := SubtractRects(base, holes)
+		var freeArea int64
+		for i, r := range out {
+			if r.Empty() {
+				t.Fatalf("empty output rect %v", r)
+			}
+			freeArea += r.Area()
+			for _, h := range holes {
+				if r.Intersects(h) {
+					t.Fatalf("output %v overlaps hole %v", r, h)
+				}
+			}
+			for j := i + 1; j < len(out); j++ {
+				if r.Intersects(out[j]) {
+					t.Fatalf("outputs %v and %v overlap", r, out[j])
+				}
+			}
+		}
+		clipped := make([]Rect, 0, len(holes))
+		for _, h := range holes {
+			if hh := h.Intersection(base); !hh.Empty() {
+				clipped = append(clipped, hh)
+			}
+		}
+		holeArea := UnionArea(clipped)
+		if freeArea+holeArea != base.Area() {
+			t.Fatalf("area mismatch: free %d + holes %d != %d", freeArea, holeArea, base.Area())
+		}
+	}
+}
+
+func TestUnionArea(t *testing.T) {
+	if UnionArea(nil) != 0 {
+		t.Fatal("empty union area must be 0")
+	}
+	rects := []Rect{R(0, 0, 10, 10), R(5, 5, 15, 15)}
+	if got := UnionArea(rects); got != 175 {
+		t.Fatalf("UnionArea = %d, want 175", got)
+	}
+	// Duplicates must not double count.
+	if got := UnionArea([]Rect{R(0, 0, 4, 4), R(0, 0, 4, 4)}); got != 16 {
+		t.Fatalf("UnionArea dup = %d, want 16", got)
+	}
+}
+
+func TestCoveredLength(t *testing.T) {
+	rects := []Rect{R(0, 0, 10, 5), R(20, 0, 30, 5), R(5, 2, 25, 3)}
+	// Line y=1 hits first two rects: lengths 10 + 10.
+	if got := CoveredLength(rects, Horizontal, 1); got != 20 {
+		t.Fatalf("y=1: %d, want 20", got)
+	}
+	// Line y=2 hits all three; union of [0,10),[20,30),[5,25) = [0,30).
+	if got := CoveredLength(rects, Horizontal, 2); got != 30 {
+		t.Fatalf("y=2: %d, want 30", got)
+	}
+	// Outside all rects.
+	if got := CoveredLength(rects, Horizontal, 7); got != 0 {
+		t.Fatalf("y=7: %d, want 0", got)
+	}
+	// Vertical line x=7 hits rects 1 and 3: [0,5) ∪ [2,3) = 5.
+	if got := CoveredLength(rects, Vertical, 7); got != 5 {
+		t.Fatalf("x=7: %d, want 5", got)
+	}
+}

@@ -1,0 +1,153 @@
+package geom
+
+import "sort"
+
+// SubtractRects computes base minus the union of holes as a set of
+// disjoint rectangles. It is the workhorse behind usable-area
+// computations: routing-track optimization and global-routing capacity
+// estimation both start from "chip area minus blockages".
+//
+// The decomposition is the classical y-slab sweep: the y-coordinates of
+// all inputs partition base into horizontal slabs, and within each slab
+// the free x-ranges are emitted as maximal rectangles. Vertically
+// adjacent rectangles with identical x-ranges are merged so the output is
+// canonical for a given input set.
+func SubtractRects(base Rect, holes []Rect) []Rect {
+	if base.Empty() {
+		return nil
+	}
+	ys := make([]int, 0, 2*len(holes)+2)
+	ys = append(ys, base.YMin, base.YMax)
+	clipped := make([]Rect, 0, len(holes))
+	for _, h := range holes {
+		h = h.Intersection(base)
+		if h.Empty() {
+			continue
+		}
+		clipped = append(clipped, h)
+		ys = append(ys, h.YMin, h.YMax)
+	}
+	sort.Ints(ys)
+	ys = dedupInts(ys)
+
+	var out []Rect
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		if y0 >= y1 {
+			continue
+		}
+		// Collect x-intervals blocked in this slab.
+		var blocked []Interval
+		for _, h := range clipped {
+			if h.YMin <= y0 && h.YMax >= y1 {
+				blocked = append(blocked, Interval{h.XMin, h.XMax})
+			}
+		}
+		free := complementIntervals(Interval{base.XMin, base.XMax}, blocked)
+		for _, iv := range free {
+			out = mergeAppend(out, Rect{iv.Lo, y0, iv.Hi, y1})
+		}
+	}
+	return out
+}
+
+// UnionArea returns the total area covered by the union of rects.
+func UnionArea(rects []Rect) int64 {
+	if len(rects) == 0 {
+		return 0
+	}
+	bbox := rects[0]
+	for _, r := range rects[1:] {
+		bbox = bbox.Union(r)
+	}
+	free := SubtractRects(bbox, rects)
+	area := bbox.Area()
+	for _, f := range free {
+		area -= f.Area()
+	}
+	return area
+}
+
+// CoveredLength returns the total length of line ∩ (∪ rects), where line
+// is the horizontal line y = c if d == Horizontal (vertical line x = c
+// otherwise). This is the objective evaluated per candidate position by
+// the track optimization problem (paper §3.5).
+func CoveredLength(rects []Rect, d Direction, c int) int {
+	var ivs []Interval
+	for _, r := range rects {
+		if d == Horizontal {
+			if c >= r.YMin && c < r.YMax {
+				ivs = append(ivs, Interval{r.XMin, r.XMax})
+			}
+		} else {
+			if c >= r.XMin && c < r.XMax {
+				ivs = append(ivs, Interval{r.YMin, r.YMax})
+			}
+		}
+	}
+	return unionLength(ivs)
+}
+
+func unionLength(ivs []Interval) int {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Lo < ivs[j].Lo })
+	total, curLo, curHi := 0, ivs[0].Lo, ivs[0].Hi
+	for _, iv := range ivs[1:] {
+		if iv.Lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = iv.Lo, iv.Hi
+		} else if iv.Hi > curHi {
+			curHi = iv.Hi
+		}
+	}
+	return total + (curHi - curLo)
+}
+
+// complementIntervals returns span minus the union of cuts, as sorted
+// disjoint intervals.
+func complementIntervals(span Interval, cuts []Interval) []Interval {
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].Lo < cuts[j].Lo })
+	var out []Interval
+	cur := span.Lo
+	for _, c := range cuts {
+		if c.Hi <= cur {
+			continue
+		}
+		if c.Lo > cur {
+			out = append(out, Interval{cur, min(c.Lo, span.Hi)})
+		}
+		cur = max(cur, c.Hi)
+		if cur >= span.Hi {
+			return out
+		}
+	}
+	if cur < span.Hi {
+		out = append(out, Interval{cur, span.Hi})
+	}
+	return out
+}
+
+// mergeAppend appends r, merging it with a previous rectangle when the two
+// share the same x-range and abut vertically (keeps output canonical).
+func mergeAppend(out []Rect, r Rect) []Rect {
+	for i := range out {
+		o := &out[i]
+		if o.XMin == r.XMin && o.XMax == r.XMax && o.YMax == r.YMin {
+			o.YMax = r.YMax
+			return out
+		}
+	}
+	return append(out, r)
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package grid models the global routing graph of BonnRoute (paper
+// §2.1): the chip area is divided into an array of tiles, with one vertex
+// per (tile, wiring layer) and edges between adjacent tiles along each
+// layer's preferred direction plus via edges between layers. Capacities
+// live on the edges; package capest computes them.
+package grid
+
+import (
+	"fmt"
+
+	"bonnroute/internal/geom"
+)
+
+// Graph is the three-dimensional global routing graph. Vertices and
+// edges are identified by dense integer ids.
+type Graph struct {
+	// NX, NY are the tile array dimensions; NZ the number of layers.
+	NX, NY, NZ int
+	// Area is the chip area covered by the tiles.
+	Area geom.Rect
+	// TileW, TileH are the tile dimensions (the last row/column may be
+	// clipped by Area).
+	TileW, TileH int
+	// Dirs[z] is the preferred direction of layer z; edges within layer z
+	// connect tiles adjacent along Dirs[z] only.
+	Dirs []geom.Direction
+
+	// Cap[e] is the capacity u(e) of edge e.
+	Cap []float64
+
+	wireBase []int // first wire-edge id per layer
+	viaBase  int   // first via-edge id
+}
+
+// New builds the graph over area with the given tile size and layer
+// directions. Capacities are initialized to zero.
+func New(area geom.Rect, tileW, tileH int, dirs []geom.Direction) *Graph {
+	if area.Empty() || tileW <= 0 || tileH <= 0 || len(dirs) == 0 {
+		panic("grid: invalid parameters")
+	}
+	g := &Graph{
+		NX:   (area.W() + tileW - 1) / tileW,
+		NY:   (area.H() + tileH - 1) / tileH,
+		NZ:   len(dirs),
+		Area: area, TileW: tileW, TileH: tileH,
+		Dirs: dirs,
+	}
+	g.wireBase = make([]int, g.NZ+1)
+	id := 0
+	for z := 0; z < g.NZ; z++ {
+		g.wireBase[z] = id
+		if dirs[z] == geom.Horizontal {
+			id += (g.NX - 1) * g.NY
+		} else {
+			id += g.NX * (g.NY - 1)
+		}
+	}
+	g.wireBase[g.NZ] = id
+	g.viaBase = id
+	id += g.NX * g.NY * (g.NZ - 1)
+	g.Cap = make([]float64, id)
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.NX * g.NY * g.NZ }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Cap) }
+
+// Vertex returns the id of tile (tx, ty) on layer z.
+func (g *Graph) Vertex(tx, ty, z int) int { return (z*g.NY+ty)*g.NX + tx }
+
+// VertexCoords inverts Vertex.
+func (g *Graph) VertexCoords(v int) (tx, ty, z int) {
+	tx = v % g.NX
+	ty = (v / g.NX) % g.NY
+	z = v / (g.NX * g.NY)
+	return
+}
+
+// TileOf returns the tile containing p (clipped to the array).
+func (g *Graph) TileOf(p geom.Point) (tx, ty int) {
+	tx = (p.X - g.Area.XMin) / g.TileW
+	ty = (p.Y - g.Area.YMin) / g.TileH
+	tx = min(max(tx, 0), g.NX-1)
+	ty = min(max(ty, 0), g.NY-1)
+	return
+}
+
+// TileRect returns the area of tile (tx, ty), clipped to the chip.
+func (g *Graph) TileRect(tx, ty int) geom.Rect {
+	r := geom.Rect{
+		XMin: g.Area.XMin + tx*g.TileW,
+		YMin: g.Area.YMin + ty*g.TileH,
+		XMax: g.Area.XMin + (tx+1)*g.TileW,
+		YMax: g.Area.YMin + (ty+1)*g.TileH,
+	}
+	return r.Intersection(g.Area)
+}
+
+// WireEdge returns the id of the wire edge on layer z from tile (tx, ty)
+// to the next tile in preferred direction, or -1 if out of range.
+func (g *Graph) WireEdge(tx, ty, z int) int {
+	if z < 0 || z >= g.NZ || tx < 0 || ty < 0 {
+		return -1
+	}
+	if g.Dirs[z] == geom.Horizontal {
+		if tx >= g.NX-1 || ty >= g.NY {
+			return -1
+		}
+		return g.wireBase[z] + ty*(g.NX-1) + tx
+	}
+	if tx >= g.NX || ty >= g.NY-1 {
+		return -1
+	}
+	return g.wireBase[z] + ty*g.NX + tx
+}
+
+// ViaEdge returns the id of the via edge at tile (tx, ty) between layers
+// z and z+1, or -1.
+func (g *Graph) ViaEdge(tx, ty, z int) int {
+	if z < 0 || z >= g.NZ-1 || tx < 0 || tx >= g.NX || ty < 0 || ty >= g.NY {
+		return -1
+	}
+	return g.viaBase + (z*g.NY+ty)*g.NX + tx
+}
+
+// IsVia reports whether edge e is a via edge.
+func (g *Graph) IsVia(e int) bool { return e >= g.viaBase }
+
+// EdgeEndpoints returns the two vertex ids of edge e.
+func (g *Graph) EdgeEndpoints(e int) (int, int) {
+	if e >= g.viaBase {
+		r := e - g.viaBase
+		tx := r % g.NX
+		ty := (r / g.NX) % g.NY
+		z := r / (g.NX * g.NY)
+		return g.Vertex(tx, ty, z), g.Vertex(tx, ty, z+1)
+	}
+	z := 0
+	for g.wireBase[z+1] <= e {
+		z++
+	}
+	r := e - g.wireBase[z]
+	if g.Dirs[z] == geom.Horizontal {
+		tx := r % (g.NX - 1)
+		ty := r / (g.NX - 1)
+		return g.Vertex(tx, ty, z), g.Vertex(tx+1, ty, z)
+	}
+	tx := r % g.NX
+	ty := r / g.NX
+	return g.Vertex(tx, ty, z), g.Vertex(tx, ty+1, z)
+}
+
+// EdgeLayer returns the wiring layer of a wire edge, or the lower layer
+// of a via edge.
+func (g *Graph) EdgeLayer(e int) int {
+	if e >= g.viaBase {
+		return (e - g.viaBase) / (g.NX * g.NY)
+	}
+	z := 0
+	for g.wireBase[z+1] <= e {
+		z++
+	}
+	return z
+}
+
+// EdgeLength returns the center-to-center length of a wire edge in DBU
+// (0 for vias).
+func (g *Graph) EdgeLength(e int) int {
+	if g.IsVia(e) {
+		return 0
+	}
+	if g.Dirs[g.EdgeLayer(e)] == geom.Horizontal {
+		return g.TileW
+	}
+	return g.TileH
+}
+
+// Neighbors visits the edges incident to vertex v as (edge id, other
+// vertex id) pairs.
+func (g *Graph) Neighbors(v int, visit func(e, w int)) {
+	tx, ty, z := g.VertexCoords(v)
+	if g.Dirs[z] == geom.Horizontal {
+		if e := g.WireEdge(tx, ty, z); e >= 0 {
+			visit(e, g.Vertex(tx+1, ty, z))
+		}
+		if tx > 0 {
+			if e := g.WireEdge(tx-1, ty, z); e >= 0 {
+				visit(e, g.Vertex(tx-1, ty, z))
+			}
+		}
+	} else {
+		if e := g.WireEdge(tx, ty, z); e >= 0 {
+			visit(e, g.Vertex(tx, ty+1, z))
+		}
+		if ty > 0 {
+			if e := g.WireEdge(tx, ty-1, z); e >= 0 {
+				visit(e, g.Vertex(tx, ty-1, z))
+			}
+		}
+	}
+	if z+1 < g.NZ {
+		visit(g.ViaEdge(tx, ty, z), g.Vertex(tx, ty, z+1))
+	}
+	if z > 0 {
+		visit(g.ViaEdge(tx, ty, z-1), g.Vertex(tx, ty, z-1))
+	}
+}
+
+// String describes the graph size.
+func (g *Graph) String() string {
+	return fmt.Sprintf("grid %dx%dx%d (%d vertices, %d edges)",
+		g.NX, g.NY, g.NZ, g.NumVertices(), g.NumEdges())
+}

@@ -1,0 +1,177 @@
+package grid
+
+import (
+	"testing"
+
+	"bonnroute/internal/geom"
+)
+
+func testGraph() *Graph {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical, geom.Horizontal}
+	return New(geom.R(0, 0, 400, 300), 100, 100, dirs)
+}
+
+func TestDimensions(t *testing.T) {
+	g := testGraph()
+	if g.NX != 4 || g.NY != 3 || g.NZ != 3 {
+		t.Fatalf("dims: %d %d %d", g.NX, g.NY, g.NZ)
+	}
+	if g.NumVertices() != 36 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Edges: z0 horizontal: 3*3=9; z1 vertical: 4*2=8; z2 horizontal: 9;
+	// vias: 4*3*2=24. Total 50.
+	if g.NumEdges() != 50 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestVertexRoundTrip(t *testing.T) {
+	g := testGraph()
+	for z := 0; z < g.NZ; z++ {
+		for ty := 0; ty < g.NY; ty++ {
+			for tx := 0; tx < g.NX; tx++ {
+				v := g.Vertex(tx, ty, z)
+				gx, gy, gz := g.VertexCoords(v)
+				if gx != tx || gy != ty || gz != z {
+					t.Fatalf("roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)", tx, ty, z, v, gx, gy, gz)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	g := testGraph()
+	seen := map[int]bool{}
+	for z := 0; z < g.NZ; z++ {
+		for ty := 0; ty < g.NY; ty++ {
+			for tx := 0; tx < g.NX; tx++ {
+				if e := g.WireEdge(tx, ty, z); e >= 0 {
+					if seen[e] {
+						t.Fatalf("duplicate edge id %d", e)
+					}
+					seen[e] = true
+					a, b := g.EdgeEndpoints(e)
+					if a != g.Vertex(tx, ty, z) {
+						t.Fatalf("edge %d endpoint a wrong", e)
+					}
+					var want int
+					if g.Dirs[z] == geom.Horizontal {
+						want = g.Vertex(tx+1, ty, z)
+					} else {
+						want = g.Vertex(tx, ty+1, z)
+					}
+					if b != want {
+						t.Fatalf("edge %d endpoint b wrong", e)
+					}
+					if g.IsVia(e) {
+						t.Fatalf("wire edge %d flagged as via", e)
+					}
+					if g.EdgeLayer(e) != z {
+						t.Fatalf("edge %d layer %d != %d", e, g.EdgeLayer(e), z)
+					}
+				}
+				if z+1 < g.NZ {
+					e := g.ViaEdge(tx, ty, z)
+					if seen[e] {
+						t.Fatalf("duplicate via id %d", e)
+					}
+					seen[e] = true
+					a, b := g.EdgeEndpoints(e)
+					if a != g.Vertex(tx, ty, z) || b != g.Vertex(tx, ty, z+1) {
+						t.Fatalf("via %d endpoints wrong", e)
+					}
+					if !g.IsVia(e) || g.EdgeLength(e) != 0 {
+						t.Fatalf("via %d misclassified", e)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != g.NumEdges() {
+		t.Fatalf("enumerated %d edges, want %d", len(seen), g.NumEdges())
+	}
+}
+
+func TestEdgeBoundaries(t *testing.T) {
+	g := testGraph()
+	if g.WireEdge(3, 0, 0) != -1 { // last column, horizontal layer
+		t.Fatal("edge past right border")
+	}
+	if g.WireEdge(0, 2, 1) != -1 { // last row, vertical layer
+		t.Fatal("edge past top border")
+	}
+	if g.ViaEdge(0, 0, 2) != -1 {
+		t.Fatal("via above top layer")
+	}
+	if g.ViaEdge(4, 0, 0) != -1 || g.ViaEdge(0, 3, 0) != -1 {
+		t.Fatal("via outside tile array")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := testGraph()
+	count := func(v int) int {
+		n := 0
+		g.Neighbors(v, func(e, w int) {
+			if e < 0 || e >= g.NumEdges() {
+				t.Fatalf("bad edge id %d", e)
+			}
+			a, b := g.EdgeEndpoints(e)
+			if a != v && b != v {
+				t.Fatalf("edge %d does not touch %d", e, v)
+			}
+			if w == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			n++
+		})
+		return n
+	}
+	// Corner of layer 0 (horizontal): right neighbor + via up = 2.
+	if n := count(g.Vertex(0, 0, 0)); n != 2 {
+		t.Fatalf("corner degree = %d, want 2", n)
+	}
+	// Middle of layer 1 (vertical): up+down + via down + via up = 4.
+	if n := count(g.Vertex(1, 1, 1)); n != 4 {
+		t.Fatalf("middle degree = %d, want 4", n)
+	}
+}
+
+func TestTileMapping(t *testing.T) {
+	g := testGraph()
+	tx, ty := g.TileOf(geom.Pt(250, 199))
+	if tx != 2 || ty != 1 {
+		t.Fatalf("TileOf = (%d,%d)", tx, ty)
+	}
+	// Clipping.
+	tx, ty = g.TileOf(geom.Pt(-5, 999))
+	if tx != 0 || ty != 2 {
+		t.Fatalf("clipped TileOf = (%d,%d)", tx, ty)
+	}
+	r := g.TileRect(3, 2)
+	if r != geom.R(300, 200, 400, 300) {
+		t.Fatalf("TileRect = %v", r)
+	}
+}
+
+func TestEdgeLength(t *testing.T) {
+	g := New(geom.R(0, 0, 400, 300), 100, 50,
+		[]geom.Direction{geom.Horizontal, geom.Vertical})
+	if g.EdgeLength(g.WireEdge(0, 0, 0)) != 100 {
+		t.Fatal("horizontal edge length")
+	}
+	if g.EdgeLength(g.WireEdge(0, 0, 1)) != 50 {
+		t.Fatal("vertical edge length")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(geom.Rect{}, 10, 10, []geom.Direction{geom.Horizontal})
+}

@@ -1,0 +1,361 @@
+// Package intervalmap provides a run-length-compressed map from integer
+// positions to 64-bit values, stored as maximal half-open runs in an AVL
+// tree. It is the storage primitive behind BonnRoute's shape grid (§3.3:
+// "sequences of identical numbers in preferred direction are merged to
+// intervals ... stored in an AVL-tree in each row") and fast grid (§3.6:
+// per-track intervals of bit-packed legality words).
+//
+// Positions not covered by any stored run implicitly hold the zero value;
+// runs with value zero are never stored, and adjacent runs with equal
+// values are always coalesced, so the representation is canonical.
+package intervalmap
+
+// Map is a run-length-compressed int → uint64 map. The zero value is an
+// empty map ready for use. Map is not safe for concurrent mutation.
+type Map struct {
+	root *node
+	runs int
+}
+
+type node struct {
+	lo, hi      int // run [lo, hi)
+	val         uint64
+	left, right *node
+	height      int8
+}
+
+// Get returns the value at position x (zero if uncovered).
+func (m *Map) Get(x int) uint64 {
+	n := m.root
+	for n != nil {
+		switch {
+		case x < n.lo:
+			n = n.left
+		case x >= n.hi:
+			n = n.right
+		default:
+			return n.val
+		}
+	}
+	return 0
+}
+
+// Len returns the number of stored (nonzero) runs.
+func (m *Map) Len() int { return m.runs }
+
+// SetRange sets [lo, hi) to v, overwriting any previous values.
+func (m *Map) SetRange(lo, hi int, v uint64) {
+	if lo >= hi {
+		return
+	}
+	m.clear(lo, hi)
+	if v != 0 {
+		m.insertCoalesce(lo, hi, v)
+	}
+}
+
+// Update applies f to every position in [lo, hi); contiguous positions
+// holding equal old values are transformed together. f must be a pure
+// function of the old value.
+func (m *Map) Update(lo, hi int, f func(old uint64) uint64) {
+	if lo >= hi {
+		return
+	}
+	type piece struct {
+		lo, hi int
+		v      uint64
+	}
+	var pieces []piece
+	cur := lo
+	m.Runs(lo, hi, func(rlo, rhi int, v uint64) bool {
+		if rlo > cur {
+			pieces = append(pieces, piece{cur, rlo, f(0)})
+		}
+		pieces = append(pieces, piece{rlo, rhi, f(v)})
+		cur = rhi
+		return true
+	})
+	if cur < hi {
+		pieces = append(pieces, piece{cur, hi, f(0)})
+	}
+	m.clear(lo, hi)
+	for _, p := range pieces {
+		if p.v != 0 {
+			m.insertCoalesce(p.lo, p.hi, p.v)
+		}
+	}
+}
+
+// Runs visits the stored (nonzero) runs intersecting [lo, hi) in
+// ascending order, clipped to [lo, hi). Return false from visit to stop.
+// The map must not be mutated during iteration.
+func (m *Map) Runs(lo, hi int, visit func(lo, hi int, v uint64) bool) {
+	m.visitRuns(m.root, lo, hi, visit)
+}
+
+func (m *Map) visitRuns(n *node, lo, hi int, visit func(int, int, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hi > lo && n.left != nil {
+		if !m.visitRuns(n.left, lo, hi, visit) {
+			return false
+		}
+	}
+	if n.lo < hi && n.hi > lo {
+		if !visit(max(n.lo, lo), min(n.hi, hi), n.val) {
+			return false
+		}
+	}
+	if n.lo < hi && n.right != nil {
+		return m.visitRuns(n.right, lo, hi, visit)
+	}
+	return true
+}
+
+// All visits every stored run in ascending order.
+func (m *Map) All(visit func(lo, hi int, v uint64) bool) {
+	var walk func(*node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && visit(n.lo, n.hi, n.val) && walk(n.right)
+	}
+	walk(m.root)
+}
+
+// clear removes coverage of [lo, hi), trimming boundary runs.
+func (m *Map) clear(lo, hi int) {
+	// Collect affected runs first (iteration and mutation don't mix).
+	type run struct {
+		lo, hi int
+		v      uint64
+	}
+	var affected []run
+	m.Runs(lo, hi, func(rlo, rhi int, v uint64) bool {
+		affected = append(affected, run{rlo, rhi, v})
+		return true
+	})
+	if len(affected) == 0 {
+		return
+	}
+	// The clipped runs returned by Runs may be fragments of larger stored
+	// runs; find the stored extents of the first and last.
+	first := m.findRun(affected[0].lo)
+	last := m.findRun(affected[len(affected)-1].lo)
+	for _, r := range affected {
+		m.deleteRun(m.findRun(r.lo).lo)
+	}
+	if first.lo < lo {
+		m.insert(first.lo, lo, first.val)
+	}
+	if last.hi > hi {
+		m.insert(hi, last.hi, last.val)
+	}
+}
+
+type runInfo struct {
+	lo, hi int
+	val    uint64
+}
+
+func (m *Map) findRun(x int) runInfo {
+	n := m.root
+	for n != nil {
+		switch {
+		case x < n.lo:
+			n = n.left
+		case x >= n.hi:
+			n = n.right
+		default:
+			return runInfo{n.lo, n.hi, n.val}
+		}
+	}
+	return runInfo{}
+}
+
+// insertCoalesce inserts [lo, hi) = v, merging with equal-valued
+// neighbors that abut the new run.
+func (m *Map) insertCoalesce(lo, hi int, v uint64) {
+	if prev, ok := m.runEndingAt(lo); ok && prev.val == v {
+		m.deleteRun(prev.lo)
+		lo = prev.lo
+	}
+	if next, ok := m.runStartingAt(hi); ok && next.val == v {
+		m.deleteRun(next.lo)
+		hi = next.hi
+	}
+	m.insert(lo, hi, v)
+}
+
+func (m *Map) runEndingAt(x int) (runInfo, bool) {
+	var best *node
+	n := m.root
+	for n != nil {
+		if n.hi <= x {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best != nil && best.hi == x {
+		return runInfo{best.lo, best.hi, best.val}, true
+	}
+	return runInfo{}, false
+}
+
+func (m *Map) runStartingAt(x int) (runInfo, bool) {
+	var best *node
+	n := m.root
+	for n != nil {
+		if n.lo >= x {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best != nil && best.lo == x {
+		return runInfo{best.lo, best.hi, best.val}, true
+	}
+	return runInfo{}, false
+}
+
+// --- AVL mechanics (keyed by run lo; runs never overlap) ---
+
+func (m *Map) insert(lo, hi int, v uint64) {
+	m.root = avlInsert(m.root, lo, hi, v)
+	m.runs++
+}
+
+func (m *Map) deleteRun(lo int) {
+	m.root = avlDelete(m.root, lo)
+	m.runs--
+}
+
+func height(n *node) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *node) *node {
+	n.height = 1 + max(height(n.left), height(n.right))
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+func avlInsert(n *node, lo, hi int, v uint64) *node {
+	if n == nil {
+		return &node{lo: lo, hi: hi, val: v, height: 1}
+	}
+	if lo < n.lo {
+		n.left = avlInsert(n.left, lo, hi, v)
+	} else {
+		n.right = avlInsert(n.right, lo, hi, v)
+	}
+	return fix(n)
+}
+
+func avlDelete(n *node, lo int) *node {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case lo < n.lo:
+		n.left = avlDelete(n.left, lo)
+	case lo > n.lo:
+		n.right = avlDelete(n.right, lo)
+	default:
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.lo, n.hi, n.val = succ.lo, succ.hi, succ.val
+		n.right = avlDelete(n.right, succ.lo)
+	}
+	return fix(n)
+}
+
+// checkInvariants verifies AVL balance and run disjointness; used by
+// tests.
+func (m *Map) checkInvariants() error {
+	prevHi := minInt
+	var err error
+	var walk func(n *node) int8
+	walk = func(n *node) int8 {
+		if n == nil || err != nil {
+			return 0
+		}
+		lh := walk(n.left)
+		if n.lo >= n.hi {
+			err = errEmptyRun
+		}
+		if n.lo < prevHi {
+			err = errOverlap
+		}
+		prevHi = n.hi
+		rh := walk(n.right)
+		if d := lh - rh; d < -1 || d > 1 {
+			err = errUnbalanced
+		}
+		if n.height != 1+max(lh, rh) {
+			err = errBadHeight
+		}
+		return n.height
+	}
+	walk(m.root)
+	return err
+}
+
+const minInt = -int(^uint(0)>>1) - 1
+
+type mapError string
+
+func (e mapError) Error() string { return string(e) }
+
+const (
+	errEmptyRun   = mapError("intervalmap: empty run stored")
+	errOverlap    = mapError("intervalmap: overlapping runs")
+	errUnbalanced = mapError("intervalmap: AVL unbalanced")
+	errBadHeight  = mapError("intervalmap: stale height")
+)

@@ -1,0 +1,261 @@
+package intervalmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyMap(t *testing.T) {
+	var m Map
+	if m.Get(0) != 0 || m.Get(-100) != 0 || m.Len() != 0 {
+		t.Fatal("empty map must be all-zero")
+	}
+	m.Runs(-10, 10, func(lo, hi int, v uint64) bool {
+		t.Fatal("empty map has no runs")
+		return false
+	})
+}
+
+func TestSetRangeBasic(t *testing.T) {
+	var m Map
+	m.SetRange(10, 20, 7)
+	for x := 0; x < 30; x++ {
+		want := uint64(0)
+		if x >= 10 && x < 20 {
+			want = 7
+		}
+		if got := m.Get(x); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", x, got, want)
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestSetRangeOverwrite(t *testing.T) {
+	var m Map
+	m.SetRange(0, 100, 1)
+	m.SetRange(40, 60, 2)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.Get(39) != 1 || m.Get(40) != 2 || m.Get(59) != 2 || m.Get(60) != 1 {
+		t.Fatal("overwrite boundaries wrong")
+	}
+	// Setting back to 1 must coalesce to a single run.
+	m.SetRange(40, 60, 1)
+	if m.Len() != 1 {
+		t.Fatalf("Len after re-merge = %d, want 1", m.Len())
+	}
+}
+
+func TestSetRangeZeroClears(t *testing.T) {
+	var m Map
+	m.SetRange(0, 10, 5)
+	m.SetRange(3, 7, 0)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if m.Get(3) != 0 || m.Get(6) != 0 || m.Get(2) != 5 || m.Get(7) != 5 {
+		t.Fatal("zero clear wrong")
+	}
+}
+
+func TestSetRangeEmptyNoop(t *testing.T) {
+	var m Map
+	m.SetRange(5, 5, 9)
+	m.SetRange(7, 3, 9)
+	if m.Len() != 0 {
+		t.Fatal("empty range must be a no-op")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	var m Map
+	m.SetRange(0, 10, 1)
+	m.SetRange(20, 30, 2)
+	// Add 10 to everything in [5, 25): covers run 1 tail, a gap, run 2 head.
+	m.Update(5, 25, func(old uint64) uint64 { return old + 10 })
+	cases := []struct {
+		x int
+		v uint64
+	}{
+		{0, 1}, {4, 1}, {5, 11}, {9, 11}, {10, 10}, {19, 10},
+		{20, 12}, {24, 12}, {25, 2}, {29, 2}, {30, 0},
+	}
+	for _, c := range cases {
+		if got := m.Get(c.x); got != c.v {
+			t.Errorf("Get(%d) = %d, want %d", c.x, got, c.v)
+		}
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateToZeroRemoves(t *testing.T) {
+	var m Map
+	m.SetRange(0, 10, 3)
+	m.Update(0, 10, func(uint64) uint64 { return 0 })
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestRunsClipping(t *testing.T) {
+	var m Map
+	m.SetRange(0, 100, 1)
+	var got [][3]int
+	m.Runs(30, 40, func(lo, hi int, v uint64) bool {
+		got = append(got, [3]int{lo, hi, int(v)})
+		return true
+	})
+	if len(got) != 1 || got[0] != [3]int{30, 40, 1} {
+		t.Fatalf("Runs = %v", got)
+	}
+}
+
+func TestRunsEarlyStop(t *testing.T) {
+	var m Map
+	for i := 0; i < 10; i++ {
+		m.SetRange(i*10, i*10+5, uint64(i+1))
+	}
+	count := 0
+	m.Runs(0, 100, func(lo, hi int, v uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAll(t *testing.T) {
+	var m Map
+	m.SetRange(10, 20, 1)
+	m.SetRange(30, 40, 2)
+	var runs [][3]int
+	m.All(func(lo, hi int, v uint64) bool {
+		runs = append(runs, [3]int{lo, hi, int(v)})
+		return true
+	})
+	want := [][3]int{{10, 20, 1}, {30, 40, 2}}
+	if len(runs) != 2 || runs[0] != want[0] || runs[1] != want[1] {
+		t.Fatalf("All = %v", runs)
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	var m Map
+	m.SetRange(-50, -10, 4)
+	if m.Get(-50) != 4 || m.Get(-11) != 4 || m.Get(-10) != 0 || m.Get(-51) != 0 {
+		t.Fatal("negative coordinates broken")
+	}
+}
+
+// TestRandomizedAgainstReference fuzzes SetRange/Update/Get against a
+// dense reference array and checks the canonical-form invariants
+// (balance, disjointness, coalescing) after every operation.
+func TestRandomizedAgainstReference(t *testing.T) {
+	const size = 200
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var m Map
+		ref := make([]uint64, size)
+		for op := 0; op < 200; op++ {
+			lo := rng.Intn(size)
+			hi := lo + rng.Intn(size-lo)
+			switch rng.Intn(3) {
+			case 0:
+				v := uint64(rng.Intn(4))
+				m.SetRange(lo, hi, v)
+				for i := lo; i < hi; i++ {
+					ref[i] = v
+				}
+			case 1:
+				add := uint64(rng.Intn(3))
+				m.Update(lo, hi, func(old uint64) uint64 { return old + add })
+				for i := lo; i < hi; i++ {
+					ref[i] += add
+				}
+			case 2:
+				m.Update(lo, hi, func(old uint64) uint64 { return old &^ 1 })
+				for i := lo; i < hi; i++ {
+					ref[i] &^= 1
+				}
+			}
+			if err := m.checkInvariants(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+		for i := 0; i < size; i++ {
+			if m.Get(i) != ref[i] {
+				t.Fatalf("trial %d: Get(%d) = %d, want %d", trial, i, m.Get(i), ref[i])
+			}
+		}
+		// Canonical form: count value changes in ref, compare to Len.
+		wantRuns := 0
+		for i := 0; i < size; i++ {
+			if ref[i] != 0 && (i == 0 || ref[i] != ref[i-1]) {
+				wantRuns++
+			}
+		}
+		if m.Len() != wantRuns {
+			t.Fatalf("trial %d: Len = %d, want %d (not canonical)", trial, m.Len(), wantRuns)
+		}
+	}
+}
+
+func TestRunsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var m Map
+	const size = 100
+	ref := make([]uint64, size)
+	for op := 0; op < 100; op++ {
+		lo := rng.Intn(size)
+		hi := lo + rng.Intn(size-lo)
+		v := uint64(rng.Intn(3))
+		m.SetRange(lo, hi, v)
+		for i := lo; i < hi; i++ {
+			ref[i] = v
+		}
+	}
+	// Reconstruct via Runs and compare.
+	got := make([]uint64, size)
+	m.Runs(0, size, func(lo, hi int, v uint64) bool {
+		for i := lo; i < hi; i++ {
+			got[i] = v
+		}
+		return true
+	})
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("position %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func BenchmarkSetRange(b *testing.B) {
+	var m Map
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(1 << 20)
+		m.SetRange(lo, lo+rng.Intn(100), uint64(rng.Intn(8)))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var m Map
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		lo := rng.Intn(1 << 20)
+		m.SetRange(lo, lo+rng.Intn(50), uint64(rng.Intn(8)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Get(rng.Intn(1 << 20))
+	}
+}

@@ -1,0 +1,274 @@
+package pathsearch
+
+import (
+	"container/heap"
+
+	"bonnroute/internal/geom"
+)
+
+// FutureCost is the potential function π of the goal-directed search: a
+// lower bound on the cost from a vertex to the target set, with π ≡ 0 on
+// targets. It must be feasible (reduced costs nonnegative), which both
+// implementations guarantee, and 1-Lipschitz along tracks with respect to
+// wire cost, which the interval search exploits.
+type FutureCost interface {
+	At(x, y, z int) int
+}
+
+// Costs bundles the edge cost parameters of the track graph (paper
+// §4.1): wire cost is ℓ1 length, jogs are scaled by BetaJog per unit, and
+// a via between layers z and z+1 costs GammaVia[z].
+type Costs struct {
+	// BetaJog[z] ≥ 1 is the non-preferred-direction penalty multiplier.
+	BetaJog []int
+	// GammaVia[v] > 0 is the via cost between wiring layers v and v+1.
+	GammaVia []int
+}
+
+// UniformCosts builds the usual parameterization: β on every layer, γ per
+// via layer.
+func UniformCosts(numLayers, beta, gamma int) Costs {
+	c := Costs{BetaJog: make([]int, numLayers), GammaVia: make([]int, numLayers-1)}
+	for z := range c.BetaJog {
+		c.BetaJog[z] = beta
+	}
+	for v := range c.GammaVia {
+		c.GammaVia[v] = gamma
+	}
+	return c
+}
+
+// viaLB computes, per layer, the cheapest via cost to reach any layer in
+// targetLayers (the lb_via term of π_H, Hetzel 1998).
+func viaLB(numLayers int, gamma []int, targetLayers map[int]bool) []int {
+	const inf = int(^uint(0) >> 2)
+	lb := make([]int, numLayers)
+	for z := range lb {
+		if !targetLayers[z] {
+			lb[z] = inf
+		}
+	}
+	// Two relaxation sweeps (up then down) suffice on a path graph.
+	for z := 1; z < numLayers; z++ {
+		if lb[z-1]+gamma[z-1] < lb[z] {
+			lb[z] = lb[z-1] + gamma[z-1]
+		}
+	}
+	for z := numLayers - 2; z >= 0; z-- {
+		if lb[z+1]+gamma[z] < lb[z] {
+			lb[z] = lb[z+1] + gamma[z]
+		}
+	}
+	return lb
+}
+
+// HFuture is π_H (paper §4.1): lb_wire(x, y) + lb_via(z), where lb_wire
+// is the ℓ1 distance to the target rectangles projected to one plane and
+// lb_via the minimum via cost to a target layer. Simple and fast; its
+// weakness is blindness to blockages.
+type HFuture struct {
+	rects []geom.Rect
+	viaLB []int
+}
+
+// NewHFuture builds π_H from the target vertex rectangles. targets maps
+// layer → covering rectangles of the target vertices on that layer.
+func NewHFuture(numLayers int, costs Costs, targets map[int][]geom.Rect) *HFuture {
+	f := &HFuture{}
+	tl := map[int]bool{}
+	for z, rs := range targets {
+		tl[z] = true
+		f.rects = append(f.rects, rs...)
+	}
+	f.viaLB = viaLB(numLayers, costs.GammaVia, tl)
+	return f
+}
+
+// At returns π_H(x, y, z).
+func (f *HFuture) At(x, y, z int) int {
+	best := int(^uint(0) >> 2)
+	p := geom.Pt(x, y)
+	for _, r := range f.rects {
+		if d := r.Dist1Pt(p); d < best {
+			best = d
+		}
+	}
+	if best == int(^uint(0)>>2) {
+		return 0
+	}
+	return best + f.viaLB[z]
+}
+
+// PFuture is the blockage-aware future cost π_P (Peyer et al. 2009,
+// paper §4.1): exact backward Dijkstra distances on a coarsened grid
+// that keeps large blockages, lower-bounded against π_H so it is never
+// weaker. It costs more to set up, so the router uses it only for
+// connections whose global route already contains a large detour.
+type PFuture struct {
+	h      *HFuture
+	bounds geom.Rect
+	cell   int
+	nx, ny int
+	layers int
+	dist   []int32 // [z][cy][cx] flattened, -1 = unreached
+}
+
+// PFutureConfig parameterizes the coarse grid.
+type PFutureConfig struct {
+	// Cell is the coarse cell edge length.
+	Cell int
+	// Blocked reports whether the coarse cell (rect on layer z) is
+	// impassable. Only report true when the cell is genuinely fully
+	// blocked, otherwise the bound becomes inadmissible.
+	Blocked func(z int, cellRect geom.Rect) bool
+}
+
+// NewPFuture builds π_P over bounds with the given coarse cell size.
+func NewPFuture(numLayers int, costs Costs, targets map[int][]geom.Rect,
+	bounds geom.Rect, cfg PFutureConfig) *PFuture {
+	h := NewHFuture(numLayers, costs, targets)
+	cell := cfg.Cell
+	if cell <= 0 {
+		cell = 1 + max(bounds.W(), bounds.H())/64
+	}
+	nx := (bounds.W() + cell - 1) / cell
+	ny := (bounds.H() + cell - 1) / cell
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	p := &PFuture{h: h, bounds: bounds, cell: cell, nx: nx, ny: ny, layers: numLayers}
+	n := numLayers * nx * ny
+	p.dist = make([]int32, n)
+	for i := range p.dist {
+		p.dist[i] = -1
+	}
+	blocked := make([]bool, n)
+	if cfg.Blocked != nil {
+		for z := 0; z < numLayers; z++ {
+			for cy := 0; cy < ny; cy++ {
+				for cx := 0; cx < nx; cx++ {
+					r := p.cellRect(cx, cy)
+					blocked[p.idx(cx, cy, z)] = cfg.Blocked(z, r)
+				}
+			}
+		}
+	}
+
+	// Multi-source backward Dijkstra from target cells.
+	pq := &cellHeap{}
+	push := func(cx, cy, z int, d int32) {
+		if cx < 0 || cx >= nx || cy < 0 || cy >= ny || z < 0 || z >= numLayers {
+			return
+		}
+		i := p.idx(cx, cy, z)
+		if blocked[i] {
+			return
+		}
+		if p.dist[i] >= 0 && p.dist[i] <= d {
+			return
+		}
+		p.dist[i] = d
+		heap.Push(pq, cellItem{d, cx, cy, z})
+	}
+	for z, rs := range targets {
+		for _, r := range rs {
+			c0x, c0y := p.cellOf(r.XMin, r.YMin)
+			c1x, c1y := p.cellOf(r.XMax, r.YMax)
+			for cy := c0y; cy <= c1y; cy++ {
+				for cx := c0x; cx <= c1x; cx++ {
+					push(cx, cy, z, 0)
+				}
+			}
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(cellItem)
+		i := p.idx(it.cx, it.cy, it.z)
+		if p.dist[i] != it.d {
+			continue
+		}
+		step := int32(cell)
+		push(it.cx-1, it.cy, it.z, it.d+step)
+		push(it.cx+1, it.cy, it.z, it.d+step)
+		push(it.cx, it.cy-1, it.z, it.d+step)
+		push(it.cx, it.cy+1, it.z, it.d+step)
+		if it.z > 0 {
+			push(it.cx, it.cy, it.z-1, it.d+int32(costs.GammaVia[it.z-1]))
+		}
+		if it.z+1 < numLayers {
+			push(it.cx, it.cy, it.z+1, it.d+int32(costs.GammaVia[it.z]))
+		}
+	}
+	return p
+}
+
+func (p *PFuture) idx(cx, cy, z int) int { return (z*p.ny+cy)*p.nx + cx }
+
+func (p *PFuture) cellOf(x, y int) (int, int) {
+	cx := (x - p.bounds.XMin) / p.cell
+	cy := (y - p.bounds.YMin) / p.cell
+	if cx < 0 {
+		cx = 0
+	} else if cx >= p.nx {
+		cx = p.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= p.ny {
+		cy = p.ny - 1
+	}
+	return cx, cy
+}
+
+func (p *PFuture) cellRect(cx, cy int) geom.Rect {
+	return geom.Rect{
+		XMin: p.bounds.XMin + cx*p.cell,
+		YMin: p.bounds.YMin + cy*p.cell,
+		XMax: p.bounds.XMin + (cx+1)*p.cell,
+		YMax: p.bounds.YMin + (cy+1)*p.cell,
+	}
+}
+
+// At returns π_P(x, y, z) ≥ π_H(x, y, z). The coarse distance is slacked
+// by four cell lengths so it remains an admissible lower bound despite
+// grid discretization. Note that cell quantization can still make the
+// potential locally infeasible (reduced edge costs can dip slightly
+// negative across cell boundaries); the interval search is
+// label-correcting, so results stay exact for any admissible bound.
+func (p *PFuture) At(x, y, z int) int {
+	hb := p.h.At(x, y, z)
+	cx, cy := p.cellOf(x, y)
+	d := p.dist[p.idx(cx, cy, z)]
+	if d < 0 {
+		// Unreachable in the coarse model (e.g. inside a blocked cell):
+		// fall back to π_H rather than claim infinity.
+		return hb
+	}
+	pb := int(d) - 4*p.cell
+	if pb > hb {
+		return pb
+	}
+	return hb
+}
+
+type cellItem struct {
+	d         int32
+	cx, cy, z int
+}
+
+type cellHeap []cellItem
+
+func (h cellHeap) Len() int            { return len(h) }
+func (h cellHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellItem)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,212 @@
+package pathsearch
+
+import (
+	"container/heap"
+
+	"bonnroute/internal/geom"
+)
+
+// NodeSearch is the classical maze-running reference: Dijkstra (optionally
+// goal-directed through cfg.Pi) labeling every track-graph vertex
+// individually. It supports only MaxNeed == 0 and exists (a) as the
+// correctness oracle the interval search is tested against and (b) as the
+// baseline of the paper's ≥6× interval-labelling speedup measurement
+// (§4.1) and of the ISR-like comparison router.
+func NodeSearch(cfg *Config, S, T []geom.Point3) *Path {
+	if cfg.MaxNeed != 0 {
+		panic("pathsearch: NodeSearch supports MaxNeed == 0 only")
+	}
+	s := &searcher{cfg: cfg, tg: cfg.Tracks}
+	s.ivalCache = map[trackKey][]*ival{}
+	if cfg.Area == nil {
+		s.area = FullArea(s.tg.NumLayers(), s.tg.Area)
+	} else {
+		s.area = cfg.Area
+	}
+	return s.runNode(S, T)
+}
+
+type nodeVertex struct {
+	z, ti, along int
+}
+
+type nodeState struct {
+	dist   int
+	parent nodeVertex
+	hasPar bool
+	done   bool
+}
+
+func (s *searcher) runNode(S, T []geom.Point3) *Path {
+	targets := map[nodeVertex]bool{}
+	for _, t := range T {
+		ti := s.trackOf(t)
+		if ti < 0 {
+			continue
+		}
+		v := nodeVertex{t.Z, ti, s.alongOf(t)}
+		if s.findIval(v.z, v.ti, v.along) != nil {
+			targets[v] = true
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	state := map[nodeVertex]*nodeState{}
+	pq := &nodeHeap{}
+	relax := func(v nodeVertex, d int, from nodeVertex, hasFrom bool) {
+		st, ok := state[v]
+		if !ok {
+			st = &nodeState{dist: inf}
+			state[v] = st
+		}
+		if d < st.dist {
+			st.dist = d
+			st.parent = from
+			st.hasPar = hasFrom
+			heap.Push(pq, nodeItem{key: d + s.pi(v.z, v.ti, v.along), v: v})
+		}
+	}
+	for _, src := range S {
+		ti := s.trackOf(src)
+		if ti < 0 {
+			continue
+		}
+		v := nodeVertex{src.Z, ti, s.alongOf(src)}
+		if s.findIval(v.z, v.ti, v.along) != nil {
+			relax(v, 0, nodeVertex{}, false)
+		}
+	}
+
+	var bestV nodeVertex
+	best := inf
+	pops := 0
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		st := state[it.v]
+		if st == nil || st.done || it.key != st.dist+s.pi(it.v.z, it.v.ti, it.v.along) {
+			continue
+		}
+		st.done = true
+		pops++
+		if targets[it.v] && st.dist < best {
+			best = st.dist
+			bestV = it.v
+			break // first settled target is optimal under feasible π
+		}
+		s.nodeNeighbors(it.v, func(nb nodeVertex, cost int) {
+			relax(nb, st.dist+cost, it.v, true)
+		})
+	}
+	if best == inf {
+		return nil
+	}
+	// Backtrack.
+	var pts []geom.Point3
+	v := bestV
+	for {
+		pts = append(pts, s.vertexPoint(v.z, v.ti, v.along))
+		st := state[v]
+		if !st.hasPar {
+			break
+		}
+		v = st.parent
+	}
+	for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	return &Path{
+		Points: compressWaypoints(pts),
+		Cost:   best,
+		Stats:  Stats{HeapPops: pops, Labels: len(state)},
+	}
+}
+
+// nodeNeighbors enumerates the outgoing edges of a vertex: steps to the
+// previous/next crossing along the track, jogs, and vias.
+func (s *searcher) nodeNeighbors(v nodeVertex, visit func(nb nodeVertex, cost int)) {
+	iv := s.findIval(v.z, v.ti, v.along)
+	if iv == nil {
+		return
+	}
+	layer := &s.tg.Layers[v.z]
+	// Along-track steps to adjacent crossings (staying inside the
+	// contiguous legal region, which at MaxNeed==0 is one interval).
+	cr := layer.Cross
+	idx := searchInts(cr, v.along)
+	if idx < len(cr) && cr[idx] == v.along {
+		if idx+1 < len(cr) && cr[idx+1] <= iv.hi {
+			visit(nodeVertex{v.z, v.ti, cr[idx+1]}, cr[idx+1]-v.along)
+		}
+		if idx > 0 && cr[idx-1] >= iv.lo {
+			visit(nodeVertex{v.z, v.ti, cr[idx-1]}, v.along-cr[idx-1])
+		}
+	}
+	// Jogs.
+	if v.ti+1 < len(layer.Coords) {
+		if s.cfg.JogNeed(v.z, v.ti, v.along) == 0 && s.findIval(v.z, v.ti+1, v.along) != nil {
+			gap := layer.Coords[v.ti+1] - layer.Coords[v.ti]
+			visit(nodeVertex{v.z, v.ti + 1, v.along}, s.cfg.Costs.BetaJog[v.z]*gap)
+		}
+	}
+	if v.ti > 0 {
+		if s.cfg.JogNeed(v.z, v.ti-1, v.along) == 0 && s.findIval(v.z, v.ti-1, v.along) != nil {
+			gap := layer.Coords[v.ti] - layer.Coords[v.ti-1]
+			visit(nodeVertex{v.z, v.ti - 1, v.along}, s.cfg.Costs.BetaJog[v.z]*gap)
+		}
+	}
+	// Vias.
+	px, py := s.vertexXY(v.z, v.ti, v.along)
+	pos := geom.Pt(px, py)
+	if v.z+1 < s.tg.NumLayers() {
+		up := &s.tg.Layers[v.z+1]
+		if topTi := up.TrackAt(pos.Coord(up.Dir.Perp())); topTi >= 0 {
+			upAlong := pos.Coord(up.Dir)
+			if s.cfg.ViaNeed(v.z, v.ti, topTi, pos) == 0 && s.findIval(v.z+1, topTi, upAlong) != nil {
+				visit(nodeVertex{v.z + 1, topTi, upAlong}, s.cfg.Costs.GammaVia[v.z])
+			}
+		}
+	}
+	if v.z > 0 {
+		down := &s.tg.Layers[v.z-1]
+		if botTi := down.TrackAt(pos.Coord(down.Dir.Perp())); botTi >= 0 {
+			downAlong := pos.Coord(down.Dir)
+			if s.cfg.ViaNeed(v.z-1, botTi, v.ti, pos) == 0 && s.findIval(v.z-1, botTi, downAlong) != nil {
+				visit(nodeVertex{v.z - 1, botTi, downAlong}, s.cfg.Costs.GammaVia[v.z-1])
+			}
+		}
+	}
+}
+
+func searchInts(xs []int, x int) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+type nodeItem struct {
+	key int
+	v   nodeVertex
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,149 @@
+package pathsearch
+
+import (
+	"testing"
+
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+)
+
+// TestViaStackClimb: a target three layers up forces a via stack; cost
+// accounts one γ per layer crossing.
+func TestViaStackClimb(t *testing.T) {
+	w := newWorld(4, 10, 200)
+	costs := UniformCosts(4, 3, 50)
+	cfg := w.config(costs, nil, nil)
+	S := []geom.Point3{geom.Pt3(105, 105, 0)}
+	T := []geom.Point3{geom.Pt3(105, 105, 3)}
+	p := Search(cfg, S, T)
+	if p == nil {
+		t.Fatal("no path")
+	}
+	if p.Cost != 3*50 {
+		t.Fatalf("cost = %d, want 150 (three vias)", p.Cost)
+	}
+	// The waypoint list is a pure via stack.
+	for _, pt := range p.Points {
+		if pt.X != 105 || pt.Y != 105 {
+			t.Fatalf("stack moved laterally: %v", p.Points)
+		}
+	}
+}
+
+// TestGammaSensitivity: raising the via cost shifts the optimum from a
+// two-via layer change to a same-layer jog detour.
+func TestGammaSensitivity(t *testing.T) {
+	w := newWorld(2, 10, 400)
+	S := []geom.Point3{geom.Pt3(5, 105, 0)}
+	T := []geom.Point3{geom.Pt3(395, 125, 0)} // two tracks up
+
+	cheap := Search(w.config(UniformCosts(2, 9, 1), nil, nil), S, T)
+	dear := Search(w.config(UniformCosts(2, 1, 10000), nil, nil), S, T)
+	if cheap == nil || dear == nil {
+		t.Fatal("searches failed")
+	}
+	countVias := func(p *Path) int {
+		n := 0
+		for i := 1; i < len(p.Points); i++ {
+			if p.Points[i].Z != p.Points[i-1].Z {
+				n++
+			}
+		}
+		return n
+	}
+	if countVias(dear) != 0 {
+		t.Fatalf("expensive vias still used: %v", dear.Points)
+	}
+	if countVias(cheap) == 0 {
+		t.Fatalf("cheap vias unused with expensive jogs: %v", cheap.Points)
+	}
+}
+
+// TestMultiRectArea: a routing area made of two rects connected on
+// another layer only.
+func TestMultiRectArea(t *testing.T) {
+	w := newWorld(2, 10, 400)
+	area := NewArea(2)
+	area.Add(0, geom.R(0, 0, 150, 400))
+	area.Add(0, geom.R(250, 0, 400, 400))
+	area.Add(1, geom.R(0, 0, 400, 400)) // bridge layer
+	costs := UniformCosts(2, 3, 50)
+	S := []geom.Point3{geom.Pt3(5, 105, 0)}
+	T := []geom.Point3{geom.Pt3(395, 105, 0)}
+	p := Search(w.config(costs, nil, area), S, T)
+	if p == nil {
+		t.Fatal("no path across the layer bridge")
+	}
+	// The path must change layers to cross the gap.
+	crossed := false
+	for _, pt := range p.Points {
+		if pt.Z == 1 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatalf("path stayed on the cut layer: %v", p.Points)
+	}
+}
+
+// TestRipupPrefersCheapestVictims: with two rip-up bands of different
+// levels, the search pays for the cheaper one.
+func TestRipupLevels(t *testing.T) {
+	w := newWorld(2, 10, 300)
+	cfg := w.config(UniformCosts(2, 3, 50), nil, nil)
+	base := cfg.WireRuns
+	cfg.WireRuns = func(z, ti, lo, hi int, visit func(lo, hi int, need drc.Need)) {
+		base(z, ti, lo, hi, visit)
+		if z == 0 {
+			visit(100, 111, 2) // standard-level band across all tracks
+		}
+		if z == 1 {
+			visit(lo, hi+1, 4) // the whole bridge layer needs critical rip-up
+		}
+	}
+	cfg.MaxNeed = 4
+	cfg.RipupPenalty = func(n drc.Need) int { return 100 * int(n) }
+	S := []geom.Point3{geom.Pt3(5, 5, 0)}
+	T := []geom.Point3{geom.Pt3(295, 5, 0)}
+	p := Search(cfg, S, T)
+	if p == nil {
+		t.Fatal("no path")
+	}
+	// Straight through the level-2 band: 290 + penalty 200 = 490; any
+	// level-4 (layer 1) usage would cost penalty 400 plus via costs.
+	if p.Cost != 290+200 {
+		t.Fatalf("cost = %d, want 490", p.Cost)
+	}
+}
+
+// TestAreaTrackSpans verifies span merging of overlapping area rects.
+func TestAreaTrackSpans(t *testing.T) {
+	a := NewArea(1)
+	a.Add(0, geom.R(0, 0, 100, 50))
+	a.Add(0, geom.R(80, 0, 200, 50))
+	a.Add(0, geom.R(300, 0, 400, 50))
+	spans := a.TrackSpans(0, geom.Horizontal, 25)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v, want 2 (merged + separate)", spans)
+	}
+	if spans[0].Lo != 0 || spans[0].Hi != 201 {
+		t.Fatalf("merged span = %v", spans[0])
+	}
+	// Off-area track: nothing.
+	if got := a.TrackSpans(0, geom.Horizontal, 60); len(got) != 0 {
+		t.Fatalf("off-area spans = %v", got)
+	}
+	// Layer out of range.
+	if got := a.TrackSpans(5, geom.Horizontal, 25); got != nil {
+		t.Fatal("bad layer must return nil")
+	}
+}
+
+// TestHFutureNoTargets: π with no rectangles returns 0 (degenerate but
+// must not crash).
+func TestHFutureNoTargets(t *testing.T) {
+	f := NewHFuture(2, UniformCosts(2, 3, 50), nil)
+	if f.At(100, 100, 0) != 0 {
+		t.Fatal("empty-target π must be 0")
+	}
+}

@@ -1,0 +1,603 @@
+package pathsearch
+
+import (
+	"container/heap"
+	"sort"
+
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/intervalmap"
+	"bonnroute/internal/tracks"
+)
+
+// Config wires the interval path search to its environment. Legality is
+// supplied through callbacks so the search is independent of the fast
+// grid / rule checker stack (the detailed router passes the fast grid's
+// accessors; tests pass synthetic legality).
+type Config struct {
+	Tracks *tracks.Graph
+	Costs  Costs
+	// Pi is the future cost; nil means π ≡ 0 (plain Dijkstra).
+	Pi FutureCost
+	// Area restricts the search; nil means the whole track graph.
+	Area *Area
+	// MaxNeed is the rip-up ceiling: vertices needing rip-up effort above
+	// it are unusable. 0 routes only through free space (§4.1); positive
+	// values enable the rip-up mode of §4.2.
+	MaxNeed drc.Need
+	// RipupPenalty is the extra cost for entering an interval (or using a
+	// jog/via) that requires rip-up effort need ≥ 1. nil with MaxNeed > 0
+	// panics: rip-up must never be free.
+	RipupPenalty func(need drc.Need) int
+	// SpreadCost adds wire-spreading cost for using track positions
+	// [lo, hi] of track trackIdx on layer z (§4.2); nil disables.
+	SpreadCost func(z, trackIdx, lo, hi int) int
+
+	// WireRuns visits the Need runs of the preferred-direction wire model
+	// along track trackIdx of layer z, clipped to [lo, hi]; gaps are
+	// Need 0. Runs are half-open in DBU.
+	WireRuns func(z, trackIdx, lo, hi int, visit func(lo, hi int, need drc.Need))
+	// JogNeed is the Need of the jog segment from track lowerTrackIdx of
+	// layer z to the next track above, at along-track position `along`.
+	JogNeed func(z, lowerTrackIdx, along int) drc.Need
+	// ViaNeed is the Need of a via between layers v and v+1 at pos.
+	ViaNeed func(v, botTrack, topTrack int, pos geom.Point) drc.Need
+}
+
+// Stats reports search effort (the quantities behind the paper's
+// interval-vs-node speedup claims).
+type Stats struct {
+	Labels    int // labels created
+	HeapPops  int // priority-queue extractions
+	Expanded  int // crossing expansions (jog/via relaxations)
+	Intervals int // intervals materialized
+}
+
+// Path is a found connection.
+type Path struct {
+	// Points are the waypoints from source to target; consecutive points
+	// differ in exactly one coordinate (a track segment, jog, or via).
+	Points []geom.Point3
+	// Cost is the total edge cost.
+	Cost int
+	// Stats describes the search effort.
+	Stats Stats
+}
+
+// Search finds a shortest S-T path in the track graph under cfg. It
+// returns nil when no path exists.
+func Search(cfg *Config, S, T []geom.Point3) *Path {
+	if cfg.MaxNeed > 0 && cfg.RipupPenalty == nil {
+		panic("pathsearch: MaxNeed > 0 requires RipupPenalty")
+	}
+	s := &searcher{cfg: cfg, tg: cfg.Tracks}
+	s.ivalCache = map[trackKey][]*ival{}
+	if cfg.Area == nil {
+		s.area = FullArea(s.tg.NumLayers(), s.tg.Area)
+	} else {
+		s.area = cfg.Area
+	}
+	return s.run(S, T)
+}
+
+type trackKey struct{ z, ti int }
+
+// ival is an interval of track vertices with uniform rip-up need
+// (Algorithm 4's I ∈ 𝓘). Bounds are inclusive DBU positions.
+type ival struct {
+	z, ti    int
+	lo, hi   int
+	need     drc.Need
+	labels   []int32 // indices into searcher.labels
+	expanded map[int]int
+	targets  []int
+}
+
+// label is Algorithm 4's (v, δ): key = true distance from S to pos plus
+// π(pos), plus backtracking info.
+type label struct {
+	iv        *ival
+	pos       int
+	key       int
+	parent    int32 // label index, -1 for sources
+	parentPos int   // position on the parent label's interval
+	// frontiers of the settled sweep within iv (inclusive); the sweep
+	// grows outward from pos as the key rises.
+	sweptLo, sweptHi int
+	// pendingL/pendingR record whether a continuation event for the
+	// respective frontier is already in the queue (at most one per side,
+	// bounding the queue by O(labels)).
+	pendingL, pendingR bool
+}
+
+type searcher struct {
+	cfg  *Config
+	tg   *tracks.Graph
+	area *Area
+
+	ivalCache map[trackKey][]*ival
+	labels    []label
+	pq        labelHeap
+	stats     Stats
+
+	targetSet map[geom.Point3]bool
+
+	best      int
+	bestLabel int32
+	bestPos   int
+}
+
+// pi evaluates the future cost at a track vertex.
+func (s *searcher) pi(z, ti, along int) int {
+	if s.cfg.Pi == nil {
+		return 0
+	}
+	x, y := s.vertexXY(z, ti, along)
+	return s.cfg.Pi.At(x, y, z)
+}
+
+func (s *searcher) vertexXY(z, ti, along int) (int, int) {
+	l := &s.tg.Layers[z]
+	c := l.Coords[ti]
+	if l.Dir == geom.Horizontal {
+		return along, c
+	}
+	return c, along
+}
+
+func (s *searcher) vertexPoint(z, ti, along int) geom.Point3 {
+	x, y := s.vertexXY(z, ti, along)
+	return geom.Pt3(x, y, z)
+}
+
+// intervalsOf lazily materializes the usable intervals of a track.
+func (s *searcher) intervalsOf(z, ti int) []*ival {
+	key := trackKey{z, ti}
+	if ivs, ok := s.ivalCache[key]; ok {
+		return ivs
+	}
+	l := &s.tg.Layers[z]
+	c := l.Coords[ti]
+	var ivs []*ival
+	for _, span := range s.area.TrackSpans(z, l.Dir, c) {
+		// Collect the Need runs within the span and normalize: callbacks
+		// may emit them unordered or overlapping (overlaps take the
+		// maximum need); gaps are free (need 0).
+		var needs intervalmap.Map
+		s.cfg.WireRuns(z, ti, span.Lo, span.Hi-1, func(lo, hi int, need drc.Need) {
+			lo, hi = max(lo, span.Lo), min(hi, span.Hi)
+			if lo < hi && need > 0 {
+				needs.Update(lo, hi, func(old uint64) uint64 {
+					if uint64(need) > old {
+						return uint64(need)
+					}
+					return old
+				})
+			}
+		})
+		flush := func(lo, hi int, need drc.Need) {
+			if lo >= hi || need > s.cfg.MaxNeed {
+				return
+			}
+			// Merge with previous interval when contiguous & same need.
+			if n := len(ivs); n > 0 && ivs[n-1].hi == lo-1 && ivs[n-1].need == need {
+				ivs[n-1].hi = hi - 1
+				return
+			}
+			ivs = append(ivs, &ival{z: z, ti: ti, lo: lo, hi: hi - 1, need: need})
+		}
+		cur := span.Lo
+		needs.Runs(span.Lo, span.Hi, func(lo, hi int, v uint64) bool {
+			if lo > cur {
+				flush(cur, lo, 0)
+			}
+			flush(lo, hi, drc.Need(v))
+			cur = hi
+			return true
+		})
+		if cur < span.Hi {
+			flush(cur, span.Hi, 0)
+		}
+	}
+	for _, iv := range ivs {
+		iv.expanded = map[int]int{}
+		s.stats.Intervals++
+	}
+	s.ivalCache[key] = ivs
+	return ivs
+}
+
+// findIval returns the interval of track (z, ti) containing pos, or nil.
+func (s *searcher) findIval(z, ti, pos int) *ival {
+	ivs := s.intervalsOf(z, ti)
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi >= pos })
+	if i < len(ivs) && ivs[i].lo <= pos {
+		return ivs[i]
+	}
+	return nil
+}
+
+// trackOf resolves a vertex's track index, or -1 when off-track.
+func (s *searcher) trackOf(p geom.Point3) int {
+	if p.Z < 0 || p.Z >= s.tg.NumLayers() {
+		return -1
+	}
+	l := &s.tg.Layers[p.Z]
+	return l.TrackAt(p.XY().Coord(l.Dir.Perp()))
+}
+
+func (s *searcher) alongOf(p geom.Point3) int {
+	l := &s.tg.Layers[p.Z]
+	return p.XY().Coord(l.Dir)
+}
+
+const inf = int(^uint(0) >> 2)
+
+func (s *searcher) run(S, T []geom.Point3) *Path {
+	s.best = inf
+	s.bestLabel = -1
+	s.targetSet = make(map[geom.Point3]bool, len(T))
+
+	// Register targets on their intervals.
+	for _, t := range T {
+		ti := s.trackOf(t)
+		if ti < 0 {
+			continue
+		}
+		iv := s.findIval(t.Z, ti, s.alongOf(t))
+		if iv == nil {
+			continue
+		}
+		iv.targets = append(iv.targets, s.alongOf(t))
+		s.targetSet[t] = true
+	}
+	if len(s.targetSet) == 0 {
+		return nil
+	}
+
+	// Seed sources.
+	for _, src := range S {
+		ti := s.trackOf(src)
+		if ti < 0 {
+			continue
+		}
+		pos := s.alongOf(src)
+		iv := s.findIval(src.Z, ti, pos)
+		if iv == nil {
+			continue
+		}
+		key := s.pi(src.Z, ti, pos) + s.entryCost(iv)
+		s.addLabel(iv, pos, key, -1, 0)
+	}
+
+	for s.pq.Len() > 0 {
+		it := heap.Pop(&s.pq).(pqItem)
+		if it.key >= s.best {
+			break
+		}
+		s.stats.HeapPops++
+		s.sweep(it.label, it.key, it.side)
+	}
+
+	if s.bestLabel < 0 {
+		return nil
+	}
+	return s.buildPath()
+}
+
+// entryCost is the extra cost of entering an interval: rip-up penalty
+// plus spreading cost.
+func (s *searcher) entryCost(iv *ival) int {
+	c := 0
+	if iv.need > 0 {
+		c += s.cfg.RipupPenalty(iv.need)
+	}
+	if s.cfg.SpreadCost != nil {
+		c += s.cfg.SpreadCost(iv.z, iv.ti, iv.lo, iv.hi)
+	}
+	return c
+}
+
+// keyAt evaluates the label's induced key at position x within its
+// interval: key + |x − pos| − π(pos) + π(x).
+func (lb *label) keyAt(x int, s *searcher) int {
+	return lb.key + geom.Abs(x-lb.pos) - s.pi(lb.iv.z, lb.iv.ti, lb.pos) + s.pi(lb.iv.z, lb.iv.ti, x)
+}
+
+// addLabel inserts a label unless it is redundant (paper: (v', δ')
+// redundant if δ' ≥ d_{(v,δ)}(v') for an existing label). Returns
+// whether the label was added.
+func (s *searcher) addLabel(iv *ival, pos, key int, parent int32, parentPos int) bool {
+	if key >= s.best {
+		return false
+	}
+	for _, li := range iv.labels {
+		ex := &s.labels[li]
+		if ex.keyAt(pos, s) <= key {
+			return false
+		}
+	}
+	idx := int32(len(s.labels))
+	s.labels = append(s.labels, label{
+		iv: iv, pos: pos, key: key,
+		parent: parent, parentPos: parentPos,
+		sweptLo: pos + 1, sweptHi: pos - 1, // empty sweep
+	})
+	iv.labels = append(iv.labels, idx)
+	s.stats.Labels++
+	heap.Push(&s.pq, pqItem{key: key, label: idx, side: 0})
+	return true
+}
+
+// sweep settles every position of the label's interval whose induced key
+// is ≤ cap, expands the newly settled crossings, and schedules
+// continuation events for the rest of the interval. side records which
+// pending continuation this call consumes (-1 left, +1 right, 0 initial).
+func (s *searcher) sweep(li int32, cap int, side int8) {
+	lb := &s.labels[li]
+	iv := lb.iv
+	piPos := s.pi(iv.z, iv.ti, lb.pos)
+	base := lb.key - piPos
+
+	// keyAtX as a local closure (avoids repeated pi at pos).
+	keyAt := func(x int) int {
+		return base + geom.Abs(x-lb.pos) + s.pi(iv.z, iv.ti, x)
+	}
+
+	switch side {
+	case -1:
+		lb.pendingL = false
+	case +1:
+		lb.pendingR = false
+	}
+
+	// Extend the swept range in both directions while key ≤ cap. The
+	// induced key is nondecreasing away from pos (π is 1-Lipschitz), so
+	// binary search finds the frontier.
+	newLo := lb.sweptLo
+	newHi := lb.sweptHi
+	if newLo > newHi { // first sweep: start at pos
+		newLo, newHi = lb.pos, lb.pos
+		if keyAt(lb.pos) > cap {
+			return
+		}
+		s.settle(li, lb.pos, keyAt(lb.pos))
+	}
+	// Right extension.
+	lo, hi := newHi+1, iv.hi
+	if lo <= hi && keyAt(lo) <= cap {
+		r := lo + sort.Search(hi-lo+1, func(k int) bool { return keyAt(lo+k) > cap }) - 1
+		s.settleRange(li, lo, r, keyAt)
+		newHi = r
+	}
+	// Left extension.
+	lo2, hi2 := iv.lo, newLo-1
+	if lo2 <= hi2 && keyAt(hi2) <= cap {
+		cnt := sort.Search(hi2-lo2+1, func(k int) bool { return keyAt(hi2-k) > cap })
+		l := hi2 - cnt + 1
+		s.settleRange(li, l, hi2, keyAt)
+		newLo = l
+	}
+	lb = &s.labels[li] // settle may grow s.labels; refresh pointer
+	lb.sweptLo, lb.sweptHi = newLo, newHi
+
+	// Continuation events at the frontiers, at most one outstanding per
+	// side.
+	if newHi < iv.hi && !lb.pendingR {
+		if k := keyAt(newHi + 1); k < s.best {
+			lb.pendingR = true
+			heap.Push(&s.pq, pqItem{key: k, label: li, side: +1})
+		}
+	}
+	if newLo > iv.lo && !lb.pendingL {
+		if k := keyAt(newLo - 1); k < s.best {
+			lb.pendingL = true
+			heap.Push(&s.pq, pqItem{key: k, label: li, side: -1})
+		}
+	}
+}
+
+// settleRange settles positions [a, b] of label li (b ≥ a), expanding
+// crossings and interval endpoints, and checking targets.
+func (s *searcher) settleRange(li int32, a, b int, keyAt func(int) int) {
+	lb := &s.labels[li]
+	iv := lb.iv
+	layer := &s.tg.Layers[iv.z]
+
+	// Targets inside [a, b].
+	for _, t := range iv.targets {
+		if t >= a && t <= b {
+			if k := keyAt(t); k < s.best {
+				s.best = k
+				s.bestLabel = li
+				s.bestPos = t
+			}
+		}
+	}
+	// Expand crossings.
+	for _, x := range layer.CrossRange(a, b) {
+		s.expand(li, x, keyAt(x))
+	}
+	// Interval endpoints may abut a neighboring interval of different
+	// need: relax the continuation step.
+	if iv.lo >= a && iv.lo <= b {
+		s.relaxAdjacent(li, iv, iv.lo, -1, keyAt(iv.lo))
+	}
+	if iv.hi >= a && iv.hi <= b {
+		s.relaxAdjacent(li, iv, iv.hi, +1, keyAt(iv.hi))
+	}
+}
+
+func (s *searcher) settle(li int32, x, key int) {
+	s.settleRange(li, x, x, func(int) int { return key })
+}
+
+// relaxAdjacent steps from an interval endpoint to the abutting interval
+// (cost 1 wire step plus the neighbor's entry cost).
+func (s *searcher) relaxAdjacent(li int32, iv *ival, pos, dir, key int) {
+	npos := pos + dir
+	niv := s.findIval(iv.z, iv.ti, npos)
+	if niv == nil || niv == iv {
+		return
+	}
+	piHere := s.pi(iv.z, iv.ti, pos)
+	piThere := s.pi(iv.z, iv.ti, npos)
+	nk := key + 1 + s.entryCost(niv) - piHere + piThere
+	s.addLabel(niv, npos, nk, li, pos)
+}
+
+// expand relaxes the jog and via edges out of crossing x of label li's
+// interval. Re-expansion happens only when the key improved
+// (label-correcting safety for quantized future costs).
+func (s *searcher) expand(li int32, x, key int) {
+	lb := &s.labels[li]
+	iv := lb.iv
+	if old, ok := iv.expanded[x]; ok && old <= key {
+		return
+	}
+	iv.expanded[x] = key
+	s.stats.Expanded++
+
+	z, ti := iv.z, iv.ti
+	layer := &s.tg.Layers[z]
+	piHere := s.pi(z, ti, x)
+	base := key - piHere
+
+	// Jog up.
+	if ti+1 < len(layer.Coords) {
+		gap := layer.Coords[ti+1] - layer.Coords[ti]
+		if need := s.cfg.JogNeed(z, ti, x); need <= s.cfg.MaxNeed {
+			if niv := s.findIval(z, ti+1, x); niv != nil {
+				cost := s.cfg.Costs.BetaJog[z]*gap + s.jogPenalty(need) + s.entryCost(niv)
+				s.addLabel(niv, x, base+cost+s.pi(z, ti+1, x), li, x)
+			}
+		}
+	}
+	// Jog down.
+	if ti > 0 {
+		gap := layer.Coords[ti] - layer.Coords[ti-1]
+		if need := s.cfg.JogNeed(z, ti-1, x); need <= s.cfg.MaxNeed {
+			if niv := s.findIval(z, ti-1, x); niv != nil {
+				cost := s.cfg.Costs.BetaJog[z]*gap + s.jogPenalty(need) + s.entryCost(niv)
+				s.addLabel(niv, x, base+cost+s.pi(z, ti-1, x), li, x)
+			}
+		}
+	}
+	// Vias. The crossing coordinate x is a track coordinate of an
+	// adjacent layer; a via exists where it is a track of that layer.
+	px, py := s.vertexXY(z, ti, x)
+	pos := geom.Pt(px, py)
+	if z+1 < s.tg.NumLayers() {
+		up := &s.tg.Layers[z+1]
+		if topTi := up.TrackAt(pos.Coord(up.Dir.Perp())); topTi >= 0 {
+			if need := s.cfg.ViaNeed(z, ti, topTi, pos); need <= s.cfg.MaxNeed {
+				upAlong := pos.Coord(up.Dir)
+				if niv := s.findIval(z+1, topTi, upAlong); niv != nil {
+					cost := s.cfg.Costs.GammaVia[z] + s.jogPenalty(need) + s.entryCost(niv)
+					s.addLabel(niv, upAlong, base+cost+s.pi(z+1, topTi, upAlong), li, x)
+				}
+			}
+		}
+	}
+	if z > 0 {
+		down := &s.tg.Layers[z-1]
+		if botTi := down.TrackAt(pos.Coord(down.Dir.Perp())); botTi >= 0 {
+			if need := s.cfg.ViaNeed(z-1, botTi, ti, pos); need <= s.cfg.MaxNeed {
+				downAlong := pos.Coord(down.Dir)
+				if niv := s.findIval(z-1, botTi, downAlong); niv != nil {
+					cost := s.cfg.Costs.GammaVia[z-1] + s.jogPenalty(need) + s.entryCost(niv)
+					s.addLabel(niv, downAlong, base+cost+s.pi(z-1, botTi, downAlong), li, x)
+				}
+			}
+		}
+	}
+}
+
+func (s *searcher) jogPenalty(need drc.Need) int {
+	if need == 0 {
+		return 0
+	}
+	return s.cfg.RipupPenalty(need)
+}
+
+// buildPath backtracks from the best target hit.
+func (s *searcher) buildPath() *Path {
+	var pts []geom.Point3
+	li := s.bestLabel
+	pos := s.bestPos
+	for li >= 0 {
+		lb := &s.labels[li]
+		pts = append(pts, s.vertexPoint(lb.iv.z, lb.iv.ti, pos))
+		if lb.pos != pos {
+			pts = append(pts, s.vertexPoint(lb.iv.z, lb.iv.ti, lb.pos))
+		}
+		pos = lb.parentPos
+		li = lb.parent
+	}
+	// Reverse to source → target order.
+	for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	pts = compressWaypoints(pts)
+	return &Path{Points: pts, Cost: s.best, Stats: s.stats}
+}
+
+// compressWaypoints drops collinear intermediate points.
+func compressWaypoints(pts []geom.Point3) []geom.Point3 {
+	if len(pts) <= 2 {
+		return pts
+	}
+	out := pts[:1]
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		if p == out[len(out)-1] {
+			continue
+		}
+		if len(out) >= 2 {
+			a, b := out[len(out)-2], out[len(out)-1]
+			if collinear(a, b, p) {
+				out[len(out)-1] = p
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func collinear(a, b, c geom.Point3) bool {
+	if a.Z != b.Z || b.Z != c.Z {
+		return a.X == b.X && b.X == c.X && a.Y == b.Y && b.Y == c.Y
+	}
+	if a.X == b.X && b.X == c.X {
+		return between(a.Y, b.Y, c.Y)
+	}
+	if a.Y == b.Y && b.Y == c.Y {
+		return between(a.X, b.X, c.X)
+	}
+	return false
+}
+
+func between(a, b, c int) bool { return (a <= b && b <= c) || (a >= b && b >= c) }
+
+// pqItem is a heap entry: either a fresh label (side 0) or a sweep
+// continuation for one frontier of a label.
+type pqItem struct {
+	key   int
+	label int32
+	side  int8
+}
+
+type labelHeap []pqItem
+
+func (h labelHeap) Len() int            { return len(h) }
+func (h labelHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h labelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *labelHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *labelHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,228 @@
+package pinaccess
+
+import (
+	"testing"
+
+	"bonnroute/internal/blockgrid"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/tracks"
+)
+
+func testChipAndTracks() (*chip.Chip, *tracks.Graph) {
+	c := chip.Generate(chip.GenParams{Seed: 1, Rows: 3, Cols: 8, NumNets: 10})
+	dirs := make([]geom.Direction, c.NumLayers())
+	coords := make([][]int, c.NumLayers())
+	for z := 0; z < c.NumLayers(); z++ {
+		dirs[z] = c.Dir(z)
+		lr := c.Deck.Layers[z]
+		span := c.Area.Span(c.Dir(z).Perp())
+		for t := span.Lo + lr.Pitch/2; t < span.Hi; t += lr.Pitch {
+			coords[z] = append(coords[z], t)
+		}
+	}
+	return c, tracks.BuildGraph(c.Area, dirs, coords)
+}
+
+func TestBuildCatalogue(t *testing.T) {
+	c, tg := testChipAndTracks()
+	// Pick a cell with ≥ 2 pins.
+	cellIdx := -1
+	for i := range c.Cells {
+		if len(c.Protos[c.Cells[i].Proto].Pins) >= 2 {
+			cellIdx = i
+			break
+		}
+	}
+	if cellIdx < 0 {
+		t.Skip("no multi-pin cell")
+	}
+	cat := BuildCatalogue(c, tg, cellIdx, Params{})
+	proto := &c.Protos[c.Cells[cellIdx].Proto]
+	if len(cat.PerPin) != len(proto.Pins) {
+		t.Fatalf("catalogue size %d != pins %d", len(cat.PerPin), len(proto.Pins))
+	}
+	gotAny := false
+	for pi, cands := range cat.PerPin {
+		for _, a := range cands {
+			gotAny = true
+			// Every candidate is τ-feasible.
+			tau := c.Deck.Layers[a.Layer].MinSegLen
+			if !blockgrid.SegmentsOK(a.Points, tau, nil) {
+				t.Fatalf("pin %d: candidate violates τ: %v", pi, a.Points)
+			}
+			// Endpoint is the last waypoint.
+			if a.Points[len(a.Points)-1] != a.End {
+				t.Fatalf("pin %d: endpoint mismatch", pi)
+			}
+		}
+		// Candidates sorted by length.
+		for i := 1; i < len(cands); i++ {
+			if cands[i].Length < cands[i-1].Length {
+				t.Fatalf("pin %d: candidates unsorted", pi)
+			}
+		}
+	}
+	if !gotAny {
+		t.Fatal("no candidates generated at all")
+	}
+	// The chosen selection must be pairwise conflict-free.
+	hw := c.Deck.Layers[0].MinWidth / 2
+	sp := c.Deck.Layers[0].Spacing[0].Spacing
+	for pi := range cat.Chosen {
+		if cat.Chosen[pi] < 0 {
+			continue
+		}
+		a := &cat.PerPin[pi][cat.Chosen[pi]]
+		for qi := pi + 1; qi < len(cat.Chosen); qi++ {
+			if cat.Chosen[qi] < 0 {
+				continue
+			}
+			b := &cat.PerPin[qi][cat.Chosen[qi]]
+			if Conflicts(a, b, hw, sp) {
+				t.Fatalf("chosen paths of pins %d and %d conflict", pi, qi)
+			}
+		}
+	}
+}
+
+func TestCatalogueTranslation(t *testing.T) {
+	a := AccessPath{
+		Pin: 0, Layer: 0,
+		Points: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		End:    geom.Pt(10, 0), Length: 10,
+	}
+	b := a.Translated(geom.Pt(100, 50))
+	if b.Points[0] != geom.Pt(100, 50) || b.End != geom.Pt(110, 50) {
+		t.Fatalf("translation wrong: %+v", b)
+	}
+	// Original untouched.
+	if a.Points[0] != geom.Pt(0, 0) {
+		t.Fatal("translation mutated the source")
+	}
+}
+
+func TestClassKeySharing(t *testing.T) {
+	c, _ := testChipAndTracks()
+	pitch := c.Deck.Layers[0].Pitch
+	byKey := map[string][]int{}
+	for i := range c.Cells {
+		byKey[ClassKey(c, i, pitch)] = append(byKey[ClassKey(c, i, pitch)], i)
+	}
+	if len(byKey) >= len(c.Cells) {
+		t.Fatalf("no class sharing: %d classes for %d cells", len(byKey), len(c.Cells))
+	}
+	// Same class ⇒ same prototype and mirroring.
+	for _, cells := range byKey {
+		for _, i := range cells[1:] {
+			if c.Cells[i].Proto != c.Cells[cells[0]].Proto ||
+				c.Cells[i].Mirrored != c.Cells[cells[0]].Mirrored {
+				t.Fatal("class mixes prototypes")
+			}
+		}
+	}
+}
+
+// TestFigure7ConflictFree reproduces the paper's Fig. 7 situation: pins
+// whose greedy nearest-endpoint choices collide, while a conflict-free
+// selection exists and is found.
+func TestFigure7ConflictFree(t *testing.T) {
+	mk := func(pin int, pts ...geom.Point) AccessPath {
+		l := 0
+		for i := 1; i < len(pts); i++ {
+			l += pts[i-1].Dist1(pts[i])
+		}
+		return AccessPath{Pin: pin, Layer: 0, Points: pts, End: pts[len(pts)-1], Length: l}
+	}
+	// Pin 0 at (40,0), pin 1 at (50,30) / (40,30). The short choices
+	// collide near (50,0)–(50,12); each long alternative is clean with
+	// the other pin's short choice.
+	perPin := [][]AccessPath{
+		{mk(0, geom.Pt(40, 0), geom.Pt(50, 0)), mk(0, geom.Pt(40, 0), geom.Pt(20, 0))},
+		{mk(1, geom.Pt(50, 30), geom.Pt(50, 12)), mk(1, geom.Pt(40, 30), geom.Pt(100, 30))},
+	}
+	conflict := func(a, b *AccessPath) bool { return Conflicts(a, b, 4, 12) }
+	// Greedy would pick A0 and B0 which conflict (segments 8 apart < 12).
+	if !conflict(&perPin[0][0], &perPin[1][0]) {
+		t.Fatal("test setup: greedy pair must conflict")
+	}
+	sel, ok := ConflictFree(perPin, conflict)
+	if !ok {
+		t.Fatal("no conflict-free solution found")
+	}
+	a := &perPin[0][sel[0]]
+	b := &perPin[1][sel[1]]
+	if conflict(a, b) {
+		t.Fatal("selected paths conflict")
+	}
+}
+
+func TestConflictFreeInfeasible(t *testing.T) {
+	mk := func(pin int, pts ...geom.Point) AccessPath {
+		return AccessPath{Pin: pin, Layer: 0, Points: pts, End: pts[len(pts)-1], Length: 10}
+	}
+	// Both pins have exactly one candidate and those collide.
+	perPin := [][]AccessPath{
+		{mk(0, geom.Pt(0, 0), geom.Pt(10, 0))},
+		{mk(1, geom.Pt(0, 2), geom.Pt(10, 2))},
+	}
+	_, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return Conflicts(a, b, 4, 12) })
+	if ok {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestConflictFreeEmptyPins(t *testing.T) {
+	sel, ok := ConflictFree([][]AccessPath{nil, nil}, func(a, b *AccessPath) bool { return false })
+	if !ok || sel[0] != -1 || sel[1] != -1 {
+		t.Fatalf("empty pins: %v %v", sel, ok)
+	}
+}
+
+func TestConflictsGeometry(t *testing.T) {
+	mk := func(pts ...geom.Point) AccessPath {
+		return AccessPath{Layer: 0, Points: pts}
+	}
+	a := mk(geom.Pt(0, 0), geom.Pt(100, 0))
+	// Parallel at distance 20 edge-to-edge with hw=4: centers 28 apart.
+	b := mk(geom.Pt(0, 28), geom.Pt(100, 28))
+	if Conflicts(&a, &b, 4, 20) {
+		t.Fatal("paths 20 apart with spacing 20 must not conflict")
+	}
+	cPath := mk(geom.Pt(0, 27), geom.Pt(100, 27))
+	if !Conflicts(&a, &cPath, 4, 20) {
+		t.Fatal("paths 19 apart with spacing 20 must conflict")
+	}
+	// Different layers never conflict.
+	d := mk(geom.Pt(0, 0), geom.Pt(100, 0))
+	d.Layer = 1
+	if Conflicts(&a, &d, 4, 20) {
+		t.Fatal("cross-layer conflict")
+	}
+}
+
+// The branch and bound must find the optimal (minimum total length)
+// selection on a small instance where greedy fails.
+func TestConflictFreeOptimality(t *testing.T) {
+	mk := func(pin, length int, endX int) AccessPath {
+		return AccessPath{
+			Pin: pin, Layer: 0,
+			Points: []geom.Point{geom.Pt(0, pin*100), geom.Pt(endX, pin*100)},
+			End:    geom.Pt(endX, pin*100), Length: length,
+		}
+	}
+	// No geometric conflicts (pins far apart): optimum = pick shortest
+	// everywhere.
+	perPin := [][]AccessPath{
+		{mk(0, 30, 30), mk(0, 10, 10)},
+		{mk(1, 5, 5), mk(1, 50, 50)},
+	}
+	sel, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return false })
+	if !ok {
+		t.Fatal("no solution")
+	}
+	total := perPin[0][sel[0]].Length + perPin[1][sel[1]].Length
+	if total != 15 {
+		t.Fatalf("total = %d, want 15", total)
+	}
+}

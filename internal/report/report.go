@@ -1,0 +1,193 @@
+// Package report computes and formats the evaluation metrics of the
+// paper's §5.3: netlength, via counts, scenic-net statistics against
+// Steiner baselines (Table I), per-terminal-class detour ratios
+// (Table II), global-routing summaries (Table III), and error counts.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/steiner"
+)
+
+// NetLength holds a net's routed wire length and via count.
+type NetLength struct {
+	Length int64
+	Vias   int
+	Routed bool
+}
+
+// ScenicThresholdLen is the minimum routed length for a net to qualify as
+// scenic (the paper uses 100 µm; we scale to the synthetic chips'
+// dimensions via this variable).
+var ScenicThresholdLen = int64(2000)
+
+// Metrics is one row of Table I.
+type Metrics struct {
+	Name      string
+	Nets      int
+	Runtime   time.Duration
+	RuntimeBR time.Duration // BonnRoute portion of a combined flow (0 if n/a)
+	Netlength int64
+	Vias      int
+	Scenic25  int
+	Scenic50  int
+	Errors    int
+	Unrouted  int
+}
+
+// SteinerBaselines computes the per-net Steiner minimum lengths (exact
+// for ≤ 9 terminals, heuristic beyond — §5.3) from pin centers.
+func SteinerBaselines(c *chip.Chip) []int64 {
+	out := make([]int64, len(c.Nets))
+	for ni := range c.Nets {
+		pts := make([]geom.Point, 0, len(c.Nets[ni].Pins))
+		for _, pi := range c.Nets[ni].Pins {
+			pts = append(pts, c.Pins[pi].Center())
+		}
+		out[ni] = steiner.RSMTLength(pts)
+	}
+	return out
+}
+
+// SteinerBaselinesAt computes per-net Steiner minimum lengths over
+// arbitrary representative points (e.g. global-routing tile centers, the
+// right metric for Table II/III comparisons of global routes).
+func SteinerBaselinesAt(c *chip.Chip, pointOf func(pin int) geom.Point) []int64 {
+	out := make([]int64, len(c.Nets))
+	for ni := range c.Nets {
+		pts := make([]geom.Point, 0, len(c.Nets[ni].Pins))
+		for _, pi := range c.Nets[ni].Pins {
+			pts = append(pts, pointOf(pi))
+		}
+		out[ni] = steiner.RSMTLength(pts)
+	}
+	return out
+}
+
+// Scenic computes the scenic-net counts: nets with routed length ≥ the
+// threshold and detour ≥ 25 % (resp. 50 %) over the Steiner baseline.
+func Scenic(perNet []NetLength, baselines []int64) (s25, s50 int) {
+	for ni, nl := range perNet {
+		if !nl.Routed || nl.Length < ScenicThresholdLen || baselines[ni] <= 0 {
+			continue
+		}
+		if nl.Length*4 >= baselines[ni]*5 {
+			s25++
+		}
+		if nl.Length*2 >= baselines[ni]*3 {
+			s50++
+		}
+	}
+	return
+}
+
+// TerminalClassRow is one column of Table II.
+type TerminalClassRow struct {
+	Label     string
+	Netlength int64
+	Steiner   int64
+}
+
+// Ratio returns netlength over Steiner length.
+func (r TerminalClassRow) Ratio() float64 {
+	if r.Steiner == 0 {
+		return 0
+	}
+	return float64(r.Netlength) / float64(r.Steiner)
+}
+
+// TableII buckets nets by terminal count exactly as the paper: 2, 3, 4,
+// 5–10, 11–20, >20.
+func TableII(c *chip.Chip, perNet []NetLength, baselines []int64) []TerminalClassRow {
+	rows := []TerminalClassRow{
+		{Label: "2 terminals"}, {Label: "3 terminals"}, {Label: "4 terminals"},
+		{Label: "5-10 terminals"}, {Label: "11-20 terminals"}, {Label: ">20 terminals"},
+	}
+	bucket := func(k int) int {
+		switch {
+		case k <= 2:
+			return 0
+		case k == 3:
+			return 1
+		case k == 4:
+			return 2
+		case k <= 10:
+			return 3
+		case k <= 20:
+			return 4
+		}
+		return 5
+	}
+	for ni := range c.Nets {
+		if !perNet[ni].Routed {
+			continue
+		}
+		b := bucket(len(c.Nets[ni].Pins))
+		rows[b].Netlength += perNet[ni].Length
+		rows[b].Steiner += baselines[ni]
+	}
+	return rows
+}
+
+// FormatTableI renders Table I rows.
+func FormatTableI(rows []Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s %12s %9s %9s %9s %7s %8s\n",
+		"flow", "nets", "time", "time(BR)", "netlength", "#vias", "scenic25", "scenic50", "errors", "unrouted")
+	for _, r := range rows {
+		br := "-"
+		if r.RuntimeBR > 0 {
+			br = r.RuntimeBR.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-14s %8d %10s %10s %12d %9d %9d %9d %7d %8d\n",
+			r.Name, r.Nets, r.Runtime.Round(time.Millisecond), br,
+			r.Netlength, r.Vias, r.Scenic25, r.Scenic50, r.Errors, r.Unrouted)
+	}
+	return b.String()
+}
+
+// FormatTableII renders Table II.
+func FormatTableII(rows []TerminalClassRow) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %12d DBU (%.3fx)\n", r.Label, r.Netlength, r.Ratio())
+	}
+	return b.String()
+}
+
+// GlobalMetrics is one row of Table III.
+type GlobalMetrics struct {
+	Name        string
+	Runtime     time.Duration
+	AlgTime     time.Duration // time in Algorithm 2 (BR only)
+	RRTime      time.Duration // rip-up & reroute time (BR only)
+	Netlength   int64
+	Steiner     int64
+	Vias        int
+	OverloadedE int
+}
+
+// FormatTableIII renders Table III rows.
+func FormatTableIII(rows []GlobalMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %12s %12s %9s %6s\n",
+		"router", "time", "alg2", "r&r", "netlength", "steiner", "#vias", "over")
+	for _, r := range rows {
+		alg, rr := "-", "-"
+		if r.AlgTime > 0 {
+			alg = r.AlgTime.Round(time.Millisecond).String()
+		}
+		if r.RRTime > 0 {
+			rr = r.RRTime.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-14s %10s %10s %10s %12d %12d %9d %6d\n",
+			r.Name, r.Runtime.Round(time.Millisecond), alg, rr,
+			r.Netlength, r.Steiner, r.Vias, r.OverloadedE)
+	}
+	return b.String()
+}

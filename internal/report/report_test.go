@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bonnroute/internal/chip"
+)
+
+func TestSteinerBaselines(t *testing.T) {
+	c := chip.Generate(chip.GenParams{Seed: 1, Rows: 4, Cols: 10, NumNets: 20})
+	b := SteinerBaselines(c)
+	if len(b) != len(c.Nets) {
+		t.Fatalf("baselines = %d, want %d", len(b), len(c.Nets))
+	}
+	for ni, l := range b {
+		if l <= 0 {
+			t.Fatalf("net %d baseline %d", ni, l)
+		}
+		// Baseline is at most star wiring from the first pin.
+		var star int64
+		p0 := c.Pins[c.Nets[ni].Pins[0]].Center()
+		for _, pi := range c.Nets[ni].Pins[1:] {
+			star += int64(p0.Dist1(c.Pins[pi].Center()))
+		}
+		if l > star {
+			t.Fatalf("net %d baseline %d exceeds star %d", ni, l, star)
+		}
+	}
+}
+
+func TestScenic(t *testing.T) {
+	baselines := []int64{1000, 1000, 1000, 1000}
+	perNet := []NetLength{
+		{Length: 1100, Routed: true},  // 10% detour: not scenic
+		{Length: 1300, Routed: true},  // 30%: scenic25
+		{Length: 1600, Routed: true},  // 60%: scenic25 + scenic50
+		{Length: 1600, Routed: false}, // unrouted: ignored
+	}
+	old := ScenicThresholdLen
+	ScenicThresholdLen = 500
+	defer func() { ScenicThresholdLen = old }()
+	s25, s50 := Scenic(perNet, baselines)
+	if s25 != 2 || s50 != 1 {
+		t.Fatalf("scenic = %d/%d, want 2/1", s25, s50)
+	}
+	// Below the length threshold nothing is scenic.
+	ScenicThresholdLen = 5000
+	s25, s50 = Scenic(perNet, baselines)
+	if s25 != 0 || s50 != 0 {
+		t.Fatalf("short nets must not be scenic: %d/%d", s25, s50)
+	}
+}
+
+func TestTableIIBuckets(t *testing.T) {
+	c := chip.Generate(chip.GenParams{Seed: 2, Rows: 6, Cols: 14, NumNets: 60})
+	baselines := SteinerBaselines(c)
+	perNet := make([]NetLength, len(c.Nets))
+	for i := range perNet {
+		perNet[i] = NetLength{Length: baselines[i] * 11 / 10, Routed: true}
+	}
+	rows := TableII(c, perNet, baselines)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var total int64
+	for _, r := range rows {
+		total += r.Netlength
+		if r.Steiner > 0 {
+			ratio := r.Ratio()
+			if ratio < 1.05 || ratio > 1.15 {
+				t.Fatalf("%s: ratio %.3f, want ≈1.1", r.Label, ratio)
+			}
+		}
+	}
+	var want int64
+	for i := range perNet {
+		want += perNet[i].Length
+	}
+	if total != want {
+		t.Fatalf("bucket sum %d != total %d", total, want)
+	}
+	// Empty bucket ratio is 0, not NaN.
+	if (TerminalClassRow{}).Ratio() != 0 {
+		t.Fatal("empty ratio")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	s := FormatTableI([]Metrics{{
+		Name: "ISR", Nets: 100, Runtime: time.Second,
+		Netlength: 12345, Vias: 67, Scenic25: 8, Scenic50: 2, Errors: 1,
+	}, {
+		Name: "BR+cleanup", Nets: 100, Runtime: time.Second / 2, RuntimeBR: time.Second / 4,
+		Netlength: 11000, Vias: 50,
+	}})
+	if !strings.Contains(s, "ISR") || !strings.Contains(s, "BR+cleanup") || !strings.Contains(s, "12345") {
+		t.Fatalf("Table I formatting: %s", s)
+	}
+	s2 := FormatTableII([]TerminalClassRow{{Label: "2 terminals", Netlength: 500, Steiner: 400}})
+	if !strings.Contains(s2, "1.250x") {
+		t.Fatalf("Table II formatting: %s", s2)
+	}
+	s3 := FormatTableIII([]GlobalMetrics{{
+		Name: "BR-global", Runtime: time.Second, AlgTime: time.Second / 2,
+		RRTime: time.Second / 10, Netlength: 999, Steiner: 900, Vias: 12,
+	}})
+	if !strings.Contains(s3, "BR-global") || !strings.Contains(s3, "999") {
+		t.Fatalf("Table III formatting: %s", s3)
+	}
+}

@@ -1,0 +1,392 @@
+// Package rules models the design-rule content of BonnRoute: wire and via
+// models mapping one-dimensional stick figures to metal shapes (paper
+// §3.2), diff-net minimum-distance rules as nondecreasing functions of
+// width and common run-length (§3.1) including the line-end extension
+// policy, inter-layer via rules, and the same-net rule families (notch,
+// short-edge, minimum-area, minimum segment length; §3.7).
+//
+// A Deck bundles the rules of one technology. Decks here are synthetic
+// (the paper's foundry decks are proprietary) but structurally identical:
+// every rule family the paper discusses is present and exercised.
+package rules
+
+import (
+	"fmt"
+
+	"bonnroute/internal/geom"
+)
+
+// ShapeClass indexes a row/column of the spacing matrix. Two shapes'
+// required spacing depends on their classes plus width and run-length.
+// Classes let one rule deck distinguish e.g. standard wires from wide
+// wires or via pads without enumerating geometry.
+type ShapeClass uint8
+
+const (
+	// ClassStandard is a minimum-width wire shape.
+	ClassStandard ShapeClass = iota
+	// ClassWide is a wire shape of at least double width.
+	ClassWide
+	// ClassViaPad is the landing pad of a via in a wiring layer.
+	ClassViaPad
+	// ClassViaCut is the cut shape in a via layer.
+	ClassViaCut
+	// ClassBlockage is fixed blockage metal (power rails, macros).
+	ClassBlockage
+	// ClassViaProj is the projection of a via cut into the next higher
+	// via layer, used to check inter-layer via rules within one layer
+	// (paper §3.2).
+	ClassViaProj
+	// NumShapeClasses is the number of defined classes.
+	NumShapeClasses
+)
+
+func (c ShapeClass) String() string {
+	switch c {
+	case ClassStandard:
+		return "standard"
+	case ClassWide:
+		return "wide"
+	case ClassViaPad:
+		return "viapad"
+	case ClassViaCut:
+		return "viacut"
+	case ClassBlockage:
+		return "blockage"
+	case ClassViaProj:
+		return "viaproj"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// WireModel maps a stick figure to metal: the metal shape of a wire is the
+// Minkowski sum of the stick figure with Shape (paper §3.2). Class
+// selects the spacing rules the resulting shape is checked against.
+type WireModel struct {
+	// Shape is the rectangle swept along the stick figure. For a
+	// horizontal wire of width w with end extension e this is
+	// [-e, -w/2, e, w/2].
+	Shape geom.Rect
+	// Class is the shape class of the produced metal.
+	Class ShapeClass
+}
+
+// Metal returns the metal shape of a stick figure from a to b under m.
+func (m WireModel) Metal(a, b geom.Point) geom.Rect {
+	return geom.MinkowskiSeg(m.Shape, a, b)
+}
+
+// HalfWidth returns half the wire width orthogonal to a horizontal stick.
+// Models are symmetric in this implementation, so this is YMax.
+func (m WireModel) HalfWidth() int { return m.Shape.YMax }
+
+// ViaModel describes a via: pads in the two adjacent wiring layers, the
+// cut in the via layer in between, and (when an inter-layer via rule
+// applies) the projection of the cut into the next higher via layer so
+// that via-to-via rules can be checked within a single layer (§3.2).
+type ViaModel struct {
+	Bot, Cut, Top geom.Rect
+	BotClass      ShapeClass
+	CutClass      ShapeClass
+	TopClass      ShapeClass
+	// HasProjection indicates an inter-layer via rule applies; the cut is
+	// then also registered (as Cut translated) one via layer up.
+	HasProjection bool
+}
+
+// WireType maps wiring layers to wire models for preferred and
+// non-preferred direction, and via layers to via models (§3.2). All
+// wires and vias of a net are represented by stick figures plus a
+// WireType, which supports nonstandard widths and spacings per layer.
+type WireType struct {
+	// Name identifies the wire type in reports.
+	Name string
+	// Pref[z] and NonPref[z] are the wire models on wiring layer z.
+	Pref, NonPref []WireModel
+	// Vias[v] is the via model for via layer v (between wiring layers v
+	// and v+1).
+	Vias []ViaModel
+}
+
+// SpacingRule is one entry of a diff-net minimum-distance table: it
+// applies when both shapes have width ≥ WidthAtLeast and common
+// run-length ≥ RunLengthAtLeast, and then requires Spacing.
+type SpacingRule struct {
+	WidthAtLeast     int
+	RunLengthAtLeast int // may be 0 (always applies) or >0 (parallel only)
+	Spacing          int
+}
+
+// LayerRules bundles per-layer design rules.
+type LayerRules struct {
+	// Pitch is the minimum wiring pitch: minimum wire width plus minimum
+	// same-class spacing. Routing tracks are placed at this pitch.
+	Pitch int
+	// MinWidth is the minimum legal wire width.
+	MinWidth int
+	// Spacing is the width/run-length spacing table, sorted by
+	// (WidthAtLeast, RunLengthAtLeast). The largest applicable entry
+	// wins; entry 0 must have WidthAtLeast == 0 && RunLengthAtLeast == 0.
+	Spacing []SpacingRule
+	// LineEndSpacing is the extra extension assumed at wire line-ends in
+	// preferred direction (§3.1): BonnRoute pessimistically extends every
+	// preferred-direction wire shape by this amount at both ends, and
+	// optimistically does not extend jogs.
+	LineEndSpacing int
+	// Same-net rules (§3.7):
+	// MinArea is the minimum metal polygon area.
+	MinArea int64
+	// MinEdge is the short-edge rule: of any two adjacent boundary
+	// edges, at least one must be at least this long.
+	MinEdge int
+	// NotchSpacing is the minimum distance between non-adjacent segments
+	// of the same net (a notch narrower than this is illegal).
+	NotchSpacing int
+	// MinSegLen is τ, the minimum length of any wire segment; off-track
+	// path search enforces it via the blockage grid (§3.8).
+	MinSegLen int
+}
+
+// ViaLayerRules bundles per-via-layer rules.
+type ViaLayerRules struct {
+	// CutSpacing is the minimum distance between via cuts in this layer.
+	CutSpacing int
+	// InterLayerSpacing is the minimum distance between cuts of this
+	// layer and cuts of the layer below (checked via projections); 0
+	// disables the rule.
+	InterLayerSpacing int
+}
+
+// Deck is a complete synthetic rule deck for a layer stack.
+type Deck struct {
+	// Layers[z] are the rules of wiring layer z.
+	Layers []LayerRules
+	// ViaLayers[v] are the rules of via layer v (between z=v and z=v+1).
+	ViaLayers []ViaLayerRules
+	// classMult[a][b] scales table spacing between classes a and b in
+	// percent (100 = unchanged). Wide and blockage shapes demand more.
+	classMult [NumShapeClasses][NumShapeClasses]int
+}
+
+// NumWiringLayers returns the number of wiring layers in the deck.
+func (d *Deck) NumWiringLayers() int { return len(d.Layers) }
+
+// Spacing returns the required minimum ℓ2 distance between two shapes on
+// wiring layer z given their classes, widths and common run-length
+// (the maximum of run-lengths in x and y). It is nondecreasing in width
+// and run-length as the paper requires.
+func (d *Deck) Spacing(z int, ca, cb ShapeClass, widthA, widthB, runLength int) int {
+	lr := &d.Layers[z]
+	w := min(widthA, widthB) // the narrower shape limits which width rows apply
+	base := 0
+	for _, r := range lr.Spacing {
+		// A RunLengthAtLeast of 0 means the rule is unconditional in
+		// run-length and applies even to shapes with disjoint projections
+		// (negative run-length).
+		if w >= r.WidthAtLeast && (r.RunLengthAtLeast == 0 || runLength >= r.RunLengthAtLeast) {
+			if r.Spacing > base {
+				base = r.Spacing
+			}
+		}
+	}
+	m := d.classMult[ca][cb]
+	if m == 0 {
+		m = 100
+	}
+	return (base*m + 99) / 100
+}
+
+// MaxSpacing returns an upper bound on any spacing this deck can demand on
+// wiring layer z; query windows are expanded by this margin.
+func (d *Deck) MaxSpacing(z int) int {
+	lr := &d.Layers[z]
+	maxBase := 0
+	for _, r := range lr.Spacing {
+		if r.Spacing > maxBase {
+			maxBase = r.Spacing
+		}
+	}
+	maxMult := 100
+	for a := 0; a < int(NumShapeClasses); a++ {
+		for b := 0; b < int(NumShapeClasses); b++ {
+			if d.classMult[a][b] > maxMult {
+				maxMult = d.classMult[a][b]
+			}
+		}
+	}
+	s := (maxBase*maxMult + 99) / 100
+	if lr.LineEndSpacing > s {
+		s = lr.LineEndSpacing
+	}
+	return s
+}
+
+// SetClassMult sets the symmetric spacing multiplier (percent) between two
+// shape classes.
+func (d *Deck) SetClassMult(a, b ShapeClass, percent int) {
+	d.classMult[a][b] = percent
+	d.classMult[b][a] = percent
+}
+
+// DeckParams parameterize the synthetic deck generator.
+type DeckParams struct {
+	// NumLayers is the number of wiring layers (≥ 2).
+	NumLayers int
+	// Pitch is the minimum pitch on the lowest layers; upper layers get
+	// progressively coarser pitch (as in real stacks).
+	Pitch int
+	// WidthFraction is wire width as fraction of pitch in percent
+	// (typically 50: width == spacing == pitch/2).
+	WidthFraction int
+}
+
+// DefaultDeck builds the synthetic rule deck used across tests, examples
+// and benchmarks. With Pitch=40 it loosely resembles a 22 nm metal stack
+// expressed in half-nanometer DBU, but nothing downstream depends on the
+// absolute scale.
+func DefaultDeck(p DeckParams) *Deck {
+	if p.NumLayers < 2 {
+		panic("rules: DefaultDeck requires at least 2 wiring layers")
+	}
+	if p.Pitch <= 0 {
+		p.Pitch = 40
+	}
+	if p.WidthFraction <= 0 {
+		p.WidthFraction = 50
+	}
+	d := &Deck{}
+	for z := 0; z < p.NumLayers; z++ {
+		pitch := p.Pitch
+		if z >= 4 {
+			pitch *= 2 // thick upper metal
+		}
+		w := pitch * p.WidthFraction / 100
+		s := pitch - w
+		d.Layers = append(d.Layers, LayerRules{
+			Pitch:    pitch,
+			MinWidth: w,
+			Spacing: []SpacingRule{
+				{WidthAtLeast: 0, RunLengthAtLeast: 0, Spacing: s},
+				// Wide-wire rule: shapes at least double width need 1.5×
+				// spacing when running in parallel beyond one pitch.
+				{WidthAtLeast: 2 * w, RunLengthAtLeast: pitch, Spacing: s * 3 / 2},
+				// Very long parallel runs of wide shapes need still more.
+				// (Minimum-width wires are exempt: tracks at minimum pitch
+				// must remain legal for arbitrarily long parallel wires.)
+				{WidthAtLeast: 2 * w, RunLengthAtLeast: 20 * pitch, Spacing: s * 7 / 4},
+			},
+			LineEndSpacing: s / 2,
+			MinArea:        int64(w) * int64(3*w),
+			MinEdge:        w,
+			NotchSpacing:   s,
+			MinSegLen:      2 * w,
+		})
+	}
+	for v := 0; v+1 < p.NumLayers; v++ {
+		cutSp := d.Layers[v].Pitch - d.Layers[v].MinWidth
+		d.ViaLayers = append(d.ViaLayers, ViaLayerRules{
+			CutSpacing:        cutSp,
+			InterLayerSpacing: cutSp / 2,
+		})
+	}
+	d.SetClassMult(ClassWide, ClassStandard, 125)
+	d.SetClassMult(ClassWide, ClassWide, 150)
+	d.SetClassMult(ClassBlockage, ClassStandard, 100)
+	return d
+}
+
+// StandardWireType returns the minimum-width wire type for the deck: on
+// every wiring layer the preferred-direction model already includes the
+// pessimistic line-end extension (§3.1), while the non-preferred (jog)
+// model optimistically does not.
+func (d *Deck) StandardWireType() *WireType {
+	return d.makeWireType("standard", 1, ClassStandard)
+}
+
+// WideWireType returns a wire type with width multiplied by factor
+// (factor ≥ 2 shapes are classed wide and demand larger spacing). Such
+// types model the paper's timing-critical nets with nonstandard widths.
+func (d *Deck) WideWireType(factor int) *WireType {
+	if factor < 1 {
+		factor = 1
+	}
+	class := ClassStandard
+	if factor >= 2 {
+		class = ClassWide
+	}
+	return d.makeWireType(fmt.Sprintf("wide%dx", factor), factor, class)
+}
+
+func (d *Deck) makeWireType(name string, widthFactor int, class ShapeClass) *WireType {
+	wt := &WireType{Name: name}
+	for z := range d.Layers {
+		lr := &d.Layers[z]
+		hw := lr.MinWidth * widthFactor / 2
+		ext := lr.LineEndSpacing
+		// Preferred-direction model for a horizontal stick: half-width in
+		// y, end extension (pessimistic line-end) in x. The caller
+		// orients it; models are stored in canonical horizontal form and
+		// transposed by Oriented.
+		wt.Pref = append(wt.Pref, WireModel{
+			Shape: geom.Rect{XMin: -ext - hw, YMin: -hw, XMax: ext + hw, YMax: hw},
+			Class: class,
+		})
+		// Jog model: no line-end extension (optimistic, §3.1/Fig. 2).
+		wt.NonPref = append(wt.NonPref, WireModel{
+			Shape: geom.Rect{XMin: -hw, YMin: -hw, XMax: hw, YMax: hw},
+			Class: class,
+		})
+	}
+	for v := 0; v+1 < len(d.Layers); v++ {
+		lo, hi := &d.Layers[v], &d.Layers[v+1]
+		hwB := lo.MinWidth * widthFactor / 2
+		hwT := hi.MinWidth * widthFactor / 2
+		cut := min(hwB, hwT)
+		padB := hwB + lo.MinWidth/2
+		padT := hwT + hi.MinWidth/2
+		wt.Vias = append(wt.Vias, ViaModel{
+			Bot:           geom.Rect{XMin: -padB, YMin: -hwB, XMax: padB, YMax: hwB},
+			Cut:           geom.Rect{XMin: -cut, YMin: -cut, XMax: cut, YMax: cut},
+			Top:           geom.Rect{XMin: -hwT, YMin: -padT, XMax: hwT, YMax: padT},
+			BotClass:      ClassViaPad,
+			CutClass:      ClassViaCut,
+			TopClass:      ClassViaPad,
+			HasProjection: d.ViaLayers[v].InterLayerSpacing > 0,
+		})
+	}
+	return wt
+}
+
+// Via returns the via model for via layer v oriented for a stack whose
+// bottom wiring layer has preferred direction botPref. Models are stored
+// for a horizontal bottom layer (pads elongated along their layer's
+// preferred direction); a vertical bottom layer swaps the elongations.
+func (wt *WireType) Via(v int, botPref geom.Direction) ViaModel {
+	m := wt.Vias[v]
+	if botPref == geom.Vertical {
+		m.Bot = transpose(m.Bot)
+		m.Top = transpose(m.Top)
+	}
+	return m
+}
+
+// Oriented returns the wire model of wt for wiring layer z when the stick
+// runs in direction dir and the layer's preferred direction is pref.
+// Models are stored for horizontal sticks; a vertical stick transposes
+// the shape.
+func (wt *WireType) Oriented(z int, dir, pref geom.Direction) WireModel {
+	var m WireModel
+	if dir == pref {
+		m = wt.Pref[z]
+	} else {
+		m = wt.NonPref[z]
+	}
+	if dir == geom.Vertical {
+		m.Shape = transpose(m.Shape)
+	}
+	return m
+}
+
+func transpose(r geom.Rect) geom.Rect {
+	return geom.Rect{XMin: r.YMin, YMin: r.XMin, XMax: r.YMax, YMax: r.XMax}
+}

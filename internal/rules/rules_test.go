@@ -1,0 +1,261 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bonnroute/internal/geom"
+)
+
+func testDeck() *Deck {
+	return DefaultDeck(DeckParams{NumLayers: 6, Pitch: 40})
+}
+
+func TestDefaultDeckShape(t *testing.T) {
+	d := testDeck()
+	if d.NumWiringLayers() != 6 {
+		t.Fatalf("layers = %d", d.NumWiringLayers())
+	}
+	if len(d.ViaLayers) != 5 {
+		t.Fatalf("via layers = %d", len(d.ViaLayers))
+	}
+	for z, lr := range d.Layers {
+		if lr.MinWidth <= 0 || lr.Pitch <= lr.MinWidth {
+			t.Errorf("layer %d: width %d pitch %d", z, lr.MinWidth, lr.Pitch)
+		}
+		if lr.Spacing[0].WidthAtLeast != 0 || lr.Spacing[0].RunLengthAtLeast != 0 {
+			t.Errorf("layer %d: first spacing rule must be unconditional", z)
+		}
+		if lr.MinArea <= 0 || lr.MinSegLen <= 0 || lr.MinEdge <= 0 {
+			t.Errorf("layer %d: same-net rules not set", z)
+		}
+	}
+	// Upper layers are coarser.
+	if d.Layers[5].Pitch <= d.Layers[0].Pitch {
+		t.Errorf("expected thicker upper metal")
+	}
+}
+
+func TestDefaultDeckPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for <2 layers")
+		}
+	}()
+	DefaultDeck(DeckParams{NumLayers: 1})
+}
+
+func TestSpacingMonotone(t *testing.T) {
+	d := testDeck()
+	// Spacing must be nondecreasing in width and run-length (paper §3.1).
+	f := func(w1, w2, rl1, rl2 uint16) bool {
+		wA, wB := int(w1%200), int(w2%200)
+		rA, rB := int(rl1%2000), int(rl2%2000)
+		if wA > wB {
+			wA, wB = wB, wA
+		}
+		if rA > rB {
+			rA, rB = rB, rA
+		}
+		sA := d.Spacing(0, ClassStandard, ClassStandard, wA, wA, rA)
+		sB := d.Spacing(0, ClassStandard, ClassStandard, wB, wB, rB)
+		return sA <= sB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpacingRules(t *testing.T) {
+	d := testDeck()
+	lr := d.Layers[0]
+	base := lr.Spacing[0].Spacing
+	// Minimum-width short-run wires get base spacing.
+	if got := d.Spacing(0, ClassStandard, ClassStandard, lr.MinWidth, lr.MinWidth, 0); got != base {
+		t.Errorf("base spacing = %d, want %d", got, base)
+	}
+	// Negative run-length (disjoint projections) also gets base spacing.
+	if got := d.Spacing(0, ClassStandard, ClassStandard, lr.MinWidth, lr.MinWidth, -5); got != base {
+		t.Errorf("negative-runlength spacing = %d, want %d", got, base)
+	}
+	// Wide parallel wires get the wide rule.
+	wide := d.Spacing(0, ClassStandard, ClassStandard, 2*lr.MinWidth, 2*lr.MinWidth, lr.Pitch)
+	if wide != base*3/2 {
+		t.Errorf("wide spacing = %d, want %d", wide, base*3/2)
+	}
+	// A wide and a narrow shape: the narrower limits the width rule, but
+	// the class multiplier still applies.
+	mixed := d.Spacing(0, ClassWide, ClassStandard, 2*lr.MinWidth, lr.MinWidth, lr.Pitch)
+	if mixed != (base*125+99)/100 {
+		t.Errorf("mixed class spacing = %d, want %d", mixed, (base*125+99)/100)
+	}
+	// Minimum-width wires are exempt from run-length escalation: tracks
+	// at minimum pitch stay legal for arbitrarily long parallel wires.
+	long := d.Spacing(0, ClassStandard, ClassStandard, lr.MinWidth, lr.MinWidth, 100*lr.Pitch)
+	if long != base {
+		t.Errorf("long-run min-width spacing = %d, want %d", long, base)
+	}
+	// Very long parallel wide runs escalate beyond the wide rule.
+	vlong := d.Spacing(0, ClassStandard, ClassStandard, 2*lr.MinWidth, 2*lr.MinWidth, 20*lr.Pitch)
+	if vlong != base*7/4 {
+		t.Errorf("very-long wide spacing = %d, want %d", vlong, base*7/4)
+	}
+}
+
+func TestMaxSpacing(t *testing.T) {
+	d := testDeck()
+	for z := range d.Layers {
+		ms := d.MaxSpacing(z)
+		for _, r := range d.Layers[z].Spacing {
+			if r.Spacing > ms {
+				t.Errorf("layer %d: MaxSpacing %d below table entry %d", z, ms, r.Spacing)
+			}
+		}
+		// With 150% class multiplier the bound must cover it.
+		worst := d.Spacing(z, ClassWide, ClassWide, 1000, 1000, 100000)
+		if worst > ms {
+			t.Errorf("layer %d: MaxSpacing %d below worst case %d", z, ms, worst)
+		}
+	}
+}
+
+func TestClassMultDefaults(t *testing.T) {
+	d := testDeck()
+	// Unset pairs default to 100%.
+	a := d.Spacing(0, ClassViaPad, ClassViaPad, 20, 20, 0)
+	b := d.Spacing(0, ClassStandard, ClassStandard, 20, 20, 0)
+	if a != b {
+		t.Errorf("unset class pair must use 100%%: %d vs %d", a, b)
+	}
+	d.SetClassMult(ClassViaPad, ClassViaPad, 200)
+	if got := d.Spacing(0, ClassViaPad, ClassViaPad, 20, 20, 0); got != 2*b {
+		t.Errorf("after SetClassMult: %d, want %d", got, 2*b)
+	}
+	// Symmetry.
+	if d.Spacing(0, ClassStandard, ClassWide, 20, 20, 0) != d.Spacing(0, ClassWide, ClassStandard, 20, 20, 0) {
+		t.Error("class multiplier must be symmetric")
+	}
+}
+
+func TestWireModelMetal(t *testing.T) {
+	d := testDeck()
+	wt := d.StandardWireType()
+	hw := d.Layers[0].MinWidth / 2
+	ext := d.Layers[0].LineEndSpacing
+
+	// Horizontal stick on a horizontal layer: preferred model with
+	// line-end extension baked in.
+	m := wt.Oriented(0, geom.Horizontal, geom.Horizontal)
+	metal := m.Metal(geom.Pt(100, 50), geom.Pt(200, 50))
+	want := geom.Rect{XMin: 100 - hw - ext, YMin: 50 - hw, XMax: 200 + hw + ext, YMax: 50 + hw}
+	if metal != want {
+		t.Errorf("pref metal = %v, want %v", metal, want)
+	}
+
+	// Vertical stick on a horizontal layer: jog model, no extension.
+	j := wt.Oriented(0, geom.Vertical, geom.Horizontal)
+	metal = j.Metal(geom.Pt(100, 50), geom.Pt(100, 90))
+	want = geom.Rect{XMin: 100 - hw, YMin: 50 - hw, XMax: 100 + hw, YMax: 90 + hw}
+	if metal != want {
+		t.Errorf("jog metal = %v, want %v", metal, want)
+	}
+
+	// Vertical stick on a vertical layer: preferred model, extension in y.
+	v := wt.Oriented(1, geom.Vertical, geom.Vertical)
+	metal = v.Metal(geom.Pt(100, 50), geom.Pt(100, 90))
+	want = geom.Rect{XMin: 100 - hw, YMin: 50 - hw - ext, XMax: 100 + hw, YMax: 90 + hw + ext}
+	if metal != want {
+		t.Errorf("vertical pref metal = %v, want %v", metal, want)
+	}
+}
+
+// TestFigure2LineEndPolicy reproduces the policy of paper Fig. 2: wires in
+// preferred direction are pessimistically extended (assumed line-ends),
+// jogs are not. The consequence tested: a preferred wire followed by a
+// continuation wire has its extension contained in the continuation (no
+// extra space consumed), while a bare line-end does consume the extension.
+func TestFigure2LineEndPolicy(t *testing.T) {
+	d := testDeck()
+	wt := d.StandardWireType()
+	pref := wt.Oriented(0, geom.Horizontal, geom.Horizontal)
+	jog := wt.Oriented(0, geom.Vertical, geom.Horizontal)
+
+	// Two collinear abutting wires: extension of the first lies inside the
+	// metal of the second.
+	w1 := pref.Metal(geom.Pt(0, 0), geom.Pt(100, 0))
+	w2 := pref.Metal(geom.Pt(100, 0), geom.Pt(200, 0))
+	extension := geom.Rect{XMin: 100, YMin: w1.YMin, XMax: w1.XMax, YMax: w1.YMax}
+	if !w2.ContainsRect(extension) {
+		t.Errorf("continuation must cover line-end extension: ext %v, w2 %v", extension, w2)
+	}
+
+	// The jog model must be strictly smaller along its stick than the
+	// preferred model is along its own (no line-end pessimism on jogs).
+	prefLen := pref.Shape.W()
+	jogLen := jog.Shape.H()
+	if jogLen >= prefLen {
+		t.Errorf("jog endcap %d must be smaller than pref endcap %d", jogLen, prefLen)
+	}
+	// And a jog must not reach a neighboring track: its half-extent
+	// orthogonal to the track is under one pitch.
+	if jog.Shape.W()/2 >= d.Layers[0].Pitch {
+		t.Error("jog interferes with neighboring track")
+	}
+}
+
+func TestViaModelOrientation(t *testing.T) {
+	d := testDeck()
+	wt := d.StandardWireType()
+	for v := range wt.Vias {
+		m := wt.Via(v, geom.Horizontal)
+		// Bottom pad elongated along bottom (horizontal) layer.
+		if m.Bot.W() <= m.Bot.H() {
+			t.Errorf("via %d: bottom pad not elongated horizontally: %v", v, m.Bot)
+		}
+		if m.Top.H() <= m.Top.W() {
+			t.Errorf("via %d: top pad not elongated vertically: %v", v, m.Top)
+		}
+		// Cut must be inside both pads.
+		if !m.Bot.ContainsRect(m.Cut) || !m.Top.ContainsRect(m.Cut) {
+			t.Errorf("via %d: cut not enclosed: %+v", v, m)
+		}
+		// Swapped orientation transposes the pads.
+		s := wt.Via(v, geom.Vertical)
+		if s.Bot.W() != m.Bot.H() || s.Bot.H() != m.Bot.W() {
+			t.Errorf("via %d: vertical orientation must transpose bottom pad", v)
+		}
+		if s.Cut != m.Cut {
+			t.Errorf("via %d: square cut must be invariant", v)
+		}
+	}
+}
+
+func TestWideWireType(t *testing.T) {
+	d := testDeck()
+	std := d.StandardWireType()
+	wide := d.WideWireType(2)
+	if wide.Pref[0].Class != ClassWide {
+		t.Errorf("2x wire type must be ClassWide, got %v", wide.Pref[0].Class)
+	}
+	if wide.Pref[0].HalfWidth() != 2*std.Pref[0].HalfWidth() {
+		t.Errorf("2x half-width = %d, want %d", wide.Pref[0].HalfWidth(), 2*std.Pref[0].HalfWidth())
+	}
+	// factor < 1 clamps to standard.
+	if d.WideWireType(0).Pref[0].HalfWidth() != std.Pref[0].HalfWidth() {
+		t.Error("factor 0 must clamp to 1")
+	}
+	if d.WideWireType(1).Pref[0].Class != ClassStandard {
+		t.Error("1x remains standard class")
+	}
+}
+
+func TestShapeClassString(t *testing.T) {
+	for c := ShapeClass(0); c < NumShapeClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if ShapeClass(99).String() != "class(99)" {
+		t.Errorf("unknown class name: %s", ShapeClass(99))
+	}
+}

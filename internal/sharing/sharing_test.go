@@ -1,0 +1,280 @@
+package sharing
+
+import (
+	"math/rand"
+	"testing"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+	"bonnroute/internal/steiner"
+)
+
+// congestedInstance builds a grid with a capacity bottleneck and nets
+// forced to share it.
+func congestedInstance(nNets int, capPerEdge float64) (*grid.Graph, []NetSpec) {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 1000, 1000), 100, 100, dirs)
+	for e := range g.Cap {
+		g.Cap[e] = capPerEdge
+	}
+	var nets []NetSpec
+	for i := 0; i < nNets; i++ {
+		y := i % g.NY
+		nets = append(nets, NetSpec{
+			ID:        i,
+			Terminals: [][]int{{g.Vertex(0, y, 0)}, {g.Vertex(g.NX-1, y, 0)}},
+			Width:     1,
+		})
+	}
+	return g, nets
+}
+
+func TestSolverBasic(t *testing.T) {
+	g, nets := congestedInstance(5, 10)
+	s := New(g, nets, Options{Phases: 8, Seed: 1})
+	res := s.Run()
+	if res.Unrouted != 0 {
+		t.Fatalf("unrouted = %d", res.Unrouted)
+	}
+	for ni := range res.Nets {
+		tree := res.Nets[ni].Tree()
+		if tree == nil {
+			t.Fatalf("net %d has no tree", ni)
+		}
+		terms := nets[ni].Terminals
+		edges := make([]int, len(tree))
+		for i, e := range tree {
+			edges[i] = int(e)
+		}
+		if !steiner.ValidateTree(g, edges, terms) {
+			t.Fatalf("net %d: invalid tree", ni)
+		}
+	}
+	// Uncongested straight shots: netlength equals tile distance.
+	load := s.EdgeLoads(res)
+	for e, l := range load {
+		if l > g.Cap[e]+1e-9 {
+			t.Fatalf("edge %d overloaded: %f > %f", e, l, g.Cap[e])
+		}
+	}
+}
+
+func TestCongestionForcesSpread(t *testing.T) {
+	// 12 nets all want row y=0 essentially; cap 2 per edge forces most
+	// onto other rows/layers.
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 1000, 300), 100, 100, dirs)
+	// Horizontal capacity 2 per row — the contended resource. Vertical
+	// and via edges are roomy, so the instance is feasible (2 nets per
+	// row across 3 rows) but spreading is forced.
+	for e := range g.Cap {
+		if g.IsVia(e) || g.EdgeLayer(e) == 1 {
+			g.Cap[e] = 8
+		} else {
+			g.Cap[e] = 2
+		}
+	}
+	var nets []NetSpec
+	for i := 0; i < 6; i++ {
+		nets = append(nets, NetSpec{
+			ID:        i,
+			Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(g.NX-1, 0, 0)}},
+			Width:     1,
+		})
+	}
+	s := New(g, nets, Options{Phases: 24, Seed: 2})
+	res := s.Run()
+	load := s.EdgeLoads(res)
+	for e, l := range load {
+		if l > g.Cap[e]+1e-9 {
+			t.Fatalf("edge %d overloaded after repair: %f > %f", e, l, g.Cap[e])
+		}
+	}
+	if res.Unrouted != 0 {
+		t.Fatalf("unrouted = %d", res.Unrouted)
+	}
+	// The fractional optimum must acknowledge congestion: λ should be
+	// noticeably positive (6 nets × 1 wide over a cut of 3 rows × cap 2).
+	if res.LambdaFrac < 0.5 {
+		t.Fatalf("λ = %f implausibly low", res.LambdaFrac)
+	}
+}
+
+func TestLambdaConverges(t *testing.T) {
+	g, nets := congestedInstance(12, 3)
+	s := New(g, nets, Options{Phases: 32, Seed: 3})
+	res := s.Run()
+	h := res.LambdaHistory
+	if len(h) != 32 {
+		t.Fatalf("history length %d", len(h))
+	}
+	// Late phases must not be wildly worse than early ones (prices steer
+	// the oracle away from overload).
+	early := (h[0] + h[1] + h[2] + h[3]) / 4
+	late := (h[28] + h[29] + h[30] + h[31]) / 4
+	if late > 2*early+1 {
+		t.Fatalf("λ diverges: early %f late %f", early, late)
+	}
+}
+
+func TestOracleReuseCounts(t *testing.T) {
+	g, nets := congestedInstance(8, 10)
+	s := New(g, nets, Options{Phases: 16, Seed: 4, ReuseSlack: 0.5})
+	res := s.Run()
+	if res.OracleReuses == 0 {
+		t.Fatal("expected oracle reuses on an uncontended instance")
+	}
+	if res.OracleCalls+res.OracleReuses != int64(16*len(nets)) {
+		t.Fatalf("calls %d + reuses %d != %d", res.OracleCalls, res.OracleReuses, 16*len(nets))
+	}
+	// Reuse disabled: all calls.
+	s2 := New(g, nets, Options{Phases: 16, Seed: 4, ReuseSlack: -1})
+	res2 := s2.Run()
+	if res2.OracleReuses != 0 {
+		t.Fatal("reuse must be disabled")
+	}
+	if res2.OracleCalls != int64(16*len(nets)) {
+		t.Fatalf("calls = %d", res2.OracleCalls)
+	}
+}
+
+func TestParallelMatchesQuality(t *testing.T) {
+	g, nets := congestedInstance(16, 3)
+	serial := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 1}).Run()
+	parallel := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 4}).Run()
+	if parallel.Unrouted != 0 || serial.Unrouted != 0 {
+		t.Fatal("unrouted nets")
+	}
+	// Volatility tolerance: results need not be identical, but the
+	// quality must be in the same regime.
+	if parallel.LambdaFrac > 1.5*serial.LambdaFrac+0.5 {
+		t.Fatalf("parallel λ %f vs serial %f", parallel.LambdaFrac, serial.LambdaFrac)
+	}
+}
+
+func TestExtraSpaceAssignment(t *testing.T) {
+	// With a power resource and plenty of capacity, nets should take
+	// extra space to cut power.
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 500, 300), 100, 100, dirs)
+	for e := range g.Cap {
+		g.Cap[e] = 50
+	}
+	nets := []NetSpec{{
+		ID:         0,
+		Terminals:  [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(4, 0, 0)}},
+		Width:      1,
+		AllowExtra: true,
+	}}
+	s := New(g, nets, Options{Phases: 8, Seed: 6, PowerCap: 100})
+	res := s.Run()
+	tree := res.Nets[0]
+	if tree.Chosen < 0 {
+		t.Fatal("unrouted")
+	}
+	sawExtra := false
+	for _, x := range tree.Candidates[tree.Chosen].Extra {
+		if x > 0 {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Fatal("expected extra space assignment under a power resource")
+	}
+}
+
+func TestNoExtraWhenDisallowed(t *testing.T) {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 500, 300), 100, 100, dirs)
+	for e := range g.Cap {
+		g.Cap[e] = 50
+	}
+	nets := []NetSpec{{
+		ID:        0,
+		Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(4, 0, 0)}},
+		Width:     1,
+	}}
+	res := New(g, nets, Options{Phases: 4, Seed: 7, PowerCap: 100}).Run()
+	for _, c := range res.Nets[0].Candidates {
+		for _, x := range c.Extra {
+			if x != 0 {
+				t.Fatal("extra space assigned to AllowExtra=false net")
+			}
+		}
+	}
+}
+
+func TestInfeasibleNet(t *testing.T) {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 500, 300), 100, 100, dirs)
+	// All capacities zero: nothing routable.
+	nets := []NetSpec{{
+		ID:        0,
+		Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(4, 0, 0)}},
+		Width:     1,
+	}}
+	res := New(g, nets, Options{Phases: 2, Seed: 8}).Run()
+	if res.Unrouted != 1 || res.Nets[0].Tree() != nil {
+		t.Fatalf("expected unrouted net: %+v", res)
+	}
+}
+
+func TestWideNets(t *testing.T) {
+	g, _ := congestedInstance(0, 3)
+	nets := []NetSpec{
+		{ID: 0, Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(9, 0, 0)}}, Width: 2},
+		{ID: 1, Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(9, 0, 0)}}, Width: 2},
+	}
+	s := New(g, nets, Options{Phases: 16, Seed: 9})
+	res := s.Run()
+	load := s.EdgeLoads(res)
+	for e, l := range load {
+		if l > g.Cap[e]+1e-9 {
+			t.Fatalf("edge %d overloaded: %f", e, l)
+		}
+	}
+}
+
+func TestRoundingRepairStatistics(t *testing.T) {
+	// A contended instance that produces rounding violations repaired by
+	// rechoosing (§2.4: "less than 10% of nets ... at most five new
+	// routes").
+	rng := rand.New(rand.NewSource(10))
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical, geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 2000, 2000), 100, 100, dirs)
+	for e := range g.Cap {
+		g.Cap[e] = 4
+	}
+	var nets []NetSpec
+	for i := 0; i < 120; i++ {
+		x0, y0 := rng.Intn(g.NX), rng.Intn(g.NY)
+		x1, y1 := rng.Intn(g.NX), rng.Intn(g.NY)
+		if x0 == x1 && y0 == y1 {
+			continue
+		}
+		nets = append(nets, NetSpec{
+			ID:        len(nets),
+			Terminals: [][]int{{g.Vertex(x0, y0, 0)}, {g.Vertex(x1, y1, rng.Intn(2))}},
+			Width:     1,
+		})
+	}
+	s := New(g, nets, Options{Phases: 24, Seed: 11})
+	res := s.Run()
+	if res.Unrouted != 0 {
+		t.Fatalf("unrouted = %d", res.Unrouted)
+	}
+	load := s.EdgeLoads(res)
+	over := 0
+	for e, l := range load {
+		if l > g.Cap[e]+1e-9 {
+			over++
+		}
+	}
+	if over > 1 {
+		t.Fatalf("%d edges remain overloaded after repair", over)
+	}
+	changes := res.RechooseChanges + res.Rerouted
+	if changes > len(nets)/5 {
+		t.Fatalf("repair touched %d of %d nets (paper: <10%%)", changes, len(nets))
+	}
+}

@@ -1,0 +1,216 @@
+package steiner
+
+import (
+	"container/heap"
+
+	"bonnroute/internal/grid"
+)
+
+// Oracle is a reusable Path Composition solver. The resource sharing
+// algorithm calls the oracle once per net per phase (§2.3), so per-call
+// allocations matter; Oracle keeps versioned work arrays sized to the
+// graph and reuses them across calls. An Oracle is not safe for
+// concurrent use — the parallel resource sharing solver gives each
+// worker goroutine its own.
+type Oracle struct {
+	g *grid.Graph
+
+	dist             []float64
+	parentV, parentE []int32
+	done             []bool
+	ver              []int32
+	cur              int32
+
+	comp    []int32
+	compVer []int32
+	compCur int32
+
+	pq oHeap
+}
+
+// NewOracle creates an oracle for g.
+func NewOracle(g *grid.Graph) *Oracle {
+	n := g.NumVertices()
+	return &Oracle{
+		g:       g,
+		dist:    make([]float64, n),
+		parentV: make([]int32, n),
+		parentE: make([]int32, n),
+		done:    make([]bool, n),
+		ver:     make([]int32, n),
+		comp:    make([]int32, n),
+		compVer: make([]int32, n),
+	}
+}
+
+func (o *Oracle) compOf(v int) int32 {
+	if o.compVer[v] != o.compCur {
+		return -1
+	}
+	return o.comp[v]
+}
+
+func (o *Oracle) setComp(v int, c int32) {
+	o.comp[v] = c
+	o.compVer[v] = o.compCur
+}
+
+// Tree runs Algorithm 1 under the given edge costs: starting from the
+// terminal components, repeatedly connect the grown component to the
+// nearest other component by a minimum-cost path (paper Algorithm 1,
+// guarantee 2−2/|W|). Each terminal is a set of vertex ids joined at
+// zero cost (the clique K(V_p) of §2.1). cost(e) must be ≥ 0; a negative
+// cost marks the edge unusable. ok is false when the terminals are not
+// connected under finite costs.
+func (o *Oracle) Tree(cost func(e int) float64, terminals [][]int) (edges []int, ok bool) {
+	if len(terminals) <= 1 {
+		return nil, true
+	}
+	// Terminals sharing a vertex are already connected (pins in the same
+	// tile); merge them first so the component count is right.
+	o.compCur++
+	par := make([]int, len(terminals))
+	for i := range par {
+		par[i] = i
+	}
+	var tfind func(int) int
+	tfind = func(x int) int {
+		for par[x] != x {
+			par[x] = par[par[x]]
+			x = par[x]
+		}
+		return x
+	}
+	for ti, vs := range terminals {
+		for _, v := range vs {
+			if c := o.compOf(v); c >= 0 {
+				par[tfind(ti)] = tfind(int(c))
+			} else {
+				o.setComp(v, int32(ti))
+			}
+		}
+	}
+	// Rebuild merged components with dense ids.
+	rootID := map[int]int{}
+	var merged [][]int
+	for ti, vs := range terminals {
+		r := tfind(ti)
+		id, ok := rootID[r]
+		if !ok {
+			id = len(merged)
+			rootID[r] = id
+			merged = append(merged, nil)
+		}
+		merged[id] = append(merged[id], vs...)
+	}
+	o.compCur++
+	for ci, vs := range merged {
+		for _, v := range vs {
+			o.setComp(v, int32(ci))
+		}
+	}
+	if len(merged) <= 1 {
+		return nil, true
+	}
+	terminals = merged
+
+	reached := make([]bool, len(terminals))
+	reached[0] = true
+
+	// group is the vertex set K of Algorithm 1 (grown from terminal 0).
+	group := append([]int(nil), terminals[0]...)
+
+	var treeEdges []int
+	for remaining := len(terminals) - 1; remaining > 0; remaining-- {
+		last, ok := o.dijkstra(cost, group, reached)
+		if !ok {
+			return nil, false
+		}
+		// Absorb the reached component and the path.
+		ci := int(o.compOf(last))
+		reached[ci] = true
+		group = append(group, terminals[ci]...)
+		for v := int32(last); ; {
+			group = append(group, int(v))
+			pv := o.parentV[v]
+			if pv < 0 {
+				break
+			}
+			treeEdges = append(treeEdges, int(o.parentE[v]))
+			v = pv
+		}
+	}
+	return treeEdges, true
+}
+
+// dijkstra searches from the group vertices to the nearest vertex of a
+// not-yet-reached component; returns that vertex.
+func (o *Oracle) dijkstra(cost func(e int) float64, group []int, reached []bool) (int, bool) {
+	o.cur++
+	o.pq = o.pq[:0]
+	touch := func(v int) {
+		if o.ver[v] != o.cur {
+			o.ver[v] = o.cur
+			o.dist[v] = inf64
+			o.done[v] = false
+			o.parentV[v] = -1
+		}
+	}
+	for _, v := range group {
+		touch(v)
+		if o.dist[v] != 0 {
+			o.dist[v] = 0
+			heap.Push(&o.pq, oItem{0, int32(v)})
+		}
+	}
+	for o.pq.Len() > 0 {
+		it := heap.Pop(&o.pq).(oItem)
+		v := int(it.v)
+		if o.done[v] || it.d > o.dist[v] {
+			continue
+		}
+		o.done[v] = true
+		if c := o.compOf(v); c >= 0 && !reached[c] {
+			return v, true
+		}
+		o.g.Neighbors(v, func(e, w int) {
+			c := cost(e)
+			if c < 0 {
+				return
+			}
+			touch(w)
+			if o.done[w] {
+				return
+			}
+			nd := it.d + c
+			if nd < o.dist[w] {
+				o.dist[w] = nd
+				o.parentV[w] = int32(v)
+				o.parentE[w] = int32(e)
+				heap.Push(&o.pq, oItem{nd, int32(w)})
+			}
+		})
+	}
+	return -1, false
+}
+
+const inf64 = 1e30
+
+type oItem struct {
+	d float64
+	v int32
+}
+
+type oHeap []oItem
+
+func (h oHeap) Len() int            { return len(h) }
+func (h oHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h oHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oHeap) Push(x interface{}) { *h = append(*h, x.(oItem)) }
+func (h *oHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

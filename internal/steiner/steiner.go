@@ -1,0 +1,94 @@
+// Package steiner implements the Steiner-tree machinery of BonnRoute's
+// global router: the Path Composition algorithm (paper Algorithm 1) used
+// as the min-max resource sharing oracle, and the rectilinear Steiner
+// minimum tree baselines the paper uses to define scenic nets and the
+// Table II ratios — exact (Dreyfus–Wagner over the Hanan grid) for up to
+// 9 terminals, an iterated 1-Steiner heuristic above, matching the
+// paper's use of exact FLUTE tables below 10 terminals and heuristics
+// beyond.
+package steiner
+
+import (
+	"bonnroute/internal/grid"
+)
+
+// PathComposition is a convenience wrapper running Algorithm 1 with a
+// fresh Oracle; prefer a long-lived Oracle when calling repeatedly.
+func PathComposition(g *grid.Graph, cost func(e int) float64, terminals [][]int) (edges []int, ok bool) {
+	return NewOracle(g).Tree(cost, terminals)
+}
+
+// TreeLength sums the lengths of wire edges of a tree (vias excluded).
+func TreeLength(g *grid.Graph, edges []int) int64 {
+	var total int64
+	for _, e := range edges {
+		total += int64(g.EdgeLength(e))
+	}
+	return total
+}
+
+// CountVias counts the via edges of a tree.
+func CountVias(g *grid.Graph, edges []int) int {
+	n := 0
+	for _, e := range edges {
+		if g.IsVia(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidateTree checks that edges form a connected acyclic subgraph
+// spanning all terminal groups (used by tests and the sharing sanity
+// checks). It tolerates zero-length terminal groups spanning one vertex.
+func ValidateTree(g *grid.Graph, edges []int, terminals [][]int) bool {
+	adj := map[int][]int{}
+	for _, e := range edges {
+		a, b := g.EdgeEndpoints(e)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	if len(terminals) == 0 {
+		return true
+	}
+	// BFS from terminal 0 over tree edges plus intra-terminal cliques.
+	group := map[int]int{}
+	for ti, vs := range terminals {
+		for _, v := range vs {
+			group[v] = ti
+		}
+	}
+	seen := map[int]bool{}
+	grpSeen := make([]bool, len(terminals))
+	var stack []int
+	push := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for _, v := range terminals[0] {
+		push(v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if gi, ok := group[v]; ok {
+			if !grpSeen[gi] {
+				grpSeen[gi] = true
+				for _, w := range terminals[gi] {
+					push(w)
+				}
+			}
+		}
+		for _, w := range adj[v] {
+			push(w)
+		}
+	}
+	for _, ok := range grpSeen {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,267 @@
+// Package tracks implements routing-track optimization and the track
+// graph of BonnRoute (paper §3.5).
+//
+// Track optimization: given the usable areas of a layer (chip area minus
+// blow-up of blockages) and the layer's minimum pitch, place tracks in
+// preferred direction, pairwise at least one pitch apart, maximizing the
+// total usable track length (Theorem 3.1). The solver here is an exact
+// dynamic program over the canonical candidate set {a + k·pitch} for
+// anchors a at coverage breakpoints: by the standard shift-down exchange
+// argument an optimal solution exists with every track either at a
+// coverage-increase coordinate or exactly one pitch above another track.
+//
+// The track graph: vertices are the intersection points of a layer's
+// tracks with the tracks of adjacent layers projected into it; edges run
+// along tracks, between neighboring tracks (jogs), and between layers
+// (vias). The graph is implicit — this package stores per-layer sorted
+// track and crossing coordinates and answers neighbor queries.
+package tracks
+
+import (
+	"sort"
+
+	"bonnroute/internal/geom"
+)
+
+// Optimize solves the track optimization problem for one layer: rects are
+// the usable areas (a standard wire centered on a track inside a usable
+// rect is legal), dir the preferred direction, pitch the minimum distance
+// between tracks, and span the orthogonal chip extent tracks must lie in.
+// It returns sorted track coordinates and the total covered length.
+func Optimize(rects []geom.Rect, dir geom.Direction, pitch int, span geom.Interval) ([]int, int) {
+	return OptimizeWithBonus(rects, nil, dir, pitch, span)
+}
+
+// OptimizeWithBonus extends Optimize with pin-alignment bonus rectangles
+// (§3.5: "the alignment of routing tracks with pins can be taken into
+// account by adding rectangles to A which model track positions that
+// allow on-track pin access"). Bonus rectangles contribute their along-
+// track length additively (not by union) whenever a track passes through
+// their orthogonal span, so a track aligned with several pins collects
+// each pin's bonus.
+func OptimizeWithBonus(rects, bonus []geom.Rect, dir geom.Direction, pitch int, span geom.Interval) ([]int, int) {
+	if pitch <= 0 || span.Empty() {
+		return nil, 0
+	}
+	ortho := dir.Perp()
+	// Anchor coordinates: coverage increases at each rect's (and each
+	// bonus rect's) lower ortho edge; also allow packing from the span
+	// start.
+	anchorSet := map[int]bool{span.Lo: true}
+	for _, r := range rects {
+		lo := r.Span(ortho).Lo
+		if lo >= span.Lo && lo < span.Hi {
+			anchorSet[lo] = true
+		}
+	}
+	for _, b := range bonus {
+		lo := b.Span(ortho).Lo
+		if lo >= span.Lo && lo < span.Hi {
+			anchorSet[lo] = true
+		}
+	}
+	// Candidate positions: every anchor plus multiples of the pitch.
+	candSet := map[int]bool{}
+	for a := range anchorSet {
+		for c := a; c < span.Hi; c += pitch {
+			candSet[c] = true
+		}
+	}
+	cands := make([]int, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	sort.Ints(cands)
+
+	cov := make([]int, len(cands))
+	for i, c := range cands {
+		cov[i] = geom.CoveredLength(rects, dir, c)
+		for _, b := range bonus {
+			if b.Span(ortho).Contains(c) {
+				cov[i] += b.Span(dir).Len()
+			}
+		}
+	}
+
+	// dp[i] = best total coverage of a track set whose topmost track is at
+	// cands[i]; prefix[i] = max(dp[0..i]).
+	dp := make([]int, len(cands))
+	prefix := make([]int, len(cands))
+	parent := make([]int, len(cands))
+	bestIdxUpTo := make([]int, len(cands))
+	bestEnd := -1
+	for i, c := range cands {
+		dp[i] = cov[i]
+		parent[i] = -1
+		// Find the last candidate ≤ c - pitch.
+		j := sort.SearchInts(cands, c-pitch+1) - 1
+		if j >= 0 && prefix[j] > 0 {
+			dp[i] += prefix[j]
+			parent[i] = bestIdxUpTo[j]
+		}
+		if i == 0 {
+			prefix[i] = dp[i]
+			bestIdxUpTo[i] = i
+		} else if dp[i] > prefix[i-1] {
+			prefix[i] = dp[i]
+			bestIdxUpTo[i] = i
+		} else {
+			prefix[i] = prefix[i-1]
+			bestIdxUpTo[i] = bestIdxUpTo[i-1]
+		}
+		if bestEnd < 0 || dp[i] > dp[bestEnd] {
+			bestEnd = i
+		}
+	}
+	if bestEnd < 0 || dp[bestEnd] == 0 {
+		return nil, 0
+	}
+	var coords []int
+	for i := bestEnd; i >= 0; i = parent[i] {
+		// Zero-coverage tracks in the middle of a chain carry no value;
+		// skip them (they can only appear as chain fillers).
+		if cov[i] > 0 {
+			coords = append(coords, cands[i])
+		}
+		if parent[i] < 0 {
+			break
+		}
+	}
+	sort.Ints(coords)
+	return coords, dp[bestEnd]
+}
+
+// UsableAreas computes the usable rects for a layer: area minus each
+// obstacle expanded by clearance (half wire width plus minimum spacing),
+// the "blowing up the obstacles" of gridless routing that the paper
+// reuses for capacity and track computation.
+func UsableAreas(area geom.Rect, obstacles []geom.Rect, clearance int) []geom.Rect {
+	grown := make([]geom.Rect, len(obstacles))
+	for i, o := range obstacles {
+		grown[i] = o.Expanded(clearance)
+	}
+	return geom.SubtractRects(area, grown)
+}
+
+// Layer holds the track set of one wiring layer.
+type Layer struct {
+	Z   int
+	Dir geom.Direction
+	// Coords are the sorted track coordinates along the axis orthogonal
+	// to Dir (y for horizontal layers, x for vertical ones).
+	Coords []int
+	// Cross are the sorted crossing coordinates along Dir: the projected
+	// track coordinates of the adjacent layers. Vertices of the track
+	// graph on this layer are (track, crossing) pairs.
+	Cross []int
+}
+
+// Graph is the implicit track graph of a chip (paper §3.5).
+type Graph struct {
+	Area   geom.Rect
+	Layers []Layer
+}
+
+// BuildGraph assembles the track graph from per-layer track coordinates.
+// dirs[z] is the preferred direction of layer z; coords[z] the sorted
+// track coordinates produced by Optimize.
+func BuildGraph(area geom.Rect, dirs []geom.Direction, coords [][]int) *Graph {
+	g := &Graph{Area: area}
+	for z := range dirs {
+		g.Layers = append(g.Layers, Layer{Z: z, Dir: dirs[z], Coords: coords[z]})
+	}
+	for z := range g.Layers {
+		var cross []int
+		if z > 0 {
+			cross = append(cross, g.Layers[z-1].Coords...)
+		}
+		if z+1 < len(g.Layers) {
+			cross = append(cross, g.Layers[z+1].Coords...)
+		}
+		sort.Ints(cross)
+		g.Layers[z].Cross = dedup(cross)
+	}
+	return g
+}
+
+// NumLayers returns the number of wiring layers.
+func (g *Graph) NumLayers() int { return len(g.Layers) }
+
+// IsVertex reports whether p is a vertex of the track graph: its
+// orthogonal coordinate is a track of layer p.Z and its preferred-axis
+// coordinate is a crossing.
+func (g *Graph) IsVertex(p geom.Point3) bool {
+	if p.Z < 0 || p.Z >= len(g.Layers) {
+		return false
+	}
+	l := &g.Layers[p.Z]
+	return contains(l.Coords, p.XY().Coord(l.Dir.Perp())) &&
+		contains(l.Cross, p.XY().Coord(l.Dir))
+}
+
+// ViaPossible reports whether a via between layers z and z+1 can exist at
+// (x, y): the point must lie on a track of both layers.
+func (g *Graph) ViaPossible(x, y, z int) bool {
+	if z < 0 || z+1 >= len(g.Layers) {
+		return false
+	}
+	lo, hi := &g.Layers[z], &g.Layers[z+1]
+	p := geom.Pt(x, y)
+	return contains(lo.Coords, p.Coord(lo.Dir.Perp())) &&
+		contains(hi.Coords, p.Coord(hi.Dir.Perp()))
+}
+
+// TrackAt returns the index of the track of layer z at orthogonal
+// coordinate c, or -1.
+func (l *Layer) TrackAt(c int) int {
+	i := sort.SearchInts(l.Coords, c)
+	if i < len(l.Coords) && l.Coords[i] == c {
+		return i
+	}
+	return -1
+}
+
+// NearestTrack returns the track coordinate of layer l closest to c
+// (ties resolved downward). It panics if the layer has no tracks.
+func (l *Layer) NearestTrack(c int) int {
+	i := sort.SearchInts(l.Coords, c)
+	if i == 0 {
+		return l.Coords[0]
+	}
+	if i == len(l.Coords) {
+		return l.Coords[len(l.Coords)-1]
+	}
+	if l.Coords[i]-c < c-l.Coords[i-1] {
+		return l.Coords[i]
+	}
+	return l.Coords[i-1]
+}
+
+// CrossRange returns the crossing coordinates of l within [lo, hi].
+func (l *Layer) CrossRange(lo, hi int) []int {
+	i := sort.SearchInts(l.Cross, lo)
+	j := sort.SearchInts(l.Cross, hi+1)
+	return l.Cross[i:j]
+}
+
+// TracksRange returns the track coordinates of l within [lo, hi].
+func (l *Layer) TracksRange(lo, hi int) []int {
+	i := sort.SearchInts(l.Coords, lo)
+	j := sort.SearchInts(l.Coords, hi+1)
+	return l.Coords[i:j]
+}
+
+func contains(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+func dedup(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

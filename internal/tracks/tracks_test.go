@@ -1,0 +1,301 @@
+package tracks
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bonnroute/internal/geom"
+)
+
+func TestOptimizeFreePlane(t *testing.T) {
+	// One unobstructed rect: tracks pack at pitch, all with full coverage.
+	rects := []geom.Rect{geom.R(0, 0, 1000, 200)}
+	coords, total := Optimize(rects, geom.Horizontal, 40, geom.Iv(0, 200))
+	if len(coords) != 5 {
+		t.Fatalf("tracks = %v, want 5 tracks", coords)
+	}
+	if total != 5*1000 {
+		t.Fatalf("total = %d, want 5000", total)
+	}
+	for i := 1; i < len(coords); i++ {
+		if coords[i]-coords[i-1] < 40 {
+			t.Fatalf("pitch violated: %v", coords)
+		}
+	}
+}
+
+func TestOptimizeRespectsBlockage(t *testing.T) {
+	// Usable area split by a horizontal blockage band.
+	rects := []geom.Rect{geom.R(0, 0, 1000, 90), geom.R(0, 150, 1000, 240)}
+	coords, _ := Optimize(rects, geom.Horizontal, 40, geom.Iv(0, 240))
+	for _, c := range coords {
+		if c >= 90 && c < 150 {
+			t.Fatalf("track %d placed in blocked band", c)
+		}
+	}
+	// Both regions must be used: [0,90) fits 3 tracks, [150,240) fits 3.
+	lower, upper := 0, 0
+	for _, c := range coords {
+		if c < 90 {
+			lower++
+		} else {
+			upper++
+		}
+	}
+	if lower != 3 || upper != 3 {
+		t.Fatalf("tracks = %v: lower %d upper %d, want 3/3", coords, lower, upper)
+	}
+}
+
+func TestOptimizeAlignsToPartialBlockage(t *testing.T) {
+	// A short blockage: tracks crossing it lose length, so optimal tracks
+	// shift to maximize coverage. Usable: full plane except a notch.
+	full := geom.R(0, 0, 1000, 100)
+	obst := []geom.Rect{geom.R(0, 35, 500, 65)} // blocks middle band half-way
+	rects := geom.SubtractRects(full, obst)
+	coords, total := Optimize(rects, geom.Horizontal, 40, geom.Iv(0, 100))
+	// Brute-force verification of optimality on this small instance.
+	want := bruteForceOptimize(rects, geom.Horizontal, 40, geom.Iv(0, 100))
+	if total != want {
+		t.Fatalf("total = %d, brute force says %d (coords %v)", total, want, coords)
+	}
+}
+
+// bruteForceOptimize tries every subset-free DP over all integer
+// positions (exponential-safe because the span is tiny).
+func bruteForceOptimize(rects []geom.Rect, dir geom.Direction, pitch int, span geom.Interval) int {
+	n := span.Len()
+	cov := make([]int, n)
+	for i := 0; i < n; i++ {
+		cov[i] = geom.CoveredLength(rects, dir, span.Lo+i)
+	}
+	dp := make([]int, n)
+	best := 0
+	for i := 0; i < n; i++ {
+		dp[i] = cov[i]
+		for j := 0; j <= i-pitch; j++ {
+			if dp[j]+cov[i] > dp[i] {
+				dp[i] = dp[j] + cov[i]
+			}
+		}
+		if dp[i] > best {
+			best = dp[i]
+		}
+	}
+	return best
+}
+
+// Property: the DP matches brute force on random small instances.
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		span := geom.Iv(0, 60+rng.Intn(60))
+		area := geom.R(0, span.Lo, 200, span.Hi)
+		var holes []geom.Rect
+		for i := 0; i < rng.Intn(5); i++ {
+			x, y := rng.Intn(180), span.Lo+rng.Intn(span.Len()-5)
+			holes = append(holes, geom.R(x, y, x+10+rng.Intn(100), y+1+rng.Intn(25)))
+		}
+		rects := geom.SubtractRects(area, holes)
+		pitch := 7 + rng.Intn(10)
+		coords, total := Optimize(rects, geom.Horizontal, pitch, span)
+		want := bruteForceOptimize(rects, geom.Horizontal, pitch, span)
+		if total != want {
+			t.Fatalf("trial %d: total %d != brute force %d (pitch %d, holes %v)",
+				trial, total, want, pitch, holes)
+		}
+		// Feasibility of the returned set.
+		for i := 1; i < len(coords); i++ {
+			if coords[i]-coords[i-1] < pitch {
+				t.Fatalf("trial %d: pitch violated %v", trial, coords)
+			}
+		}
+		// Reported total matches recomputation.
+		sum := 0
+		for _, c := range coords {
+			sum += geom.CoveredLength(rects, geom.Horizontal, c)
+		}
+		if sum != total {
+			t.Fatalf("trial %d: reported %d, recomputed %d", trial, total, sum)
+		}
+	}
+}
+
+func TestOptimizeVertical(t *testing.T) {
+	rects := []geom.Rect{geom.R(0, 0, 200, 1000)}
+	coords, total := Optimize(rects, geom.Vertical, 40, geom.Iv(0, 200))
+	if len(coords) != 5 || total != 5000 {
+		t.Fatalf("vertical: coords %v total %d", coords, total)
+	}
+}
+
+func TestOptimizeDegenerate(t *testing.T) {
+	if c, tot := Optimize(nil, geom.Horizontal, 40, geom.Iv(0, 100)); c != nil || tot != 0 {
+		t.Fatal("no usable area must yield no tracks")
+	}
+	if c, _ := Optimize([]geom.Rect{geom.R(0, 0, 10, 10)}, geom.Horizontal, 0, geom.Iv(0, 10)); c != nil {
+		t.Fatal("zero pitch must yield nothing")
+	}
+	if c, _ := Optimize([]geom.Rect{geom.R(0, 0, 10, 10)}, geom.Horizontal, 5, geom.Iv(5, 5)); c != nil {
+		t.Fatal("empty span must yield nothing")
+	}
+}
+
+func TestUsableAreas(t *testing.T) {
+	area := geom.R(0, 0, 100, 100)
+	obstacles := []geom.Rect{geom.R(40, 40, 60, 60)}
+	rects := UsableAreas(area, obstacles, 10)
+	for _, r := range rects {
+		if r.Intersects(geom.R(30, 30, 70, 70)) {
+			t.Fatalf("usable rect %v inside blown-up obstacle", r)
+		}
+	}
+	var total int64
+	for _, r := range rects {
+		total += r.Area()
+	}
+	if total != 100*100-40*40 {
+		t.Fatalf("usable area = %d", total)
+	}
+}
+
+func buildTestGraph() *Graph {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical, geom.Horizontal}
+	coords := [][]int{
+		{10, 50, 90},  // layer 0: horizontal tracks at y
+		{20, 60, 100}, // layer 1: vertical tracks at x
+		{30, 70},      // layer 2: horizontal tracks at y
+	}
+	return BuildGraph(geom.R(0, 0, 120, 120), dirs, coords)
+}
+
+func TestBuildGraphCross(t *testing.T) {
+	g := buildTestGraph()
+	// Layer 0 crossings = layer 1 coords.
+	if got := g.Layers[0].Cross; !equalInts(got, []int{20, 60, 100}) {
+		t.Fatalf("layer 0 cross = %v", got)
+	}
+	// Layer 1 crossings = union of layers 0 and 2 coords.
+	if got := g.Layers[1].Cross; !equalInts(got, []int{10, 30, 50, 70, 90}) {
+		t.Fatalf("layer 1 cross = %v", got)
+	}
+	if g.NumLayers() != 3 {
+		t.Fatal("NumLayers")
+	}
+}
+
+func TestIsVertex(t *testing.T) {
+	g := buildTestGraph()
+	cases := []struct {
+		p  geom.Point3
+		ok bool
+	}{
+		{geom.Pt3(20, 10, 0), true},   // track y=10, cross x=20
+		{geom.Pt3(21, 10, 0), false},  // off-cross
+		{geom.Pt3(20, 11, 0), false},  // off-track
+		{geom.Pt3(20, 10, 1), true},   // layer 1: track x=20, cross y=10
+		{geom.Pt3(60, 70, 2), true},   // layer 2
+		{geom.Pt3(20, 10, 5), false},  // no such layer
+		{geom.Pt3(20, 10, -1), false}, // no such layer
+	}
+	for _, c := range cases {
+		if got := g.IsVertex(c.p); got != c.ok {
+			t.Errorf("IsVertex(%v) = %v, want %v", c.p, got, c.ok)
+		}
+	}
+}
+
+func TestViaPossible(t *testing.T) {
+	g := buildTestGraph()
+	// Via 0-1 at (x on layer1 track, y on layer0 track).
+	if !g.ViaPossible(20, 50, 0) {
+		t.Error("via at (20,50) must be possible")
+	}
+	if g.ViaPossible(25, 50, 0) {
+		t.Error("x=25 is not a layer-1 track")
+	}
+	if g.ViaPossible(20, 55, 0) {
+		t.Error("y=55 is not a layer-0 track")
+	}
+	if g.ViaPossible(20, 50, 2) || g.ViaPossible(20, 50, -1) {
+		t.Error("out-of-range via layer")
+	}
+	// Via 1-2: needs x on layer-1 track, y on layer-2 track.
+	if !g.ViaPossible(60, 30, 1) {
+		t.Error("via at (60,30) layer 1-2 must be possible")
+	}
+}
+
+func TestTrackQueries(t *testing.T) {
+	g := buildTestGraph()
+	l := &g.Layers[0]
+	if l.TrackAt(50) != 1 || l.TrackAt(51) != -1 {
+		t.Error("TrackAt wrong")
+	}
+	if l.NearestTrack(5) != 10 || l.NearestTrack(95) != 90 || l.NearestTrack(49) != 50 || l.NearestTrack(30) != 10 {
+		t.Errorf("NearestTrack wrong: %d %d %d %d",
+			l.NearestTrack(5), l.NearestTrack(95), l.NearestTrack(49), l.NearestTrack(30))
+	}
+	if got := l.CrossRange(20, 60); !equalInts(got, []int{20, 60}) {
+		t.Errorf("CrossRange = %v", got)
+	}
+	if got := l.CrossRange(21, 59); len(got) != 0 {
+		t.Errorf("CrossRange open = %v", got)
+	}
+	if got := l.TracksRange(10, 50); !equalInts(got, []int{10, 50}) {
+		t.Errorf("TracksRange = %v", got)
+	}
+}
+
+func TestOptimizePinAlignment(t *testing.T) {
+	// Paper: "alignment of routing tracks with pins can be taken into
+	// account by adding rectangles to A which model track positions that
+	// allow on-track pin access." A pin-access rect at an off-pitch
+	// position pulls a track onto it when beneficial.
+	// The objective is union coverage, so the pin-access rectangle must
+	// add coverage a mis-aligned track would not get: it models a track
+	// position from which an otherwise blocked pin is reachable on-track.
+	rects := []geom.Rect{
+		geom.R(0, 0, 1000, 100),    // plane
+		geom.R(1000, 42, 1400, 44), // on-track pin access beyond the plane
+	}
+	coords, _ := Optimize(rects, geom.Horizontal, 40, geom.Iv(0, 100))
+	found := false
+	for _, c := range coords {
+		if c == 42 || c == 43 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a track aligned to the pin rows, got %v", coords)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	area := geom.R(0, 0, 40000, 4000)
+	var holes []geom.Rect
+	for i := 0; i < 60; i++ {
+		x, y := rng.Intn(39000), rng.Intn(3900)
+		holes = append(holes, geom.R(x, y, x+rng.Intn(3000), y+rng.Intn(200)))
+	}
+	rects := geom.SubtractRects(area, holes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(rects, geom.Horizontal, 40, geom.Iv(0, 4000))
+	}
+	_ = sort.IntsAreSorted
+}
