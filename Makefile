@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke check bench-json
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench-smoke runs the interval-vs-node benchmarks once each: a fast
+# sanity check that the path-search hot path still finds the long
+# connection and that the benchmark harness compiles and runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'IntervalVsNode' -benchtime 1x .
+
+# check is the pre-merge gate: vet, build, the full test suite under the
+# race detector, and the benchmark smoke test.
+check: vet build race bench-smoke
+
+# bench-json regenerates the committed benchmark artifact (small suite
+# plus the path-search micro-benchmarks).
+bench-json:
+	$(GO) run ./cmd/routebench -suite small -bench-json BENCH_pathsearch.json

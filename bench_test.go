@@ -296,6 +296,22 @@ func BenchmarkIntervalVsNode_Node(b *testing.B) {
 	b.ReportMetric(float64(pops), "heap-pops")
 }
 
+// BenchmarkIntervalVsNode_IntervalSteady is the router-worker regime: one
+// engine held across searches, so arena, queue, and label pools are warm.
+// This is the allocation-free steady state the engine exists for; the
+// plain Interval benchmark above includes the sync.Pool checkout.
+func BenchmarkIntervalVsNode_IntervalSteady(b *testing.B) {
+	cfg, S, T := longSearchWorld()
+	e := pathsearch.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Search(cfg, S, T) == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
 // --- §3.6: fast grid on/off ---
 
 func fastGridChip() *bonnroute.Chip {

@@ -1,19 +1,28 @@
 // Command routebench regenerates the paper's evaluation tables on a
 // suite of synthetic chips: Table I (ISR vs BR+cleanup full flows),
 // Table II (global routing netlength over Steiner length by terminal
-// count), and Table III (BR-global vs ISR-global).
+// count), Table III (BR-global vs ISR-global), and table 4, the
+// path-search engine micro-benchmarks (interval vs node labelling,
+// bucket vs heap queue, steady-state allocation counts).
 //
 // Usage:
 //
-//	routebench [-table 0|1|2|3] [-suite small|medium|large] [-workers N]
+//	routebench [-table 0|1|2|3|4] [-suite small|medium|large] [-workers N]
+//	           [-cpuprofile f] [-memprofile f] [-bench-json f]
 //
-// -table 0 (default) prints all three tables.
+// -table 0 (default) prints everything. -bench-json writes the runs'
+// machine-readable results (per-stage timings, path-search effort
+// counters, micro-benchmark rows) to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
 	"time"
 
 	"bonnroute/internal/baseline"
@@ -21,11 +30,53 @@ import (
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
 	"bonnroute/internal/detail"
+	"bonnroute/internal/drc"
 	"bonnroute/internal/geom"
+	"bonnroute/internal/pathsearch"
 	"bonnroute/internal/report"
 	"bonnroute/internal/sharing"
 	"bonnroute/internal/steiner"
+	"bonnroute/internal/tracks"
 )
+
+// flowJSON is one full-flow run in the -bench-json output.
+type flowJSON struct {
+	Name        string            `json:"name"`
+	GlobalMS    float64           `json:"global_ms"`
+	DetailMS    float64           `json:"detail_ms"`
+	CleanupMS   float64           `json:"cleanup_ms"`
+	TotalMS     float64           `json:"total_ms"`
+	Netlength   int64             `json:"netlength"`
+	Vias        int               `json:"vias"`
+	Scenic25    int               `json:"scenic25"`
+	Scenic50    int               `json:"scenic50"`
+	Errors      int               `json:"errors"`
+	Unrouted    int               `json:"unrouted"`
+	SearchStats *pathsearch.Stats `json:"search_stats,omitempty"`
+}
+
+// benchRowJSON is one micro-benchmark row (testing.Benchmark output).
+type benchRowJSON struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchJSON is the -bench-json document.
+type benchJSON struct {
+	Suite      string         `json:"suite"`
+	Workers    int            `json:"workers"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Flows      []flowJSON     `json:"flows,omitempty"`
+	PathSearch []benchRowJSON `json:"pathsearch_bench,omitempty"`
+	// SeedBaseline holds the same micro-benchmarks measured at the
+	// pre-engine commit, for the speedup/allocation comparison.
+	SeedBaseline []benchRowJSON `json:"seed_baseline,omitempty"`
+	SeedRef      string         `json:"seed_ref,omitempty"`
+}
+
+var collect *benchJSON
 
 // suite returns the chip parameter sets standing in for the paper's
 // eight IBM designs (scaled to laptop size; three tiers).
@@ -54,11 +105,31 @@ func suite(name string) []chip.GenParams {
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "which table to print (0 = all)")
-		suiteName = flag.String("suite", "medium", "small, medium, or large")
-		workers   = flag.Int("workers", 1, "parallel workers")
+		table      = flag.Int("table", 0, "which table to print (0 = tables I-III; 4 = path-search micro-benchmarks)")
+		suiteName  = flag.String("suite", "medium", "small, medium, or large")
+		workers    = flag.Int("workers", 1, "parallel workers")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
+		benchOut   = flag.String("bench-json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *benchOut != "" {
+		collect = &benchJSON{Suite: *suiteName, Workers: *workers, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	}
 
 	params := suite(*suiteName)
 	if *table == 0 || *table == 1 {
@@ -69,6 +140,34 @@ func main() {
 	}
 	if *table == 0 || *table == 3 {
 		tableIII(params)
+	}
+	if *table == 0 || *table == 4 {
+		tableIV()
+	}
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(collect, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -82,13 +181,43 @@ func tableI(params []chip.GenParams, workers int) {
 		isr := core.RouteBaseline(chip.Generate(p), opt)
 		isr.Metrics.Name = p.Name + "/ISR"
 		rows = append(rows, isr.Metrics)
+		collectFlow(isr)
 
 		br := core.RouteBonnRoute(chip.Generate(p), opt)
 		br.Metrics.Name = p.Name + "/BR+cleanup"
 		rows = append(rows, br.Metrics)
+		collectFlow(br)
 	}
 	fmt.Print(report.FormatTableI(rows))
 	fmt.Println()
+}
+
+// collectFlow records one flow run into the -bench-json document.
+func collectFlow(res *core.Result) {
+	if collect == nil {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fj := flowJSON{
+		Name:      res.Metrics.Name,
+		DetailMS:  ms(res.DetailTime),
+		CleanupMS: ms(res.CleanupTime),
+		TotalMS:   ms(res.Metrics.Runtime),
+		Netlength: res.Metrics.Netlength,
+		Vias:      res.Metrics.Vias,
+		Scenic25:  res.Metrics.Scenic25,
+		Scenic50:  res.Metrics.Scenic50,
+		Errors:    res.Metrics.Errors,
+		Unrouted:  res.Metrics.Unrouted,
+	}
+	if res.Global != nil {
+		fj.GlobalMS = ms(res.Global.Total)
+	}
+	if res.Router != nil {
+		st := res.Router.SearchStats()
+		fj.SearchStats = &st
+	}
+	collect.Flows = append(collect.Flows, fj)
 }
 
 func tableII(params []chip.GenParams, workers int) {
@@ -199,4 +328,109 @@ func tableIII(params []chip.GenParams) {
 		})
 	}
 	fmt.Print(report.FormatTableIII(rows))
+}
+
+// searchWorld is the micro-benchmark scenario (the same long straight
+// connection the test harness's BenchmarkIntervalVsNode uses): 4 layers,
+// 8000 DBU, pitch-40 tracks, free space, π_H toward the target.
+func searchWorld() (*pathsearch.Config, []geom.Point3, []geom.Point3) {
+	size := 8000
+	nLayers := 4
+	dirs := make([]geom.Direction, nLayers)
+	coords := make([][]int, nLayers)
+	for z := 0; z < nLayers; z++ {
+		if z%2 == 0 {
+			dirs[z] = geom.Horizontal
+		} else {
+			dirs[z] = geom.Vertical
+		}
+		for c := 20; c < size; c += 40 {
+			coords[z] = append(coords[z], c)
+		}
+	}
+	tg := tracks.BuildGraph(geom.R(0, 0, size, size), dirs, coords)
+	costs := pathsearch.UniformCosts(nLayers, 3, 160)
+	cfg := &pathsearch.Config{
+		Tracks: tg,
+		Costs:  costs,
+		Pi: pathsearch.NewHFuture(nLayers, costs,
+			map[int][]geom.Rect{0: {geom.R(7780, 20, 7781, 21)}}),
+		WireRuns: func(z, ti, lo, hi int, visit func(lo, hi int, need drc.Need)) {},
+		JogNeed:  func(z, lowerTi, along int) drc.Need { return 0 },
+		ViaNeed:  func(v, botTi, topTi int, pos geom.Point) drc.Need { return 0 },
+	}
+	S := []geom.Point3{geom.Pt3(20, 20, 0)}
+	T := []geom.Point3{geom.Pt3(7780, 20, 0)}
+	return cfg, S, T
+}
+
+// tableIV runs the path-search engine micro-benchmarks: pooled one-shot
+// calls, the steady-state engine (the router-worker regime), the heap
+// fallback (isolating the bucket-queue win), and the node-labelling
+// reference.
+func tableIV() {
+	fmt.Println("=== Path-search engine micro-benchmarks ===")
+	cfg, S, T := searchWorld()
+	heapCfg := *cfg
+	heapCfg.ForceHeapQueue = true
+
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		fmt.Printf("%-28s %10d ns/op %10d B/op %8d allocs/op\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		if collect != nil {
+			collect.PathSearch = append(collect.PathSearch, benchRowJSON{
+				Name:        name,
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+		}
+	}
+
+	run("Interval/pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pathsearch.Search(cfg, S, T) == nil {
+				b.Fatal("no path")
+			}
+		}
+	})
+	run("Interval/steady", func(b *testing.B) {
+		e := pathsearch.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if e.Search(cfg, S, T) == nil {
+				b.Fatal("no path")
+			}
+		}
+	})
+	run("Interval/steady-heapq", func(b *testing.B) {
+		e := pathsearch.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if e.Search(&heapCfg, S, T) == nil {
+				b.Fatal("no path")
+			}
+		}
+	})
+	run("Node/steady", func(b *testing.B) {
+		e := pathsearch.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if e.NodeSearch(cfg, S, T) == nil {
+				b.Fatal("no path")
+			}
+		}
+	})
+
+	if collect != nil {
+		// The same scenario measured at the pre-engine seed commit (per-
+		// call allocation of heaps, maps, and label slices), kept for the
+		// speedup/allocation comparison.
+		collect.SeedRef = "c92c32d"
+		collect.SeedBaseline = []benchRowJSON{
+			{Name: "Interval/percall", NsPerOp: 170915, BytesPerOp: 75307, AllocsPerOp: 1233},
+			{Name: "Node/percall", NsPerOp: 410709, BytesPerOp: 240331, AllocsPerOp: 2592},
+		}
+	}
 }

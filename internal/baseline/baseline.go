@@ -101,8 +101,10 @@ func GlobalRoute(g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
 	}
 	for iter := 0; iter < opt.MaxIterations; iter++ {
 		res.Iterations = iter + 1
-		// Collect overflowed edges and the nets using them.
-		overNets := map[int]bool{}
+		// Collect overflowed edges and the nets using them. overNets is a
+		// slice in net-ID order: reroute order feeds back into congestion,
+		// so map iteration here would make results run-dependent.
+		var overNets []int
 		overEdges := 0
 		for e := 0; e < g.NumEdges(); e++ {
 			if load[e] > g.Cap[e]+1e-9 {
@@ -116,15 +118,15 @@ func GlobalRoute(g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
 		for ni := range nets {
 			for _, e := range res.Trees[ni] {
 				if load[int(e)] > g.Cap[e]+1e-9 {
-					overNets[ni] = true
+					overNets = append(overNets, ni)
 					break
 				}
 			}
 		}
-		for ni := range overNets {
+		for _, ni := range overNets {
 			unroute(ni)
 		}
-		for ni := range overNets {
+		for _, ni := range overNets {
 			route(ni)
 		}
 	}

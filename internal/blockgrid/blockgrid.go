@@ -13,8 +13,8 @@
 package blockgrid
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"bonnroute/internal/geom"
 )
@@ -24,17 +24,24 @@ import (
 // τ-spaced fill around every cluster of base coordinates closer than 4τ,
 // extended 2τ beyond, clipped to span.
 func Coordinates(base []int, tau int, span geom.Interval) []int {
-	if tau <= 0 || span.Empty() {
-		return nil
-	}
-	sorted := append([]int(nil), base...)
-	sort.Ints(sorted)
-	sorted = dedup(sorted)
+	var s Searcher
+	return s.coords(nil, base, tau, span)
+}
 
-	out := map[int]bool{}
+// coords is Coordinates writing into dst, with the sorted base copy held
+// in the searcher's scratch buffer so repeated searches don't reallocate.
+func (s *Searcher) coords(dst []int, base []int, tau int, span geom.Interval) []int {
+	dst = dst[:0]
+	if tau <= 0 || span.Empty() {
+		return dst
+	}
+	s.sortBuf = append(s.sortBuf[:0], base...)
+	sort.Ints(s.sortBuf)
+	sorted := dedup(s.sortBuf)
+
 	add := func(x int) {
 		if x >= span.Lo && x <= span.Hi {
-			out[x] = true
+			dst = append(dst, x)
 		}
 	}
 	for _, x := range sorted {
@@ -58,12 +65,8 @@ func Coordinates(base []int, tau int, span geom.Interval) []int {
 			}
 		}
 	}
-	res := make([]int, 0, len(out))
-	for x := range out {
-		res = append(res, x)
-	}
-	sort.Ints(res)
-	return res
+	sort.Ints(dst)
+	return dedup(dst)
 }
 
 func dedup(xs []int) []int {
@@ -76,33 +79,64 @@ func dedup(xs []int) []int {
 	return out
 }
 
+// Searcher owns the buffers of the τ-feasible path search — grid
+// coordinates, Dijkstra state arrays, and the priority queue — so
+// repeated searches (pin-access catalogues probe many endpoints per pin)
+// reuse memory instead of rebuilding it per call. One Searcher serves one
+// goroutine at a time.
+type Searcher struct {
+	g       bgraph
+	sortBuf []int
+	xbase   []int
+	ybase   []int
+	dist    []int
+	parent  []int32
+	done    []bool
+	pq      bheap
+}
+
+// NewSearcher returns an empty searcher; buffers grow on demand.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+// searcherPool backs the package-level Search so one-shot callers still
+// amortize buffer memory across calls.
+var searcherPool = sync.Pool{New: func() interface{} { return NewSearcher() }}
+
 // Search finds a shortest τ-feasible rectilinear path from s to t within
 // bounds, avoiding the interiors of the obstacles. It returns the
 // waypoints (including s and t) and the ℓ1 length. ok is false when no
 // τ-feasible path exists on the blockage grid.
 func Search(obstacles []geom.Rect, s, t geom.Point, tau int, bounds geom.Rect) (pts []geom.Point, length int, ok bool) {
-	if s == t {
-		return []geom.Point{s}, 0, true
+	sr := searcherPool.Get().(*Searcher)
+	pts, length, ok = sr.Search(obstacles, s, t, tau, bounds)
+	searcherPool.Put(sr)
+	return pts, length, ok
+}
+
+// Search is the pooled-buffer form of the package-level Search.
+func (s *Searcher) Search(obstacles []geom.Rect, from, to geom.Point, tau int, bounds geom.Rect) (pts []geom.Point, length int, ok bool) {
+	if from == to {
+		return []geom.Point{from}, 0, true
 	}
-	var xs, ys []int
-	xs = append(xs, s.X, t.X, bounds.XMin, bounds.XMax)
-	ys = append(ys, s.Y, t.Y, bounds.YMin, bounds.YMax)
+	s.xbase = append(s.xbase[:0], from.X, to.X, bounds.XMin, bounds.XMax)
+	s.ybase = append(s.ybase[:0], from.Y, to.Y, bounds.YMin, bounds.YMax)
 	for _, o := range obstacles {
-		xs = append(xs, o.XMin, o.XMax)
-		ys = append(ys, o.YMin, o.YMax)
+		s.xbase = append(s.xbase, o.XMin, o.XMax)
+		s.ybase = append(s.ybase, o.YMin, o.YMax)
 	}
-	gx := Coordinates(xs, tau, geom.Interval{Lo: bounds.XMin, Hi: bounds.XMax})
-	gy := Coordinates(ys, tau, geom.Interval{Lo: bounds.YMin, Hi: bounds.YMax})
-	g := &bgraph{
-		xs: gx, ys: gy, tau: tau,
-		obstacles: obstacles,
-	}
-	si, ok1 := g.vertexOf(s)
-	ti, ok2 := g.vertexOf(t)
+	s.g.xs = s.coords(s.g.xs, s.xbase, tau, geom.Interval{Lo: bounds.XMin, Hi: bounds.XMax})
+	s.g.ys = s.coords(s.g.ys, s.ybase, tau, geom.Interval{Lo: bounds.YMin, Hi: bounds.YMax})
+	s.g.tau = tau
+	s.g.obstacles = obstacles
+	si, ok1 := s.g.vertexOf(from)
+	ti, ok2 := s.g.vertexOf(to)
 	if !ok1 || !ok2 {
+		s.g.obstacles = nil
 		return nil, 0, false
 	}
-	return g.dijkstra(si, ti)
+	pts, length, ok = s.dijkstra(si, ti)
+	s.g.obstacles = nil // don't retain caller memory in the pool
+	return pts, length, ok
 }
 
 // Directions of travel.
@@ -171,46 +205,53 @@ func (g *bgraph) sid(st bstate) int {
 	return (st.v.xi*len(g.ys)+st.v.yi)*int(numDirs) + int(st.dir)
 }
 
-func (g *bgraph) dijkstra(s, t bvertex) ([]geom.Point, int, bool) {
+// stateOf inverts sid.
+func (g *bgraph) stateOf(id int) bstate {
+	d := uint8(id % int(numDirs))
+	id /= int(numDirs)
+	return bstate{bvertex{id / len(g.ys), id % len(g.ys)}, d}
+}
+
+func (s *Searcher) dijkstra(from, to bvertex) ([]geom.Point, int, bool) {
+	g := &s.g
 	n := len(g.xs) * len(g.ys) * int(numDirs)
 	const unset = int(^uint(0) >> 2)
-	dist := make([]int, n)
-	parent := make([]int32, n)
-	done := make([]bool, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+		s.parent = make([]int32, n)
+		s.done = make([]bool, n)
+	}
+	dist, parent, done := s.dist[:n], s.parent[:n], s.done[:n]
 	for i := range dist {
 		dist[i] = unset
 		parent[i] = -1
+		done[i] = false
 	}
-	stateOf := func(id int) bstate {
-		d := uint8(id % int(numDirs))
-		id /= int(numDirs)
-		return bstate{bvertex{id / len(g.ys), id % len(g.ys)}, d}
-	}
-	pq := &bheap{}
-	relax := func(st bstate, d int, from int32) {
+	pq := s.pq[:0]
+	relax := func(st bstate, d int, fromID int32) {
 		id := g.sid(st)
 		if dist[id] <= d {
 			return
 		}
 		dist[id] = d
-		parent[id] = from
-		heap.Push(pq, bitem{d, int32(id)})
+		parent[id] = fromID
+		pq.push(bitem{d, int32(id)})
 	}
-	relax(bstate{s, dirNone}, 0, -1)
+	relax(bstate{from, dirNone}, 0, -1)
 
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(bitem)
+	for len(pq) > 0 {
+		it := pq.pop()
 		id := int(it.id)
 		if done[id] || it.d > dist[id] {
 			continue
 		}
 		done[id] = true
-		st := stateOf(id)
-		if st.v == t {
+		st := g.stateOf(id)
+		if st.v == to {
 			// Reconstruct.
 			var pts []geom.Point
 			for cur := int32(id); cur >= 0; cur = parent[cur] {
-				cs := stateOf(int(cur))
+				cs := g.stateOf(int(cur))
 				p := geom.Pt(g.xs[cs.v.xi], g.ys[cs.v.yi])
 				if len(pts) == 0 || pts[len(pts)-1] != p {
 					pts = append(pts, p)
@@ -219,12 +260,14 @@ func (g *bgraph) dijkstra(s, t bvertex) ([]geom.Point, int, bool) {
 			for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
 				pts[i], pts[j] = pts[j], pts[i]
 			}
+			s.pq = pq[:0]
 			return pts, it.d, true
 		}
 		g.neighbors(st, func(nb bstate, cost int) {
 			relax(nb, it.d+cost, int32(id))
 		})
 	}
+	s.pq = pq[:0]
 	return nil, 0, false
 }
 
@@ -332,18 +375,50 @@ type bitem struct {
 	id int32
 }
 
+// bheap is a concrete-typed binary min-heap on d. The sift order matches
+// container/heap's exactly (left child preferred on ties), so replacing
+// the interface-based heap — which boxed one allocation per Push — left
+// pop sequences, and therefore found paths, unchanged.
 type bheap []bitem
 
-func (h bheap) Len() int            { return len(h) }
-func (h bheap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h bheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *bheap) Push(x interface{}) { *h = append(*h, x.(bitem)) }
-func (h *bheap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *bheap) push(it bitem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[i].d >= s[p].d {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *bheap) pop() bitem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].d < s[m].d {
+			m = l
+		}
+		if r < n && s[r].d < s[m].d {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // MergeCollinear merges consecutive waypoints that continue in the same

@@ -397,6 +397,16 @@ func (r *Router) routeArea(ni int, S, T []geom.Point3) *pathsearch.Area {
 // RouteNet connects all pins of net ni. It returns true when the net is
 // fully routed. ripupBudget counts how many victim nets may be ripped.
 func (r *Router) RouteNet(ni int, ripupBudget int) bool {
+	e := r.acquireEngine()
+	ok := r.routeNetWith(e, ni, ripupBudget)
+	r.releaseEngine(e)
+	return ok
+}
+
+// routeNetWith is RouteNet on a caller-held engine, so batch callers
+// (parallel rounds, rip-up recursion) reuse one engine's pools across
+// many nets instead of paying a checkout per net.
+func (r *Router) routeNetWith(e *pathsearch.Engine, ni int, ripupBudget int) bool {
 	rt := &r.routes[ni]
 	rt.attempt++
 	if rt.attempt >= 2 {
@@ -416,7 +426,7 @@ func (r *Router) RouteNet(ni int, ripupBudget int) bool {
 			r.recomputeLength(ni)
 			return true
 		}
-		if !r.connectOnce(ni, comps, ripupBudget) {
+		if !r.connectOnce(e, ni, comps, ripupBudget) {
 			rt.routed = false
 			return false
 		}
@@ -494,7 +504,7 @@ func (r *Router) patchNotches(ni int) {
 }
 
 // connectOnce connects the first component of the net to any other.
-func (r *Router) connectOnce(ni int, comps []component, ripupBudget int) bool {
+func (r *Router) connectOnce(e *pathsearch.Engine, ni int, comps []component, ripupBudget int) bool {
 	src := comps[0]
 	var T []geom.Point3
 	compOf := map[geom.Point3]int{}
@@ -506,14 +516,14 @@ func (r *Router) connectOnce(ni int, comps []component, ripupBudget int) bool {
 	}
 	S := src.points
 	area := r.routeArea(ni, S, T)
-	pi := r.futureCost(ni, T, area)
+	pi := r.futureCost(e, ni, T, area)
 
 	r.mu.RLock()
 	var path *pathsearch.Path
 	if r.opt.NodeSearch {
-		path = pathsearch.NodeSearch(r.searchConfig(ni, area, pi, 0, nil), S, T)
+		path = e.NodeSearch(r.searchConfig(ni, area, pi, 0, nil), S, T)
 	} else {
-		path = pathsearch.Search(r.searchConfig(ni, area, pi, 0, nil), S, T)
+		path = e.Search(r.searchConfig(ni, area, pi, 0, nil), S, T)
 	}
 	r.mu.RUnlock()
 
@@ -525,12 +535,12 @@ func (r *Router) connectOnce(ni int, comps []component, ripupBudget int) bool {
 		rt := &r.routes[ni]
 		penaltyBase := (1 + rt.attempt) * 20 * r.Chip.Deck.Layers[0].Pitch
 		r.mu.RLock()
-		path = pathsearch.Search(r.searchConfig(ni, area, pi,
+		path = e.Search(r.searchConfig(ni, area, pi,
 			shapegrid.RipupStandard+1,
 			func(need drc.Need) int { return penaltyBase * int(need) }), S, T)
 		r.mu.RUnlock()
 		if path != nil {
-			if !r.commitWithRipup(ni, path, ripupBudget) {
+			if !r.commitWithRipup(e, ni, path, ripupBudget) {
 				return false
 			}
 			return true
@@ -546,12 +556,16 @@ func (r *Router) connectOnce(ni int, comps []component, ripupBudget int) bool {
 }
 
 // futureCost builds π_H (or π_P for long-detour connections) toward T.
-func (r *Router) futureCost(ni int, T []geom.Point3, area *pathsearch.Area) pathsearch.FutureCost {
-	targets := map[int][]geom.Rect{}
-	for _, t := range T {
-		targets[t.Z] = append(targets[t.Z], geom.Rect{XMin: t.X, YMin: t.Y, XMax: t.X + 1, YMax: t.Y + 1})
-	}
+// π_H comes from the engine's future-cost cache, which reuses the
+// previous π when the same net retries with unchanged targets (rip-up
+// attempts) and memoizes via lower bounds across nets sharing target
+// layers.
+func (r *Router) futureCost(e *pathsearch.Engine, ni int, T []geom.Point3, area *pathsearch.Area) pathsearch.FutureCost {
 	if r.opt.UsePFuture {
+		targets := map[int][]geom.Rect{}
+		for _, t := range T {
+			targets[t.Z] = append(targets[t.Z], geom.Rect{XMin: t.X, YMin: t.Y, XMax: t.X + 1, YMax: t.Y + 1})
+		}
 		bounds := area.Bounds()
 		obst := r.blockedCells()
 		return pathsearch.NewPFuture(r.Chip.NumLayers(), r.costs, targets, bounds,
@@ -567,7 +581,7 @@ func (r *Router) futureCost(ni int, T []geom.Point3, area *pathsearch.Area) path
 				},
 			})
 	}
-	return pathsearch.NewHFuture(r.Chip.NumLayers(), r.costs, targets)
+	return e.HFutureFor(int32(ni), r.Chip.NumLayers(), r.costs, T)
 }
 
 func (r *Router) blockedCells() [][]geom.Rect {
@@ -651,7 +665,7 @@ func (r *Router) postprocessSegment(ni int, s Segment) Segment {
 
 // commitWithRipup removes the victim nets blocking the path, commits the
 // path, and re-routes the victims (bounded recursion, §4.4).
-func (r *Router) commitWithRipup(ni int, path *pathsearch.Path, budget int) bool {
+func (r *Router) commitWithRipup(e *pathsearch.Engine, ni int, path *pathsearch.Path, budget int) bool {
 	wt := r.wireTypeOf(ni)
 	net := int32(ni)
 
@@ -698,16 +712,23 @@ func (r *Router) commitWithRipup(ni int, path *pathsearch.Path, budget int) bool
 	if len(victims) > budget {
 		return false
 	}
-	r.mu.Lock()
+	// Victim order determines the re-route sequence, which feeds back into
+	// routing results — sort so rip-up is deterministic, not map-ordered.
+	order := make([]int, 0, len(victims))
 	for v := range victims {
+		order = append(order, v)
+	}
+	sort.Ints(order)
+	r.mu.Lock()
+	for _, v := range order {
 		r.unrouteNet(v)
 	}
 	r.commitPath(ni, path)
 	r.mu.Unlock()
 
 	// Re-route victims with a reduced budget.
-	for v := range victims {
-		r.RouteNet(v, budget-len(victims))
+	for _, v := range order {
+		r.routeNetWith(e, v, budget-len(victims))
 	}
 	return true
 }

@@ -23,16 +23,27 @@ func (r *Router) Route() *Result {
 		}
 	}
 
+	// One engine serves the whole serial portion of the flow: the critical
+	// prepass, any single-region rounds, and the final cleanup.
+	eng := r.acquireEngine()
+	defer r.releaseEngine(eng)
+
 	// Critical nets first, serially, with rip-up allowed (§5.1: wide or
 	// timing-critical wires are routed before the masses).
 	for _, ni := range critical {
-		r.RouteNet(ni, 2)
+		r.routeNetWith(eng, ni, 2)
 	}
 
 	// Sort remaining nets by bounding-box half-perimeter: short local
-	// nets first pack tightly, long nets later get the leftovers.
+	// nets first pack tightly, long nets later get the leftovers. Net ID
+	// breaks span ties so the routing order — and therefore the result —
+	// does not depend on sort internals.
 	sort.Slice(normal, func(a, b int) bool {
-		return r.netSpan(normal[a]) < r.netSpan(normal[b])
+		sa, sb := r.netSpan(normal[a]), r.netSpan(normal[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return normal[a] < normal[b]
 	})
 
 	pending := normal
@@ -42,7 +53,7 @@ func (r *Router) Route() *Result {
 			// Final serial round with rip-up.
 			var fail []int
 			for _, ni := range pending {
-				if !r.RouteNet(ni, 2) {
+				if !r.routeNetWith(eng, ni, 2) {
 					fail = append(fail, ni)
 				}
 			}
@@ -60,30 +71,37 @@ func (r *Router) Route() *Result {
 			}
 			assigned[si] = append(assigned[si], ni)
 		}
+		// Each strip routes on its own engine and records failures in its
+		// own slot; merging in strip order after the barrier keeps the
+		// next round's net order independent of goroutine completion
+		// order.
+		fails := make([][]int, len(assigned))
 		var wg sync.WaitGroup
-		var failMu sync.Mutex
 		for si := range assigned {
 			if len(assigned[si]) == 0 {
 				continue
 			}
 			wg.Add(1)
-			go func(nets []int) {
+			go func(si int, nets []int) {
 				defer wg.Done()
+				e := r.acquireEngine()
+				defer r.releaseEngine(e)
 				var local []int
 				for _, ni := range nets {
 					// No rip-up in parallel rounds: rip-up may touch nets
 					// owned by other regions (§5.1's "only changes that do
 					// not affect regions assigned to other threads").
-					if !r.RouteNet(ni, 0) {
+					if !r.routeNetWith(e, ni, 0) {
 						local = append(local, ni)
 					}
 				}
-				failMu.Lock()
-				next = append(next, local...)
-				failMu.Unlock()
-			}(assigned[si])
+				fails[si] = local
+			}(si, assigned[si])
 		}
 		wg.Wait()
+		for _, local := range fails {
+			next = append(next, local...)
+		}
 		pending = next
 		regions /= 2
 	}
@@ -93,7 +111,7 @@ func (r *Router) Route() *Result {
 	for _, ni := range pending {
 		ok := false
 		for try := 0; try < 3 && !ok; try++ {
-			ok = r.RouteNet(ni, 2)
+			ok = r.routeNetWith(eng, ni, 2)
 		}
 		if !ok {
 			failed = append(failed, ni)

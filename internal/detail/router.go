@@ -139,6 +139,48 @@ type Router struct {
 	ggraph    *grid.Graph
 
 	mu sync.RWMutex // guards Space+FG: R during searches, W during commits
+
+	// Path-search engines are pooled per router: each worker goroutine
+	// checks one out for a whole round (reusing its arenas, queue, and
+	// future-cost cache across nets) and folds its counters into
+	// searchStats on return. The free list keeps engine count bounded by
+	// peak concurrency, not by net count.
+	engineMu    sync.Mutex
+	engines     []*pathsearch.Engine
+	searchStats pathsearch.Stats
+}
+
+// acquireEngine checks a path-search engine out of the router's free list
+// (allocating on first use). Pair with releaseEngine.
+func (r *Router) acquireEngine() *pathsearch.Engine {
+	r.engineMu.Lock()
+	defer r.engineMu.Unlock()
+	if n := len(r.engines); n > 0 {
+		e := r.engines[n-1]
+		r.engines = r.engines[:n-1]
+		return e
+	}
+	return pathsearch.NewEngine()
+}
+
+// releaseEngine returns an engine to the free list, merging its search
+// counters into the router-wide tally. This explicit merge point is the
+// only place search stats cross goroutines, so the counters need no
+// atomics.
+func (r *Router) releaseEngine(e *pathsearch.Engine) {
+	r.engineMu.Lock()
+	r.searchStats.Add(e.TakeStats())
+	r.engines = append(r.engines, e)
+	r.engineMu.Unlock()
+}
+
+// SearchStats returns the accumulated path-search effort (labels, heap
+// pops, materialized intervals, π reuses) over all completed RouteNet
+// calls.
+func (r *Router) SearchStats() pathsearch.Stats {
+	r.engineMu.Lock()
+	defer r.engineMu.Unlock()
+	return r.searchStats
 }
 
 // New builds the routing space, tracks, fast grid, and pin-access

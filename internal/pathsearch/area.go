@@ -9,8 +9,6 @@
 package pathsearch
 
 import (
-	"sort"
-
 	"bonnroute/internal/geom"
 )
 
@@ -60,22 +58,35 @@ func (a *Area) Contains(x, y, z int) bool {
 // the track of layer z (preferred direction dir) at orthogonal coordinate
 // c. Endpoints are inclusive (a vertex on the area border is usable).
 func (a *Area) TrackSpans(z int, dir geom.Direction, c int) []geom.Interval {
+	return a.AppendTrackSpans(nil, z, dir, c)
+}
+
+// AppendTrackSpans is TrackSpans writing into dst (typically a reused
+// scratch buffer), avoiding a per-call allocation on the search hot path.
+func (a *Area) AppendTrackSpans(dst []geom.Interval, z int, dir geom.Direction, c int) []geom.Interval {
 	if z < 0 || z >= len(a.perLayer) {
-		return nil
+		return dst
 	}
-	var spans []geom.Interval
+	base := len(dst)
 	for _, r := range a.perLayer[z] {
 		o := r.Span(dir.Perp())
 		if c < o.Lo || c > o.Hi {
 			continue
 		}
 		s := r.Span(dir)
-		spans = append(spans, geom.Interval{Lo: s.Lo, Hi: s.Hi + 1}) // inclusive hi
+		dst = append(dst, geom.Interval{Lo: s.Lo, Hi: s.Hi + 1}) // inclusive hi
 	}
+	spans := dst[base:]
 	if len(spans) <= 1 {
-		return spans
+		return dst
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].Lo < spans[j].Lo })
+	// Insertion sort: span counts per track are tiny, and sort.Slice's
+	// closure would allocate.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].Lo < spans[j-1].Lo; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
 	out := spans[:1]
 	for _, s := range spans[1:] {
 		last := &out[len(out)-1]
@@ -87,7 +98,7 @@ func (a *Area) TrackSpans(z int, dir geom.Direction, c int) []geom.Interval {
 			out = append(out, s)
 		}
 	}
-	return out
+	return dst[:base+len(out)]
 }
 
 // Bounds returns the bounding box over all layers (used to bound

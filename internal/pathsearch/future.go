@@ -99,6 +99,106 @@ func (f *HFuture) At(x, y, z int) int {
 	return best + f.viaLB[z]
 }
 
+// futureCache holds the engine's reusable π_H machinery: the last-built
+// HFuture (reused verbatim across rip-up retries of the same net, whose
+// target set is unchanged) and a memo of via-lower-bound vectors keyed by
+// target-layer bitmask (shared across nets whose targets touch the same
+// layers, valid while GammaVia is unchanged).
+type futureCache struct {
+	gamma   []int
+	nl      int
+	viaLBs  map[uint64][]int
+	lastNet int32
+	lastNL  int
+	lastPts []geom.Point3
+	lastPi  *HFuture
+}
+
+// HFutureFor returns π_H for the given target points, identified by net.
+// Identical consecutive requests (same net, layer count, costs, and
+// points) return the cached structure; the per-layer via lower bound is
+// memoized across nets by target-layer set. Cache hits are counted in
+// Stats.PiReused.
+func (e *Engine) HFutureFor(net int32, numLayers int, costs Costs, pts []geom.Point3) *HFuture {
+	fc := &e.fc
+	if fc.nl != numLayers || !intsEqual(fc.gamma, costs.GammaVia) {
+		fc.gamma = append(fc.gamma[:0], costs.GammaVia...)
+		fc.nl = numLayers
+		fc.viaLBs = nil
+		fc.lastPi = nil
+	}
+	if fc.lastPi != nil && fc.lastNet == net && fc.lastNL == numLayers && pts3Equal(fc.lastPts, pts) {
+		e.total.PiReused++
+		return fc.lastPi
+	}
+
+	// Targets are 1-unit rects around each point — the same geometry the
+	// map-based NewHFuture path produces, so cached and uncached π agree.
+	f := &HFuture{rects: make([]geom.Rect, 0, len(pts))}
+	var mask uint64
+	maskable := true
+	for _, p := range pts {
+		f.rects = append(f.rects, geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
+		if p.Z >= 0 && p.Z < 64 {
+			mask |= 1 << uint(p.Z)
+		} else {
+			maskable = false
+		}
+	}
+	if maskable {
+		if lb, ok := fc.viaLBs[mask]; ok {
+			f.viaLB = lb
+			e.total.PiReused++
+		} else {
+			tl := make(map[int]bool, len(pts))
+			for _, p := range pts {
+				tl[p.Z] = true
+			}
+			f.viaLB = viaLB(numLayers, costs.GammaVia, tl)
+			if fc.viaLBs == nil {
+				fc.viaLBs = map[uint64][]int{}
+			}
+			fc.viaLBs[mask] = f.viaLB
+		}
+	} else {
+		tl := make(map[int]bool, len(pts))
+		for _, p := range pts {
+			tl[p.Z] = true
+		}
+		f.viaLB = viaLB(numLayers, costs.GammaVia, tl)
+	}
+
+	fc.lastNet = net
+	fc.lastNL = numLayers
+	fc.lastPts = append(fc.lastPts[:0], pts...)
+	fc.lastPi = f
+	return f
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pts3Equal(a, b []geom.Point3) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // PFuture is the blockage-aware future cost π_P (Peyer et al. 2009,
 // paper §4.1): exact backward Dijkstra distances on a coarsened grid
 // that keeps large blockages, lower-bounded against π_H so it is never

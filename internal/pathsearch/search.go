@@ -1,12 +1,10 @@
 package pathsearch
 
 import (
-	"container/heap"
 	"sort"
 
 	"bonnroute/internal/drc"
 	"bonnroute/internal/geom"
-	"bonnroute/internal/intervalmap"
 	"bonnroute/internal/tracks"
 )
 
@@ -32,6 +30,11 @@ type Config struct {
 	// SpreadCost adds wire-spreading cost for using track positions
 	// [lo, hi] of track trackIdx on layer z (§4.2); nil disables.
 	SpreadCost func(z, trackIdx, lo, hi int) int
+	// ForceHeapQueue disables the Dial bucket priority queue and always
+	// uses the binary-heap fallback. Pop order is identical either way
+	// (both break key ties by insertion order); the flag exists for
+	// ablation benchmarks and queue-equivalence tests.
+	ForceHeapQueue bool
 
 	// WireRuns visits the Need runs of the preferred-direction wire model
 	// along track trackIdx of layer z, clipped to [lo, hi]; gaps are
@@ -51,6 +54,18 @@ type Stats struct {
 	HeapPops  int // priority-queue extractions
 	Expanded  int // crossing expansions (jog/via relaxations)
 	Intervals int // intervals materialized
+	Searches  int // searches completed (engine totals)
+	PiReused  int // future-cost structures served from the engine cache
+}
+
+// Add accumulates o into s — the merge step for per-engine tallies.
+func (s *Stats) Add(o Stats) {
+	s.Labels += o.Labels
+	s.HeapPops += o.HeapPops
+	s.Expanded += o.Expanded
+	s.Intervals += o.Intervals
+	s.Searches += o.Searches
+	s.PiReused += o.PiReused
 }
 
 // Path is a found connection.
@@ -65,32 +80,37 @@ type Path struct {
 }
 
 // Search finds a shortest S-T path in the track graph under cfg. It
-// returns nil when no path exists.
+// returns nil when no path exists. It is a convenience wrapper drawing a
+// pooled Engine; long-lived callers (router workers) should hold their
+// own Engine and call its Search method instead.
 func Search(cfg *Config, S, T []geom.Point3) *Path {
-	if cfg.MaxNeed > 0 && cfg.RipupPenalty == nil {
-		panic("pathsearch: MaxNeed > 0 requires RipupPenalty")
-	}
-	s := &searcher{cfg: cfg, tg: cfg.Tracks}
-	s.ivalCache = map[trackKey][]*ival{}
-	if cfg.Area == nil {
-		s.area = FullArea(s.tg.NumLayers(), s.tg.Area)
-	} else {
-		s.area = cfg.Area
-	}
-	return s.run(S, T)
+	e := enginePool.Get().(*Engine)
+	p := e.Search(cfg, S, T)
+	enginePool.Put(e)
+	return p
 }
 
-type trackKey struct{ z, ti int }
+// Search finds a shortest S-T path using the engine's pooled state. The
+// engine must not be used concurrently.
+func (e *Engine) Search(cfg *Config, S, T []geom.Point3) *Path {
+	e.beginSearch(cfg)
+	p := e.run(S, T)
+	e.endSearch()
+	e.cfg = nil
+	e.area = nil
+	return p
+}
 
 // ival is an interval of track vertices with uniform rip-up need
-// (Algorithm 4's I ∈ 𝓘). Bounds are inclusive DBU positions.
+// (Algorithm 4's I ∈ 𝓘). Bounds are inclusive DBU positions. Records
+// live in the engine arena; id keys the expansion table.
 type ival struct {
-	z, ti    int
-	lo, hi   int
-	need     drc.Need
-	labels   []int32 // indices into searcher.labels
-	expanded map[int]int
-	targets  []int
+	id      int32
+	z, ti   int
+	lo, hi  int
+	need    drc.Need
+	labels  []int32 // indices into Engine.labels
+	targets []int
 }
 
 // label is Algorithm 4's (v, δ): key = true distance from S to pos plus
@@ -110,34 +130,17 @@ type label struct {
 	pendingL, pendingR bool
 }
 
-type searcher struct {
-	cfg  *Config
-	tg   *tracks.Graph
-	area *Area
-
-	ivalCache map[trackKey][]*ival
-	labels    []label
-	pq        labelHeap
-	stats     Stats
-
-	targetSet map[geom.Point3]bool
-
-	best      int
-	bestLabel int32
-	bestPos   int
-}
-
 // pi evaluates the future cost at a track vertex.
-func (s *searcher) pi(z, ti, along int) int {
-	if s.cfg.Pi == nil {
+func (e *Engine) pi(z, ti, along int) int {
+	if e.cfg.Pi == nil {
 		return 0
 	}
-	x, y := s.vertexXY(z, ti, along)
-	return s.cfg.Pi.At(x, y, z)
+	x, y := e.vertexXY(z, ti, along)
+	return e.cfg.Pi.At(x, y, z)
 }
 
-func (s *searcher) vertexXY(z, ti, along int) (int, int) {
-	l := &s.tg.Layers[z]
+func (e *Engine) vertexXY(z, ti, along int) (int, int) {
+	l := &e.tg.Layers[z]
 	c := l.Coords[ti]
 	if l.Dir == geom.Horizontal {
 		return along, c
@@ -145,204 +148,255 @@ func (s *searcher) vertexXY(z, ti, along int) (int, int) {
 	return c, along
 }
 
-func (s *searcher) vertexPoint(z, ti, along int) geom.Point3 {
-	x, y := s.vertexXY(z, ti, along)
+func (e *Engine) vertexPoint(z, ti, along int) geom.Point3 {
+	x, y := e.vertexXY(z, ti, along)
 	return geom.Pt3(x, y, z)
 }
 
-// intervalsOf lazily materializes the usable intervals of a track.
-func (s *searcher) intervalsOf(z, ti int) []*ival {
-	key := trackKey{z, ti}
-	if ivs, ok := s.ivalCache[key]; ok {
-		return ivs
+// intervalsOf lazily materializes the usable intervals of a track into
+// the epoch-stamped flat cache.
+func (e *Engine) intervalsOf(z, ti int) []*ival {
+	entry := &e.trackCache[int(e.trackBase[z])+ti]
+	if entry.epoch == e.epoch {
+		return entry.ivs
 	}
-	l := &s.tg.Layers[z]
+	ivs := entry.ivs[:0]
+	l := &e.tg.Layers[z]
 	c := l.Coords[ti]
-	var ivs []*ival
-	for _, span := range s.area.TrackSpans(z, l.Dir, c) {
-		// Collect the Need runs within the span and normalize: callbacks
-		// may emit them unordered or overlapping (overlaps take the
-		// maximum need); gaps are free (need 0).
-		var needs intervalmap.Map
-		s.cfg.WireRuns(z, ti, span.Lo, span.Hi-1, func(lo, hi int, need drc.Need) {
-			lo, hi = max(lo, span.Lo), min(hi, span.Hi)
-			if lo < hi && need > 0 {
-				needs.Update(lo, hi, func(old uint64) uint64 {
-					if uint64(need) > old {
-						return uint64(need)
-					}
-					return old
-				})
-			}
-		})
-		flush := func(lo, hi int, need drc.Need) {
-			if lo >= hi || need > s.cfg.MaxNeed {
-				return
-			}
-			// Merge with previous interval when contiguous & same need.
-			if n := len(ivs); n > 0 && ivs[n-1].hi == lo-1 && ivs[n-1].need == need {
-				ivs[n-1].hi = hi - 1
-				return
-			}
-			ivs = append(ivs, &ival{z: z, ti: ti, lo: lo, hi: hi - 1, need: need})
-		}
-		cur := span.Lo
-		needs.Runs(span.Lo, span.Hi, func(lo, hi int, v uint64) bool {
-			if lo > cur {
-				flush(cur, lo, 0)
-			}
-			flush(lo, hi, drc.Need(v))
-			cur = hi
-			return true
-		})
-		if cur < span.Hi {
-			flush(cur, span.Hi, 0)
-		}
+	e.spanBuf = e.area.AppendTrackSpans(e.spanBuf[:0], z, l.Dir, c)
+	for _, span := range e.spanBuf {
+		ivs = e.materializeSpan(ivs, z, ti, span)
 	}
-	for _, iv := range ivs {
-		iv.expanded = map[int]int{}
-		s.stats.Intervals++
-	}
-	s.ivalCache[key] = ivs
+	e.stats.Intervals += len(ivs)
+	entry.epoch = e.epoch
+	entry.ivs = ivs
 	return ivs
 }
 
+// materializeSpan appends the usable intervals of one area span of track
+// (z, ti) to ivs. Need runs from the wire model may arrive unordered or
+// overlapping (overlaps take the maximum need); gaps are free (need 0).
+// The normalization runs on pooled scratch: runs are collected, span
+// boundaries coordinate-compressed, and per-slot maxima folded, replacing
+// the per-call AVL interval map of the pre-engine implementation.
+func (e *Engine) materializeSpan(ivs []*ival, z, ti int, span geom.Interval) []*ival {
+	e.runBuf = e.runBuf[:0]
+	e.runSpan = span
+	if e.runVisitor == nil {
+		e.runVisitor = func(lo, hi int, need drc.Need) {
+			if lo < e.runSpan.Lo {
+				lo = e.runSpan.Lo
+			}
+			if hi > e.runSpan.Hi {
+				hi = e.runSpan.Hi
+			}
+			if lo < hi && need > 0 {
+				e.runBuf = append(e.runBuf, needRun{lo, hi, need})
+			}
+		}
+	}
+	e.cfg.WireRuns(z, ti, span.Lo, span.Hi-1, e.runVisitor)
+
+	if len(e.runBuf) == 0 {
+		return e.appendIval(ivs, z, ti, span.Lo, span.Hi, 0)
+	}
+
+	// Coordinate-compress the run boundaries together with the span ends.
+	e.posBuf = append(e.posBuf[:0], span.Lo, span.Hi)
+	for _, r := range e.runBuf {
+		e.posBuf = append(e.posBuf, r.lo, r.hi)
+	}
+	sort.Ints(e.posBuf)
+	pos := e.posBuf[:1]
+	for _, p := range e.posBuf[1:] {
+		if p != pos[len(pos)-1] {
+			pos = append(pos, p)
+		}
+	}
+	nslots := len(pos) - 1
+	if cap(e.needBuf) < nslots {
+		e.needBuf = make([]drc.Need, nslots)
+	}
+	e.needBuf = e.needBuf[:nslots]
+	for i := range e.needBuf {
+		e.needBuf[i] = 0
+	}
+	for _, r := range e.runBuf {
+		i := searchInts(pos, r.lo)
+		for ; i < nslots && pos[i] < r.hi; i++ {
+			if r.need > e.needBuf[i] {
+				e.needBuf[i] = r.need
+			}
+		}
+	}
+	for i := 0; i < nslots; i++ {
+		ivs = e.appendIval(ivs, z, ti, pos[i], pos[i+1], e.needBuf[i])
+	}
+	return ivs
+}
+
+// appendIval adds the half-open interval [lo, hi) with the given need,
+// merging with a contiguous equal-need predecessor and dropping intervals
+// above the rip-up ceiling.
+func (e *Engine) appendIval(ivs []*ival, z, ti, lo, hi int, need drc.Need) []*ival {
+	if lo >= hi || need > e.cfg.MaxNeed {
+		return ivs
+	}
+	if n := len(ivs); n > 0 && ivs[n-1].hi == lo-1 && ivs[n-1].need == need {
+		ivs[n-1].hi = hi - 1
+		return ivs
+	}
+	iv := e.arena.alloc()
+	iv.z, iv.ti, iv.lo, iv.hi, iv.need = z, ti, lo, hi-1, need
+	return append(ivs, iv)
+}
+
 // findIval returns the interval of track (z, ti) containing pos, or nil.
-func (s *searcher) findIval(z, ti, pos int) *ival {
-	ivs := s.intervalsOf(z, ti)
-	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi >= pos })
-	if i < len(ivs) && ivs[i].lo <= pos {
-		return ivs[i]
+func (e *Engine) findIval(z, ti, pos int) *ival {
+	ivs := e.intervalsOf(z, ti)
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivs[mid].hi < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ivs) && ivs[lo].lo <= pos {
+		return ivs[lo]
 	}
 	return nil
 }
 
 // trackOf resolves a vertex's track index, or -1 when off-track.
-func (s *searcher) trackOf(p geom.Point3) int {
-	if p.Z < 0 || p.Z >= s.tg.NumLayers() {
+func (e *Engine) trackOf(p geom.Point3) int {
+	if p.Z < 0 || p.Z >= e.tg.NumLayers() {
 		return -1
 	}
-	l := &s.tg.Layers[p.Z]
+	l := &e.tg.Layers[p.Z]
 	return l.TrackAt(p.XY().Coord(l.Dir.Perp()))
 }
 
-func (s *searcher) alongOf(p geom.Point3) int {
-	l := &s.tg.Layers[p.Z]
+func (e *Engine) alongOf(p geom.Point3) int {
+	l := &e.tg.Layers[p.Z]
 	return p.XY().Coord(l.Dir)
 }
 
 const inf = int(^uint(0) >> 2)
 
-func (s *searcher) run(S, T []geom.Point3) *Path {
-	s.best = inf
-	s.bestLabel = -1
-	s.targetSet = make(map[geom.Point3]bool, len(T))
-
+func (e *Engine) run(S, T []geom.Point3) *Path {
 	// Register targets on their intervals.
 	for _, t := range T {
-		ti := s.trackOf(t)
+		ti := e.trackOf(t)
 		if ti < 0 {
 			continue
 		}
-		iv := s.findIval(t.Z, ti, s.alongOf(t))
+		iv := e.findIval(t.Z, ti, e.alongOf(t))
 		if iv == nil {
 			continue
 		}
-		iv.targets = append(iv.targets, s.alongOf(t))
-		s.targetSet[t] = true
+		iv.targets = append(iv.targets, e.alongOf(t))
+		e.targetCount++
 	}
-	if len(s.targetSet) == 0 {
+	if e.targetCount == 0 {
 		return nil
 	}
 
 	// Seed sources.
 	for _, src := range S {
-		ti := s.trackOf(src)
+		ti := e.trackOf(src)
 		if ti < 0 {
 			continue
 		}
-		pos := s.alongOf(src)
-		iv := s.findIval(src.Z, ti, pos)
+		pos := e.alongOf(src)
+		iv := e.findIval(src.Z, ti, pos)
 		if iv == nil {
 			continue
 		}
-		key := s.pi(src.Z, ti, pos) + s.entryCost(iv)
-		s.addLabel(iv, pos, key, -1, 0)
+		key := e.pi(src.Z, ti, pos) + e.entryCost(iv)
+		e.addLabel(iv, pos, key, -1, 0)
 	}
 
-	for s.pq.Len() > 0 {
-		it := heap.Pop(&s.pq).(pqItem)
-		if it.key >= s.best {
+	for {
+		it, ok := e.pq.pop()
+		if !ok || it.key >= e.best {
 			break
 		}
-		s.stats.HeapPops++
-		s.sweep(it.label, it.key, it.side)
+		e.stats.HeapPops++
+		e.sweep(it.label, it.key, it.side)
 	}
 
-	if s.bestLabel < 0 {
+	if e.bestLabel < 0 {
 		return nil
 	}
-	return s.buildPath()
+	return e.buildPath()
 }
 
 // entryCost is the extra cost of entering an interval: rip-up penalty
 // plus spreading cost.
-func (s *searcher) entryCost(iv *ival) int {
+func (e *Engine) entryCost(iv *ival) int {
 	c := 0
 	if iv.need > 0 {
-		c += s.cfg.RipupPenalty(iv.need)
+		c += e.cfg.RipupPenalty(iv.need)
 	}
-	if s.cfg.SpreadCost != nil {
-		c += s.cfg.SpreadCost(iv.z, iv.ti, iv.lo, iv.hi)
+	if e.cfg.SpreadCost != nil {
+		c += e.cfg.SpreadCost(iv.z, iv.ti, iv.lo, iv.hi)
 	}
 	return c
 }
 
-// keyAt evaluates the label's induced key at position x within its
+// labelKeyAt evaluates label li's induced key at position x within its
 // interval: key + |x − pos| − π(pos) + π(x).
-func (lb *label) keyAt(x int, s *searcher) int {
-	return lb.key + geom.Abs(x-lb.pos) - s.pi(lb.iv.z, lb.iv.ti, lb.pos) + s.pi(lb.iv.z, lb.iv.ti, x)
+func (e *Engine) labelKeyAt(li int32, x int) int {
+	lb := &e.labels[li]
+	return lb.key + geom.Abs(x-lb.pos) - e.pi(lb.iv.z, lb.iv.ti, lb.pos) + e.pi(lb.iv.z, lb.iv.ti, x)
+}
+
+// sweepKey is the induced key at x for a label with the given base
+// (key − π(pos)) and pos on interval iv.
+func (e *Engine) sweepKey(iv *ival, base, pos, x int) int {
+	return base + geom.Abs(x-pos) + e.pi(iv.z, iv.ti, x)
 }
 
 // addLabel inserts a label unless it is redundant (paper: (v', δ')
 // redundant if δ' ≥ d_{(v,δ)}(v') for an existing label). Returns
 // whether the label was added.
-func (s *searcher) addLabel(iv *ival, pos, key int, parent int32, parentPos int) bool {
-	if key >= s.best {
+func (e *Engine) addLabel(iv *ival, pos, key int, parent int32, parentPos int) bool {
+	if key >= e.best {
 		return false
 	}
 	for _, li := range iv.labels {
-		ex := &s.labels[li]
-		if ex.keyAt(pos, s) <= key {
+		if e.labelKeyAt(li, pos) <= key {
 			return false
 		}
 	}
-	idx := int32(len(s.labels))
-	s.labels = append(s.labels, label{
+	idx := int32(len(e.labels))
+	e.labels = append(e.labels, label{
 		iv: iv, pos: pos, key: key,
 		parent: parent, parentPos: parentPos,
 		sweptLo: pos + 1, sweptHi: pos - 1, // empty sweep
 	})
 	iv.labels = append(iv.labels, idx)
-	s.stats.Labels++
-	heap.Push(&s.pq, pqItem{key: key, label: idx, side: 0})
+	e.stats.Labels++
+	e.pushPQ(key, idx, 0)
 	return true
+}
+
+func (e *Engine) pushPQ(key int, li int32, side int8) {
+	e.pq.push(pqItem{key: key, seq: e.seq, label: li, side: side})
+	e.seq++
 }
 
 // sweep settles every position of the label's interval whose induced key
 // is ≤ cap, expands the newly settled crossings, and schedules
 // continuation events for the rest of the interval. side records which
 // pending continuation this call consumes (-1 left, +1 right, 0 initial).
-func (s *searcher) sweep(li int32, cap int, side int8) {
-	lb := &s.labels[li]
+func (e *Engine) sweep(li int32, cap int, side int8) {
+	lb := &e.labels[li]
 	iv := lb.iv
-	piPos := s.pi(iv.z, iv.ti, lb.pos)
-	base := lb.key - piPos
-
-	// keyAtX as a local closure (avoids repeated pi at pos).
-	keyAt := func(x int) int {
-		return base + geom.Abs(x-lb.pos) + s.pi(iv.z, iv.ti, x)
-	}
+	pos := lb.pos
+	base := lb.key - e.pi(iv.z, iv.ti, pos)
 
 	switch side {
 	case -1:
@@ -357,179 +411,193 @@ func (s *searcher) sweep(li int32, cap int, side int8) {
 	newLo := lb.sweptLo
 	newHi := lb.sweptHi
 	if newLo > newHi { // first sweep: start at pos
-		newLo, newHi = lb.pos, lb.pos
-		if keyAt(lb.pos) > cap {
+		newLo, newHi = pos, pos
+		if e.sweepKey(iv, base, pos, pos) > cap {
 			return
 		}
-		s.settle(li, lb.pos, keyAt(lb.pos))
+		e.settleRange(li, pos, pos, base, pos)
 	}
-	// Right extension.
-	lo, hi := newHi+1, iv.hi
-	if lo <= hi && keyAt(lo) <= cap {
-		r := lo + sort.Search(hi-lo+1, func(k int) bool { return keyAt(lo+k) > cap }) - 1
-		s.settleRange(li, lo, r, keyAt)
+	// Right extension: frontier of key ≤ cap in [newHi+1, iv.hi]. The
+	// probe sequence mirrors sort.Search exactly: π_P can be locally
+	// non-monotone, where the frontier found depends on the probes made,
+	// and routing output must not change with the queue refactor.
+	if lo := newHi + 1; lo <= iv.hi && e.sweepKey(iv, base, pos, lo) <= cap {
+		i, j := 0, iv.hi-lo+1
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if e.sweepKey(iv, base, pos, lo+h) <= cap {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		r := lo + i - 1
+		e.settleRange(li, lo, r, base, pos)
 		newHi = r
 	}
-	// Left extension.
-	lo2, hi2 := iv.lo, newLo-1
-	if lo2 <= hi2 && keyAt(hi2) <= cap {
-		cnt := sort.Search(hi2-lo2+1, func(k int) bool { return keyAt(hi2-k) > cap })
-		l := hi2 - cnt + 1
-		s.settleRange(li, l, hi2, keyAt)
+	// Left extension: frontier of key ≤ cap in [iv.lo, newLo-1].
+	if hi := newLo - 1; hi >= iv.lo && e.sweepKey(iv, base, pos, hi) <= cap {
+		i, j := 0, hi-iv.lo+1
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if e.sweepKey(iv, base, pos, hi-h) <= cap {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		l := hi - i + 1
+		e.settleRange(li, l, hi, base, pos)
 		newLo = l
 	}
-	lb = &s.labels[li] // settle may grow s.labels; refresh pointer
+	lb = &e.labels[li] // settle may grow e.labels; refresh pointer
 	lb.sweptLo, lb.sweptHi = newLo, newHi
 
 	// Continuation events at the frontiers, at most one outstanding per
 	// side.
 	if newHi < iv.hi && !lb.pendingR {
-		if k := keyAt(newHi + 1); k < s.best {
+		if k := e.sweepKey(iv, base, pos, newHi+1); k < e.best {
 			lb.pendingR = true
-			heap.Push(&s.pq, pqItem{key: k, label: li, side: +1})
+			e.pushPQ(k, li, +1)
 		}
 	}
 	if newLo > iv.lo && !lb.pendingL {
-		if k := keyAt(newLo - 1); k < s.best {
+		if k := e.sweepKey(iv, base, pos, newLo-1); k < e.best {
 			lb.pendingL = true
-			heap.Push(&s.pq, pqItem{key: k, label: li, side: -1})
+			e.pushPQ(k, li, -1)
 		}
 	}
 }
 
 // settleRange settles positions [a, b] of label li (b ≥ a), expanding
-// crossings and interval endpoints, and checking targets.
-func (s *searcher) settleRange(li int32, a, b int, keyAt func(int) int) {
-	lb := &s.labels[li]
-	iv := lb.iv
-	layer := &s.tg.Layers[iv.z]
+// crossings and interval endpoints, and checking targets. base and pos
+// parameterize the induced key (see sweepKey).
+func (e *Engine) settleRange(li int32, a, b, base, pos int) {
+	iv := e.labels[li].iv
+	layer := &e.tg.Layers[iv.z]
 
 	// Targets inside [a, b].
 	for _, t := range iv.targets {
 		if t >= a && t <= b {
-			if k := keyAt(t); k < s.best {
-				s.best = k
-				s.bestLabel = li
-				s.bestPos = t
+			if k := e.sweepKey(iv, base, pos, t); k < e.best {
+				e.best = k
+				e.bestLabel = li
+				e.bestPos = t
 			}
 		}
 	}
 	// Expand crossings.
 	for _, x := range layer.CrossRange(a, b) {
-		s.expand(li, x, keyAt(x))
+		e.expand(li, x, e.sweepKey(iv, base, pos, x))
 	}
 	// Interval endpoints may abut a neighboring interval of different
 	// need: relax the continuation step.
 	if iv.lo >= a && iv.lo <= b {
-		s.relaxAdjacent(li, iv, iv.lo, -1, keyAt(iv.lo))
+		e.relaxAdjacent(li, iv, iv.lo, -1, e.sweepKey(iv, base, pos, iv.lo))
 	}
 	if iv.hi >= a && iv.hi <= b {
-		s.relaxAdjacent(li, iv, iv.hi, +1, keyAt(iv.hi))
+		e.relaxAdjacent(li, iv, iv.hi, +1, e.sweepKey(iv, base, pos, iv.hi))
 	}
-}
-
-func (s *searcher) settle(li int32, x, key int) {
-	s.settleRange(li, x, x, func(int) int { return key })
 }
 
 // relaxAdjacent steps from an interval endpoint to the abutting interval
 // (cost 1 wire step plus the neighbor's entry cost).
-func (s *searcher) relaxAdjacent(li int32, iv *ival, pos, dir, key int) {
+func (e *Engine) relaxAdjacent(li int32, iv *ival, pos, dir, key int) {
 	npos := pos + dir
-	niv := s.findIval(iv.z, iv.ti, npos)
+	niv := e.findIval(iv.z, iv.ti, npos)
 	if niv == nil || niv == iv {
 		return
 	}
-	piHere := s.pi(iv.z, iv.ti, pos)
-	piThere := s.pi(iv.z, iv.ti, npos)
-	nk := key + 1 + s.entryCost(niv) - piHere + piThere
-	s.addLabel(niv, npos, nk, li, pos)
+	piHere := e.pi(iv.z, iv.ti, pos)
+	piThere := e.pi(iv.z, iv.ti, npos)
+	nk := key + 1 + e.entryCost(niv) - piHere + piThere
+	e.addLabel(niv, npos, nk, li, pos)
 }
 
 // expand relaxes the jog and via edges out of crossing x of label li's
 // interval. Re-expansion happens only when the key improved
 // (label-correcting safety for quantized future costs).
-func (s *searcher) expand(li int32, x, key int) {
-	lb := &s.labels[li]
-	iv := lb.iv
-	if old, ok := iv.expanded[x]; ok && old <= key {
+func (e *Engine) expand(li int32, x, key int) {
+	iv := e.labels[li].iv
+	expKey := uint64(iv.id)<<32 | uint64(uint32(x))
+	if old, ok := e.exp.get(expKey); ok && old <= key {
 		return
 	}
-	iv.expanded[x] = key
-	s.stats.Expanded++
+	e.exp.set(expKey, key)
+	e.stats.Expanded++
 
 	z, ti := iv.z, iv.ti
-	layer := &s.tg.Layers[z]
-	piHere := s.pi(z, ti, x)
+	layer := &e.tg.Layers[z]
+	piHere := e.pi(z, ti, x)
 	base := key - piHere
 
 	// Jog up.
 	if ti+1 < len(layer.Coords) {
 		gap := layer.Coords[ti+1] - layer.Coords[ti]
-		if need := s.cfg.JogNeed(z, ti, x); need <= s.cfg.MaxNeed {
-			if niv := s.findIval(z, ti+1, x); niv != nil {
-				cost := s.cfg.Costs.BetaJog[z]*gap + s.jogPenalty(need) + s.entryCost(niv)
-				s.addLabel(niv, x, base+cost+s.pi(z, ti+1, x), li, x)
+		if need := e.cfg.JogNeed(z, ti, x); need <= e.cfg.MaxNeed {
+			if niv := e.findIval(z, ti+1, x); niv != nil {
+				cost := e.cfg.Costs.BetaJog[z]*gap + e.jogPenalty(need) + e.entryCost(niv)
+				e.addLabel(niv, x, base+cost+e.pi(z, ti+1, x), li, x)
 			}
 		}
 	}
 	// Jog down.
 	if ti > 0 {
 		gap := layer.Coords[ti] - layer.Coords[ti-1]
-		if need := s.cfg.JogNeed(z, ti-1, x); need <= s.cfg.MaxNeed {
-			if niv := s.findIval(z, ti-1, x); niv != nil {
-				cost := s.cfg.Costs.BetaJog[z]*gap + s.jogPenalty(need) + s.entryCost(niv)
-				s.addLabel(niv, x, base+cost+s.pi(z, ti-1, x), li, x)
+		if need := e.cfg.JogNeed(z, ti-1, x); need <= e.cfg.MaxNeed {
+			if niv := e.findIval(z, ti-1, x); niv != nil {
+				cost := e.cfg.Costs.BetaJog[z]*gap + e.jogPenalty(need) + e.entryCost(niv)
+				e.addLabel(niv, x, base+cost+e.pi(z, ti-1, x), li, x)
 			}
 		}
 	}
 	// Vias. The crossing coordinate x is a track coordinate of an
 	// adjacent layer; a via exists where it is a track of that layer.
-	px, py := s.vertexXY(z, ti, x)
+	px, py := e.vertexXY(z, ti, x)
 	pos := geom.Pt(px, py)
-	if z+1 < s.tg.NumLayers() {
-		up := &s.tg.Layers[z+1]
+	if z+1 < e.tg.NumLayers() {
+		up := &e.tg.Layers[z+1]
 		if topTi := up.TrackAt(pos.Coord(up.Dir.Perp())); topTi >= 0 {
-			if need := s.cfg.ViaNeed(z, ti, topTi, pos); need <= s.cfg.MaxNeed {
+			if need := e.cfg.ViaNeed(z, ti, topTi, pos); need <= e.cfg.MaxNeed {
 				upAlong := pos.Coord(up.Dir)
-				if niv := s.findIval(z+1, topTi, upAlong); niv != nil {
-					cost := s.cfg.Costs.GammaVia[z] + s.jogPenalty(need) + s.entryCost(niv)
-					s.addLabel(niv, upAlong, base+cost+s.pi(z+1, topTi, upAlong), li, x)
+				if niv := e.findIval(z+1, topTi, upAlong); niv != nil {
+					cost := e.cfg.Costs.GammaVia[z] + e.jogPenalty(need) + e.entryCost(niv)
+					e.addLabel(niv, upAlong, base+cost+e.pi(z+1, topTi, upAlong), li, x)
 				}
 			}
 		}
 	}
 	if z > 0 {
-		down := &s.tg.Layers[z-1]
+		down := &e.tg.Layers[z-1]
 		if botTi := down.TrackAt(pos.Coord(down.Dir.Perp())); botTi >= 0 {
-			if need := s.cfg.ViaNeed(z-1, botTi, ti, pos); need <= s.cfg.MaxNeed {
+			if need := e.cfg.ViaNeed(z-1, botTi, ti, pos); need <= e.cfg.MaxNeed {
 				downAlong := pos.Coord(down.Dir)
-				if niv := s.findIval(z-1, botTi, downAlong); niv != nil {
-					cost := s.cfg.Costs.GammaVia[z-1] + s.jogPenalty(need) + s.entryCost(niv)
-					s.addLabel(niv, downAlong, base+cost+s.pi(z-1, botTi, downAlong), li, x)
+				if niv := e.findIval(z-1, botTi, downAlong); niv != nil {
+					cost := e.cfg.Costs.GammaVia[z-1] + e.jogPenalty(need) + e.entryCost(niv)
+					e.addLabel(niv, downAlong, base+cost+e.pi(z-1, botTi, downAlong), li, x)
 				}
 			}
 		}
 	}
 }
 
-func (s *searcher) jogPenalty(need drc.Need) int {
+func (e *Engine) jogPenalty(need drc.Need) int {
 	if need == 0 {
 		return 0
 	}
-	return s.cfg.RipupPenalty(need)
+	return e.cfg.RipupPenalty(need)
 }
 
 // buildPath backtracks from the best target hit.
-func (s *searcher) buildPath() *Path {
+func (e *Engine) buildPath() *Path {
 	var pts []geom.Point3
-	li := s.bestLabel
-	pos := s.bestPos
+	li := e.bestLabel
+	pos := e.bestPos
 	for li >= 0 {
-		lb := &s.labels[li]
-		pts = append(pts, s.vertexPoint(lb.iv.z, lb.iv.ti, pos))
+		lb := &e.labels[li]
+		pts = append(pts, e.vertexPoint(lb.iv.z, lb.iv.ti, pos))
 		if lb.pos != pos {
-			pts = append(pts, s.vertexPoint(lb.iv.z, lb.iv.ti, lb.pos))
+			pts = append(pts, e.vertexPoint(lb.iv.z, lb.iv.ti, lb.pos))
 		}
 		pos = lb.parentPos
 		li = lb.parent
@@ -539,7 +607,7 @@ func (s *searcher) buildPath() *Path {
 		pts[i], pts[j] = pts[j], pts[i]
 	}
 	pts = compressWaypoints(pts)
-	return &Path{Points: pts, Cost: s.best, Stats: s.stats}
+	return &Path{Points: pts, Cost: e.best, Stats: e.stats}
 }
 
 // compressWaypoints drops collinear intermediate points.
@@ -579,25 +647,3 @@ func collinear(a, b, c geom.Point3) bool {
 }
 
 func between(a, b, c int) bool { return (a <= b && b <= c) || (a >= b && b >= c) }
-
-// pqItem is a heap entry: either a fresh label (side 0) or a sweep
-// continuation for one frontier of a label.
-type pqItem struct {
-	key   int
-	label int32
-	side  int8
-}
-
-type labelHeap []pqItem
-
-func (h labelHeap) Len() int            { return len(h) }
-func (h labelHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h labelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *labelHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *labelHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}

@@ -107,6 +107,10 @@ func BuildCatalogue(c *chip.Chip, tg *tracks.Graph, cellIdx int, p Params) *Cata
 		Chosen: make([]int, len(proto.Pins)),
 	}
 
+	// One searcher serves every endpoint probe of the catalogue, so the
+	// grid and Dijkstra buffers are built once per class, not per probe.
+	sr := blockgrid.NewSearcher()
+
 	// Obstacles per layer in instance coordinates: cell blockages plus
 	// the other pins of the same cell, inflated by half-width + spacing.
 	infl := p.HalfWidth + p.Spacing
@@ -141,7 +145,7 @@ func BuildCatalogue(c *chip.Chip, tg *tracks.Graph, cellIdx int, p Params) *Cata
 			obst := obstaclesFor(pi, layer)
 
 			for _, end := range onTrackEndpoints(tg, layer, rect, p.Radius) {
-				pts, length, ok := blockgrid.Search(obst, start, end, tau, bounds)
+				pts, length, ok := sr.Search(obst, start, end, tau, bounds)
 				if !ok {
 					continue
 				}
