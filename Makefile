@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke check bench-json
+.PHONY: all build test race vet bench-smoke trace-smoke alloc-guard check bench-json
 
 all: build
 
@@ -22,9 +22,24 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'IntervalVsNode' -benchtime 1x .
 
+# trace-smoke routes a tiny chip with -trace and validates that every
+# line of the trace parses as JSON and that the BonnRoute stage spans,
+# per-phase global spans and per-round detail spans are all present.
+trace-smoke:
+	$(GO) run ./cmd/bonnroute -flow br -rows 4 -cols 8 -nets 16 -trace /tmp/bonnroute-trace.jsonl >/dev/null
+	$(GO) run ./cmd/tracelint -require-stages /tmp/bonnroute-trace.jsonl
+
+# alloc-guard re-runs the steady-state allocation tests: the no-op
+# tracer must stay allocation-free and the pooled path-search engine
+# must keep its per-search allocation budget.
+alloc-guard:
+	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
+	$(GO) test -run 'TestSteadyStateAllocs' ./internal/pathsearch
+
 # check is the pre-merge gate: vet, build, the full test suite under the
-# race detector, and the benchmark smoke test.
-check: vet build race bench-smoke
+# race detector, the benchmark smoke test, the trace smoke test, and the
+# allocation guards.
+check: vet build race bench-smoke trace-smoke alloc-guard
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks).

@@ -24,6 +24,8 @@
 package bonnroute_test
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -64,7 +66,7 @@ func reportFlow(b *testing.B, res *bonnroute.Result) {
 
 func BenchmarkTableI_ISR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := bonnroute.RouteBaseline(benchChip(), bonnroute.Options{Seed: 11})
+		res := bonnroute.RouteBaselineWithOptions(context.Background(), benchChip(), bonnroute.Options{Seed: 11})
 		if i == b.N-1 {
 			reportFlow(b, res)
 		}
@@ -73,7 +75,7 @@ func BenchmarkTableI_ISR(b *testing.B) {
 
 func BenchmarkTableI_BRCleanup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := bonnroute.Route(benchChip(), bonnroute.Options{Seed: 11})
+		res := bonnroute.RouteWithOptions(context.Background(), benchChip(), bonnroute.Options{Seed: 11})
 		if i == b.N-1 {
 			reportFlow(b, res)
 			b.ReportMetric(res.FastGridHitRate, "fg-hitrate")
@@ -86,7 +88,7 @@ func BenchmarkTableI_BRCleanup(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := benchChip()
-		res := bonnroute.Route(c, bonnroute.Options{Seed: 11})
+		res := bonnroute.RouteWithOptions(context.Background(), c, bonnroute.Options{Seed: 11})
 		if i < b.N-1 || res.Global == nil {
 			continue
 		}
@@ -122,7 +124,7 @@ func BenchmarkTableIII_BRGlobal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		solver := sharing.New(g, specs, sharing.Options{Phases: 32, Seed: 11})
-		sres := solver.Run()
+		sres := solver.Run(context.Background())
 		if i == b.N-1 {
 			var length int64
 			vias := 0
@@ -156,7 +158,7 @@ func BenchmarkTableIII_ISRGlobal(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gres := baseline.GlobalRoute(g, gnets, baseline.GlobalOptions{})
+		gres := baseline.GlobalRoute(context.Background(), g, gnets, baseline.GlobalOptions{})
 		if i == b.N-1 {
 			var length int64
 			vias := 0
@@ -329,7 +331,7 @@ func BenchmarkFastGrid_On(b *testing.B) {
 		b.StopTimer() // construction excluded: measure the routing phase
 		r := detail.New(fastGridChip(), detail.Options{})
 		b.StartTimer()
-		r.Route()
+		r.Route(context.Background())
 		if i == b.N-1 {
 			b.ReportMetric(r.FastGridHitRate(), "hit-rate")
 		}
@@ -341,7 +343,7 @@ func BenchmarkFastGrid_Off(b *testing.B) {
 		b.StopTimer()
 		r := detail.New(fastGridChip(), detail.Options{NoFastGrid: true})
 		b.StartTimer()
-		r.Route()
+		r.Route(context.Background())
 	}
 }
 
@@ -351,7 +353,7 @@ func BenchmarkFastGrid_Off(b *testing.B) {
 func BenchmarkFastGridQuery_Cache(b *testing.B) {
 	c := fastGridChip()
 	r := detail.New(c, detail.Options{})
-	r.Route()
+	r.Route(context.Background())
 	wt := c.WireTypes[0]
 	rng := rand.New(rand.NewSource(5))
 	type q struct{ z, ti, along int }
@@ -372,7 +374,7 @@ func BenchmarkFastGridQuery_Cache(b *testing.B) {
 func BenchmarkFastGridQuery_Checker(b *testing.B) {
 	c := fastGridChip()
 	r := detail.New(c, detail.Options{})
-	r.Route()
+	r.Route(context.Background())
 	wt := c.WireTypes[0]
 	rng := rand.New(rand.NewSource(5))
 	type q struct {
@@ -447,7 +449,7 @@ func BenchmarkSharingConvergence(b *testing.B) {
 		b.Run("t="+itoa(t), func(b *testing.B) {
 			var lambda float64
 			for i := 0; i < b.N; i++ {
-				res := sharing.New(g, specs, sharing.Options{Phases: t, Seed: 11}).Run()
+				res := sharing.New(g, specs, sharing.Options{Phases: t, Seed: 11}).Run(context.Background())
 				lambda = res.LambdaFrac
 			}
 			b.ReportMetric(lambda, "lambda")
@@ -482,7 +484,7 @@ func BenchmarkRoundingRepair(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sharing.New(gg, specs, sharing.Options{Phases: 24, Seed: int64(i)}).Run()
+		res := sharing.New(gg, specs, sharing.Options{Phases: 24, Seed: int64(i)}).Run(context.Background())
 		if i == b.N-1 {
 			b.ReportMetric(float64(res.RoundingViolations), "violations")
 			b.ReportMetric(float64(res.RechooseChanges), "rechosen")
@@ -523,7 +525,7 @@ func BenchmarkPinAccessQuality(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := fastGridChip()
 				r := detail.New(c, detail.Options{GreedyAccess: greedy})
-				res := r.Route()
+				res := r.Route(context.Background())
 				routed = res.Routed
 				errs = auditErrors(r)
 			}
@@ -545,7 +547,7 @@ func BenchmarkTrackOptimization(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := fastGridChip()
 				r := detail.New(c, detail.Options{UniformTracks: uniform})
-				r.Route()
+				r.Route(context.Background())
 				length = 0
 				vias = 0
 				for ni := range c.Nets {

@@ -15,8 +15,16 @@
 // Quick start:
 //
 //	c := bonnroute.GenerateChip(bonnroute.ChipParams{Seed: 1, Rows: 8, Cols: 16, NumNets: 80})
-//	res := bonnroute.Route(c, bonnroute.Options{Seed: 1})
+//	res := bonnroute.Route(context.Background(), c, bonnroute.WithSeed(1))
 //	fmt.Println(res.Metrics)
+//
+// Runs are configured with functional options (WithWorkers, WithSeed,
+// WithTracer, WithGlobalConfig, WithDetailConfig, ...); the context
+// carries cancellation — cancel it and the flow stops at the next stage,
+// phase or round boundary and returns a partial Result with Cancelled
+// set. Attach a Tracer (NewTracer over JSONL, progress or in-memory
+// sinks) to observe every stage, global-routing phase and detailed-
+// routing round as spans with metrics.
 //
 // The building blocks live in internal packages, one per subsystem of the
 // paper (see DESIGN.md for the full inventory); this package is the
@@ -24,8 +32,12 @@
 package bonnroute
 
 import (
+	"context"
+	"io"
+
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
+	"bonnroute/internal/obs"
 	"bonnroute/internal/report"
 )
 
@@ -38,7 +50,8 @@ type ChipParams = chip.GenParams
 // and nets.
 type Chip = chip.Chip
 
-// Options tune a routing run (workers, resource-sharing phases, seeds).
+// Options is the low-level configuration struct consumed by
+// RouteWithOptions; prefer the functional options of Route.
 type Options = core.Options
 
 // Result is a completed flow: global and detailed statistics, the DRC
@@ -49,17 +62,130 @@ type Result = core.Result
 // errors).
 type Metrics = report.Metrics
 
+// Observability re-exports: a Tracer fans spans, events, counters and
+// gauges out to Sinks; nil tracers and spans are no-ops, so tracing can
+// be left off at zero cost.
+type (
+	Tracer     = obs.Tracer
+	Span       = obs.Span
+	Sink       = obs.Sink
+	SinkFunc   = obs.SinkFunc
+	Record     = obs.Record
+	MemorySink = obs.MemorySink
+)
+
+// NewTracer builds a tracer over the given sinks; with no sinks it
+// returns nil, which is valid and free everywhere a tracer is accepted.
+func NewTracer(sinks ...Sink) *Tracer { return obs.New(sinks...) }
+
+// NewJSONLSink streams trace records as JSON lines to w.
+func NewJSONLSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewProgressSink writes an indented, human-readable live log to w.
+func NewProgressSink(w io.Writer) *obs.ProgressSink { return obs.NewProgressSink(w) }
+
+// NewMemorySink collects records in memory for inspection (tests).
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// GlobalConfig collects the global-routing knobs for WithGlobalConfig.
+type GlobalConfig struct {
+	// Phases is Algorithm 2's t (default 32).
+	Phases int
+	// TileTracks sets the global tile size in tracks (default 8).
+	TileTracks int
+	// PowerCap enables the power resource when positive.
+	PowerCap float64
+	// Skip routes without global guidance (detailed-only mode).
+	Skip bool
+}
+
+// DetailConfig collects the detailed-routing knobs for WithDetailConfig.
+type DetailConfig struct {
+	// UsePFuture enables the blockage-aware future cost (§3.5).
+	UsePFuture bool
+}
+
+// Option configures a routing run.
+type Option func(*core.Options)
+
+// WithWorkers sets the parallelism of both routing stages (default 1).
+func WithWorkers(n int) Option { return func(o *core.Options) { o.Workers = n } }
+
+// WithSeed seeds the randomized rounding of global routing.
+func WithSeed(seed int64) Option { return func(o *core.Options) { o.Seed = seed } }
+
+// WithTracer attaches an observability tracer; nil disables tracing.
+func WithTracer(t *Tracer) Option { return func(o *core.Options) { o.Tracer = t } }
+
+// WithGlobalConfig applies the global-routing configuration. Zero-valued
+// fields keep their defaults.
+func WithGlobalConfig(g GlobalConfig) Option {
+	return func(o *core.Options) {
+		if g.Phases > 0 {
+			o.GlobalPhases = g.Phases
+		}
+		if g.TileTracks > 0 {
+			o.TileTracks = g.TileTracks
+		}
+		if g.PowerCap > 0 {
+			o.PowerCap = g.PowerCap
+		}
+		if g.Skip {
+			o.SkipGlobal = true
+		}
+	}
+}
+
+// WithDetailConfig applies the detailed-routing configuration.
+func WithDetailConfig(d DetailConfig) Option {
+	return func(o *core.Options) {
+		if d.UsePFuture {
+			o.UsePFuture = true
+		}
+	}
+}
+
+// WithoutGlobal is shorthand for WithGlobalConfig(GlobalConfig{Skip: true}).
+func WithoutGlobal() Option { return func(o *core.Options) { o.SkipGlobal = true } }
+
+func buildOptions(opts []Option) core.Options {
+	var o core.Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
 // GenerateChip builds a deterministic synthetic chip.
 func GenerateChip(p ChipParams) *Chip { return chip.Generate(p) }
 
 // Route runs the full BonnRoute flow on the chip: resource-sharing global
-// routing, interval-based detailed routing, DRC cleanup.
-func Route(c *Chip, opt Options) *Result { return core.RouteBonnRoute(c, opt) }
+// routing, interval-based detailed routing, DRC cleanup. Cancelling ctx
+// stops the flow at the next stage, phase or round boundary; the
+// returned Result is then partial with Cancelled set.
+func Route(ctx context.Context, c *Chip, opts ...Option) *Result {
+	return core.RouteBonnRoute(ctx, c, buildOptions(opts))
+}
 
 // RouteBaseline runs the ISR-like classical flow (sequential negotiated
 // global routing, node-based maze detailed routing) — the comparator of
-// the paper's Tables I and III.
-func RouteBaseline(c *Chip, opt Options) *Result { return core.RouteBaseline(c, opt) }
+// the paper's Tables I and III. Context semantics match Route.
+func RouteBaseline(ctx context.Context, c *Chip, opts ...Option) *Result {
+	return core.RouteBaseline(ctx, c, buildOptions(opts))
+}
+
+// RouteWithOptions is the escape hatch for callers that already hold a
+// fully-populated core.Options.
+func RouteWithOptions(ctx context.Context, c *Chip, opt Options) *Result {
+	return core.RouteBonnRoute(ctx, c, opt)
+}
+
+// RouteBaselineWithOptions is the baseline-flow escape hatch.
+func RouteBaselineWithOptions(ctx context.Context, c *Chip, opt Options) *Result {
+	return core.RouteBaseline(ctx, c, opt)
+}
 
 // FormatMetrics renders Table-I-style rows.
 func FormatMetrics(rows []Metrics) string { return report.FormatTableI(rows) }

@@ -9,6 +9,7 @@
 //
 //	routebench [-table 0|1|2|3|4] [-suite small|medium|large] [-workers N]
 //	           [-cpuprofile f] [-memprofile f] [-bench-json f]
+//	           [-trace f.jsonl] [-progress]
 //
 // -table 0 (default) prints everything. -bench-json writes the runs'
 // machine-readable results (per-stage timings, path-search effort
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +34,7 @@ import (
 	"bonnroute/internal/detail"
 	"bonnroute/internal/drc"
 	"bonnroute/internal/geom"
+	"bonnroute/internal/obs"
 	"bonnroute/internal/pathsearch"
 	"bonnroute/internal/report"
 	"bonnroute/internal/sharing"
@@ -78,6 +81,13 @@ type benchJSON struct {
 
 var collect *benchJSON
 
+// runCtx and tracer configure every flow run in this process; set up in
+// main from -trace / -progress.
+var (
+	runCtx = context.Background()
+	tracer *obs.Tracer
+)
+
 // suite returns the chip parameter sets standing in for the paper's
 // eight IBM designs (scaled to laptop size; three tiers).
 func suite(name string) []chip.GenParams {
@@ -111,8 +121,31 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
 		benchOut   = flag.String("bench-json", "", "write machine-readable results to this file")
+		traceOut   = flag.String("trace", "", "write a JSONL trace to this file")
+		progress   = flag.Bool("progress", false, "print live span progress to stderr")
 	)
 	flag.Parse()
+
+	var sinks []obs.Sink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		js := obs.NewJSONLSink(f)
+		defer func() {
+			if err := js.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			f.Close()
+		}()
+		sinks = append(sinks, js)
+	}
+	if *progress {
+		sinks = append(sinks, obs.NewProgressSink(os.Stderr))
+	}
+	tracer = obs.New(sinks...)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -176,14 +209,14 @@ func tableI(params []chip.GenParams, workers int) {
 	var rows []report.Metrics
 	for _, p := range params {
 		fmt.Fprintf(os.Stderr, "[table I] %s (%d nets requested)...\n", p.Name, p.NumNets)
-		opt := core.Options{Workers: workers, Seed: p.Seed}
+		opt := core.Options{Workers: workers, Seed: p.Seed, Tracer: tracer}
 
-		isr := core.RouteBaseline(chip.Generate(p), opt)
+		isr := core.RouteBaseline(runCtx, chip.Generate(p), opt)
 		isr.Metrics.Name = p.Name + "/ISR"
 		rows = append(rows, isr.Metrics)
 		collectFlow(isr)
 
-		br := core.RouteBonnRoute(chip.Generate(p), opt)
+		br := core.RouteBonnRoute(runCtx, chip.Generate(p), opt)
 		br.Metrics.Name = p.Name + "/BR+cleanup"
 		rows = append(rows, br.Metrics)
 		collectFlow(br)
@@ -226,7 +259,7 @@ func tableII(params []chip.GenParams, workers int) {
 	for _, p := range params {
 		fmt.Fprintf(os.Stderr, "[table II] %s...\n", p.Name)
 		c := chip.Generate(p)
-		res := core.RouteBonnRoute(c, core.Options{Workers: workers, Seed: p.Seed, SkipGlobal: false})
+		res := core.RouteBonnRoute(runCtx, c, core.Options{Workers: workers, Seed: p.Seed, SkipGlobal: false, Tracer: tracer})
 		if res.Global == nil {
 			continue
 		}
@@ -279,7 +312,7 @@ func tableIII(params []chip.GenParams) {
 		// BR-global.
 		start := time.Now()
 		solver := sharing.New(g, core.NetSpecs(c, g), sharing.Options{Phases: 32, Seed: p.Seed})
-		sres := solver.Run()
+		sres := solver.Run(runCtx)
 		brTotal := time.Since(start)
 		var brLen int64
 		brVias := 0
@@ -310,7 +343,7 @@ func tableIII(params []chip.GenParams) {
 		for _, spec := range core.NetSpecs(c, g) {
 			gnets = append(gnets, baseline.GNet{ID: spec.ID, Terminals: spec.Terminals, Width: spec.Width})
 		}
-		gres := baseline.GlobalRoute(g, gnets, baseline.GlobalOptions{})
+		gres := baseline.GlobalRoute(runCtx, g, gnets, baseline.GlobalOptions{})
 		var isrLen int64
 		isrVias := 0
 		for _, t := range gres.Trees {

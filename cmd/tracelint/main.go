@@ -1,0 +1,98 @@
+// Command tracelint validates a JSONL trace file produced by the
+// -trace flag: every line must parse as a JSON object with a kind and a
+// name, span starts and ends must pair up, and (with -require-stages)
+// the trace must contain the full BonnRoute stage skeleton — the four
+// BR stages plus per-phase global and per-round detail spans.
+//
+// Usage:
+//
+//	tracelint [-require-stages] trace.jsonl
+//
+// Exit status 0 means the trace is well-formed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type line struct {
+	Kind string `json:"kind"`
+	Span uint64 `json:"span"`
+	Name string `json:"name"`
+}
+
+func main() {
+	requireStages := flag.Bool("require-stages", false,
+		"require the full BonnRoute stage/phase/round span skeleton")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require-stages] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	spans := map[string]int{} // span name -> start count
+	open := map[uint64]string{}
+	events := map[string]int{}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			fail("line %d: not valid JSON: %v", lines, err)
+		}
+		if l.Kind == "" || l.Name == "" {
+			fail("line %d: missing kind or name: %s", lines, sc.Text())
+		}
+		switch l.Kind {
+		case "span_start":
+			spans[l.Name]++
+			open[l.Span] = l.Name
+		case "span_end":
+			if _, ok := open[l.Span]; !ok {
+				fail("line %d: span_end for span %d that never started", lines, l.Span)
+			}
+			delete(open, l.Span)
+		case "event", "counter", "gauge":
+			events[l.Name]++
+		default:
+			fail("line %d: unknown kind %q", lines, l.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("%v", err)
+	}
+	if lines == 0 {
+		fail("trace is empty")
+	}
+	for id, name := range open {
+		fail("span %d (%s) started but never ended", id, name)
+	}
+	if *requireStages {
+		for _, want := range []string{
+			"flow.br", "stage.capest", "stage.global", "stage.detail",
+			"stage.cleanup", "global.phase", "detail.round",
+		} {
+			if spans[want] == 0 {
+				fail("required span %q missing from trace", want)
+			}
+		}
+	}
+	fmt.Printf("tracelint: ok (%d lines, %d span names, %d event names)\n",
+		lines, len(spans), len(events))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracelint: "+format+"\n", args...)
+	os.Exit(1)
+}

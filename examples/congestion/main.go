@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	solver := sharing.New(g, nets, sharing.Options{Phases: 24, Seed: 7})
-	res := solver.Run()
+	res := solver.Run(context.Background())
 
 	fmt.Println("per-phase maximum load λ (Algorithm 2 converging):")
 	for p, l := range res.LambdaHistory {

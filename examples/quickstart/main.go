@@ -8,23 +8,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	"bonnroute/internal/chip"
-	"bonnroute/internal/core"
-	"bonnroute/internal/report"
+	"bonnroute"
 )
 
 func main() {
 	// A 6×16-slot standard-cell design with 60 nets on 6 wiring layers.
-	c := chip.Generate(chip.GenParams{
+	c := bonnroute.GenerateChip(bonnroute.ChipParams{
 		Seed: 42, Rows: 6, Cols: 16, NumNets: 60,
 		PowerStripePeriod: 6,
 	})
 	fmt.Printf("chip: %d cells, %d nets, %d pins, area %dx%d DBU\n",
 		len(c.Cells), len(c.Nets), len(c.Pins), c.Area.W(), c.Area.H())
 
-	res := core.RouteBonnRoute(c, core.Options{Seed: 42})
+	// A progress sink shows the stage/phase/round spans live; drop the
+	// tracer option (or pass nil) to run silently at zero cost.
+	tracer := bonnroute.NewTracer(bonnroute.NewProgressSink(os.Stderr))
+	res := bonnroute.Route(context.Background(), c,
+		bonnroute.WithSeed(42),
+		bonnroute.WithTracer(tracer),
+	)
 
 	fmt.Printf("\nglobal routing: λ = %.3f (≤ 1 means within capacity), "+
 		"%d oracle calls, %d reused\n",
@@ -37,5 +43,5 @@ func main() {
 		res.Audit.Opens)
 
 	fmt.Println()
-	fmt.Print(report.FormatTableI([]report.Metrics{res.Metrics}))
+	fmt.Print(bonnroute.FormatMetrics([]bonnroute.Metrics{res.Metrics}))
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"bonnroute/internal/geom"
@@ -47,7 +48,7 @@ func main() {
 		Phases: 24, Seed: 5,
 		PowerCap: 50, // enables the convex power resource of Fig. 1
 	})
-	res := solver.Run()
+	res := solver.Run(context.Background())
 
 	fmt.Println("extra space taken per tree edge (left half roomy, right half tight):")
 	for ni := range nets {

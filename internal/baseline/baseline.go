@@ -9,11 +9,13 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"bonnroute/internal/chip"
 	"bonnroute/internal/detail"
 	"bonnroute/internal/grid"
+	"bonnroute/internal/obs"
 	"bonnroute/internal/steiner"
 )
 
@@ -34,14 +36,24 @@ type GlobalResult struct {
 	Iterations int
 	// Overflowed is the number of edges above capacity at the end.
 	Overflowed int
-	Runtime    time.Duration
+	// Cancelled reports that the negotiation loop stopped early because
+	// the context was cancelled; Trees holds the partial state.
+	Cancelled bool
+	Runtime   time.Duration
 }
 
 // GlobalRoute runs the classical negotiated-congestion global router: all
 // nets are routed one at a time by the Steiner oracle under congestion
 // costs; edges that end up overloaded accumulate history cost and their
 // nets are ripped and rerouted until clean or out of iterations.
-func GlobalRoute(g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
+//
+// ctx carries cancellation (checked between negotiation iterations) and
+// the parent span for per-iteration "negotiate.iter" events.
+func GlobalRoute(ctx context.Context, g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := obs.SpanFrom(ctx)
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 12
 	}
@@ -100,6 +112,10 @@ func GlobalRoute(g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
 		route(ni)
 	}
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		res.Iterations = iter + 1
 		// Collect overflowed edges and the nets using them. overNets is a
 		// slice in net-ID order: reroute order feeds back into congestion,
@@ -129,6 +145,10 @@ func GlobalRoute(g *grid.Graph, nets []GNet, opt GlobalOptions) *GlobalResult {
 		for _, ni := range overNets {
 			route(ni)
 		}
+		span.Event("negotiate.iter",
+			obs.Int("iter", res.Iterations),
+			obs.Int("overflowed_edges", overEdges),
+			obs.Int("rerouted_nets", len(overNets)))
 	}
 	for e := 0; e < g.NumEdges(); e++ {
 		if load[e] > g.Cap[e]+1e-9 {

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"testing"
 
 	"bonnroute/internal/chip"
@@ -28,7 +30,7 @@ func TestGlobalRouteBasic(t *testing.T) {
 			Width:     1,
 		})
 	}
-	res := GlobalRoute(g, nets, GlobalOptions{})
+	res := GlobalRoute(context.Background(), g, nets, GlobalOptions{})
 	if res.Overflowed != 0 {
 		t.Fatalf("overflowed = %d", res.Overflowed)
 	}
@@ -66,7 +68,7 @@ func TestGlobalRouteNegotiation(t *testing.T) {
 			Width:     1,
 		})
 	}
-	res := GlobalRoute(g, nets, GlobalOptions{})
+	res := GlobalRoute(context.Background(), g, nets, GlobalOptions{})
 	if res.Overflowed != 0 {
 		t.Fatalf("negotiation left %d edges overflowed after %d iterations",
 			res.Overflowed, res.Iterations)
@@ -90,7 +92,7 @@ func TestGlobalRouteNegotiation(t *testing.T) {
 func TestGlobalRouteInfeasible(t *testing.T) {
 	g := testGrid(0)
 	nets := []GNet{{ID: 0, Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(5, 0, 0)}}, Width: 1}}
-	res := GlobalRoute(g, nets, GlobalOptions{})
+	res := GlobalRoute(context.Background(), g, nets, GlobalOptions{})
 	if res.Trees[0] != nil {
 		t.Fatal("expected unrouted net on zero-capacity grid")
 	}
@@ -109,7 +111,7 @@ func TestNewDetailIsClassicalConfig(t *testing.T) {
 			}
 		}
 	}
-	res := r.Route()
+	res := r.Route(context.Background())
 	if res.Routed == 0 {
 		t.Fatal("baseline router routed nothing")
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"bonnroute/internal/drc"
 	"bonnroute/internal/geom"
 	"bonnroute/internal/grid"
+	"bonnroute/internal/obs"
 	"bonnroute/internal/report"
 	"bonnroute/internal/sharing"
 	"bonnroute/internal/steiner"
@@ -41,6 +43,9 @@ type Options struct {
 	// UsePFuture enables the blockage-aware future cost in detailed
 	// routing.
 	UsePFuture bool
+	// Tracer receives spans, counters and events for the whole flow. A
+	// nil tracer is a no-op and costs nothing on the hot path.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -66,6 +71,8 @@ type GlobalStats struct {
 	Violations    int
 	Unrouted      int
 	Overflowed    int
+	// Iterations is the baseline flow's negotiation iteration count.
+	Iterations int
 	// PerNetLength and PerNetVias are the global-route geometry per net.
 	PerNetLength []int64
 	PerNetVias   []int
@@ -90,6 +97,11 @@ type Result struct {
 	DetailTime time.Duration
 	// FastGridHitRate is the §3.6 statistic.
 	FastGridHitRate float64
+	// CleanupFixed counts nets repaired by the DRC cleanup pass.
+	CleanupFixed int
+	// Cancelled reports that the flow stopped early because the context
+	// was cancelled; all populated fields describe the partial run.
+	Cancelled bool
 }
 
 // BuildGlobalGraph constructs the global routing grid for a chip.
@@ -125,33 +137,62 @@ func NetSpecs(c *chip.Chip, g *grid.Graph) []sharing.NetSpec {
 	return specs
 }
 
-// RouteBonnRoute runs the full BonnRoute flow.
-func RouteBonnRoute(c *chip.Chip, opt Options) *Result {
+// RouteBonnRoute runs the full BonnRoute flow. ctx cancellation is
+// honoured at stage, phase and round boundaries; a cancelled run still
+// returns a partial Result with Cancelled set. Spans for every stage are
+// emitted on opt.Tracer (nil = off).
+func RouteBonnRoute(ctx context.Context, c *chip.Chip, opt Options) *Result {
 	opt.setDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Flow: "BR+cleanup", Chip: c}
 	start := time.Now()
 
+	root := opt.Tracer.Start("flow.br",
+		obs.Int("nets", len(c.Nets)), obs.Int("workers", opt.Workers))
+	defer func() { root.End(obs.Bool("cancelled", res.Cancelled)) }()
+	ctx = obs.ContextWithSpan(ctx, root)
+
 	// Detailed-router construction first: it owns routing space, tracks
-	// and the fast grid, which capacity estimation also needs.
+	// and the fast grid, which capacity estimation also needs. Pin-access
+	// catalogues (§4.3) are built here, so the prep span carries the
+	// branch-and-bound effort.
+	prepSpan := root.Child("stage.prep")
 	r := detail.New(c, detail.Options{Workers: opt.Workers, UsePFuture: opt.UsePFuture})
+	as := r.AccessStats()
+	prepSpan.End(obs.Int("access_catalogues", as.Catalogues),
+		obs.Int("access_bb_nodes", as.BBNodes),
+		obs.Int("access_reserved", as.Reserved))
 	res.Router = r
 
 	var trees [][]int32
-	if !opt.SkipGlobal {
+	if !opt.SkipGlobal && ctx.Err() == nil {
 		g := BuildGlobalGraph(c, opt.TileTracks)
+		ceSpan := root.Child("stage.capest")
 		capest.Compute(c, r.TG, g, capest.Params{})
 		capest.ReduceForIntraTile(c, g)
+		ceSpan.End(obs.Int("edges", g.NumEdges()))
 
 		specs := NetSpecs(c, g)
 		algStart := time.Now()
+		gSpan := root.Child("stage.global", obs.Int("phases", opt.GlobalPhases))
 		solver := sharing.New(g, specs, sharing.Options{
 			Phases:   opt.GlobalPhases,
 			Workers:  opt.Workers,
 			Seed:     opt.Seed,
 			PowerCap: opt.PowerCap,
 		})
-		sres := solver.Run()
+		sres := solver.Run(obs.ContextWithSpan(ctx, gSpan))
 		total := time.Since(algStart)
+		gSpan.End(obs.F64("lambda", sres.LambdaFrac),
+			obs.Int64("oracle_calls", sres.OracleCalls),
+			obs.Int64("oracle_reuses", sres.OracleReuses),
+			obs.Int("violations", sres.RoundingViolations),
+			obs.Int("unrouted", sres.Unrouted))
+		if sres.Cancelled {
+			res.Cancelled = true
+		}
 
 		gs := &GlobalStats{
 			Lambda:        sres.LambdaFrac,
@@ -190,41 +231,81 @@ func RouteBonnRoute(c *chip.Chip, opt Options) *Result {
 	}
 
 	dStart := time.Now()
-	res.Detail = r.Route()
+	dSpan := root.Child("stage.detail")
+	res.Detail = r.Route(obs.ContextWithSpan(ctx, dSpan))
+	dSpan.End(obs.Int("routed", res.Detail.Routed),
+		obs.Int("failed", res.Detail.Failed),
+		obs.Int("rounds", res.Detail.Rounds),
+		obs.Int("ripups", res.Detail.RipupEvents),
+		obs.Int("access_dynamic", r.AccessStats().Dynamic))
 	res.DetailTime = time.Since(dStart)
+	if res.Detail.Cancelled {
+		res.Cancelled = true
+	}
 
 	// DRC cleanup pass (§5.2): rip and reroute nets implicated in
 	// remaining violations.
 	cStart := time.Now()
-	Cleanup(r, 2)
+	clSpan := root.Child("stage.cleanup")
+	res.CleanupFixed = Cleanup(obs.ContextWithSpan(ctx, clSpan), r, 2)
+	clSpan.End(obs.Int("fixed", res.CleanupFixed))
 	res.CleanupTime = time.Since(cStart)
 
-	res.finish(c, r, time.Since(start))
+	res.finish(ctx, c, r, time.Since(start))
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	return res
 }
 
-// RouteBaseline runs the ISR-like flow.
-func RouteBaseline(c *chip.Chip, opt Options) *Result {
+// RouteBaseline runs the ISR-like flow. ctx and tracing behave as in
+// RouteBonnRoute.
+func RouteBaseline(ctx context.Context, c *chip.Chip, opt Options) *Result {
 	opt.setDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Flow: "ISR", Chip: c}
 	start := time.Now()
 
+	root := opt.Tracer.Start("flow.isr",
+		obs.Int("nets", len(c.Nets)), obs.Int("workers", opt.Workers))
+	defer func() { root.End(obs.Bool("cancelled", res.Cancelled)) }()
+	ctx = obs.ContextWithSpan(ctx, root)
+
+	prepSpan := root.Child("stage.prep")
 	r := baseline.NewDetail(c, opt.Workers)
+	prepSpan.End()
 	res.Router = r
 
-	if !opt.SkipGlobal {
+	if !opt.SkipGlobal && ctx.Err() == nil {
 		g := BuildGlobalGraph(c, opt.TileTracks)
+		ceSpan := root.Child("stage.capest")
 		capest.Compute(c, r.TG, g, capest.Params{})
+		ceSpan.End(obs.Int("edges", g.NumEdges()))
 
 		var gnets []baseline.GNet
 		for _, spec := range NetSpecs(c, g) {
 			gnets = append(gnets, baseline.GNet{ID: spec.ID, Terminals: spec.Terminals, Width: spec.Width})
 		}
-		gres := baseline.GlobalRoute(g, gnets, baseline.GlobalOptions{})
+		gSpan := root.Child("stage.global")
+		gres := baseline.GlobalRoute(obs.ContextWithSpan(ctx, gSpan), g, gnets, baseline.GlobalOptions{})
+		if gres.Cancelled {
+			res.Cancelled = true
+		}
 		gs := &GlobalStats{
 			Overflowed: gres.Overflowed,
+			Iterations: gres.Iterations,
 			Total:      gres.Runtime,
 		}
+		for _, t := range gres.Trees {
+			if t == nil {
+				gs.Unrouted++
+			}
+		}
+		gSpan.End(obs.Int("iterations", gres.Iterations),
+			obs.Int("overflowed", gres.Overflowed),
+			obs.Int("unrouted", gs.Unrouted))
 		gs.PerNetLength = make([]int64, len(c.Nets))
 		gs.PerNetVias = make([]int, len(c.Nets))
 		for ni, t := range gres.Trees {
@@ -240,15 +321,26 @@ func RouteBaseline(c *chip.Chip, opt Options) *Result {
 	}
 
 	dStart := time.Now()
-	res.Detail = r.Route()
+	dSpan := root.Child("stage.detail")
+	res.Detail = r.Route(obs.ContextWithSpan(ctx, dSpan))
+	dSpan.End(obs.Int("routed", res.Detail.Routed),
+		obs.Int("failed", res.Detail.Failed),
+		obs.Int("rounds", res.Detail.Rounds))
 	res.DetailTime = time.Since(dStart)
+	if res.Detail.Cancelled {
+		res.Cancelled = true
+	}
 
-	res.finish(c, r, time.Since(start))
+	res.finish(ctx, c, r, time.Since(start))
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	return res
 }
 
-// finish computes metrics shared by both flows.
-func (res *Result) finish(c *chip.Chip, r *detail.Router, total time.Duration) {
+// finish computes metrics shared by both flows and runs the final DRC
+// audit under a "stage.audit" span.
+func (res *Result) finish(ctx context.Context, c *chip.Chip, r *detail.Router, total time.Duration) {
 	res.PerNet = make([]report.NetLength, len(c.Nets))
 	var totalLen int64
 	vias := 0
@@ -263,7 +355,9 @@ func (res *Result) finish(c *chip.Chip, r *detail.Router, total time.Duration) {
 			unrouted++
 		}
 	}
+	aSpan := obs.SpanFrom(ctx).Child("stage.audit")
 	res.Audit = auditRouter(r)
+	aSpan.End(obs.Int("errors", res.Audit.Errors()))
 	res.FastGridHitRate = r.FastGridHitRate()
 
 	baselines := report.SteinerBaselines(c)
@@ -304,20 +398,35 @@ func auditRouter(r *detail.Router) drc.AuditResult {
 
 // Cleanup is the external-DRC-cleanup stand-in (§5.2): nets owning
 // shapes in diff-net violations are ripped and rerouted, up to `passes`
-// times.
-func Cleanup(r *detail.Router, passes int) int {
+// times. ctx cancellation is honoured between nets; one "cleanup.pass"
+// event per pass goes to the span carried by ctx.
+func Cleanup(ctx context.Context, r *detail.Router, passes int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := obs.SpanFrom(ctx)
 	fixed := 0
 	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
 		bad := violatingNets(r)
 		if len(bad) == 0 {
 			break
 		}
+		passFixed := 0
 		for _, ni := range bad {
+			if ctx.Err() != nil {
+				break
+			}
 			r.Unroute(ni)
 			if r.RouteNet(ni, 1) {
-				fixed++
+				passFixed++
 			}
 		}
+		fixed += passFixed
+		span.Event("cleanup.pass", obs.Int("pass", pass),
+			obs.Int("violating_nets", len(bad)), obs.Int("fixed", passFixed))
 	}
 	return fixed
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"bonnroute/internal/chip"
@@ -14,7 +16,7 @@ func testChip(seed int64, nets int) *chip.Chip {
 
 func TestBonnRouteFlow(t *testing.T) {
 	c := testChip(1, 15)
-	res := RouteBonnRoute(c, Options{Seed: 1})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 1})
 	if res.Detail.Routed < len(c.Nets)*8/10 {
 		t.Fatalf("routed %d/%d", res.Detail.Routed, len(c.Nets))
 	}
@@ -40,7 +42,7 @@ func TestBonnRouteFlow(t *testing.T) {
 
 func TestBaselineFlow(t *testing.T) {
 	c := testChip(1, 15)
-	res := RouteBaseline(c, Options{Seed: 1})
+	res := RouteBaseline(context.Background(), c, Options{Seed: 1})
 	if res.Detail.Routed < len(c.Nets)*7/10 {
 		t.Fatalf("routed %d/%d", res.Detail.Routed, len(c.Nets))
 	}
@@ -53,9 +55,9 @@ func TestFlowsComparableAndBRBetter(t *testing.T) {
 	// The Table I shape on one chip: BonnRoute routes at least as many
 	// nets with no more vias-per-net inflation and fewer scenic nets.
 	c1 := testChip(2, 20)
-	br := RouteBonnRoute(c1, Options{Seed: 2})
+	br := RouteBonnRoute(context.Background(), c1, Options{Seed: 2})
 	c2 := testChip(2, 20)
-	isr := RouteBaseline(c2, Options{Seed: 2})
+	isr := RouteBaseline(context.Background(), c2, Options{Seed: 2})
 
 	if br.Detail.Routed < isr.Detail.Routed {
 		t.Fatalf("BR routed %d < ISR %d", br.Detail.Routed, isr.Detail.Routed)
@@ -75,7 +77,7 @@ func TestFlowsComparableAndBRBetter(t *testing.T) {
 
 func TestSkipGlobal(t *testing.T) {
 	c := testChip(3, 10)
-	res := RouteBonnRoute(c, Options{Seed: 3, SkipGlobal: true})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 3, SkipGlobal: true})
 	if res.Global != nil {
 		t.Fatal("global stats must be nil in detailed-only mode")
 	}
@@ -88,9 +90,9 @@ func TestGlobalCorridorsImproveNothingBroken(t *testing.T) {
 	// Corridor restriction must not break routability relative to
 	// detailed-only mode.
 	c1 := testChip(4, 15)
-	with := RouteBonnRoute(c1, Options{Seed: 4})
+	with := RouteBonnRoute(context.Background(), c1, Options{Seed: 4})
 	c2 := testChip(4, 15)
-	without := RouteBonnRoute(c2, Options{Seed: 4, SkipGlobal: true})
+	without := RouteBonnRoute(context.Background(), c2, Options{Seed: 4, SkipGlobal: true})
 	if with.Detail.Routed < without.Detail.Routed-1 {
 		t.Fatalf("corridors hurt: %d vs %d", with.Detail.Routed, without.Detail.Routed)
 	}
@@ -98,10 +100,10 @@ func TestGlobalCorridorsImproveNothingBroken(t *testing.T) {
 
 func TestCleanupReducesViolations(t *testing.T) {
 	c := testChip(5, 15)
-	res := RouteBonnRoute(c, Options{Seed: 5})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 5})
 	// After cleanup there must be no more violating routed pairs than
 	// before (idempotence check: a second cleanup finds nothing new).
-	n := Cleanup(res.Router, 1)
+	n := Cleanup(context.Background(), res.Router, 1)
 	if n > 2 {
 		t.Fatalf("second cleanup pass still fixed %d nets", n)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"bonnroute/internal/capest"
@@ -10,7 +12,7 @@ import (
 
 func TestPowerCapFlow(t *testing.T) {
 	c := testChip(9, 12)
-	res := RouteBonnRoute(c, Options{Seed: 9, PowerCap: 100})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 9, PowerCap: 100})
 	if res.Detail.Routed < len(c.Nets)*7/10 {
 		t.Fatalf("routed %d/%d with power resource", res.Detail.Routed, len(c.Nets))
 	}
@@ -21,7 +23,7 @@ func TestPowerCapFlow(t *testing.T) {
 
 func TestParallelFlow(t *testing.T) {
 	c := testChip(10, 20)
-	res := RouteBonnRoute(c, Options{Seed: 10, Workers: 4})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 10, Workers: 4})
 	if res.Detail.Routed < len(c.Nets)*8/10 {
 		t.Fatalf("parallel flow routed %d/%d", res.Detail.Routed, len(c.Nets))
 	}
@@ -63,7 +65,7 @@ func TestGlobalOverflowReported(t *testing.T) {
 	capest.Compute(c, r.TG, g, capest.Params{})
 	// Sanity: the real capacities route cleanly (no overflow) on this
 	// small chip.
-	res := RouteBonnRoute(c, Options{Seed: 12})
+	res := RouteBonnRoute(context.Background(), c, Options{Seed: 12})
 	if res.Global.Overflowed != 0 {
 		t.Fatalf("overflowed = %d on an easy chip", res.Global.Overflowed)
 	}
@@ -71,7 +73,7 @@ func TestGlobalOverflowReported(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	mk := func() *Result {
-		return RouteBonnRoute(chip.Generate(chip.GenParams{
+		return RouteBonnRoute(context.Background(), chip.Generate(chip.GenParams{
 			Seed: 13, Rows: 4, Cols: 10, NumNets: 12, LocalityRadius: 3,
 		}), Options{Seed: 13})
 	}

@@ -719,6 +719,7 @@ func (r *Router) commitWithRipup(e *pathsearch.Engine, ni int, path *pathsearch.
 		order = append(order, v)
 	}
 	sort.Ints(order)
+	atomic.AddInt64(&r.ripups, int64(len(order)))
 	r.mu.Lock()
 	for _, v := range order {
 		r.unrouteNet(v)

@@ -1,6 +1,8 @@
 package detail
 
 import (
+	"context"
+
 	"testing"
 
 	"bonnroute/internal/chip"
@@ -61,7 +63,7 @@ func TestRouteSingleNet(t *testing.T) {
 func TestRouteAllSerial(t *testing.T) {
 	c := smallChip(3, 15)
 	r := New(c, Options{Workers: 1})
-	res := r.Route()
+	res := r.Route(context.Background())
 	if res.Routed < len(c.Nets)*8/10 {
 		t.Fatalf("only %d/%d nets routed", res.Routed, len(c.Nets))
 	}
@@ -81,9 +83,9 @@ func TestRouteAllSerial(t *testing.T) {
 
 func TestRouteParallelMatchesQualityRegime(t *testing.T) {
 	c := smallChip(4, 20)
-	serial := New(c, Options{Workers: 1}).Route()
+	serial := New(c, Options{Workers: 1}).Route(context.Background())
 	c2 := smallChip(4, 20)
-	parallel := New(c2, Options{Workers: 4}).Route()
+	parallel := New(c2, Options{Workers: 4}).Route(context.Background())
 	if parallel.Routed < serial.Routed-2 {
 		t.Fatalf("parallel routed %d vs serial %d", parallel.Routed, serial.Routed)
 	}
@@ -92,7 +94,7 @@ func TestRouteParallelMatchesQualityRegime(t *testing.T) {
 func TestDiffNetCleanliness(t *testing.T) {
 	c := smallChip(5, 15)
 	r := New(c, Options{})
-	res := r.Route()
+	res := r.Route(context.Background())
 	_ = res
 	audit := r.Audit()
 	// The central claim of §5.2: BonnRoute leaves almost no diff-net

@@ -1,17 +1,33 @@
 package detail
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bonnroute/internal/geom"
+	"bonnroute/internal/obs"
+	"bonnroute/internal/pathsearch"
 )
 
 // Route runs the full detailed routing flow (§4.4, §5.1): a critical-net
 // prepass, then region-partitioned parallel rounds over progressively
 // fewer, wider regions, and a final serial round with rip-up enabled for
 // whatever is left.
-func (r *Router) Route() *Result {
+//
+// ctx carries cancellation — checked at round boundaries and between
+// nets inside a round — and, via obs.SpanFrom, the parent span under
+// which one "detail.round" child span is emitted per round, annotated
+// with the round kind, nets attempted, failures, rip-up events, the
+// merged path-search effort delta, and a fast-grid hit-rate snapshot.
+// On cancellation Route stops routing further nets and returns a
+// partial Result with Cancelled set; wiring committed so far stays.
+func (r *Router) Route(ctx context.Context) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := obs.SpanFrom(ctx)
 	res := &Result{PerNet: make([]NetStats, len(r.Chip.Nets))}
 
 	var critical, normal []int
@@ -28,10 +44,53 @@ func (r *Router) Route() *Result {
 	eng := r.acquireEngine()
 	defer r.releaseEngine(eng)
 
+	// statsNow is the router-wide path-search effort including the
+	// serial engine's unreleased tally — the round spans report deltas
+	// of this total. Only called at round boundaries (no worker is
+	// mid-flight), so the parallel engines have all been released.
+	statsNow := func() pathsearch.Stats {
+		s := r.SearchStats()
+		s.Add(eng.Stats())
+		return s
+	}
+	// beginRound/endRound bracket one routing round with its span.
+	round := 0
+	var roundStats pathsearch.Stats
+	var roundRipups int64
+	beginRound := func(kind string, nets int) *obs.Span {
+		sp := span.Child("detail.round",
+			obs.Int("round", round), obs.Str("kind", kind), obs.Int("nets", nets))
+		roundStats = statsNow()
+		roundRipups = atomic.LoadInt64(&r.ripups)
+		round++
+		res.Rounds++
+		return sp
+	}
+	endRound := func(sp *obs.Span, failed int) {
+		now := statsNow()
+		sp.End(obs.Int("failed", failed),
+			obs.Int64("ripups", atomic.LoadInt64(&r.ripups)-roundRipups),
+			obs.Int("labels", now.Labels-roundStats.Labels),
+			obs.Int("heap_pops", now.HeapPops-roundStats.HeapPops),
+			obs.Int("intervals", now.Intervals-roundStats.Intervals),
+			obs.Int("searches", now.Searches-roundStats.Searches),
+			obs.F64("fastgrid_hit_rate", r.FG.HitRate()))
+	}
+
 	// Critical nets first, serially, with rip-up allowed (§5.1: wide or
 	// timing-critical wires are routed before the masses).
-	for _, ni := range critical {
-		r.routeNetWith(eng, ni, 2)
+	if len(critical) > 0 {
+		sp := beginRound("critical", len(critical))
+		fails := 0
+		for _, ni := range critical {
+			if ctx.Err() != nil {
+				break
+			}
+			if !r.routeNetWith(eng, ni, 2) {
+				fails++
+			}
+		}
+		endRound(sp, fails)
 	}
 
 	// Sort remaining nets by bounding-box half-perimeter: short local
@@ -48,16 +107,22 @@ func (r *Router) Route() *Result {
 
 	pending := normal
 	regions := r.opt.Workers
-	for round := 0; regions >= 1 && len(pending) > 0; round++ {
+	for ; regions >= 1 && len(pending) > 0 && ctx.Err() == nil; regions /= 2 {
 		if regions == 1 {
 			// Final serial round with rip-up.
+			sp := beginRound("serial", len(pending))
 			var fail []int
 			for _, ni := range pending {
+				if ctx.Err() != nil {
+					fail = append(fail, ni)
+					continue
+				}
 				if !r.routeNetWith(eng, ni, 2) {
 					fail = append(fail, ni)
 				}
 			}
 			pending = fail
+			endRound(sp, len(fail))
 			break
 		}
 		strips := r.partition(regions)
@@ -75,6 +140,7 @@ func (r *Router) Route() *Result {
 		// own slot; merging in strip order after the barrier keeps the
 		// next round's net order independent of goroutine completion
 		// order.
+		sp := beginRound("parallel", len(pending)-len(next))
 		fails := make([][]int, len(assigned))
 		var wg sync.WaitGroup
 		for si := range assigned {
@@ -88,6 +154,10 @@ func (r *Router) Route() *Result {
 				defer r.releaseEngine(e)
 				var local []int
 				for _, ni := range nets {
+					if ctx.Err() != nil {
+						local = append(local, ni)
+						continue
+					}
 					// No rip-up in parallel rounds: rip-up may touch nets
 					// owned by other regions (§5.1's "only changes that do
 					// not affect regions assigned to other threads").
@@ -99,23 +169,29 @@ func (r *Router) Route() *Result {
 			}(si, assigned[si])
 		}
 		wg.Wait()
+		roundFails := 0
 		for _, local := range fails {
+			roundFails += len(local)
 			next = append(next, local...)
 		}
 		pending = next
-		regions /= 2
+		endRound(sp, roundFails)
 	}
 	// Anything still pending gets last serial attempts with rip-up and
 	// progressively extended routing areas (§4.4).
-	var failed []int
-	for _, ni := range pending {
-		ok := false
-		for try := 0; try < 3 && !ok; try++ {
-			ok = r.routeNetWith(eng, ni, 2)
+	if len(pending) > 0 && ctx.Err() == nil {
+		sp := beginRound("retry", len(pending))
+		fails := 0
+		for _, ni := range pending {
+			ok := false
+			for try := 0; try < 3 && !ok && ctx.Err() == nil; try++ {
+				ok = r.routeNetWith(eng, ni, 2)
+			}
+			if !ok {
+				fails++
+			}
 		}
-		if !ok {
-			failed = append(failed, ni)
-		}
+		endRound(sp, fails)
 	}
 
 	for ni := range r.Chip.Nets {
@@ -127,6 +203,8 @@ func (r *Router) Route() *Result {
 			res.Failed++
 		}
 	}
+	res.RipupEvents = int(atomic.LoadInt64(&r.ripups))
+	res.Cancelled = ctx.Err() != nil
 	return res
 }
 

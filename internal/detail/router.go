@@ -9,6 +9,7 @@ package detail
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bonnroute/internal/blockgrid"
 	"bonnroute/internal/chip"
@@ -113,6 +114,26 @@ type Result struct {
 	Routed, Failed int
 	RipupEvents    int
 	PerNet         []NetStats
+	// Rounds is how many routing rounds ran (critical prepass, parallel
+	// strip rounds, serial rounds, retries).
+	Rounds int
+	// Cancelled reports that the run's context was cancelled mid-flow;
+	// PerNet covers whatever had been committed by then.
+	Cancelled bool
+}
+
+// AccessStats summarizes pin-access provisioning (§4.3): catalogue
+// construction, branch-and-bound selection effort, and how many pins got
+// reserved catalogue paths versus dynamically generated stubs.
+type AccessStats struct {
+	// Catalogues is the number of circuit classes built.
+	Catalogues int
+	// BBNodes sums branch-and-bound search nodes over all catalogues.
+	BBNodes int
+	// Reserved counts pins connected through reserved catalogue paths.
+	Reserved int
+	// Dynamic counts pins that needed dynamically generated access stubs.
+	Dynamic int
 }
 
 // NetStats reports one net's routed geometry.
@@ -148,7 +169,22 @@ type Router struct {
 	engineMu    sync.Mutex
 	engines     []*pathsearch.Engine
 	searchStats pathsearch.Stats
+
+	// ripups counts victim nets ripped up during routing (atomic: rip-up
+	// commits happen on worker goroutines).
+	ripups int64
+
+	// accessStats is filled during construction (prepareAccess and the
+	// dynamic-access fallback).
+	accessStats AccessStats
 }
+
+// AccessStats reports the pin-access provisioning statistics gathered
+// during construction.
+func (r *Router) AccessStats() AccessStats { return r.accessStats }
+
+// RipupCount returns the number of victim nets ripped up so far.
+func (r *Router) RipupCount() int64 { return atomic.LoadInt64(&r.ripups) }
 
 // acquireEngine checks a path-search engine out of the router's free list
 // (allocating on first use). Pair with releaseEngine.
@@ -453,6 +489,7 @@ func (r *Router) dynamicAccess(ni, k int) {
 		r.FG.OnShapeAdded(z, sh)
 	}
 	r.routes[ni].access[k] = ap
+	r.accessStats.Dynamic++
 }
 
 // SetGlobalCorridors supplies the global routing solution: per net, the
@@ -472,10 +509,13 @@ func (r *Router) prepareAccess() {
 	for ci := range c.Cells {
 		key := pinaccess.ClassKey(c, ci, pitch)
 		if _, ok := cats[key]; !ok {
-			cats[key] = pinaccess.BuildCatalogue(c, r.TG, ci, pinaccess.Params{
+			cat := pinaccess.BuildCatalogue(c, r.TG, ci, pinaccess.Params{
 				Radius: r.opt.AccessRadius * pitch,
 			})
+			cats[key] = cat
 			catCell[key] = ci
+			r.accessStats.Catalogues++
+			r.accessStats.BBNodes += cat.BBNodes
 		}
 	}
 
@@ -556,6 +596,7 @@ func (r *Router) reserveAccess(pi int, ap *pinaccess.AccessPath) {
 	for k, qi := range n.Pins {
 		if qi == pi {
 			r.routes[p.Net].access[k] = ap
+			r.accessStats.Reserved++
 			break
 		}
 	}

@@ -1,0 +1,257 @@
+// Package obs is the observability layer of the routing flows: a
+// nil-safe, allocation-conscious tracer producing hierarchical spans
+// (flow → stage → phase/round → net batch), point-in-time events, and
+// named counters and gauges, all delivered to pluggable sinks (in-memory
+// for tests, JSONL trace files, a human-readable progress writer).
+//
+// The nil tracer is the no-op: every method on a nil *Tracer or nil
+// *Span returns immediately, so instrumented code needs no guards and
+// the disabled path costs nothing on the routing hot paths (enforced by
+// TestNoopTracerAllocs). Spans travel between flow stages via
+// context.Context (ContextWithSpan / SpanFrom), which is also how the
+// stages observe cancellation.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates Attr values.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Attr is one key/value annotation on a span, event, or metric. It is a
+// plain value type so attribute lists build without boxing.
+type Attr struct {
+	Key   string
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Kind: KindInt, Int: int64(v)} }
+
+// Int64 builds an int64 attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, Int: v} }
+
+// F64 builds a float attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, Float: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: KindString, Str: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: KindBool}
+	if v {
+		a.Int = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value for generic consumers (JSON).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		return a.Float
+	case KindString:
+		return a.Str
+	default:
+		return a.Int != 0
+	}
+}
+
+// RecordKind tags a Record.
+type RecordKind string
+
+const (
+	RecSpanStart RecordKind = "span_start"
+	RecSpanEnd   RecordKind = "span_end"
+	RecEvent     RecordKind = "event"
+	RecCounter   RecordKind = "counter"
+	RecGauge     RecordKind = "gauge"
+)
+
+// Record is the unit of telemetry delivered to sinks. Span and Parent
+// are tracer-unique span IDs (Parent 0 = root). Value carries counter
+// deltas and gauge readings.
+type Record struct {
+	Kind   RecordKind
+	Time   time.Time
+	Span   uint64
+	Parent uint64
+	Name   string
+	Dur    time.Duration
+	Value  float64
+	Attrs  []Attr
+}
+
+// Sink consumes telemetry records. Emit may be called from multiple
+// goroutines; implementations synchronize internally. Records and their
+// Attrs must not be retained mutably past the call unless copied —
+// MemorySink copies, streaming sinks serialize immediately.
+type Sink interface {
+	Emit(r *Record)
+}
+
+// SinkFunc adapts a function to the Sink interface (test hooks,
+// cancellation triggers).
+type SinkFunc func(r *Record)
+
+// Emit calls f.
+func (f SinkFunc) Emit(r *Record) { f(r) }
+
+// Tracer fans records out to its sinks. The nil *Tracer is the no-op
+// tracer: Start returns a nil span and everything downstream vanishes.
+type Tracer struct {
+	sinks  []Sink
+	nextID atomic.Uint64
+}
+
+// New builds a tracer over the given sinks. With no sinks it returns
+// nil — the no-op tracer — so callers can write
+// obs.New(maybeSinks()...) without guarding.
+func New(sinks ...Sink) *Tracer {
+	if len(sinks) == 0 {
+		return nil
+	}
+	return &Tracer{sinks: sinks}
+}
+
+func (t *Tracer) emit(r *Record) {
+	for _, s := range t.sinks {
+		s.Emit(r)
+	}
+}
+
+// Span is one node of the trace hierarchy. The nil *Span is a no-op.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start opens a root span. Nil-safe.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(0, name, attrs)
+}
+
+// cloneAttrs copies the caller's (possibly stack-allocated) variadic
+// attr slice into the record. Reading values without retaining the
+// parameter keeps instrumentation call sites allocation-free when the
+// tracer is nil — the whole point of the nil-safe design.
+func cloneAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	cp := make([]Attr, len(attrs))
+	copy(cp, attrs)
+	return cp
+}
+
+func (t *Tracer) startSpan(parent uint64, name string, attrs []Attr) *Span {
+	sp := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: time.Now()}
+	t.emit(&Record{Kind: RecSpanStart, Time: sp.start, Span: sp.id, Parent: parent, Name: name, Attrs: cloneAttrs(attrs)})
+	return sp
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.startSpan(s.id, name, attrs)
+}
+
+// End closes the span, attaching final attributes (stage statistics are
+// usually only known at the end). Nil-safe; ending twice emits twice —
+// don't.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.endSlow(attrs)
+}
+
+func (s *Span) endSlow(attrs []Attr) {
+	now := time.Now()
+	s.t.emit(&Record{Kind: RecSpanEnd, Time: now, Span: s.id, Parent: s.parent,
+		Name: s.name, Dur: now.Sub(s.start), Attrs: cloneAttrs(attrs)})
+}
+
+// Event emits a point-in-time annotation under the span. Nil-safe.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.eventSlow(name, attrs)
+}
+
+func (s *Span) eventSlow(name string, attrs []Attr) {
+	s.t.emit(&Record{Kind: RecEvent, Time: time.Now(), Span: s.id, Parent: s.parent,
+		Name: name, Attrs: cloneAttrs(attrs)})
+}
+
+// Count emits a named counter increment under the span. Nil-safe.
+func (s *Span) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.t.emit(&Record{Kind: RecCounter, Time: time.Now(), Span: s.id, Parent: s.parent,
+		Name: name, Value: float64(delta)})
+}
+
+// Gauge emits a named instantaneous reading under the span. Nil-safe.
+func (s *Span) Gauge(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.t.emit(&Record{Kind: RecGauge, Time: time.Now(), Span: s.id, Parent: s.parent,
+		Name: name, Value: v})
+}
+
+// Name returns the span's name ("" for the nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan threads a span through a context so downstream stages
+// can hang their own children under it. A nil span yields ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom extracts the current span from a context (nil when absent or
+// when ctx is nil), giving the nil-safe no-op span.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

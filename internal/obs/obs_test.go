@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	mem := NewMemorySink()
+	tr := New(mem)
+
+	flow := tr.Start("flow", Int("nets", 3))
+	stage := flow.Child("stage.a")
+	stage.Event("tick", Int("i", 1))
+	stage.Count("widgets", 2)
+	stage.Count("widgets", 3)
+	stage.End(F64("score", 0.5))
+	flow.Child("stage.b").End()
+	flow.End(Bool("ok", true))
+
+	roots := mem.Roots()
+	if len(roots) != 1 || roots[0].Name != "flow" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	root := roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[0].Name != "stage.a" || root.Children[1].Name != "stage.b" {
+		t.Fatalf("child order: %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	if !root.Ended || !root.Children[0].Ended {
+		t.Fatal("spans not marked ended")
+	}
+	if v := root.Attr("nets"); v != int64(3) {
+		t.Fatalf("nets attr = %v", v)
+	}
+	if v := root.Children[0].Attr("score"); v != 0.5 {
+		t.Fatalf("end attr not merged: %v", v)
+	}
+	if n := mem.Counter("widgets"); n != 5 {
+		t.Fatalf("counter sum = %d", n)
+	}
+	if got := root.Find("stage.b"); got == nil {
+		t.Fatal("Find failed")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", Int("a", 1))
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	// All of these must be safe on the nil span.
+	child := sp.Child("y")
+	child.Event("e", F64("v", 1))
+	child.Count("c", 1)
+	child.Gauge("g", 2)
+	child.End()
+	sp.End(Bool("done", true))
+	if New() != nil {
+		t.Fatal("New with no sinks must be the nil tracer")
+	}
+}
+
+// TestNoopTracerAllocs is the hot-path guard of the tentpole: with
+// tracing disabled (nil tracer / nil span), instrumentation points must
+// not allocate.
+func TestNoopTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	if got := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("flow", Int("nets", 60))
+		child := sp.Child("stage", Int("round", 1))
+		child.Event("tick", F64("lambda", 0.9), Int("calls", 12))
+		child.Count("oracle_calls", 7)
+		child.Gauge("hit_rate", 0.97)
+		child.End(Int("routed", 59))
+		sp.End()
+	}); got != 0 {
+		t.Errorf("no-op tracer instrumentation: %v allocs/op, want 0", got)
+	}
+	// Span extraction from a span-free context is also allocation-free.
+	ctx := context.Background()
+	if got := testing.AllocsPerRun(100, func() {
+		sp := SpanFrom(ctx)
+		sp.Event("tick")
+		sp.End()
+	}); got != 0 {
+		t.Errorf("SpanFrom on plain context: %v allocs/op, want 0", got)
+	}
+}
+
+func TestContextSpan(t *testing.T) {
+	mem := NewMemorySink()
+	tr := New(mem)
+	sp := tr.Start("root")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFrom(ctx); got != sp {
+		t.Fatal("span did not round-trip through context")
+	}
+	if got := SpanFrom(context.Background()); got != nil {
+		t.Fatal("expected nil span from bare context")
+	}
+	if got := SpanFrom(nil); got != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatal("expected nil span from nil context")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Fatal("nil span must not wrap the context")
+	}
+	sp.End()
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	flow := tr.Start("flow", Int("nets", 2), Str("chip", "tiny"))
+	flow.Count("oracle_calls", 5)
+	flow.Gauge("lambda", 0.75)
+	flow.Event("phase", Int("i", 0))
+	flow.End(Bool("cancelled", false))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	for sc.Scan() {
+		line := sc.Text()
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		kind, _ := m["kind"].(string)
+		if kind == "" {
+			t.Fatalf("line %q: missing kind", line)
+		}
+		if _, ok := m["name"].(string); !ok {
+			t.Fatalf("line %q: missing name", line)
+		}
+		kinds = append(kinds, kind)
+	}
+	want := []string{"span_start", "counter", "gauge", "event", "span_end"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestProgressSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewProgressSink(&buf))
+	flow := tr.Start("flow")
+	st := flow.Child("stage.detail")
+	st.Event("round", Int("routed", 10))
+	st.End()
+	flow.End()
+	out := buf.String()
+	for _, want := range []string{"> flow", "> stage.detail", "· round routed=10", "< stage.detail", "< flow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	// Child lines are indented deeper than the root.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !(strings.Index(lines[1], ">") > strings.Index(lines[0], ">")) {
+		t.Fatalf("child span not indented:\n%s", out)
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var names []string
+	tr := New(SinkFunc(func(r *Record) { names = append(names, string(r.Kind)+":"+r.Name) }))
+	sp := tr.Start("a")
+	sp.End()
+	if len(names) != 2 || names[0] != "span_start:a" || names[1] != "span_end:a" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// --- MemorySink ---
+
+// MemorySink records every emitted record; tests query the records, the
+// reconstructed span tree, and aggregated counters.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewMemorySink builds an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit appends a deep-enough copy of the record (attrs are cloned so the
+// caller's variadic slice can be reused).
+func (m *MemorySink) Emit(r *Record) {
+	cp := *r
+	if len(r.Attrs) > 0 {
+		cp.Attrs = append([]Attr(nil), r.Attrs...)
+	}
+	m.mu.Lock()
+	m.recs = append(m.recs, cp)
+	m.mu.Unlock()
+}
+
+// Records returns a copy of everything recorded so far.
+func (m *MemorySink) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.recs...)
+}
+
+// Counter sums all counter records with the given name.
+func (m *MemorySink) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for i := range m.recs {
+		if m.recs[i].Kind == RecCounter && m.recs[i].Name == name {
+			total += int64(m.recs[i].Value)
+		}
+	}
+	return total
+}
+
+// SpanNode is one span of the reconstructed trace tree.
+type SpanNode struct {
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Dur      time.Duration
+	Ended    bool
+	Attrs    []Attr // start attrs followed by end attrs
+	Events   []Record
+	Children []*SpanNode
+}
+
+// Attr returns the value of the named attribute (nil when absent).
+func (n *SpanNode) Attr(key string) any {
+	for i := range n.Attrs {
+		if n.Attrs[i].Key == key {
+			return n.Attrs[i].Value()
+		}
+	}
+	return nil
+}
+
+// Find returns the first descendant (depth-first, including n) with the
+// given span name, or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Roots reconstructs the span forest from the recorded stream: one node
+// per span ID, children ordered by start time.
+func (m *MemorySink) Roots() []*SpanNode {
+	m.mu.Lock()
+	recs := append([]Record(nil), m.recs...)
+	m.mu.Unlock()
+
+	nodes := map[uint64]*SpanNode{}
+	var order []uint64
+	for i := range recs {
+		r := &recs[i]
+		switch r.Kind {
+		case RecSpanStart:
+			nodes[r.Span] = &SpanNode{ID: r.Span, Parent: r.Parent, Name: r.Name,
+				Attrs: append([]Attr(nil), r.Attrs...)}
+			order = append(order, r.Span)
+		case RecSpanEnd:
+			if n := nodes[r.Span]; n != nil {
+				n.Dur = r.Dur
+				n.Ended = true
+				n.Attrs = append(n.Attrs, r.Attrs...)
+			}
+		case RecEvent, RecCounter, RecGauge:
+			if n := nodes[r.Span]; n != nil {
+				n.Events = append(n.Events, *r)
+			}
+		}
+	}
+	var roots []*SpanNode
+	for _, id := range order {
+		n := nodes[id]
+		if p := nodes[n.Parent]; p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// SpanNames lists all span names seen, sorted and deduplicated.
+func (m *MemorySink) SpanNames() []string {
+	m.mu.Lock()
+	seen := map[string]bool{}
+	for i := range m.recs {
+		if m.recs[i].Kind == RecSpanStart {
+			seen[m.recs[i].Name] = true
+		}
+	}
+	m.mu.Unlock()
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- JSONLSink ---
+
+// jsonRecord is the wire form of one JSONL trace line. Times are
+// microseconds since the sink was created, so traces diff cleanly.
+type jsonRecord struct {
+	Kind   RecordKind     `json:"kind"`
+	TUS    int64          `json:"t_us"`
+	Span   uint64         `json:"span"`
+	Parent uint64         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Value  *float64       `json:"value,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// JSONLSink serializes each record as one JSON line — the machine-
+// readable trace file behind the -trace flag.
+type JSONLSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	start time.Time
+	err   error
+}
+
+// NewJSONLSink wraps a writer. If w is also an io.Closer, Close closes
+// it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes the record as one JSON line. Errors are sticky and
+// surfaced by Close.
+func (s *JSONLSink) Emit(r *Record) {
+	jr := jsonRecord{
+		Kind: r.Kind, TUS: r.Time.Sub(s.start).Microseconds(),
+		Span: r.Span, Parent: r.Parent, Name: r.Name,
+		DurUS: r.Dur.Microseconds(),
+	}
+	if r.Kind == RecCounter || r.Kind == RecGauge {
+		v := r.Value
+		jr.Value = &v
+	}
+	if len(r.Attrs) > 0 {
+		jr.Attrs = make(map[string]any, len(r.Attrs))
+		for _, a := range r.Attrs {
+			jr.Attrs[a.Key] = a.Value()
+		}
+	}
+	data, err := json.Marshal(&jr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if s.err == nil {
+		_, err = s.w.Write(append(data, '\n'))
+		if err != nil {
+			s.err = err
+		}
+	}
+}
+
+// Flush drains the buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and closes the underlying writer (when closable),
+// returning the first error seen on the sink.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// --- ProgressSink ---
+
+// ProgressSink renders span starts/ends and events as an indented,
+// timestamped, human-readable log — the -progress flag's live view of a
+// routing run.
+type ProgressSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	depth map[uint64]int
+}
+
+// NewProgressSink writes human-readable progress lines to w.
+func NewProgressSink(w io.Writer) *ProgressSink {
+	return &ProgressSink{w: w, start: time.Now(), depth: map[uint64]int{}}
+}
+
+func formatAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		switch a.Kind {
+		case KindFloat:
+			fmt.Fprintf(&b, "%.4g", a.Float)
+		case KindString:
+			b.WriteString(a.Str)
+		case KindBool:
+			fmt.Fprintf(&b, "%v", a.Int != 0)
+		default:
+			fmt.Fprintf(&b, "%d", a.Int)
+		}
+	}
+	return b.String()
+}
+
+// Emit prints one progress line per record.
+func (p *ProgressSink) Emit(r *Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	at := float64(r.Time.Sub(p.start).Microseconds()) / 1000
+	switch r.Kind {
+	case RecSpanStart:
+		d := p.depth[r.Parent] + 1
+		p.depth[r.Span] = d
+		fmt.Fprintf(p.w, "[%9.1fms]%s> %s%s\n", at, strings.Repeat("  ", d-1), r.Name, formatAttrs(r.Attrs))
+	case RecSpanEnd:
+		d := p.depth[r.Span]
+		if d == 0 {
+			d = 1
+		}
+		delete(p.depth, r.Span)
+		fmt.Fprintf(p.w, "[%9.1fms]%s< %s (%.1fms)%s\n", at, strings.Repeat("  ", d-1), r.Name,
+			float64(r.Dur.Microseconds())/1000, formatAttrs(r.Attrs))
+	case RecEvent:
+		fmt.Fprintf(p.w, "[%9.1fms]%s· %s%s\n", at, strings.Repeat("  ", p.depth[r.Span]), r.Name, formatAttrs(r.Attrs))
+	case RecCounter, RecGauge:
+		fmt.Fprintf(p.w, "[%9.1fms]%s· %s=%g\n", at, strings.Repeat("  ", p.depth[r.Span]), r.Name, r.Value)
+	}
+}

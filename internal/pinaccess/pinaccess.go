@@ -52,6 +52,10 @@ type Catalogue struct {
 	// Chosen[pi] indexes the conflict-free primary access path per pin
 	// (-1 when the pin has no candidates).
 	Chosen []int
+	// BBNodes is the number of branch-and-bound search nodes expanded by
+	// the conflict-free selection for this catalogue (an observability
+	// statistic: the §4.3 search effort).
+	BBNodes int
 }
 
 // Params tune catalogue construction.
@@ -164,9 +168,10 @@ func BuildCatalogue(c *chip.Chip, tg *tracks.Graph, cellIdx int, p Params) *Cata
 		}
 	}
 
-	sel, ok := ConflictFree(cat.PerPin, func(a, b *AccessPath) bool {
+	sel, nodes, ok := ConflictFree(cat.PerPin, func(a, b *AccessPath) bool {
 		return Conflicts(a, b, p.HalfWidth, p.Spacing)
 	})
+	cat.BBNodes = nodes
 	if ok {
 		copy(cat.Chosen, sel)
 	} else {
@@ -250,10 +255,12 @@ func segMetal(a, b geom.Point, hw int) geom.Rect {
 // candidate of some other pin are deleted up front (and recursively), and
 // the search prunes on a partial-cost lower bound. ok is false when no
 // conflict-free selection exists. Pins without candidates are skipped
-// (their selection stays -1).
-func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) ([]int, bool) {
+// (their selection stays -1). nodes reports how many branch-and-bound
+// search nodes were expanded — the per-circuit effort statistic the
+// observability layer surfaces.
+func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) (sel []int, nodes int, ok bool) {
 	n := len(perPin)
-	sel := make([]int, n)
+	sel = make([]int, n)
 	for i := range sel {
 		sel[i] = -1
 	}
@@ -265,7 +272,7 @@ func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) (
 		}
 	}
 	if len(order) == 0 {
-		return sel, true
+		return sel, 0, true
 	}
 
 	// Destructive bounding: repeatedly delete candidates that conflict
@@ -314,7 +321,7 @@ func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) (
 			}
 		}
 		if !any {
-			return sel, false
+			return sel, nodes, false
 		}
 	}
 
@@ -361,6 +368,7 @@ func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) (
 
 	var rec func(i, cost int)
 	rec = func(i, cost int) {
+		nodes++
 		if cost+minRest[i]-maxBonus >= best {
 			return
 		}
@@ -396,9 +404,9 @@ func ConflictFree(perPin [][]AccessPath, conflict func(a, b *AccessPath) bool) (
 	}
 	rec(0, 0)
 	if !found {
-		return sel, false
+		return sel, nodes, false
 	}
-	return bestSel, true
+	return bestSel, nodes, true
 }
 
 // spreadBonus rewards selections whose endpoints are far apart (the

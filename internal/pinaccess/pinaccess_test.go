@@ -146,7 +146,7 @@ func TestFigure7ConflictFree(t *testing.T) {
 	if !conflict(&perPin[0][0], &perPin[1][0]) {
 		t.Fatal("test setup: greedy pair must conflict")
 	}
-	sel, ok := ConflictFree(perPin, conflict)
+	sel, nodes, ok := ConflictFree(perPin, conflict)
 	if !ok {
 		t.Fatal("no conflict-free solution found")
 	}
@@ -154,6 +154,9 @@ func TestFigure7ConflictFree(t *testing.T) {
 	b := &perPin[1][sel[1]]
 	if conflict(a, b) {
 		t.Fatal("selected paths conflict")
+	}
+	if nodes <= 0 {
+		t.Fatalf("branch-and-bound node count not reported: %d", nodes)
 	}
 }
 
@@ -166,14 +169,14 @@ func TestConflictFreeInfeasible(t *testing.T) {
 		{mk(0, geom.Pt(0, 0), geom.Pt(10, 0))},
 		{mk(1, geom.Pt(0, 2), geom.Pt(10, 2))},
 	}
-	_, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return Conflicts(a, b, 4, 12) })
+	_, _, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return Conflicts(a, b, 4, 12) })
 	if ok {
 		t.Fatal("expected infeasibility")
 	}
 }
 
 func TestConflictFreeEmptyPins(t *testing.T) {
-	sel, ok := ConflictFree([][]AccessPath{nil, nil}, func(a, b *AccessPath) bool { return false })
+	sel, _, ok := ConflictFree([][]AccessPath{nil, nil}, func(a, b *AccessPath) bool { return false })
 	if !ok || sel[0] != -1 || sel[1] != -1 {
 		t.Fatalf("empty pins: %v %v", sel, ok)
 	}
@@ -217,7 +220,7 @@ func TestConflictFreeOptimality(t *testing.T) {
 		{mk(0, 30, 30), mk(0, 10, 10)},
 		{mk(1, 5, 5), mk(1, 50, 50)},
 	}
-	sel, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return false })
+	sel, _, ok := ConflictFree(perPin, func(a, b *AccessPath) bool { return false })
 	if !ok {
 		t.Fatal("no solution")
 	}

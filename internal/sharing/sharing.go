@@ -8,6 +8,7 @@
 package sharing
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"bonnroute/internal/grid"
+	"bonnroute/internal/obs"
 	"bonnroute/internal/steiner"
 )
 
@@ -127,6 +129,10 @@ type Result struct {
 	// randomized rounding plus rechoose/reroute (the "R&R" column of
 	// Table III).
 	AlgTime, RepairTime time.Duration
+	// Cancelled reports that the context was cancelled mid-run; the
+	// result covers only the phases completed before cancellation (the
+	// repair pipeline is skipped, so rounding uses partial weights).
+	Cancelled bool
 }
 
 // Solver holds the problem and workspaces.
@@ -300,7 +306,18 @@ func (s *Solver) netLoads(n *NetSpec, c *Candidate, visit func(r int, g float64)
 }
 
 // Run executes Algorithm 2 and the §2.4 rounding/repair pipeline.
-func (s *Solver) Run() *Result {
+//
+// ctx carries cancellation (checked at phase boundaries and between
+// nets inside a phase) and, via obs.SpanFrom, the parent span under
+// which per-phase child spans are emitted: one "global.phase" span per
+// phase with λ, oracle-call/reuse deltas, and the price-update count,
+// plus a "global.repair" span covering rounding/rechoose/reroute. On
+// cancellation Run returns a partial Result with Cancelled set.
+func (s *Solver) Run(ctx context.Context) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := obs.SpanFrom(ctx)
 	algStart := time.Now()
 	res := &Result{Nets: make([]NetResult, len(s.Nets))}
 	type netState struct {
@@ -334,13 +351,24 @@ func (s *Solver) Run() *Result {
 	var fracMu sync.Mutex
 
 	for phase := 0; phase < s.Opt.Phases; phase++ {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
+		phSpan := span.Child("global.phase", obs.Int("phase", phase))
+		callsBefore, reusesBefore := atomic.LoadInt64(&s.calls), atomic.LoadInt64(&s.reuses)
 		phaseLoad := make([]float64, s.nRes)
 		var phaseMu sync.Mutex
+		var priceUpdates int64
 
 		work := func(worker, lo, hi int) {
 			oracle := s.oracles[worker]
 			localPhase := make(map[int]float64)
+			localUpdates := int64(0)
 			for ni := lo; ni < hi; ni++ {
+				if ctx.Err() != nil {
+					break
+				}
 				n := &s.Nets[ni]
 				st := &states[ni]
 				nr := &res.Nets[ni]
@@ -384,12 +412,14 @@ func (s *Solver) Run() *Result {
 				s.netLoads(n, c, func(r int, g float64) {
 					s.bumpPrice(r, math.Exp(s.Opt.Epsilon*g))
 					localPhase[r] += g
+					localUpdates++
 				})
 			}
 			phaseMu.Lock()
 			for r, g := range localPhase {
 				phaseLoad[r] += g
 			}
+			priceUpdates += localUpdates
 			phaseMu.Unlock()
 		}
 
@@ -423,6 +453,10 @@ func (s *Solver) Run() *Result {
 		}
 		fracMu.Unlock()
 		res.LambdaHistory = append(res.LambdaHistory, lambda)
+		phSpan.End(obs.F64("lambda", lambda),
+			obs.Int64("oracle_calls", atomic.LoadInt64(&s.calls)-callsBefore),
+			obs.Int64("oracle_reuses", atomic.LoadInt64(&s.reuses)-reusesBefore),
+			obs.Int64("price_updates", priceUpdates))
 	}
 
 	// Normalize weights; fractional λ.
@@ -449,10 +483,17 @@ func (s *Solver) Run() *Result {
 
 	res.AlgTime = time.Since(algStart)
 	repairStart := time.Now()
-	s.roundAndRepair(res)
+	rrSpan := span.Child("global.repair")
+	s.roundAndRepair(ctx, rrSpan, res)
+	rrSpan.End(obs.Int("violations", res.RoundingViolations),
+		obs.Int("rechosen", res.RechooseChanges),
+		obs.Int("rerouted", res.Rerouted))
 	res.RepairTime = time.Since(repairStart)
 	res.OracleCalls = s.calls
 	res.OracleReuses = s.reuses
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	return res
 }
 
@@ -505,7 +546,10 @@ func signature32(edges []int32, extras []float32) uint64 {
 
 // roundAndRepair implements §2.4: randomized rounding, rechoosing
 // among existing candidates, and rerouting the few remaining nets.
-func (s *Solver) roundAndRepair(res *Result) {
+// Randomized rounding always runs (it is cheap and gives the partial
+// result integral trees); the rechoose/reroute repair loops observe ctx
+// and stop at pass boundaries. Repair events are emitted on span.
+func (s *Solver) roundAndRepair(ctx context.Context, span *obs.Span, res *Result) {
 	rng := rand.New(rand.NewSource(s.Opt.Seed))
 	E := s.G.NumEdges()
 	load := make([]float64, E) // capacity-resource loads only
@@ -550,9 +594,13 @@ func (s *Solver) roundAndRepair(res *Result) {
 		return t, cnt
 	}
 	_, res.RoundingViolations = totalOverflow()
+	span.Event("rounding", obs.Int("violations", res.RoundingViolations))
 
 	// Rechoose: local search over existing candidates.
 	for pass := 0; pass < 4; pass++ {
+		if ctx.Err() != nil {
+			return
+		}
 		improved := false
 		for ni := range res.Nets {
 			nr := &res.Nets[ni]
@@ -597,12 +645,18 @@ func (s *Solver) roundAndRepair(res *Result) {
 			break
 		}
 	}
+	if res.RechooseChanges > 0 {
+		span.Event("rechoose", obs.Int("changes", res.RechooseChanges))
+	}
 
 	// Reroute: for nets still on overloaded edges, one oracle call with
 	// overflow-penalized prices.
 	if t, _ := totalOverflow(); t > 1e-9 {
 		oracle := s.oracles[0]
 		for ni := range res.Nets {
+			if ctx.Err() != nil {
+				return
+			}
 			nr := &res.Nets[ni]
 			if nr.Chosen < 0 {
 				continue

@@ -1,6 +1,7 @@
 package sharing
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func congestedInstance(nNets int, capPerEdge float64) (*grid.Graph, []NetSpec) {
 func TestSolverBasic(t *testing.T) {
 	g, nets := congestedInstance(5, 10)
 	s := New(g, nets, Options{Phases: 8, Seed: 1})
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Unrouted != 0 {
 		t.Fatalf("unrouted = %d", res.Unrouted)
 	}
@@ -83,7 +84,7 @@ func TestCongestionForcesSpread(t *testing.T) {
 		})
 	}
 	s := New(g, nets, Options{Phases: 24, Seed: 2})
-	res := s.Run()
+	res := s.Run(context.Background())
 	load := s.EdgeLoads(res)
 	for e, l := range load {
 		if l > g.Cap[e]+1e-9 {
@@ -103,7 +104,7 @@ func TestCongestionForcesSpread(t *testing.T) {
 func TestLambdaConverges(t *testing.T) {
 	g, nets := congestedInstance(12, 3)
 	s := New(g, nets, Options{Phases: 32, Seed: 3})
-	res := s.Run()
+	res := s.Run(context.Background())
 	h := res.LambdaHistory
 	if len(h) != 32 {
 		t.Fatalf("history length %d", len(h))
@@ -120,7 +121,7 @@ func TestLambdaConverges(t *testing.T) {
 func TestOracleReuseCounts(t *testing.T) {
 	g, nets := congestedInstance(8, 10)
 	s := New(g, nets, Options{Phases: 16, Seed: 4, ReuseSlack: 0.5})
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.OracleReuses == 0 {
 		t.Fatal("expected oracle reuses on an uncontended instance")
 	}
@@ -129,7 +130,7 @@ func TestOracleReuseCounts(t *testing.T) {
 	}
 	// Reuse disabled: all calls.
 	s2 := New(g, nets, Options{Phases: 16, Seed: 4, ReuseSlack: -1})
-	res2 := s2.Run()
+	res2 := s2.Run(context.Background())
 	if res2.OracleReuses != 0 {
 		t.Fatal("reuse must be disabled")
 	}
@@ -140,8 +141,8 @@ func TestOracleReuseCounts(t *testing.T) {
 
 func TestParallelMatchesQuality(t *testing.T) {
 	g, nets := congestedInstance(16, 3)
-	serial := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 1}).Run()
-	parallel := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 4}).Run()
+	serial := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 1}).Run(context.Background())
+	parallel := New(g, nets, Options{Phases: 16, Seed: 5, Workers: 4}).Run(context.Background())
 	if parallel.Unrouted != 0 || serial.Unrouted != 0 {
 		t.Fatal("unrouted nets")
 	}
@@ -167,7 +168,7 @@ func TestExtraSpaceAssignment(t *testing.T) {
 		AllowExtra: true,
 	}}
 	s := New(g, nets, Options{Phases: 8, Seed: 6, PowerCap: 100})
-	res := s.Run()
+	res := s.Run(context.Background())
 	tree := res.Nets[0]
 	if tree.Chosen < 0 {
 		t.Fatal("unrouted")
@@ -194,7 +195,7 @@ func TestNoExtraWhenDisallowed(t *testing.T) {
 		Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(4, 0, 0)}},
 		Width:     1,
 	}}
-	res := New(g, nets, Options{Phases: 4, Seed: 7, PowerCap: 100}).Run()
+	res := New(g, nets, Options{Phases: 4, Seed: 7, PowerCap: 100}).Run(context.Background())
 	for _, c := range res.Nets[0].Candidates {
 		for _, x := range c.Extra {
 			if x != 0 {
@@ -213,7 +214,7 @@ func TestInfeasibleNet(t *testing.T) {
 		Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(4, 0, 0)}},
 		Width:     1,
 	}}
-	res := New(g, nets, Options{Phases: 2, Seed: 8}).Run()
+	res := New(g, nets, Options{Phases: 2, Seed: 8}).Run(context.Background())
 	if res.Unrouted != 1 || res.Nets[0].Tree() != nil {
 		t.Fatalf("expected unrouted net: %+v", res)
 	}
@@ -226,7 +227,7 @@ func TestWideNets(t *testing.T) {
 		{ID: 1, Terminals: [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(9, 0, 0)}}, Width: 2},
 	}
 	s := New(g, nets, Options{Phases: 16, Seed: 9})
-	res := s.Run()
+	res := s.Run(context.Background())
 	load := s.EdgeLoads(res)
 	for e, l := range load {
 		if l > g.Cap[e]+1e-9 {
@@ -259,7 +260,7 @@ func TestRoundingRepairStatistics(t *testing.T) {
 		})
 	}
 	s := New(g, nets, Options{Phases: 24, Seed: 11})
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Unrouted != 0 {
 		t.Fatalf("unrouted = %d", res.Unrouted)
 	}

@@ -1,0 +1,68 @@
+package bonnroute
+
+import (
+	"testing"
+
+	"bonnroute/internal/obs"
+)
+
+// The functional options must compose left to right onto a zero
+// core.Options (core applies its own defaults afterwards).
+func TestOptionComposition(t *testing.T) {
+	tr := obs.New(obs.NewMemorySink())
+	o := buildOptions([]Option{
+		WithWorkers(8),
+		WithSeed(7),
+		WithTracer(tr),
+		WithGlobalConfig(GlobalConfig{Phases: 16, TileTracks: 10, PowerCap: 50}),
+		WithDetailConfig(DetailConfig{UsePFuture: true}),
+	})
+	if o.Workers != 8 || o.Seed != 7 || o.Tracer != tr {
+		t.Fatalf("basic options not applied: %+v", o)
+	}
+	if o.GlobalPhases != 16 || o.TileTracks != 10 || o.PowerCap != 50 {
+		t.Fatalf("global config not applied: %+v", o)
+	}
+	if !o.UsePFuture {
+		t.Fatalf("detail config not applied: %+v", o)
+	}
+	if o.SkipGlobal {
+		t.Fatal("SkipGlobal must default to false")
+	}
+}
+
+// Later options win over earlier ones.
+func TestOptionPrecedence(t *testing.T) {
+	o := buildOptions([]Option{WithWorkers(2), WithWorkers(4), WithSeed(1), WithSeed(9)})
+	if o.Workers != 4 || o.Seed != 9 {
+		t.Fatalf("later option must win: %+v", o)
+	}
+}
+
+// Zero-valued GlobalConfig fields keep whatever is already set — the
+// sub-config only overrides fields the caller filled in.
+func TestGlobalConfigZeroFieldsPreserved(t *testing.T) {
+	o := buildOptions([]Option{
+		WithGlobalConfig(GlobalConfig{Phases: 12, TileTracks: 9}),
+		WithGlobalConfig(GlobalConfig{PowerCap: 30}), // Phases/TileTracks zero
+	})
+	if o.GlobalPhases != 12 || o.TileTracks != 9 || o.PowerCap != 30 {
+		t.Fatalf("zero fields clobbered earlier settings: %+v", o)
+	}
+}
+
+// With no options at all, buildOptions yields the zero Options —
+// core.setDefaults supplies Workers=1, Phases=32, TileTracks=8.
+func TestOptionDefaultsAreZero(t *testing.T) {
+	o := buildOptions(nil)
+	if o != (Options{}) {
+		t.Fatalf("no options must mean zero Options, got %+v", o)
+	}
+}
+
+func TestWithoutGlobalAndNilOption(t *testing.T) {
+	o := buildOptions([]Option{nil, WithoutGlobal(), nil})
+	if !o.SkipGlobal {
+		t.Fatal("WithoutGlobal must set SkipGlobal")
+	}
+}

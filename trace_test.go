@@ -1,0 +1,142 @@
+package bonnroute_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"bonnroute"
+)
+
+func traceChip() *bonnroute.Chip {
+	return bonnroute.GenerateChip(bonnroute.ChipParams{
+		Seed: 42, Rows: 4, Cols: 10, NumNets: 24, PowerStripePeriod: 6,
+	})
+}
+
+// A traced BonnRoute run must produce the documented span tree: one
+// flow.br root whose children are the four stages (plus prep and audit),
+// with per-phase spans under stage.global and per-round spans under
+// stage.detail.
+func TestTraceSpanTree(t *testing.T) {
+	mem := bonnroute.NewMemorySink()
+	res := bonnroute.Route(context.Background(), traceChip(),
+		bonnroute.WithSeed(1),
+		bonnroute.WithTracer(bonnroute.NewTracer(mem)))
+	if res.Cancelled {
+		t.Fatal("uncancelled run reported Cancelled")
+	}
+
+	roots := mem.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("want exactly one root span, got %d", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "flow.br" || !root.Ended {
+		t.Fatalf("root = %q (ended=%v), want ended flow.br", root.Name, root.Ended)
+	}
+	for _, stage := range []string{
+		"stage.prep", "stage.capest", "stage.global",
+		"stage.detail", "stage.cleanup", "stage.audit",
+	} {
+		n := root.Find(stage)
+		if n == nil {
+			t.Fatalf("stage span %q missing from trace", stage)
+		}
+		if !n.Ended {
+			t.Fatalf("stage span %q never ended", stage)
+		}
+		if n.Parent != root.ID {
+			t.Fatalf("stage span %q is not a direct child of the flow root", stage)
+		}
+	}
+
+	global := root.Find("stage.global")
+	if global.Find("global.phase") == nil {
+		t.Fatal("no global.phase span under stage.global")
+	}
+	if global.Attr("lambda") == nil {
+		t.Fatal("stage.global span missing lambda attr")
+	}
+	detail := root.Find("stage.detail")
+	rounds := 0
+	for _, c := range detail.Children {
+		if c.Name == "detail.round" {
+			rounds++
+			if c.Attr("kind") == nil || c.Attr("failed") == nil {
+				t.Fatalf("detail.round span missing kind/failed attrs: %+v", c.Attrs)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no detail.round span under stage.detail")
+	}
+	if rounds != res.Detail.Rounds {
+		t.Fatalf("trace shows %d rounds, Result says %d", rounds, res.Detail.Rounds)
+	}
+}
+
+// cancelOnSpan returns a sink that cancels the run the first time a span
+// with the given name starts — a deterministic way to cancel mid-stage.
+func cancelOnSpan(name string, cancel context.CancelFunc) bonnroute.SinkFunc {
+	return func(r *bonnroute.Record) {
+		if r.Kind == "span_start" && r.Name == name {
+			cancel()
+		}
+	}
+}
+
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Cancelling while a global-routing phase is running must still return a
+// complete (partial) Result with Cancelled set and leak no goroutines.
+func TestCancelDuringGlobal(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := bonnroute.Route(ctx, traceChip(),
+		bonnroute.WithSeed(1),
+		bonnroute.WithWorkers(4),
+		bonnroute.WithTracer(bonnroute.NewTracer(cancelOnSpan("global.phase", cancel))))
+	if res == nil {
+		t.Fatal("cancelled run returned nil Result")
+	}
+	if !res.Cancelled {
+		t.Fatal("cancelled run did not set Cancelled")
+	}
+	if res.Detail == nil || res.Metrics.Nets == 0 {
+		t.Fatal("cancelled run must still carry partial detail stats and metrics")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// Cancelling during a detailed-routing round behaves the same way.
+func TestCancelDuringDetail(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := bonnroute.Route(ctx, traceChip(),
+		bonnroute.WithSeed(1),
+		bonnroute.WithWorkers(4),
+		bonnroute.WithTracer(bonnroute.NewTracer(cancelOnSpan("detail.round", cancel))))
+	if !res.Cancelled || !res.Detail.Cancelled {
+		t.Fatalf("Cancelled flags not set: flow=%v detail=%v", res.Cancelled, res.Detail.Cancelled)
+	}
+	// Global routing completed before the cancel hit.
+	if res.Global == nil {
+		t.Fatal("global stats missing from partially-cancelled run")
+	}
+	checkNoGoroutineLeak(t, before)
+}
