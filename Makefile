@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke trace-smoke alloc-guard check bench-json
+.PHONY: all build test race vet bench-smoke trace-smoke alloc-guard check bench-json bench-scaling
 
 all: build
 
@@ -31,10 +31,11 @@ trace-smoke:
 
 # alloc-guard re-runs the steady-state allocation tests: the no-op
 # tracer must stay allocation-free and the pooled path-search engine
-# must keep its per-search allocation budget.
+# must keep its per-search allocation budget — both serially and with
+# four engines searching concurrently (the Workers=4 regime).
 alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
-	$(GO) test -run 'TestSteadyStateAllocs' ./internal/pathsearch
+	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
 
 # check is the pre-merge gate: vet, build, the full test suite under the
 # race detector, the benchmark smoke test, the trace smoke test, and the
@@ -45,3 +46,12 @@ check: vet build race bench-smoke trace-smoke alloc-guard
 # plus the path-search micro-benchmarks).
 bench-json:
 	$(GO) run ./cmd/routebench -suite small -bench-json BENCH_pathsearch.json
+
+# bench-scaling runs the detail-stage workers sweep (Workers 1,2,4,8 on
+# the scaling suite) and diffs the quality fields against the committed
+# BENCH_parallel.json: any drift in netlength/vias/errors/unrouted —
+# across worker counts or against the artifact — fails the target.
+# Regenerate the artifact with:
+#   go run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -bench-json BENCH_parallel.json
+bench-scaling:
+	$(GO) run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -diff-parallel BENCH_parallel.json

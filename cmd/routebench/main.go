@@ -7,13 +7,22 @@
 //
 // Usage:
 //
-//	routebench [-table 0|1|2|3|4] [-suite small|medium|large] [-workers N]
+//	routebench [-table 0|1|2|3|4] [-suite small|medium|large|scaling] [-workers N]
+//	           [-workers-sweep 1,2,4,8] [-diff-parallel f]
 //	           [-cpuprofile f] [-memprofile f] [-bench-json f]
 //	           [-trace f.jsonl] [-progress]
 //
 // -table 0 (default) prints everything. -bench-json writes the runs'
 // machine-readable results (per-stage timings, path-search effort
 // counters, micro-benchmark rows) to the given file.
+//
+// -workers-sweep replaces the tables with the detail-stage scaling
+// sweep: every suite chip is routed once per worker count, the quality
+// fields are required to be bit-identical across counts (the §5.1
+// determinism contract), and -bench-json then writes the scaling
+// document (BENCH_parallel.json). -diff-parallel compares the sweep's
+// quality fields against a committed artifact and exits non-zero on
+// drift (the `make bench-scaling` gate).
 package main
 
 import (
@@ -97,6 +106,14 @@ func suite(name string) []chip.GenParams {
 			{Name: "chip1", Seed: 11, Rows: 6, Cols: 16, NumNets: 60, NumLayers: 4, LocalityRadius: 6, PowerStripePeriod: 6},
 			{Name: "chip2", Seed: 12, Rows: 6, Cols: 16, NumNets: 60, NumLayers: 6, LocalityRadius: 10, PowerStripePeriod: 4},
 		}
+	case "scaling":
+		// The -workers-sweep chips: wide (many columns) so regionSchedule
+		// opens with 8 strips, and local (small radius) so most nets are
+		// strip-assignable and the parallel rounds carry the flow.
+		return []chip.GenParams{
+			{Name: "wide1", Seed: 11, Rows: 8, Cols: 96, NumNets: 240, NumLayers: 4, LocalityRadius: 2, PowerStripePeriod: 6},
+			{Name: "wide2", Seed: 12, Rows: 6, Cols: 96, NumNets: 220, NumLayers: 4, LocalityRadius: 2, PowerStripePeriod: 4},
+		}
 	case "large":
 		return []chip.GenParams{
 			{Name: "chip1", Seed: 11, Rows: 10, Cols: 32, NumNets: 260, NumLayers: 4, LocalityRadius: 8, PowerStripePeriod: 6},
@@ -123,6 +140,8 @@ func main() {
 		benchOut   = flag.String("bench-json", "", "write machine-readable results to this file")
 		traceOut   = flag.String("trace", "", "write a JSONL trace to this file")
 		progress   = flag.Bool("progress", false, "print live span progress to stderr")
+		sweepArg   = flag.String("workers-sweep", "", "comma-separated worker counts (first must be 1); runs the detail-stage scaling sweep instead of the tables")
+		diffPar    = flag.String("diff-parallel", "", "with -workers-sweep: compare quality fields against this BENCH_parallel.json and exit non-zero on drift")
 	)
 	flag.Parse()
 
@@ -165,21 +184,39 @@ func main() {
 	}
 
 	params := suite(*suiteName)
-	if *table == 0 || *table == 1 {
-		tableI(params, *workers)
-	}
-	if *table == 0 || *table == 2 {
-		tableII(params, *workers)
-	}
-	if *table == 0 || *table == 3 {
-		tableIII(params)
-	}
-	if *table == 0 || *table == 4 {
-		tableIV()
+	var benchDoc any = collect
+	if *sweepArg != "" {
+		counts, err := parseWorkerCounts(*sweepArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workers-sweep:", err)
+			os.Exit(1)
+		}
+		doc := workersSweep(*suiteName, params, counts)
+		if *diffPar != "" {
+			if err := diffParallel(doc, *diffPar); err != nil {
+				fmt.Fprintln(os.Stderr, "diff-parallel:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "quality fields match %s\n", *diffPar)
+		}
+		benchDoc = doc
+	} else {
+		if *table == 0 || *table == 1 {
+			tableI(params, *workers)
+		}
+		if *table == 0 || *table == 2 {
+			tableII(params, *workers)
+		}
+		if *table == 0 || *table == 3 {
+			tableIII(params)
+		}
+		if *table == 0 || *table == 4 {
+			tableIV()
+		}
 	}
 
 	if *benchOut != "" {
-		data, err := json.MarshalIndent(collect, "", "  ")
+		data, err := json.MarshalIndent(benchDoc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
 		}

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/detail"
+	"bonnroute/internal/pathsearch"
+)
+
+// modelNote is the honest label on the scaling artifact: this container
+// runs GOMAXPROCS=1, so measured wall time cannot exhibit real
+// concurrency. The strip schedule and per-strip task durations are the
+// same for every worker count (the result is bit-identical by the
+// determinism contract), so the modeled critical path — LPT-scheduling
+// the Workers=1 run's per-strip task durations onto W workers, plus the
+// serial rounds' wall time — is the scaling claim; detail_ms is the
+// measured wall time and is expected to be flat on one CPU.
+const modelNote = "modeled_detail_ms = LPT critical path of the Workers=1 run's per-strip task " +
+	"durations (parallel rounds) + serial-round wall time; measured detail_ms is flat because " +
+	"GOMAXPROCS=1 serializes the strip tasks"
+
+// sweepRowJSON is one worker count's run of one chip.
+type sweepRowJSON struct {
+	Workers int `json:"workers"`
+	// DetailMS is the measured detail-stage wall time.
+	DetailMS float64 `json:"detail_ms"`
+	// ModeledDetailMS / ModeledSpeedup: see modelNote.
+	ModeledDetailMS float64 `json:"modeled_detail_ms"`
+	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// Quality fields — identical for every worker count by construction;
+	// the sweep aborts if they drift.
+	Routed    int   `json:"routed"`
+	Netlength int64 `json:"netlength"`
+	Vias      int   `json:"vias"`
+	Errors    int   `json:"errors"`
+	Unrouted  int   `json:"unrouted"`
+	Ripups    int   `json:"ripups"`
+}
+
+// sweepChipJSON is one chip's sweep.
+type sweepChipJSON struct {
+	Name string `json:"name"`
+	// ParallelRounds / StripTasks / ParallelNets describe how much of the
+	// flow actually ran under region partitioning (guards against a
+	// sweep that "scales" because nothing was parallel).
+	ParallelRounds int            `json:"parallel_rounds"`
+	StripTasks     int            `json:"strip_tasks"`
+	ParallelNets   int            `json:"parallel_nets"`
+	Rows           []sweepRowJSON `json:"rows"`
+}
+
+// parallelJSON is the -workers-sweep -bench-json document
+// (BENCH_parallel.json).
+type parallelJSON struct {
+	Suite      string          `json:"suite"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Model      string          `json:"model"`
+	Chips      []sweepChipJSON `json:"chips"`
+	// SteadyAllocsPerOp re-measures the Interval/steady micro-benchmark
+	// so the artifact carries the path-search allocation budget alongside
+	// the scaling rows.
+	SteadyAllocsPerOp int64 `json:"pathsearch_steady_allocs_per_op"`
+}
+
+// parseWorkerCounts parses the -workers-sweep argument. The sweep models
+// from the Workers=1 run, so 1 must come first.
+func parseWorkerCounts(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 || counts[0] != 1 {
+		return nil, fmt.Errorf("worker counts must start with 1 (the modeling baseline), got %v", counts)
+	}
+	return counts, nil
+}
+
+// lptMakespan schedules task durations onto w workers greedily by
+// longest-processing-time-first and returns the makespan — the modeled
+// wall time of one parallel round at that worker count.
+func lptMakespan(tasks []time.Duration, w int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	sorted := append([]time.Duration(nil), tasks...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	loads := make([]time.Duration, w)
+	for _, d := range sorted {
+		mi := 0
+		for i := 1; i < w; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += d
+	}
+	var makespan time.Duration
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}
+
+// modelDetail computes the modeled detail-stage critical path at w
+// workers from a reference run's round details.
+func modelDetail(rounds []detail.RoundStats, w int) time.Duration {
+	var total time.Duration
+	for _, rd := range rounds {
+		if rd.Kind == "parallel" {
+			total += lptMakespan(rd.StripTime, w)
+		} else {
+			total += rd.Elapsed
+		}
+	}
+	return total
+}
+
+// workersSweep runs every suite chip at each worker count, asserts the
+// quality fields are bit-identical across counts, and returns the
+// scaling document.
+func workersSweep(suiteName string, params []chip.GenParams, counts []int) *parallelJSON {
+	doc := &parallelJSON{
+		Suite:      suiteName,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Model:      modelNote,
+	}
+	fmt.Println("=== Workers sweep: detail-stage scaling ===")
+	for _, p := range params {
+		cd := sweepChipJSON{Name: p.Name}
+		var refRounds []detail.RoundStats
+		var refRow sweepRowJSON
+		for _, w := range counts {
+			fmt.Fprintf(os.Stderr, "[sweep] %s workers=%d...\n", p.Name, w)
+			res := core.RouteBonnRoute(runCtx, chip.Generate(p),
+				core.Options{Workers: w, Seed: p.Seed, Tracer: tracer})
+			row := sweepRowJSON{
+				Workers:   w,
+				DetailMS:  float64(res.DetailTime.Microseconds()) / 1000,
+				Routed:    res.Detail.Routed,
+				Netlength: res.Metrics.Netlength,
+				Vias:      res.Metrics.Vias,
+				Errors:    res.Metrics.Errors,
+				Unrouted:  res.Metrics.Unrouted,
+				Ripups:    res.Detail.RipupEvents,
+			}
+			if w == 1 {
+				refRounds = res.Detail.RoundDetails
+				refRow = row
+				for _, rd := range refRounds {
+					if rd.Kind == "parallel" {
+						cd.ParallelRounds++
+						cd.StripTasks += len(rd.StripTime)
+						cd.ParallelNets += rd.Nets
+					}
+				}
+			} else if !sameQuality(row, refRow) {
+				fmt.Fprintf(os.Stderr,
+					"sweep: %s Workers=%d broke determinism:\n  got  %+v\n  want %+v\n",
+					p.Name, w, row, refRow)
+				os.Exit(1)
+			}
+			modeled := modelDetail(refRounds, w)
+			row.ModeledDetailMS = float64(modeled.Microseconds()) / 1000
+			if modeled > 0 {
+				row.ModeledSpeedup = float64(modelDetail(refRounds, 1)) / float64(modeled)
+			}
+			cd.Rows = append(cd.Rows, row)
+		}
+		if cd.ParallelNets == 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %s routed no nets in parallel rounds; scaling rows would be vacuous\n", p.Name)
+			os.Exit(1)
+		}
+		printSweepChip(cd)
+		doc.Chips = append(doc.Chips, cd)
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		cfg, S, T := searchWorld()
+		e := pathsearch.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if e.Search(cfg, S, T) == nil {
+				b.Fatal("no path")
+			}
+		}
+	})
+	doc.SteadyAllocsPerOp = r.AllocsPerOp()
+	fmt.Printf("Interval/steady: %d allocs/op\n", doc.SteadyAllocsPerOp)
+	return doc
+}
+
+// sameQuality compares the result-quality fields of two sweep rows —
+// the fields the determinism contract covers; timings are excluded.
+func sameQuality(a, b sweepRowJSON) bool {
+	return a.Routed == b.Routed && a.Netlength == b.Netlength &&
+		a.Vias == b.Vias && a.Errors == b.Errors &&
+		a.Unrouted == b.Unrouted && a.Ripups == b.Ripups
+}
+
+func printSweepChip(cd sweepChipJSON) {
+	fmt.Printf("%s: %d parallel rounds, %d strip tasks, %d nets routed in strips\n",
+		cd.Name, cd.ParallelRounds, cd.StripTasks, cd.ParallelNets)
+	fmt.Printf("%8s %14s %18s %10s %10s %6s %7s %9s\n",
+		"workers", "detail_ms", "modeled_detail_ms", "speedup", "netlength", "vias", "errors", "unrouted")
+	for _, r := range cd.Rows {
+		fmt.Printf("%8d %14.1f %18.1f %9.2fx %10d %6d %7d %9d\n",
+			r.Workers, r.DetailMS, r.ModeledDetailMS, r.ModeledSpeedup,
+			r.Netlength, r.Vias, r.Errors, r.Unrouted)
+	}
+	fmt.Println()
+}
+
+// diffParallel compares the sweep's quality fields against a committed
+// BENCH_parallel.json. Timing fields are machine-dependent and excluded;
+// a quality drift means routing results changed and the artifact (or
+// the regression) needs attention. Returns an error listing drifts.
+func diffParallel(doc *parallelJSON, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want parallelJSON
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	wantChips := map[string]sweepChipJSON{}
+	for _, c := range want.Chips {
+		wantChips[c.Name] = c
+	}
+	var drifts []string
+	for _, got := range doc.Chips {
+		wc, ok := wantChips[got.Name]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: not in %s", got.Name, path))
+			continue
+		}
+		wantRows := map[int]sweepRowJSON{}
+		for _, r := range wc.Rows {
+			wantRows[r.Workers] = r
+		}
+		for _, gr := range got.Rows {
+			wr, ok := wantRows[gr.Workers]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("%s workers=%d: not in %s", got.Name, gr.Workers, path))
+				continue
+			}
+			if !sameQuality(gr, wr) {
+				drifts = append(drifts, fmt.Sprintf(
+					"%s workers=%d: quality drift\n  got  routed=%d netlength=%d vias=%d errors=%d unrouted=%d ripups=%d\n  want routed=%d netlength=%d vias=%d errors=%d unrouted=%d ripups=%d",
+					got.Name, gr.Workers,
+					gr.Routed, gr.Netlength, gr.Vias, gr.Errors, gr.Unrouted, gr.Ripups,
+					wr.Routed, wr.Netlength, wr.Vias, wr.Errors, wr.Unrouted, wr.Ripups))
+			}
+		}
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("quality drift against %s:\n%s", path, strings.Join(drifts, "\n"))
+	}
+	return nil
+}

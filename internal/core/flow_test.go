@@ -83,3 +83,37 @@ func TestDeterminism(t *testing.T) {
 			a.Metrics.Netlength, a.Metrics.Vias, b.Metrics.Netlength, b.Metrics.Vias)
 	}
 }
+
+// TestWorkerCountEquivalence extends the determinism contract to the
+// full BonnRoute flow: the global solver applies price updates in
+// serial net order at phase barriers and the detail router's strip
+// schedule is geometry-derived, so fixed seed + any worker count must
+// give identical quality metrics and per-net geometry end to end.
+func TestWorkerCountEquivalence(t *testing.T) {
+	run := func(workers int) *Result {
+		return RouteBonnRoute(context.Background(), chip.Generate(chip.GenParams{
+			Seed: 17, Rows: 5, Cols: 24, NumNets: 40, NumLayers: 4, LocalityRadius: 3,
+		}), Options{Seed: 17, Workers: workers})
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.Metrics.Netlength != ref.Metrics.Netlength ||
+			got.Metrics.Vias != ref.Metrics.Vias ||
+			got.Metrics.Errors != ref.Metrics.Errors ||
+			got.Metrics.Unrouted != ref.Metrics.Unrouted ||
+			got.Metrics.Scenic25 != ref.Metrics.Scenic25 ||
+			got.Metrics.Scenic50 != ref.Metrics.Scenic50 {
+			t.Fatalf("Workers=%d: metrics %+v, want %+v", workers, got.Metrics, ref.Metrics)
+		}
+		if got.Global.Lambda != ref.Global.Lambda {
+			t.Fatalf("Workers=%d: lambda %v, want %v", workers, got.Global.Lambda, ref.Global.Lambda)
+		}
+		for ni := range ref.PerNet {
+			if got.PerNet[ni] != ref.PerNet[ni] {
+				t.Fatalf("Workers=%d: net %d geometry %+v, want %+v",
+					workers, ni, got.PerNet[ni], ref.PerNet[ni])
+			}
+		}
+	}
+}

@@ -13,6 +13,63 @@ import (
 	"bonnroute/internal/shapegrid"
 )
 
+// worker bundles the per-goroutine routing state of one round: a pooled
+// path-search engine plus — in parallel strip rounds — the owned region.
+// A restricted worker's reads and writes all stay inside region: search
+// areas are clipped to clamp (the region shrunk by the commit margin at
+// interior strip boundaries), rip-up is limited to victims whose extent
+// is victimMargin inside the region, and access-path regeneration is
+// skipped for nets too close to the boundary. The restriction rules
+// depend only on chip geometry — never on the worker count — so any
+// interleaving of strip tasks produces the serial strip-order result.
+// An unrestricted worker (serial rounds, RouteNet) routes anywhere.
+type worker struct {
+	e          *pathsearch.Engine
+	restricted bool
+	region     geom.Rect
+	clamp      geom.Rect
+}
+
+// containedIn reports whether rect, expanded by margin and clipped to
+// the chip area, lies wholly inside region.
+func (r *Router) containedIn(region, rect geom.Rect, margin int) bool {
+	return region.ContainsRect(rect.Expanded(margin).Intersection(r.Chip.Area))
+}
+
+// netExtent is the bounding box of everything the net owns in the
+// routing space: pin shapes, access-path points, committed segments, via
+// pads, and patches.
+func (r *Router) netExtent(ni int) geom.Rect {
+	var bbox geom.Rect
+	n := &r.Chip.Nets[ni]
+	for _, pi := range n.Pins {
+		for _, s := range r.Chip.Pins[pi].Shapes {
+			bbox = bbox.Union(s.Rect)
+		}
+	}
+	rt := &r.routes[ni]
+	for _, ap := range rt.access {
+		if ap == nil {
+			continue
+		}
+		for _, p := range ap.Points {
+			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
+		}
+	}
+	for _, s := range rt.segments {
+		bbox = bbox.Union(geom.R(s.A.X, s.A.Y, s.B.X, s.B.Y))
+	}
+	for _, v := range rt.vias {
+		pad := geom.Rect{XMin: v.At.X, YMin: v.At.Y, XMax: v.At.X + 1, YMax: v.At.Y + 1}.
+			Expanded(2 * r.Chip.Deck.Layers[0].Pitch)
+		bbox = bbox.Union(pad)
+	}
+	for _, p := range rt.patches {
+		bbox = bbox.Union(p.sh.Rect)
+	}
+	return bbox
+}
+
 // searchConfig builds the path-search configuration for one net: the
 // fast grid answers most legality queries; blocked verdicts are refined
 // with net-aware rule-checker queries so the net's own shapes (pins,
@@ -356,10 +413,25 @@ func onSegment(s Segment, p geom.Point) bool {
 
 // routeArea derives the search area: the net's global corridor when
 // available (±margin tiles, plus all layers of those tiles), otherwise
-// the bounding box of the attachment points with margin.
-func (r *Router) routeArea(ni int, S, T []geom.Point3) *pathsearch.Area {
+// the bounding box of the attachment points with margin. Restricted
+// workers clip every rectangle to their clamp so the search — and any
+// wiring it commits — stays inside the owned region.
+func (r *Router) routeArea(w *worker, ni int, S, T []geom.Point3) *pathsearch.Area {
 	nl := r.Chip.NumLayers()
 	area := pathsearch.NewArea(nl)
+	addAll := func(rect geom.Rect) {
+		if w.restricted {
+			rect = rect.Intersection(w.clamp)
+		}
+		if rect.Empty() {
+			return
+		}
+		for z := 0; z < nl; z++ {
+			// Crossing existing wiring requires neighbor layers (§4.4),
+			// so open every rectangle on every layer.
+			area.Add(z, rect)
+		}
+	}
 	// §4.4: nets reconsidered after failures get an extended routing
 	// area; from the third attempt the corridor is dropped entirely.
 	attempt := r.routes[ni].attempt
@@ -373,11 +445,7 @@ func (r *Router) routeArea(ni int, S, T []geom.Point3) *pathsearch.Area {
 				tx, ty, _ := g.VertexCoords(v)
 				rect := g.TileRect(max(0, tx-margin), max(0, ty-margin)).
 					Union(g.TileRect(min(g.NX-1, tx+margin), min(g.NY-1, ty+margin)))
-				// Crossing existing wiring requires neighbor layers
-				// (§4.4), so open the tile on every layer.
-				for z := 0; z < nl; z++ {
-					area.Add(z, rect)
-				}
+				addAll(rect)
 			}
 		}
 		return area
@@ -387,46 +455,44 @@ func (r *Router) routeArea(ni int, S, T []geom.Point3) *pathsearch.Area {
 		bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
 	}
 	pitch := r.Chip.Deck.Layers[0].Pitch
-	bbox = bbox.Expanded(16 * pitch * max(1, attempt)).Intersection(r.Chip.Area)
-	for z := 0; z < nl; z++ {
-		area.Add(z, bbox)
-	}
+	addAll(bbox.Expanded(16 * pitch * max(1, attempt)).Intersection(r.Chip.Area))
 	return area
 }
 
 // RouteNet connects all pins of net ni. It returns true when the net is
 // fully routed. ripupBudget counts how many victim nets may be ripped.
 func (r *Router) RouteNet(ni int, ripupBudget int) bool {
-	e := r.acquireEngine()
-	ok := r.routeNetWith(e, ni, ripupBudget)
-	r.releaseEngine(e)
+	w := &worker{e: r.acquireEngine()}
+	ok := r.routeNetWith(w, ni, ripupBudget)
+	r.releaseEngine(w.e)
 	return ok
 }
 
-// routeNetWith is RouteNet on a caller-held engine, so batch callers
+// routeNetWith is RouteNet on a caller-held worker, so batch callers
 // (parallel rounds, rip-up recursion) reuse one engine's pools across
 // many nets instead of paying a checkout per net.
-func (r *Router) routeNetWith(e *pathsearch.Engine, ni int, ripupBudget int) bool {
+func (r *Router) routeNetWith(w *worker, ni int, ripupBudget int) bool {
 	rt := &r.routes[ni]
 	rt.attempt++
 	if rt.attempt >= 2 {
 		// §4.4: regenerate access paths whose endpoints have been walled
-		// in by other nets' wiring since reservation time.
-		r.mu.Lock()
-		r.refreshAccess(ni)
-		r.mu.Unlock()
+		// in by other nets' wiring since reservation time. Restricted
+		// workers only do this when the regeneration provably stays in
+		// their region (a geometry-only rule, identical for every worker
+		// count).
+		if !w.restricted || r.containedIn(w.region, r.netExtent(ni), r.victimMargin) {
+			r.refreshAccess(ni)
+		}
 	}
 	for iter := 0; iter < 4*len(r.Chip.Nets[ni].Pins); iter++ {
 		comps := r.components(ni)
 		if len(comps) <= 1 {
 			rt.routed = true
-			r.mu.Lock()
 			r.patchNotches(ni)
-			r.mu.Unlock()
 			r.recomputeLength(ni)
 			return true
 		}
-		if !r.connectOnce(e, ni, comps, ripupBudget) {
+		if !r.connectOnce(w, ni, comps, ripupBudget) {
 			rt.routed = false
 			return false
 		}
@@ -437,8 +503,9 @@ func (r *Router) routeNetWith(e *pathsearch.Engine, ni int, ripupBudget int) boo
 
 // patchNotches is the §4.4 same-net postprocessing where on-track and
 // off-track paths meet: slots narrower than the notch spacing between the
-// net's own shapes are filled with patch metal where that is legal.
-// Caller holds the write lock.
+// net's own shapes are filled with patch metal where that is legal. The
+// queries and fills reach at most 4·pitch beyond the net's own shapes,
+// which the region clamp margins account for.
 func (r *Router) patchNotches(ni int) {
 	net := int32(ni)
 	rt := &r.routes[ni]
@@ -504,7 +571,7 @@ func (r *Router) patchNotches(ni int) {
 }
 
 // connectOnce connects the first component of the net to any other.
-func (r *Router) connectOnce(e *pathsearch.Engine, ni int, comps []component, ripupBudget int) bool {
+func (r *Router) connectOnce(w *worker, ni int, comps []component, ripupBudget int) bool {
 	src := comps[0]
 	var T []geom.Point3
 	compOf := map[geom.Point3]int{}
@@ -515,17 +582,15 @@ func (r *Router) connectOnce(e *pathsearch.Engine, ni int, comps []component, ri
 		}
 	}
 	S := src.points
-	area := r.routeArea(ni, S, T)
-	pi := r.futureCost(e, ni, T, area)
+	area := r.routeArea(w, ni, S, T)
+	pi := r.futureCost(w.e, ni, T, area)
 
-	r.mu.RLock()
 	var path *pathsearch.Path
 	if r.opt.NodeSearch {
-		path = e.NodeSearch(r.searchConfig(ni, area, pi, 0, nil), S, T)
+		path = w.e.NodeSearch(r.searchConfig(ni, area, pi, 0, nil), S, T)
 	} else {
-		path = e.Search(r.searchConfig(ni, area, pi, 0, nil), S, T)
+		path = w.e.Search(r.searchConfig(ni, area, pi, 0, nil), S, T)
 	}
-	r.mu.RUnlock()
 
 	// Rip-up uses the interval engine in both flows (the baseline's
 	// negotiation-style rip-up shares this machinery).
@@ -534,13 +599,11 @@ func (r *Router) connectOnce(e *pathsearch.Engine, ni int, comps []component, ri
 		// penalty that grows with this net's attempts.
 		rt := &r.routes[ni]
 		penaltyBase := (1 + rt.attempt) * 20 * r.Chip.Deck.Layers[0].Pitch
-		r.mu.RLock()
-		path = e.Search(r.searchConfig(ni, area, pi,
+		path = w.e.Search(r.searchConfig(ni, area, pi,
 			shapegrid.RipupStandard+1,
 			func(need drc.Need) int { return penaltyBase * int(need) }), S, T)
-		r.mu.RUnlock()
 		if path != nil {
-			if !r.commitWithRipup(e, ni, path, ripupBudget) {
+			if !r.commitWithRipup(w, ni, path, ripupBudget) {
 				return false
 			}
 			return true
@@ -549,9 +612,7 @@ func (r *Router) connectOnce(e *pathsearch.Engine, ni int, comps []component, ri
 	if path == nil {
 		return false
 	}
-	r.mu.Lock()
 	r.commitPath(ni, path)
-	r.mu.Unlock()
 	return true
 }
 
@@ -592,8 +653,9 @@ func (r *Router) blockedCells() [][]geom.Rect {
 	return out
 }
 
-// commitPath inserts a found path into the routing space. Caller holds
-// the write lock.
+// commitPath inserts a found path into the routing space. The striped
+// shape grid and fast grid take their own per-stripe locks; callers on
+// restricted workers guarantee the path lies inside their clamp.
 func (r *Router) commitPath(ni int, path *pathsearch.Path) {
 	rt := &r.routes[ni]
 	wt := r.wireTypeOf(ni)
@@ -664,14 +726,17 @@ func (r *Router) postprocessSegment(ni int, s Segment) Segment {
 }
 
 // commitWithRipup removes the victim nets blocking the path, commits the
-// path, and re-routes the victims (bounded recursion, §4.4).
-func (r *Router) commitWithRipup(e *pathsearch.Engine, ni int, path *pathsearch.Path, budget int) bool {
+// path, and re-routes the victims (bounded recursion, §4.4). A restricted
+// worker only proceeds when every victim is wholly contained in its
+// region (§5.1: "only changes that do not affect regions assigned to
+// other threads"); cross-strip victims defer the net to a later, wider
+// round.
+func (r *Router) commitWithRipup(w *worker, ni int, path *pathsearch.Path, budget int) bool {
 	wt := r.wireTypeOf(ni)
 	net := int32(ni)
 
 	// Victims: nets whose removable shapes conflict with the path metal.
 	victims := map[int]bool{}
-	r.mu.RLock()
 	pts := path.Points
 	for i := 1; i < len(pts); i++ {
 		a, b := pts[i-1], pts[i]
@@ -707,10 +772,21 @@ func (r *Router) commitWithRipup(e *pathsearch.Engine, ni int, path *pathsearch.
 			victims[int(v)] = true
 		}
 	}
-	r.mu.RUnlock()
 
 	if len(victims) > budget {
 		return false
+	}
+	if w.restricted {
+		// Region ownership: a victim whose extent (plus margin) lies in
+		// the owned region cannot simultaneously be assigned to another
+		// strip — its pins are here — so ripping and re-routing it in
+		// place is safe. Any victim that fails the test aborts the whole
+		// rip-up (all-or-nothing keeps the check order-independent).
+		for v := range victims {
+			if !r.containedIn(w.region, r.netExtent(v), r.victimMargin) {
+				return false
+			}
+		}
 	}
 	// Victim order determines the re-route sequence, which feeds back into
 	// routing results — sort so rip-up is deterministic, not map-ordered.
@@ -720,22 +796,21 @@ func (r *Router) commitWithRipup(e *pathsearch.Engine, ni int, path *pathsearch.
 	}
 	sort.Ints(order)
 	atomic.AddInt64(&r.ripups, int64(len(order)))
-	r.mu.Lock()
 	for _, v := range order {
 		r.unrouteNet(v)
 	}
 	r.commitPath(ni, path)
-	r.mu.Unlock()
 
 	// Re-route victims with a reduced budget.
 	for _, v := range order {
-		r.routeNetWith(e, v, budget-len(victims))
+		r.routeNetWith(w, v, budget-len(victims))
 	}
 	return true
 }
 
 // unrouteNet removes all committed wiring of a net (reservations stay).
-// Caller holds the write lock.
+// On restricted workers the caller has checked victim containment, so
+// the removals and their fast-grid invalidations stay in the region.
 func (r *Router) unrouteNet(ni int) {
 	rt := &r.routes[ni]
 	wt := r.wireTypeOf(ni)

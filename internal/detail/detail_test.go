@@ -129,9 +129,7 @@ func TestUnrouteRestoresSpace(t *testing.T) {
 	if len(segs) == 0 {
 		t.Skip("net 0 has no segments (single-tile net)")
 	}
-	r.mu.Lock()
-	r.unrouteNet(0)
-	r.mu.Unlock()
+	r.Unroute(0)
 	if len(r.Segments(0)) != 0 || r.NetStats(0).Routed {
 		t.Fatal("unroute left state behind")
 	}
@@ -148,7 +146,7 @@ func TestCorridorRestriction(t *testing.T) {
 	// bbox tiles. With no corridor the net routes; with an absurd
 	// corridor far away the search must fail.
 	S := []geom.Point3{geom.Pt3(100, 100, 0)}
-	area := r.routeArea(0, S, S)
+	area := r.routeArea(&worker{}, 0, S, S)
 	if area == nil {
 		t.Fatal("nil area")
 	}
@@ -172,4 +170,66 @@ func (r *Router) Audit() drc.AuditResult {
 		}
 	}
 	return r.Space.Audit(r.Chip.Area, netPins)
+}
+
+// TestWorkerCountEquivalence is the determinism contract of the §5.1
+// parallelization: the strip schedule comes from chip geometry and every
+// strip task's effects are confined to its strip, so a fixed seed must
+// produce bit-identical routing results for every worker count.
+func TestWorkerCountEquivalence(t *testing.T) {
+	gen := func() *chip.Chip {
+		return chip.Generate(chip.GenParams{
+			Seed: 11, Rows: 6, Cols: 40, NumNets: 60,
+			NumLayers: 4, LocalityRadius: 2,
+		})
+	}
+	type snap struct {
+		res    *Result
+		perNet []NetStats
+	}
+	run := func(workers int) snap {
+		r := New(gen(), Options{Workers: workers})
+		res := r.Route(context.Background())
+		return snap{res: res, perNet: res.PerNet}
+	}
+	ref := run(1)
+	// The test is only meaningful when parallel strip rounds actually
+	// route nets; demand it so chip-parameter drift cannot silently
+	// vacate the contract.
+	parallelNets := 0
+	for _, rd := range ref.res.RoundDetails {
+		if rd.Kind == "parallel" {
+			parallelNets += rd.Nets
+		}
+	}
+	if parallelNets == 0 {
+		t.Fatal("no nets routed in parallel strip rounds; equivalence test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.res.Routed != ref.res.Routed || got.res.Failed != ref.res.Failed {
+			t.Fatalf("Workers=%d: routed/failed %d/%d, want %d/%d",
+				workers, got.res.Routed, got.res.Failed, ref.res.Routed, ref.res.Failed)
+		}
+		if got.res.RipupEvents != ref.res.RipupEvents {
+			t.Fatalf("Workers=%d: ripups %d, want %d", workers, got.res.RipupEvents, ref.res.RipupEvents)
+		}
+		for ni := range ref.perNet {
+			if got.perNet[ni] != ref.perNet[ni] {
+				t.Fatalf("Workers=%d: net %d stats %+v, want %+v",
+					workers, ni, got.perNet[ni], ref.perNet[ni])
+			}
+		}
+		// Search effort must match too: the same searches run in the
+		// same per-strip order regardless of concurrency. PiReused is
+		// excluded — the future-cost cache lives in the pooled engines,
+		// and which engine serves which strip depends on the worker
+		// count; a cache hit returns the same π either way, so PiReused
+		// varies without affecting results.
+		gs, ws := got.res.SearchStats, ref.res.SearchStats
+		gs.PiReused, ws.PiReused = 0, 0
+		if gs != ws {
+			t.Fatalf("Workers=%d: search stats %+v, want %+v", workers, gs, ws)
+		}
+	}
 }

@@ -5,24 +5,56 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bonnroute/internal/geom"
 	"bonnroute/internal/obs"
 	"bonnroute/internal/pathsearch"
 )
 
+// RoundStats describes one routing round of Route.
+type RoundStats struct {
+	// Kind is "critical", "parallel", "serial", or "retry".
+	Kind string
+	// Strips is the region count of a parallel round (1 otherwise).
+	Strips int
+	// Nets and Failed count the nets attempted and failed in the round.
+	Nets, Failed int
+	// Ripups counts victim nets ripped up during the round.
+	Ripups int64
+	// Search is the path-search effort spent during the round. Engines
+	// are drained (TakeStats) when their task ends, so the effort of a
+	// round's workers is attributed to this round, not smeared into a
+	// later one by an engine held across round boundaries.
+	Search pathsearch.Stats
+	// StripTime[i] is the wall time spent routing strip i's nets
+	// serially within its task (parallel rounds; a single entry for
+	// serial rounds). These per-strip task durations feed the modeled
+	// critical-path speedup in cmd/routebench -workers-sweep, which is
+	// how scaling is evaluated on machines with fewer cores than
+	// Workers.
+	StripTime []time.Duration
+	// Elapsed is the round's wall time.
+	Elapsed time.Duration
+}
+
 // Route runs the full detailed routing flow (§4.4, §5.1): a critical-net
 // prepass, then region-partitioned parallel rounds over progressively
-// fewer, wider regions, and a final serial round with rip-up enabled for
-// whatever is left.
+// fewer, wider strips, and final serial rounds with unrestricted rip-up
+// for whatever is left.
+//
+// The strip schedule is derived from chip geometry alone (regionSchedule)
+// and each strip task's effects are confined to its strip (see worker),
+// so the result is identical for every Workers value — Workers only caps
+// how many strip tasks run concurrently.
 //
 // ctx carries cancellation — checked at round boundaries and between
 // nets inside a round — and, via obs.SpanFrom, the parent span under
 // which one "detail.round" child span is emitted per round, annotated
 // with the round kind, nets attempted, failures, rip-up events, the
-// merged path-search effort delta, and a fast-grid hit-rate snapshot.
-// On cancellation Route stops routing further nets and returns a
-// partial Result with Cancelled set; wiring committed so far stays.
+// round's attributed path-search effort, and a fast-grid hit-rate
+// snapshot. On cancellation Route stops routing further nets and returns
+// a partial Result with Cancelled set; wiring committed so far stays.
 func (r *Router) Route(ctx context.Context) *Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -39,58 +71,69 @@ func (r *Router) Route(ctx context.Context) *Result {
 		}
 	}
 
-	// One engine serves the whole serial portion of the flow: the critical
-	// prepass, any single-region rounds, and the final cleanup.
+	// One worker serves the whole serial portion of the flow: the
+	// critical prepass, the serial cleanup, and the retry round.
 	eng := r.acquireEngine()
 	defer r.releaseEngine(eng)
+	serial := &worker{e: eng}
 
-	// statsNow is the router-wide path-search effort including the
-	// serial engine's unreleased tally — the round spans report deltas
-	// of this total. Only called at round boundaries (no worker is
-	// mid-flight), so the parallel engines have all been released.
-	statsNow := func() pathsearch.Stats {
-		s := r.SearchStats()
-		s.Add(eng.Stats())
-		return s
-	}
-	// beginRound/endRound bracket one routing round with its span.
-	round := 0
-	var roundStats pathsearch.Stats
+	// Round bracketing. Every engine is drained when its task ends and
+	// the delta folded into both the round tally and the router-wide
+	// total, so RoundStats.Search is exactly the work done during the
+	// round.
+	var rs *RoundStats
+	var rsMu sync.Mutex
+	var roundSpan *obs.Span
+	var roundStart time.Time
 	var roundRipups int64
-	beginRound := func(kind string, nets int) *obs.Span {
-		sp := span.Child("detail.round",
-			obs.Int("round", round), obs.Str("kind", kind), obs.Int("nets", nets))
-		roundStats = statsNow()
-		roundRipups = atomic.LoadInt64(&r.ripups)
-		round++
-		res.Rounds++
-		return sp
+	drain := func(e *pathsearch.Engine) {
+		d := e.TakeStats()
+		rsMu.Lock()
+		rs.Search.Add(d)
+		rsMu.Unlock()
+		r.foldStats(d)
 	}
-	endRound := func(sp *obs.Span, failed int) {
-		now := statsNow()
-		sp.End(obs.Int("failed", failed),
-			obs.Int64("ripups", atomic.LoadInt64(&r.ripups)-roundRipups),
-			obs.Int("labels", now.Labels-roundStats.Labels),
-			obs.Int("heap_pops", now.HeapPops-roundStats.HeapPops),
-			obs.Int("intervals", now.Intervals-roundStats.Intervals),
-			obs.Int("searches", now.Searches-roundStats.Searches),
+	beginRound := func(kind string, strips, nets int) {
+		res.RoundDetails = append(res.RoundDetails,
+			RoundStats{Kind: kind, Strips: strips, Nets: nets})
+		rs = &res.RoundDetails[len(res.RoundDetails)-1]
+		res.Rounds++
+		roundRipups = atomic.LoadInt64(&r.ripups)
+		roundStart = time.Now()
+		roundSpan = span.Child("detail.round",
+			obs.Int("round", res.Rounds-1), obs.Str("kind", kind), obs.Int("nets", nets))
+	}
+	endRound := func(failed int) {
+		drain(eng)
+		rs.Failed = failed
+		rs.Ripups = atomic.LoadInt64(&r.ripups) - roundRipups
+		rs.Elapsed = time.Since(roundStart)
+		if rs.StripTime == nil {
+			rs.StripTime = []time.Duration{rs.Elapsed}
+		}
+		roundSpan.End(obs.Int("failed", failed),
+			obs.Int64("ripups", rs.Ripups),
+			obs.Int("labels", rs.Search.Labels),
+			obs.Int("heap_pops", rs.Search.HeapPops),
+			obs.Int("intervals", rs.Search.Intervals),
+			obs.Int("searches", rs.Search.Searches),
 			obs.F64("fastgrid_hit_rate", r.FG.HitRate()))
 	}
 
 	// Critical nets first, serially, with rip-up allowed (§5.1: wide or
 	// timing-critical wires are routed before the masses).
 	if len(critical) > 0 {
-		sp := beginRound("critical", len(critical))
+		beginRound("critical", 1, len(critical))
 		fails := 0
 		for _, ni := range critical {
 			if ctx.Err() != nil {
 				break
 			}
-			if !r.routeNetWith(eng, ni, 2) {
+			if !r.routeNetWith(serial, ni, 2) {
 				fails++
 			}
 		}
-		endRound(sp, fails)
+		endRound(fails)
 	}
 
 	// Sort remaining nets by bounding-box half-perimeter: short local
@@ -106,26 +149,11 @@ func (r *Router) Route(ctx context.Context) *Result {
 	})
 
 	pending := normal
-	regions := r.opt.Workers
-	for ; regions >= 1 && len(pending) > 0 && ctx.Err() == nil; regions /= 2 {
-		if regions == 1 {
-			// Final serial round with rip-up.
-			sp := beginRound("serial", len(pending))
-			var fail []int
-			for _, ni := range pending {
-				if ctx.Err() != nil {
-					fail = append(fail, ni)
-					continue
-				}
-				if !r.routeNetWith(eng, ni, 2) {
-					fail = append(fail, ni)
-				}
-			}
-			pending = fail
-			endRound(sp, len(fail))
+	for _, k := range r.regionSchedule() {
+		if len(pending) == 0 || ctx.Err() != nil {
 			break
 		}
-		strips := r.partition(regions)
+		strips := r.partition(k)
 		assigned := make([][]int, len(strips))
 		var next []int
 		for _, ni := range pending {
@@ -136,37 +164,60 @@ func (r *Router) Route(ctx context.Context) *Result {
 			}
 			assigned[si] = append(assigned[si], ni)
 		}
-		// Each strip routes on its own engine and records failures in its
-		// own slot; merging in strip order after the barrier keeps the
-		// next round's net order independent of goroutine completion
-		// order.
-		sp := beginRound("parallel", len(pending)-len(next))
-		fails := make([][]int, len(assigned))
-		var wg sync.WaitGroup
+		var tasks []int
 		for si := range assigned {
-			if len(assigned[si]) == 0 {
-				continue
+			if len(assigned[si]) > 0 {
+				tasks = append(tasks, si)
 			}
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		// Each strip task routes its nets in order on its own worker,
+		// with region-owned rip-up, and records failures in its own
+		// slot; merging in strip order after the barrier keeps the next
+		// round's net order independent of goroutine completion order.
+		// Tasks are handed out through a shared cursor to however many
+		// goroutines Workers allows — task effects are disjoint, so the
+		// handout order cannot influence the result.
+		beginRound("parallel", k, len(pending)-len(next))
+		fails := make([][]int, len(assigned))
+		times := make([]time.Duration, len(assigned))
+		var cursor int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < min(r.opt.Workers, len(tasks)); wi++ {
 			wg.Add(1)
-			go func(si int, nets []int) {
+			go func() {
 				defer wg.Done()
-				e := r.acquireEngine()
-				defer r.releaseEngine(e)
-				var local []int
-				for _, ni := range nets {
-					if ctx.Err() != nil {
-						local = append(local, ni)
-						continue
+				for {
+					t := int(atomic.AddInt64(&cursor, 1)) - 1
+					if t >= len(tasks) {
+						return
 					}
-					// No rip-up in parallel rounds: rip-up may touch nets
-					// owned by other regions (§5.1's "only changes that do
-					// not affect regions assigned to other threads").
-					if !r.routeNetWith(e, ni, 0) {
-						local = append(local, ni)
+					si := tasks[t]
+					start := time.Now()
+					w := &worker{
+						e:          r.acquireEngine(),
+						restricted: true,
+						region:     strips[si],
+						clamp:      r.clampStrip(strips[si]),
 					}
+					var local []int
+					for _, ni := range assigned[si] {
+						if ctx.Err() != nil {
+							local = append(local, ni)
+							continue
+						}
+						if !r.routeNetWith(w, ni, 2) {
+							local = append(local, ni)
+						}
+					}
+					fails[si] = local
+					drain(w.e)
+					r.releaseEngine(w.e)
+					times[si] = time.Since(start)
 				}
-				fails[si] = local
-			}(si, assigned[si])
+			}()
 		}
 		wg.Wait()
 		roundFails := 0
@@ -175,23 +226,42 @@ func (r *Router) Route(ctx context.Context) *Result {
 			next = append(next, local...)
 		}
 		pending = next
-		endRound(sp, roundFails)
+		rs.StripTime = times
+		endRound(roundFails)
+	}
+
+	// Serial cleanup with unrestricted rip-up for everything the strip
+	// rounds could not place (cross-strip nets, boundary escapes).
+	if len(pending) > 0 && ctx.Err() == nil {
+		beginRound("serial", 1, len(pending))
+		var fail []int
+		for _, ni := range pending {
+			if ctx.Err() != nil {
+				fail = append(fail, ni)
+				continue
+			}
+			if !r.routeNetWith(serial, ni, 2) {
+				fail = append(fail, ni)
+			}
+		}
+		pending = fail
+		endRound(len(fail))
 	}
 	// Anything still pending gets last serial attempts with rip-up and
 	// progressively extended routing areas (§4.4).
 	if len(pending) > 0 && ctx.Err() == nil {
-		sp := beginRound("retry", len(pending))
+		beginRound("retry", 1, len(pending))
 		fails := 0
 		for _, ni := range pending {
 			ok := false
 			for try := 0; try < 3 && !ok && ctx.Err() == nil; try++ {
-				ok = r.routeNetWith(eng, ni, 2)
+				ok = r.routeNetWith(serial, ni, 2)
 			}
 			if !ok {
 				fails++
 			}
 		}
-		endRound(sp, fails)
+		endRound(fails)
 	}
 
 	for ni := range r.Chip.Nets {
@@ -204,6 +274,7 @@ func (r *Router) Route(ctx context.Context) *Result {
 		}
 	}
 	res.RipupEvents = int(atomic.LoadInt64(&r.ripups))
+	res.SearchStats = r.SearchStats()
 	res.Cancelled = ctx.Err() != nil
 	return res
 }
@@ -218,7 +289,28 @@ func (r *Router) netSpan(ni int) int {
 	return bbox.W() + bbox.H()
 }
 
-// partition splits the chip into vertical strips.
+// regionSchedule returns the strip counts of the parallel rounds,
+// largest first, halving down to 2: the largest power of two k ≤ 8 whose
+// strips stay wide enough to hold the clamp margins plus working room.
+// The schedule depends only on chip geometry — never on opt.Workers — so
+// every worker count runs the same rounds and computes the same result.
+func (r *Router) regionSchedule() []int {
+	pitch := r.Chip.Deck.Layers[0].Pitch
+	minW := max(32*pitch, 2*r.clampMargin+16*pitch)
+	maxK := 1
+	for k := 2; k <= 8; k *= 2 {
+		if r.Chip.Area.W()/k >= minW {
+			maxK = k
+		}
+	}
+	var ks []int
+	for k := maxK; k >= 2; k /= 2 {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// partition splits the chip into k vertical strips.
 func (r *Router) partition(k int) []geom.Rect {
 	area := r.Chip.Area
 	strips := make([]geom.Rect, k)
@@ -233,18 +325,32 @@ func (r *Router) partition(k int) []geom.Rect {
 	return strips
 }
 
+// clampStrip shrinks a strip by the commit margin at interior strip
+// boundaries; chip edges have no neighbor and keep their full extent.
+func (r *Router) clampStrip(s geom.Rect) geom.Rect {
+	area := r.Chip.Area
+	c := s
+	if c.XMin > area.XMin {
+		c.XMin += r.clampMargin
+	}
+	if c.XMax < area.XMax {
+		c.XMax -= r.clampMargin
+	}
+	return c
+}
+
 // stripOf returns the strip wholly containing the net's interaction
-// region (bbox + routing margin), or -1 when the net crosses strips.
+// region (pin bbox + assignment margin, clipped to the chip), or -1 when
+// the net crosses strips and must wait for a wider round.
 func (r *Router) stripOf(ni int, strips []geom.Rect) int {
 	var bbox geom.Rect
 	for _, pi := range r.Chip.Nets[ni].Pins {
 		ctr := r.Chip.Pins[pi].Center()
 		bbox = bbox.Union(geom.Rect{XMin: ctr.X, YMin: ctr.Y, XMax: ctr.X + 1, YMax: ctr.Y + 1})
 	}
-	margin := 18 * r.Chip.Deck.Layers[0].Pitch
-	bbox = bbox.Expanded(margin)
+	bbox = bbox.Expanded(r.assignMargin).Intersection(r.Chip.Area)
 	for si, s := range strips {
-		if s.ContainsRect(bbox.Intersection(r.Chip.Area)) {
+		if s.ContainsRect(bbox) {
 			return si
 		}
 	}

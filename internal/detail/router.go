@@ -117,6 +117,13 @@ type Result struct {
 	// Rounds is how many routing rounds ran (critical prepass, parallel
 	// strip rounds, serial rounds, retries).
 	Rounds int
+	// RoundDetails describes each round: kind, strip count, failures,
+	// per-strip task times, and the path-search effort attributed to the
+	// round (engines are drained at task boundaries, so the effort of a
+	// round's workers lands in that round's tally, not a later one's).
+	RoundDetails []RoundStats
+	// SearchStats is the total path-search effort of the run.
+	SearchStats pathsearch.Stats
 	// Cancelled reports that the run's context was cancelled mid-flow;
 	// PerNet covers whatever had been committed by then.
 	Cancelled bool
@@ -144,6 +151,17 @@ type NetStats struct {
 }
 
 // Router is the detailed router.
+//
+// Concurrency model: there is no global routing-space lock. The shape
+// grid and fast grid are striped internally (per-stripe mutexes, reads
+// against atomically published snapshots), so legality queries on the
+// search hot path never block. Route's parallel strip rounds give each
+// worker goroutine a region whose reads and writes — including rip-up —
+// are provably confined to that region (see worker and the interaction
+// margins below), so any interleaving produces the serial-strip-order
+// result. Serial entry points (RouteNet, Unroute outside Route) are not
+// themselves synchronized against each other; callers run them from one
+// goroutine, as before.
 type Router struct {
 	Chip  *chip.Chip
 	Space *drc.Space
@@ -159,7 +177,24 @@ type Router struct {
 	corridors [][]int32
 	ggraph    *grid.Graph
 
-	mu sync.RWMutex // guards Space+FG: R during searches, W during commits
+	// interact bounds how far a committed or removed shape's
+	// data-structure effects reach (fast-grid dirty margins over all
+	// wiring and via layers, plus a track gap of jog-field reach). Two
+	// operations whose rectangles stay interact apart touch disjoint
+	// interval-map state.
+	interact int
+	// clampMargin shrinks a worker's owned strip to its search clamp: a
+	// path committed inside the clamp, with metal overhang and patch
+	// fills, dirties fast-grid state that stays inside the strip.
+	clampMargin int
+	// victimMargin is the containment margin for in-strip rip-up: a
+	// victim whose extent expanded by this stays inside the owned region
+	// can be ripped and re-routed without escaping it (covers search
+	// clamping, patching, and dynamic access-stub regeneration).
+	victimMargin int
+	// assignMargin is the strip-assignment margin: a net whose pin bbox
+	// expanded by this fits in one strip routes there with useful slack.
+	assignMargin int
 
 	// Path-search engines are pooled per router: each worker goroutine
 	// checks one out for a whole round (reusing its arenas, queue, and
@@ -173,15 +208,21 @@ type Router struct {
 	// ripups counts victim nets ripped up during routing (atomic: rip-up
 	// commits happen on worker goroutines).
 	ripups int64
+	// dynAccess counts dynamically generated access stubs (atomic:
+	// access refresh runs on worker goroutines during rip-up retries).
+	dynAccess int64
 
-	// accessStats is filled during construction (prepareAccess and the
-	// dynamic-access fallback).
+	// accessStats is filled during construction (prepareAccess).
 	accessStats AccessStats
 }
 
 // AccessStats reports the pin-access provisioning statistics gathered
-// during construction.
-func (r *Router) AccessStats() AccessStats { return r.accessStats }
+// during construction and routing.
+func (r *Router) AccessStats() AccessStats {
+	st := r.accessStats
+	st.Dynamic = int(atomic.LoadInt64(&r.dynAccess))
+	return st
+}
 
 // RipupCount returns the number of victim nets ripped up so far.
 func (r *Router) RipupCount() int64 { return atomic.LoadInt64(&r.ripups) }
@@ -207,6 +248,15 @@ func (r *Router) releaseEngine(e *pathsearch.Engine) {
 	r.engineMu.Lock()
 	r.searchStats.Add(e.TakeStats())
 	r.engines = append(r.engines, e)
+	r.engineMu.Unlock()
+}
+
+// foldStats merges an already-drained per-engine tally into the
+// router-wide total (Route drains engines at round boundaries so each
+// round's effort is attributed to the round that did the work).
+func (r *Router) foldStats(d pathsearch.Stats) {
+	r.engineMu.Lock()
+	r.searchStats.Add(d)
 	r.engineMu.Unlock()
 }
 
@@ -286,6 +336,37 @@ func New(c *chip.Chip, opt Options) *Router {
 		costs:  pathsearch.UniformCosts(c.NumLayers(), opt.BetaJog, opt.GammaVia),
 		routes: make([]netRoute, len(c.Nets)),
 	}
+	// Interaction margins for region-partitioned parallelism (§5.1),
+	// derived from the deck so that a worker confined to its strip
+	// provably keeps all data-structure effects inside it. maxDirty is
+	// the widest fast-grid invalidation any shape change can cause
+	// (wiring sweeps use MaxSpacing(z)+4·pitch, cut sweeps the via-rule
+	// analogue); one extra track gap covers the jog-field reach onto the
+	// track below a dirty window.
+	maxDirty, maxPitch, maxTau := 0, 0, 0
+	for z := 0; z < c.NumLayers(); z++ {
+		lr := &c.Deck.Layers[z]
+		maxPitch = max(maxPitch, lr.Pitch)
+		maxTau = max(maxTau, lr.MinSegLen)
+		maxDirty = max(maxDirty, c.Deck.MaxSpacing(z)+4*lr.Pitch)
+	}
+	for v := range c.Deck.ViaLayers {
+		vr := &c.Deck.ViaLayers[v]
+		maxDirty = max(maxDirty, max(vr.CutSpacing, vr.InterLayerSpacing)+4*c.Deck.Layers[v].Pitch)
+	}
+	r.interact = maxDirty + maxPitch
+	// Committed metal overhangs path points by at most a couple of
+	// pitches (wide-wire half-width, line-end extension, min-segment
+	// stretching, via pads); notch patching reaches 4·pitch beyond the
+	// net's shapes.
+	r.clampMargin = r.interact + 2*maxPitch + 4*pitch
+	// A ripped victim is re-routed in place, which may regenerate access
+	// stubs around its pins (candidate endpoints within 5 pitches, a
+	// blockage-grid window of 6·τ) before searching inside the clamp.
+	r.victimMargin = r.clampMargin + 5*pitch + 6*maxTau + r.interact
+	// Assigned nets get their attempt-1 search box (bbox + 16·pitch)
+	// inside the clamp, with slack for corridor tiles.
+	r.assignMargin = r.clampMargin + 18*pitch
 	for ni := range r.routes {
 		r.routes[ni].access = make([]*pinaccess.AccessPath, len(c.Nets[ni].Pins))
 	}
@@ -489,7 +570,7 @@ func (r *Router) dynamicAccess(ni, k int) {
 		r.FG.OnShapeAdded(z, sh)
 	}
 	r.routes[ni].access[k] = ap
-	r.accessStats.Dynamic++
+	atomic.AddInt64(&r.dynAccess, 1)
 }
 
 // SetGlobalCorridors supplies the global routing solution: per net, the
@@ -666,8 +747,10 @@ func (r *Router) Segments(ni int) []Segment {
 func (r *Router) FastGridHitRate() float64 { return r.FG.HitRate() }
 
 // refreshAccess re-generates the access paths of pins whose on-track
-// endpoints are no longer usable (walled in by later wiring). Caller
-// holds the write lock.
+// endpoints are no longer usable (walled in by later wiring). Restricted
+// workers call this only for nets whose extent is victimMargin inside
+// their region (see worker), so the stub removal and regeneration stay
+// owned.
 func (r *Router) refreshAccess(ni int) {
 	rt := &r.routes[ni]
 	net := int32(ni)
@@ -701,12 +784,8 @@ func segDirPts(a, b geom.Point) geom.Direction {
 	return geom.Horizontal
 }
 
-// Unroute removes all committed wiring of a net (thread-safe wrapper).
-func (r *Router) Unroute(ni int) {
-	r.mu.Lock()
-	r.unrouteNet(ni)
-	r.mu.Unlock()
-}
+// Unroute removes all committed wiring of a net.
+func (r *Router) Unroute(ni int) { r.unrouteNet(ni) }
 
 // AccessPath exposes a pin's reserved access path (inspection/tests).
 func (r *Router) AccessPath(ni, k int) *pinaccess.AccessPath { return r.routes[ni].access[k] }

@@ -43,7 +43,11 @@ const (
 	KindTopPad = 3 // top pad of a via to the layer below
 )
 
-// Grid is the fast grid of one chip.
+// Grid is the fast grid of one chip. Per-track interval maps are striped
+// along the track axis (package intervalmap): legality reads go through
+// atomically published snapshots and never take a lock, while commits
+// lock only the stripes their dirty region overlaps — the concurrency
+// design behind §5.1's parallel detailed routing.
 type Grid struct {
 	space *drc.Space
 	tg    *tracks.Graph
@@ -51,14 +55,32 @@ type Grid struct {
 
 	// wiring[z][t] maps along-track positions of track t on layer z to
 	// packed words.
-	wiring [][]intervalmap.Map
+	wiring [][]*intervalmap.Striped
 	// cuts[v][t] maps along-track positions (tracks of wiring layer v)
 	// to packed via-layer words.
-	cuts [][]intervalmap.Map
+	cuts [][]*intervalmap.Striped
 
 	// Counters for the §3.6 statistic (updated atomically: parallel
 	// detailed routing queries the grid concurrently).
 	Hits, Misses int64
+}
+
+// stripesFor picks the shard count of one track's interval map: roughly
+// one stripe per 32 pitches of track length, capped so tiny chips stay
+// unsharded and huge ones don't fragment runs needlessly. Finer than the
+// routing scheduler's strips, so a strip always spans whole stripes.
+func stripesFor(span geom.Interval, pitch int) int {
+	if pitch <= 0 {
+		return 1
+	}
+	n := span.Len() / (32 * pitch)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
 }
 
 // New builds the fast grid for up to MaxWireTypes wire types and performs
@@ -68,13 +90,23 @@ func New(space *drc.Space, tg *tracks.Graph, wts []*rules.WireType) *Grid {
 		wts = wts[:MaxWireTypes]
 	}
 	g := &Grid{space: space, tg: tg, wts: wts}
-	g.wiring = make([][]intervalmap.Map, tg.NumLayers())
-	g.cuts = make([][]intervalmap.Map, tg.NumLayers()-1)
+	g.wiring = make([][]*intervalmap.Striped, tg.NumLayers())
+	g.cuts = make([][]*intervalmap.Striped, tg.NumLayers()-1)
 	for z := range g.wiring {
-		g.wiring[z] = make([]intervalmap.Map, len(tg.Layers[z].Coords))
+		span := tg.Area.Span(tg.Layers[z].Dir)
+		n := stripesFor(span, space.Deck.Layers[z].Pitch)
+		g.wiring[z] = make([]*intervalmap.Striped, len(tg.Layers[z].Coords))
+		for t := range g.wiring[z] {
+			g.wiring[z][t] = intervalmap.NewStriped(span.Lo, span.Hi, n)
+		}
 	}
 	for v := range g.cuts {
-		g.cuts[v] = make([]intervalmap.Map, len(tg.Layers[v].Coords))
+		span := tg.Area.Span(tg.Layers[v].Dir)
+		n := stripesFor(span, space.Deck.Layers[v].Pitch)
+		g.cuts[v] = make([]*intervalmap.Striped, len(tg.Layers[v].Coords))
+		for t := range g.cuts[v] {
+			g.cuts[v][t] = intervalmap.NewStriped(span.Lo, span.Hi, n)
+		}
 	}
 	for z := range g.wiring {
 		for t := range g.wiring[z] {
@@ -119,50 +151,53 @@ func setField(w uint64, off uint, need drc.Need) uint64 {
 func getField(w uint64, off uint) drc.Need { return drc.Need(w>>off) & 7 }
 
 // rebuildWiringTrack recomputes all fields of track t on layer z within
-// span (along-track coordinates).
+// span (along-track coordinates). Each overlapped stripe is swept and
+// republished independently (one snapshot rebuild per stripe).
 func (g *Grid) rebuildWiringTrack(z, t int, span geom.Interval) {
 	layer := &g.tg.Layers[z]
 	coord := layer.Coords[t]
-	m := &g.wiring[z][t]
-	// Clear all fields in span, then OR in each sweep.
-	m.SetRange(span.Lo, span.Hi, 0)
-	apply := func(off uint, lo, hi int, need drc.Need) {
-		if need == 0 {
-			return
+	g.wiring[z][t].Edit(span.Lo, span.Hi, func(m *intervalmap.Map, elo, ehi int) {
+		sub := geom.Interval{Lo: elo, Hi: ehi}
+		// Clear all fields in the sub-span, then OR in each sweep.
+		m.SetRange(sub.Lo, sub.Hi, 0)
+		apply := func(off uint, lo, hi int, need drc.Need) {
+			if need == 0 {
+				return
+			}
+			m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
 		}
-		m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
-	}
-	for slot, wt := range g.wts {
-		// Preferred wire model.
-		pm := wt.Oriented(z, layer.Dir, layer.Dir)
-		g.space.TrackNeeds(z, layer.Dir, coord, span, pm, drc.AnyNet, func(lo, hi int, need drc.Need) {
-			apply(field(slot, KindPref), lo, hi, need)
-		})
-		// Jog segment to the next track above.
-		if t+1 < len(layer.Coords) {
-			jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
-			gap := layer.Coords[t+1] - coord
-			span2 := jogSpanModel(jm, layer.Dir, gap)
-			g.space.TrackNeeds(z, layer.Dir, coord, span, span2, drc.AnyNet, func(lo, hi int, need drc.Need) {
-				apply(field(slot, KindJogUp), lo, hi, need)
+		for slot, wt := range g.wts {
+			// Preferred wire model.
+			pm := wt.Oriented(z, layer.Dir, layer.Dir)
+			g.space.TrackNeeds(z, layer.Dir, coord, sub, pm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+				apply(field(slot, KindPref), lo, hi, need)
 			})
+			// Jog segment to the next track above.
+			if t+1 < len(layer.Coords) {
+				jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
+				gap := layer.Coords[t+1] - coord
+				span2 := jogSpanModel(jm, layer.Dir, gap)
+				g.space.TrackNeeds(z, layer.Dir, coord, sub, span2, drc.AnyNet, func(lo, hi int, need drc.Need) {
+					apply(field(slot, KindJogUp), lo, hi, need)
+				})
+			}
+			// Via pads.
+			if z+1 < g.tg.NumLayers() {
+				vm := wt.Via(z, g.tg.Layers[z].Dir)
+				bm := rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}
+				g.space.TrackNeeds(z, layer.Dir, coord, sub, bm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+					apply(field(slot, KindBotPad), lo, hi, need)
+				})
+			}
+			if z > 0 {
+				vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
+				tm := rules.WireModel{Shape: vm.Top, Class: vm.TopClass}
+				g.space.TrackNeeds(z, layer.Dir, coord, sub, tm, drc.AnyNet, func(lo, hi int, need drc.Need) {
+					apply(field(slot, KindTopPad), lo, hi, need)
+				})
+			}
 		}
-		// Via pads.
-		if z+1 < g.tg.NumLayers() {
-			vm := wt.Via(z, g.tg.Layers[z].Dir)
-			bm := rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}
-			g.space.TrackNeeds(z, layer.Dir, coord, span, bm, drc.AnyNet, func(lo, hi int, need drc.Need) {
-				apply(field(slot, KindBotPad), lo, hi, need)
-			})
-		}
-		if z > 0 {
-			vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
-			tm := rules.WireModel{Shape: vm.Top, Class: vm.TopClass}
-			g.space.TrackNeeds(z, layer.Dir, coord, span, tm, drc.AnyNet, func(lo, hi int, need drc.Need) {
-				apply(field(slot, KindTopPad), lo, hi, need)
-			})
-		}
-	}
+	})
 }
 
 // jogSpanModel builds a synthetic wire model whose metal, placed at a
@@ -184,25 +219,27 @@ func jogSpanModel(jm rules.WireModel, dir geom.Direction, gap int) rules.WireMod
 func (g *Grid) rebuildCutTrack(v, t int, span geom.Interval) {
 	layer := &g.tg.Layers[v]
 	coord := layer.Coords[t]
-	m := &g.cuts[v][t]
-	m.SetRange(span.Lo, span.Hi, 0)
-	apply := func(off uint, lo, hi int, need drc.Need) {
-		if need == 0 {
-			return
+	g.cuts[v][t].Edit(span.Lo, span.Hi, func(m *intervalmap.Map, elo, ehi int) {
+		sub := geom.Interval{Lo: elo, Hi: ehi}
+		m.SetRange(sub.Lo, sub.Hi, 0)
+		apply := func(off uint, lo, hi int, need drc.Need) {
+			if need == 0 {
+				return
+			}
+			m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
 		}
-		m.Update(lo, hi, func(old uint64) uint64 { return setField(old, off, need) })
-	}
-	for slot, wt := range g.wts {
-		vm := wt.Via(v, layer.Dir)
-		g.space.TrackCutNeeds(v, layer.Dir, coord, span, vm.Cut, drc.AnyNet, false, func(lo, hi int, need drc.Need) {
-			apply(cutField(slot, false), lo, hi, need)
-		})
-		if vm.HasProjection && v+1 < len(g.space.Cuts) {
-			g.space.TrackCutNeeds(v+1, layer.Dir, coord, span, vm.Cut, drc.AnyNet, true, func(lo, hi int, need drc.Need) {
-				apply(cutField(slot, true), lo, hi, need)
+		for slot, wt := range g.wts {
+			vm := wt.Via(v, layer.Dir)
+			g.space.TrackCutNeeds(v, layer.Dir, coord, sub, vm.Cut, drc.AnyNet, false, func(lo, hi int, need drc.Need) {
+				apply(cutField(slot, false), lo, hi, need)
 			})
+			if vm.HasProjection && v+1 < len(g.space.Cuts) {
+				g.space.TrackCutNeeds(v+1, layer.Dir, coord, sub, vm.Cut, drc.AnyNet, true, func(lo, hi int, need drc.Need) {
+					apply(cutField(slot, true), lo, hi, need)
+				})
+			}
 		}
-	}
+	})
 }
 
 // OnWiringChange re-sweeps the cached data invalidated by a shape change
@@ -378,34 +415,36 @@ func (g *Grid) OnShapeAdded(z int, sh shapegrid.Shape) {
 		if c < reach.Lo || c >= reach.Hi {
 			continue
 		}
-		m := &g.wiring[z][t]
-		apply := func(off uint) func(lo, hi int, need drc.Need) {
-			return func(lo, hi int, need drc.Need) {
-				if need == 0 {
-					return
+		g.wiring[z][t].Edit(along.Lo, along.Hi, func(m *intervalmap.Map, elo, ehi int) {
+			sub := geom.Interval{Lo: elo, Hi: ehi}
+			apply := func(off uint) func(lo, hi int, need drc.Need) {
+				return func(lo, hi int, need drc.Need) {
+					if need == 0 {
+						return
+					}
+					m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
 				}
-				m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
 			}
-		}
-		for slot, wt := range g.wts {
-			pm := wt.Oriented(z, layer.Dir, layer.Dir)
-			g.space.ShapeWireNeeds(z, layer.Dir, c, along, pm, sh, apply(field(slot, KindPref)))
-			if t+1 < len(layer.Coords) {
-				jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
-				gap := layer.Coords[t+1] - c
-				g.space.ShapeWireNeeds(z, layer.Dir, c, along, jogSpanModel(jm, layer.Dir, gap), sh, apply(field(slot, KindJogUp)))
+			for slot, wt := range g.wts {
+				pm := wt.Oriented(z, layer.Dir, layer.Dir)
+				g.space.ShapeWireNeeds(z, layer.Dir, c, sub, pm, sh, apply(field(slot, KindPref)))
+				if t+1 < len(layer.Coords) {
+					jm := wt.Oriented(z, layer.Dir.Perp(), layer.Dir)
+					gap := layer.Coords[t+1] - c
+					g.space.ShapeWireNeeds(z, layer.Dir, c, sub, jogSpanModel(jm, layer.Dir, gap), sh, apply(field(slot, KindJogUp)))
+				}
+				if z+1 < g.tg.NumLayers() {
+					vm := wt.Via(z, g.tg.Layers[z].Dir)
+					g.space.ShapeWireNeeds(z, layer.Dir, c, sub,
+						rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}, sh, apply(field(slot, KindBotPad)))
+				}
+				if z > 0 {
+					vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
+					g.space.ShapeWireNeeds(z, layer.Dir, c, sub,
+						rules.WireModel{Shape: vm.Top, Class: vm.TopClass}, sh, apply(field(slot, KindTopPad)))
+				}
 			}
-			if z+1 < g.tg.NumLayers() {
-				vm := wt.Via(z, g.tg.Layers[z].Dir)
-				g.space.ShapeWireNeeds(z, layer.Dir, c, along,
-					rules.WireModel{Shape: vm.Bot, Class: vm.BotClass}, sh, apply(field(slot, KindBotPad)))
-			}
-			if z > 0 {
-				vm := wt.Via(z-1, g.tg.Layers[z-1].Dir)
-				g.space.ShapeWireNeeds(z, layer.Dir, c, along,
-					rules.WireModel{Shape: vm.Top, Class: vm.TopClass}, sh, apply(field(slot, KindTopPad)))
-			}
-		}
+		})
 	}
 }
 
@@ -426,23 +465,25 @@ func (g *Grid) OnCutAdded(v int, sh shapegrid.Shape) {
 			if c < ortho.Lo || c >= ortho.Hi {
 				continue
 			}
-			m := &g.cuts[lv][t]
-			for slot, wt := range g.wts {
-				vm := wt.Via(lv, layer.Dir)
-				slotV := slot
-				// Candidate cut on layer lv versus the new shape: the new
-				// shape lives in layer v; when lv == v it is a same-layer
-				// conflict, when lv == v-1 the candidate's projection (in
-				// layer v) conflicts with it.
-				proj := lv != v
-				g.space.ShapeCutNeeds(v, layer.Dir, c, along, vm.Cut, sh, proj, func(lo, hi int, need drc.Need) {
-					if need == 0 {
-						return
-					}
-					off := cutField(slotV, proj)
-					m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
-				})
-			}
+			g.cuts[lv][t].Edit(along.Lo, along.Hi, func(m *intervalmap.Map, elo, ehi int) {
+				sub := geom.Interval{Lo: elo, Hi: ehi}
+				for slot, wt := range g.wts {
+					vm := wt.Via(lv, layer.Dir)
+					slotV := slot
+					// Candidate cut on layer lv versus the new shape: the new
+					// shape lives in layer v; when lv == v it is a same-layer
+					// conflict, when lv == v-1 the candidate's projection (in
+					// layer v) conflicts with it.
+					proj := lv != v
+					g.space.ShapeCutNeeds(v, layer.Dir, c, sub, vm.Cut, sh, proj, func(lo, hi int, need drc.Need) {
+						if need == 0 {
+							return
+						}
+						off := cutField(slotV, proj)
+						m.Update(lo, hi, func(old uint64) uint64 { return maxField(old, off, need) })
+					})
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,245 @@
+package intervalmap
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is an immutable, flattened view of a Map: the stored runs in
+// ascending order as parallel slices. Snapshots are published through
+// atomic pointers so readers never take a lock (the "atomic fast-grid
+// reads" half of §5.1's parallel detailed routing: searches must stay
+// synchronization-free on the hot path).
+type Snapshot struct {
+	los, his []int
+	vals     []uint64
+}
+
+var emptySnapshot = &Snapshot{}
+
+// snapshotOf flattens m.
+func snapshotOf(m *Map) *Snapshot {
+	if m.Len() == 0 {
+		return emptySnapshot
+	}
+	s := &Snapshot{
+		los:  make([]int, 0, m.Len()),
+		his:  make([]int, 0, m.Len()),
+		vals: make([]uint64, 0, m.Len()),
+	}
+	m.All(func(lo, hi int, v uint64) bool {
+		s.los = append(s.los, lo)
+		s.his = append(s.his, hi)
+		s.vals = append(s.vals, v)
+		return true
+	})
+	return s
+}
+
+// Get returns the value at x (zero if uncovered).
+func (s *Snapshot) Get(x int) uint64 {
+	// First run with hi > x; it covers x iff its lo <= x.
+	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > x })
+	if i < len(s.los) && s.los[i] <= x {
+		return s.vals[i]
+	}
+	return 0
+}
+
+// Len returns the number of stored runs.
+func (s *Snapshot) Len() int { return len(s.los) }
+
+// runs visits stored runs intersecting [lo, hi), clipped. Returns false
+// if visit stopped the iteration.
+func (s *Snapshot) runs(lo, hi int, visit func(lo, hi int, v uint64) bool) bool {
+	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > lo })
+	for ; i < len(s.los) && s.los[i] < hi; i++ {
+		if !visit(max(s.los[i], lo), min(s.his[i], hi), s.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Striped is a Map sharded along its position axis: interior cut
+// positions split the axis into shards, each holding its own Map, mutex,
+// and atomically published Snapshot. Mutations lock only the shards
+// their range overlaps, so writers in disjoint stripes proceed
+// concurrently; reads (Get, Runs, Len) are lock-free against the
+// snapshots.
+//
+// Consistency contract: a read observes each shard's latest published
+// snapshot independently. Readers that span multiple shards therefore
+// see a consistent view only when no concurrent writer mutates the
+// shards inside the read range — which the detail router's region
+// ownership guarantees (a worker's reads and writes both stay inside
+// its owned strip). Runs that would be split at a cut are re-coalesced
+// during iteration, so the visible run structure is identical to an
+// unsharded Map's.
+type Striped struct {
+	cuts   []int // interior cut positions, ascending; len(shards)-1 entries
+	shards []stripedShard
+}
+
+type stripedShard struct {
+	mu   sync.Mutex
+	m    Map
+	snap atomic.Pointer[Snapshot]
+	_    [24]byte // keep neighboring shards off one cache line
+}
+
+// NewStriped builds a Striped map with up to `stripes` shards cutting
+// [lo, hi) evenly. The first and last shards are unbounded, so positions
+// outside [lo, hi) remain addressable (they land in the boundary
+// shards), preserving plain-Map semantics.
+func NewStriped(lo, hi, stripes int) *Striped {
+	if stripes < 1 {
+		stripes = 1
+	}
+	if hi-lo < stripes {
+		stripes = max(1, hi-lo)
+	}
+	s := &Striped{shards: make([]stripedShard, stripes)}
+	w := (hi - lo) / stripes
+	for i := 1; i < stripes; i++ {
+		s.cuts = append(s.cuts, lo+i*w)
+	}
+	for i := range s.shards {
+		s.shards[i].snap.Store(emptySnapshot)
+	}
+	return s
+}
+
+// NumShards returns the shard count (for tests).
+func (s *Striped) NumShards() int { return len(s.shards) }
+
+// shardRange returns the shard index range [a, b] overlapping [lo, hi).
+func (s *Striped) shardRange(lo, hi int) (int, int) {
+	a := sort.SearchInts(s.cuts, lo+1) // first shard whose cut > lo
+	b := sort.SearchInts(s.cuts, hi)   // hi <= cut → still in shard b
+	return a, b
+}
+
+// shardSpan clips [lo, hi) to shard i's extent.
+func (s *Striped) shardSpan(i, lo, hi int) (int, int) {
+	if i > 0 && s.cuts[i-1] > lo {
+		lo = s.cuts[i-1]
+	}
+	if i < len(s.cuts) && s.cuts[i] < hi {
+		hi = s.cuts[i]
+	}
+	return lo, hi
+}
+
+// Edit applies f to every shard overlapping [lo, hi), one shard at a
+// time under that shard's lock, then republishes its snapshot. f
+// receives the shard's Map and the clipped sub-range and may perform any
+// number of SetRange/Update calls on it; batching them under one Edit
+// costs one snapshot rebuild per shard instead of one per call.
+// Shards are visited in ascending order (a total lock order, so
+// concurrent multi-shard Edits cannot deadlock).
+func (s *Striped) Edit(lo, hi int, f func(m *Map, lo, hi int)) {
+	if lo >= hi {
+		return
+	}
+	a, b := s.shardRange(lo, hi)
+	for i := a; i <= b; i++ {
+		slo, shi := s.shardSpan(i, lo, hi)
+		if slo >= shi {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		f(&sh.m, slo, shi)
+		sh.snap.Store(snapshotOf(&sh.m))
+		sh.mu.Unlock()
+	}
+}
+
+// SetRange sets [lo, hi) to v.
+func (s *Striped) SetRange(lo, hi int, v uint64) {
+	s.Edit(lo, hi, func(m *Map, lo, hi int) { m.SetRange(lo, hi, v) })
+}
+
+// Update applies f over [lo, hi) (see Map.Update).
+func (s *Striped) Update(lo, hi int, f func(old uint64) uint64) {
+	s.Edit(lo, hi, func(m *Map, lo, hi int) { m.Update(lo, hi, f) })
+}
+
+// shardAt returns the shard index covering position x.
+func (s *Striped) shardAt(x int) int { return sort.SearchInts(s.cuts, x+1) }
+
+// Get returns the value at x without locking.
+func (s *Striped) Get(x int) uint64 {
+	return s.shards[s.shardAt(x)].snap.Load().Get(x)
+}
+
+// Runs visits the stored runs intersecting [lo, hi) in ascending order,
+// clipped, without locking. Runs split at shard cuts are coalesced back
+// together, so the iteration is indistinguishable from a plain Map's.
+func (s *Striped) Runs(lo, hi int, visit func(lo, hi int, v uint64) bool) {
+	if lo >= hi {
+		return
+	}
+	a, b := s.shardRange(lo, hi)
+	var plo, phi int
+	var pval uint64
+	have := false
+	flush := func() bool {
+		if !have {
+			return true
+		}
+		have = false
+		return visit(plo, phi, pval)
+	}
+	for i := a; i <= b; i++ {
+		slo, shi := s.shardSpan(i, lo, hi)
+		if slo >= shi {
+			continue
+		}
+		ok := s.shards[i].snap.Load().runs(slo, shi, func(rlo, rhi int, v uint64) bool {
+			if have && rlo == phi && v == pval {
+				phi = rhi
+				return true
+			}
+			if !flush() {
+				return false
+			}
+			plo, phi, pval, have = rlo, rhi, v, true
+			return true
+		})
+		if !ok {
+			return
+		}
+	}
+	flush()
+}
+
+// Len returns the number of runs as an unsharded Map would store them
+// (runs split at cuts count once).
+func (s *Striped) Len() int {
+	n := 0
+	var lastHi int
+	var lastVal uint64
+	haveLast := false
+	for i := range s.shards {
+		snap := s.shards[i].snap.Load()
+		for j := 0; j < snap.Len(); j++ {
+			if haveLast && snap.los[j] == lastHi && snap.vals[j] == lastVal {
+				lastHi = snap.his[j]
+				continue
+			}
+			n++
+			lastHi, lastVal, haveLast = snap.his[j], snap.vals[j], true
+		}
+	}
+	return n
+}
+
+// All visits every stored run (coalesced across cuts) in ascending
+// order.
+func (s *Striped) All(visit func(lo, hi int, v uint64) bool) {
+	const big = int(^uint(0) >> 2)
+	s.Runs(-big, big, visit)
+}

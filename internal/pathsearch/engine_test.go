@@ -1,6 +1,8 @@
 package pathsearch
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"bonnroute/internal/geom"
@@ -113,6 +115,52 @@ func TestSteadyStateAllocs(t *testing.T) {
 		}
 	}); got > maxNodeAllocs {
 		t.Errorf("node search: %v allocs/op steady-state, want <= %d", got, maxNodeAllocs)
+	}
+}
+
+// TestParallelSteadyStateAllocs extends the allocation guard to the
+// parallel path: four warmed engines searching concurrently (the shape
+// of a Workers=4 strip round) must stay within the same per-search
+// budget as the Workers=1 guard above — sharding must not reintroduce
+// per-search heap traffic through contention fallbacks or shared
+// scratch.
+func TestParallelSteadyStateAllocs(t *testing.T) {
+	_, cfg, S, T := blockedWorld()
+	const workers = 4
+	const perWorker = 25
+	engines := make([]*Engine, workers)
+	for i := range engines {
+		engines[i] = NewEngine()
+		engines[i].Search(cfg, S, T) // warm the pools
+		engines[i].Search(cfg, S, T)
+	}
+	var failed atomic.Bool
+	total := testing.AllocsPerRun(5, func() {
+		var wg sync.WaitGroup
+		for _, e := range engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					if e.Search(cfg, S, T) == nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}(e)
+		}
+		wg.Wait()
+	})
+	if failed.Load() {
+		t.Fatal("no path")
+	}
+	// The goroutine spawns and WaitGroup churn amortize over
+	// workers*perWorker searches; the per-search budget matches the
+	// serial guard's maxAllocs.
+	const maxAllocs = 8
+	if perSearch := total / (workers * perWorker); perSearch > maxAllocs {
+		t.Errorf("parallel interval search: %.2f allocs/op steady-state, want <= %d",
+			perSearch, maxAllocs)
 	}
 }
 

@@ -48,14 +48,17 @@ type Config struct {
 }
 
 // Stats reports search effort (the quantities behind the paper's
-// interval-vs-node speedup claims).
+// interval-vs-node speedup claims). The JSON tags carry omitempty so
+// serialized artifacts (cmd/routebench -bench-json) drop counters a
+// flow never exercised — an ISR flow performs no crossing expansions,
+// so it emits no "expanded" field instead of a misleading zero.
 type Stats struct {
-	Labels    int // labels created
-	HeapPops  int // priority-queue extractions
-	Expanded  int // crossing expansions (jog/via relaxations)
-	Intervals int // intervals materialized
-	Searches  int // searches completed (engine totals)
-	PiReused  int // future-cost structures served from the engine cache
+	Labels    int `json:"labels,omitempty"`    // labels created
+	HeapPops  int `json:"heap_pops,omitempty"` // priority-queue extractions
+	Expanded  int `json:"expanded,omitempty"`  // crossing expansions (jog/via relaxations)
+	Intervals int `json:"intervals,omitempty"` // intervals materialized
+	Searches  int `json:"searches,omitempty"`  // searches completed (engine totals)
+	PiReused  int `json:"pi_reused,omitempty"` // future-cost structures served from the engine cache
 }
 
 // Add accumulates o into s — the merge step for per-engine tallies.

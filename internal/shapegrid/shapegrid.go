@@ -21,6 +21,8 @@ package shapegrid
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bonnroute/internal/geom"
 	"bonnroute/internal/intervalmap"
@@ -63,16 +65,38 @@ type Shape struct {
 }
 
 // Grid is the shape store of one plane.
+//
+// Concurrency: rows are striped interval maps (package intervalmap), so
+// queries are lock-free against atomically published snapshots and
+// mutations in disjoint stripes proceed concurrently. The configuration
+// intern table is an append-only chunked vector behind an atomic
+// pointer: readers index it without locking; writers serialize on
+// internMu. Concurrent mutators whose shapes (plus clearance) live in
+// disjoint regions observe and produce exactly the serial result; that
+// regional disjointness is the detail router's ownership contract
+// (§5.1).
 type Grid struct {
 	area  geom.Rect
 	dir   geom.Direction // preferred direction: rows run along this axis
 	cellP int            // cell extent along preferred direction
 	cellO int            // cell extent orthogonal to it
-	rows  []intervalmap.Map
+	rows  []*intervalmap.Striped
 
-	configs [][]Shape         // id -> entries (id 0 = empty, nil)
-	intern  map[string]uint64 // canonical key -> id
+	// configs is the interned configuration vector: id -> entries
+	// (id 0 = empty, nil). Chunks are write-once slots; the chunk table
+	// is copied on growth, so a loaded table stays valid forever.
+	configs  atomic.Pointer[[]*cfgChunk]
+	internMu sync.Mutex
+	intern   map[string]uint64 // canonical key -> id; guarded by internMu
+	nConfigs uint64            // next id; guarded by internMu
 }
+
+const (
+	cfgChunkBits = 9
+	cfgChunkSize = 1 << cfgChunkBits
+)
+
+type cfgChunk [cfgChunkSize][]Shape
 
 // NewGrid creates a shape grid over area for a plane with the given
 // preferred direction. cell is the cell edge length; the paper chooses it
@@ -83,16 +107,44 @@ func NewGrid(area geom.Rect, dir geom.Direction, cell int) *Grid {
 		panic("shapegrid: cell size must be positive")
 	}
 	g := &Grid{
-		area:    area,
-		dir:     dir,
-		cellP:   cell,
-		cellO:   cell,
-		configs: make([][]Shape, 1),
-		intern:  make(map[string]uint64),
+		area:   area,
+		dir:    dir,
+		cellP:  cell,
+		cellO:  cell,
+		intern: make(map[string]uint64),
 	}
+	table := []*cfgChunk{new(cfgChunk)}
+	g.configs.Store(&table)
+	g.nConfigs = 1 // id 0 = empty configuration
 	nRows := (g.orthoSpan().Len() + cell - 1) / cell
-	g.rows = make([]intervalmap.Map, nRows+1)
+	nCells := (g.prefSpan().Len() + cell - 1) / cell
+	stripes := nCells / 32
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > 8 {
+		stripes = 8
+	}
+	g.rows = make([]*intervalmap.Striped, nRows+1)
+	for i := range g.rows {
+		g.rows[i] = intervalmap.NewStriped(0, nCells+1, stripes)
+	}
 	return g
+}
+
+// config returns the entry list of a configuration id without locking.
+func (g *Grid) config(id uint64) []Shape {
+	if id == 0 {
+		return nil
+	}
+	table := *g.configs.Load()
+	ci := int(id >> cfgChunkBits)
+	if ci >= len(table) {
+		// The id reached us through a row snapshot published after the
+		// table grew; a reload observes the grown table.
+		table = *g.configs.Load()
+	}
+	return table[ci][id&(cfgChunkSize-1)]
 }
 
 func (g *Grid) orthoSpan() geom.Interval { return g.area.Span(g.dir.Perp()) }
@@ -172,7 +224,7 @@ func (g *Grid) Query(r geom.Rect, visit func(Shape) bool) {
 	stop := false
 	for row := r0; row <= r1 && !stop; row++ {
 		g.rows[row].Runs(c0, c1+1, func(lo, hi int, id uint64) bool {
-			for _, s := range g.configs[id] {
+			for _, s := range g.config(id) {
 				if !s.Rect.Touches(r) || seen[s] {
 					continue
 				}
@@ -235,7 +287,9 @@ type Stats struct {
 
 // Stats returns current storage statistics.
 func (g *Grid) Stats() Stats {
-	st := Stats{Configs: len(g.configs) - 1}
+	g.internMu.Lock()
+	st := Stats{Configs: int(g.nConfigs) - 1}
+	g.internMu.Unlock()
 	for i := range g.rows {
 		st.Intervals += g.rows[i].Len()
 	}
@@ -244,7 +298,7 @@ func (g *Grid) Stats() Stats {
 
 // withEntry returns the config id for config old plus shape s.
 func (g *Grid) withEntry(old uint64, s Shape) uint64 {
-	entries := g.configs[old]
+	entries := g.config(old)
 	next := make([]Shape, 0, len(entries)+1)
 	next = append(next, entries...)
 	next = append(next, s)
@@ -254,7 +308,7 @@ func (g *Grid) withEntry(old uint64, s Shape) uint64 {
 // withoutEntry returns the config id for config old minus shape s and
 // whether s was present.
 func (g *Grid) withoutEntry(old uint64, s Shape) (uint64, bool) {
-	entries := g.configs[old]
+	entries := g.config(old)
 	idx := -1
 	for i, e := range entries {
 		if e == s {
@@ -274,18 +328,35 @@ func (g *Grid) withoutEntry(old uint64, s Shape) (uint64, bool) {
 	return g.internConfig(next), true
 }
 
-// internConfig canonicalizes and interns an entry list.
+// internConfig canonicalizes and interns an entry list. Interning is
+// content-keyed, so the id assignment order under concurrent mutators
+// never changes what queries observe.
 func (g *Grid) internConfig(entries []Shape) uint64 {
 	if len(entries) == 0 {
 		return 0
 	}
 	sort.Slice(entries, func(i, j int) bool { return shapeLess(entries[i], entries[j]) })
 	key := configKey(entries)
+	g.internMu.Lock()
+	defer g.internMu.Unlock()
 	if id, ok := g.intern[key]; ok {
 		return id
 	}
-	id := uint64(len(g.configs))
-	g.configs = append(g.configs, entries)
+	id := g.nConfigs
+	g.nConfigs++
+	table := *g.configs.Load()
+	ci := int(id >> cfgChunkBits)
+	if ci == len(table) {
+		next := make([]*cfgChunk, len(table)+1)
+		copy(next, table)
+		next[ci] = new(cfgChunk)
+		g.configs.Store(&next)
+		table = next
+	}
+	// The slot write precedes the id's escape from this function, and
+	// the id reaches readers only through a subsequent atomic row
+	// snapshot publication, so unlocked readers see the filled slot.
+	table[ci][id&(cfgChunkSize-1)] = entries
 	g.intern[key] = id
 	return id
 }

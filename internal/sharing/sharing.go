@@ -2,9 +2,12 @@
 // min-max resource sharing approximation scheme (paper §2.2–§2.3,
 // Algorithm 2 after Müller–Radke–Vygen), with the Steiner-tree oracle of
 // Algorithm 1, convex resource-consumption functions with extra space
-// assignment (Fig. 1), the oracle-reuse and parallel ("volatility
-// tolerant") speed-ups of §2.3/§5.1, and the randomized rounding plus
-// rechoose/reroute repair of §2.4.
+// assignment (Fig. 1), the oracle-reuse speed-up of §2.3, the parallel
+// block solve of §5.1 — here in a deterministic phase-snapshot variant:
+// workers price nets against frozen phase-start prices and the updates
+// are applied serially in net order at the phase barrier, so any worker
+// count computes the identical solution — and the randomized rounding
+// plus rechoose/reroute repair of §2.4.
 package sharing
 
 import (
@@ -47,7 +50,8 @@ type Options struct {
 	// power units; the γ curves follow Fig. 1).
 	PowerCap float64
 	// Workers is the number of parallel block solvers (§5.1); ≤ 1 is
-	// serial.
+	// serial. The result is identical for every value (phase-snapshot
+	// pricing); Workers only changes wall time.
 	Workers int
 	// Seed drives randomized rounding.
 	Seed int64
@@ -141,7 +145,12 @@ type Solver struct {
 	Nets []NetSpec
 	Opt  Options
 
-	prices   []uint64 // atomic float64 bits; edges then [len] [power]
+	// prices holds the resource prices (edges, then [len] [power]).
+	// During a phase the workers read it as an immutable snapshot; the
+	// price updates of the phase are applied serially, in net order, at
+	// the phase barrier (see Run), so the solve is deterministic for any
+	// worker count.
+	prices   []float64
 	lenCap   float64
 	powerCap float64
 	viaLen   float64
@@ -162,9 +171,9 @@ func New(g *grid.Graph, nets []NetSpec, opt Options) *Solver {
 	opt.setDefaults()
 	s := &Solver{G: g, Nets: nets, Opt: opt}
 	s.nRes = g.NumEdges() + 2
-	s.prices = make([]uint64, s.nRes)
+	s.prices = make([]float64, s.nRes)
 	for i := range s.prices {
-		s.prices[i] = math.Float64bits(1)
+		s.prices[i] = 1
 	}
 	s.lenCap = opt.LengthCap
 	if s.lenCap <= 0 {
@@ -209,21 +218,15 @@ func terminalBBoxLength(g *grid.Graph, terminals [][]int) int {
 	return (maxX-minX)*g.TileW + (maxY-minY)*g.TileH
 }
 
-func (s *Solver) price(r int) float64 {
-	return math.Float64frombits(atomic.LoadUint64(&s.prices[r]))
-}
+func (s *Solver) price(r int) float64 { return s.prices[r] }
 
-// bumpPrice multiplies price r by factor with a CAS loop (the
-// volatility-tolerant concurrent update of §5.1).
-func (s *Solver) bumpPrice(r int, factor float64) {
-	for {
-		old := atomic.LoadUint64(&s.prices[r])
-		next := math.Float64bits(math.Float64frombits(old) * factor)
-		if atomic.CompareAndSwapUint64(&s.prices[r], old, next) {
-			return
-		}
-	}
-}
+// bumpPrice multiplies price r by factor. Only called from the serial
+// phase-barrier sweep, never concurrently — phases read prices as an
+// immutable snapshot, which is what makes the parallel solve
+// deterministic (§5.1's volatility-tolerant updates traded determinism
+// for freshness; the snapshot variant gives up within-phase freshness
+// and keeps results identical for every worker count).
+func (s *Solver) bumpPrice(r int, factor float64) { s.prices[r] *= factor }
 
 // powerOf is the convex power consumption per unit length at extra space
 // s (Fig. 1's dashed curve): coupling falls off as space grows.
@@ -348,7 +351,6 @@ func (s *Solver) Run(ctx context.Context) *Result {
 	}
 
 	fracLoad := make([]float64, s.nRes)
-	var fracMu sync.Mutex
 
 	for phase := 0; phase < s.Opt.Phases; phase++ {
 		if ctx.Err() != nil {
@@ -358,16 +360,21 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		phSpan := span.Child("global.phase", obs.Int("phase", phase))
 		callsBefore, reusesBefore := atomic.LoadInt64(&s.calls), atomic.LoadInt64(&s.reuses)
 		phaseLoad := make([]float64, s.nRes)
-		var phaseMu sync.Mutex
 		var priceUpdates int64
 
+		// Workers price every net against the phase-start snapshot of
+		// s.prices and record their choice in chosen[ni]; the actual
+		// price updates happen after the barrier, serially in net order,
+		// so both the candidate selection and the floating-point
+		// accumulation order are independent of the worker count and of
+		// goroutine scheduling.
+		chosen := make([]int, len(s.Nets))
 		work := func(worker, lo, hi int) {
 			oracle := s.oracles[worker]
-			localPhase := make(map[int]float64)
-			localUpdates := int64(0)
 			for ni := lo; ni < hi; ni++ {
+				chosen[ni] = -1
 				if ctx.Err() != nil {
-					break
+					continue
 				}
 				n := &s.Nets[ni]
 				st := &states[ni]
@@ -401,26 +408,12 @@ func (s *Solver) Run(ctx context.Context) *Result {
 					for i, e := range edges {
 						ex[i] = float32(extras[e])
 					}
-					ciNew := addCandidate(ni, edges, ex)
-					ci = ciNew
+					ci = addCandidate(ni, edges, ex)
 					st.lastCand = ci
 					st.lastCost = s.candCost(n, &nr.Candidates[ci])
 				}
-				st.counts[ci]++
-				// Price updates.
-				c := &nr.Candidates[ci]
-				s.netLoads(n, c, func(r int, g float64) {
-					s.bumpPrice(r, math.Exp(s.Opt.Epsilon*g))
-					localPhase[r] += g
-					localUpdates++
-				})
+				chosen[ni] = ci
 			}
-			phaseMu.Lock()
-			for r, g := range localPhase {
-				phaseLoad[r] += g
-			}
-			priceUpdates += localUpdates
-			phaseMu.Unlock()
 		}
 
 		if s.Opt.Workers <= 1 {
@@ -443,15 +436,29 @@ func (s *Solver) Run(ctx context.Context) *Result {
 			wg.Wait()
 		}
 
+		// Serial price application in net order (the phase barrier).
+		for ni := range s.Nets {
+			ci := chosen[ni]
+			if ci < 0 {
+				continue
+			}
+			st := &states[ni]
+			st.counts[ci]++
+			c := &res.Nets[ni].Candidates[ci]
+			s.netLoads(&s.Nets[ni], c, func(r int, g float64) {
+				s.bumpPrice(r, math.Exp(s.Opt.Epsilon*g))
+				phaseLoad[r] += g
+				priceUpdates++
+			})
+		}
+
 		lambda := 0.0
-		fracMu.Lock()
 		for r := range phaseLoad {
 			if phaseLoad[r] > lambda {
 				lambda = phaseLoad[r]
 			}
 			fracLoad[r] += phaseLoad[r]
 		}
-		fracMu.Unlock()
 		res.LambdaHistory = append(res.LambdaHistory, lambda)
 		phSpan.End(obs.F64("lambda", lambda),
 			obs.Int64("oracle_calls", atomic.LoadInt64(&s.calls)-callsBefore),

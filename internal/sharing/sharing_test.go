@@ -146,10 +146,48 @@ func TestParallelMatchesQuality(t *testing.T) {
 	if parallel.Unrouted != 0 || serial.Unrouted != 0 {
 		t.Fatal("unrouted nets")
 	}
-	// Volatility tolerance: results need not be identical, but the
-	// quality must be in the same regime.
-	if parallel.LambdaFrac > 1.5*serial.LambdaFrac+0.5 {
+	// Phase-snapshot pricing makes the parallel solve deterministic:
+	// identical λ, not merely the same regime.
+	if parallel.LambdaFrac != serial.LambdaFrac {
 		t.Fatalf("parallel λ %f vs serial %f", parallel.LambdaFrac, serial.LambdaFrac)
+	}
+}
+
+// TestWorkerCountDeterminism pins the determinism contract of the
+// phase-snapshot parallel solve: for a fixed seed, every worker count
+// must produce identical chosen trees, λ history, and repair counts.
+func TestWorkerCountDeterminism(t *testing.T) {
+	run := func(workers int) *Result {
+		g, nets := congestedInstance(24, 2)
+		return New(g, nets, Options{Phases: 16, Seed: 9, Workers: workers}).Run(context.Background())
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.LambdaFrac != ref.LambdaFrac {
+			t.Fatalf("Workers=%d: λ %v, want %v", workers, got.LambdaFrac, ref.LambdaFrac)
+		}
+		for p := range ref.LambdaHistory {
+			if got.LambdaHistory[p] != ref.LambdaHistory[p] {
+				t.Fatalf("Workers=%d: phase %d λ %v, want %v",
+					workers, p, got.LambdaHistory[p], ref.LambdaHistory[p])
+			}
+		}
+		if got.RoundingViolations != ref.RoundingViolations ||
+			got.RechooseChanges != ref.RechooseChanges || got.Rerouted != ref.Rerouted {
+			t.Fatalf("Workers=%d: repair counts differ", workers)
+		}
+		for ni := range ref.Nets {
+			gt, rt := got.Nets[ni].Tree(), ref.Nets[ni].Tree()
+			if len(gt) != len(rt) {
+				t.Fatalf("Workers=%d: net %d tree size %d, want %d", workers, ni, len(gt), len(rt))
+			}
+			for i := range rt {
+				if gt[i] != rt[i] {
+					t.Fatalf("Workers=%d: net %d edge %d differs", workers, ni, i)
+				}
+			}
+		}
 	}
 }
 
