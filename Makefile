@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke trace-smoke alloc-guard check bench-json bench-scaling
+.PHONY: all build test race vet bench-smoke trace-smoke fuzz-smoke alloc-guard check bench-json bench-scaling
 
 all: build
 
@@ -29,6 +29,14 @@ trace-smoke:
 	$(GO) run ./cmd/bonnroute -flow br -rows 4 -cols 8 -nets 16 -trace /tmp/bonnroute-trace.jsonl >/dev/null
 	$(GO) run ./cmd/tracelint -require-stages /tmp/bonnroute-trace.jsonl
 
+# fuzz-smoke sweeps ten fixed-seed random scenarios through the full
+# BonnRoute flow and every independent verifier (shape conservation,
+# brute-force spacing, connectivity, capacity, the fast-grid
+# differential, determinism double-run). Fixed seeds keep the lane
+# deterministic; widen with -seeds/-base-seed for a real hunt.
+fuzz-smoke:
+	$(GO) run ./cmd/routefuzz -seeds 10 -base-seed 1000
+
 # alloc-guard re-runs the steady-state allocation tests: the no-op
 # tracer must stay allocation-free and the pooled path-search engine
 # must keep its per-search allocation budget — both serially and with
@@ -38,9 +46,9 @@ alloc-guard:
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
 
 # check is the pre-merge gate: vet, build, the full test suite under the
-# race detector, the benchmark smoke test, the trace smoke test, and the
-# allocation guards.
-check: vet build race bench-smoke trace-smoke alloc-guard
+# race detector, the benchmark smoke test, the trace smoke test, the
+# verifier fuzz sweep, and the allocation guards.
+check: vet build race bench-smoke trace-smoke fuzz-smoke alloc-guard
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks).

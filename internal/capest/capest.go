@@ -19,7 +19,9 @@ import (
 // Params tune the estimation.
 type Params struct {
 	// BlockageExtension extends each blockage in preferred direction
-	// before counting usable track length (§2.5); 0 uses one pitch.
+	// before counting usable track length (§2.5); 0 uses one pitch of
+	// the blockage's own layer (upper layers have coarser pitches, so a
+	// single global extension would under-expand them).
 	BlockageExtension int
 	// ViaSpacingFactor divides the raw crossing count of a tile to get
 	// via capacity (cut spacing consumes roughly every other crossing);
@@ -35,10 +37,7 @@ type Params struct {
 	ViaPadBlocking float64
 }
 
-func (p *Params) setDefaults(pitch int) {
-	if p.BlockageExtension <= 0 {
-		p.BlockageExtension = pitch
-	}
+func (p *Params) setDefaults() {
 	if p.ViaSpacingFactor <= 0 {
 		p.ViaSpacingFactor = 2
 	}
@@ -52,14 +51,21 @@ func (p *Params) setDefaults(pitch int) {
 
 // Compute fills g.Cap from the chip's obstacles and track graph.
 func Compute(c *chip.Chip, tg *tracks.Graph, g *grid.Graph, p Params) {
-	p.setDefaults(c.Deck.Layers[0].Pitch)
+	p.setDefaults()
 
 	// Per-layer obstacle lists with the §2.5 extension in preferred
-	// direction.
+	// direction. The default extension is each layer's own pitch: decks
+	// with coarser upper-layer pitches need proportionally larger
+	// expansions there (a layer-0 pitch would undercount the blocked
+	// track length on thick upper metal).
 	obstacles := make([][]geom.Rect, c.NumLayers())
 	for _, o := range c.AllObstacles() {
+		ext := p.BlockageExtension
+		if ext <= 0 {
+			ext = c.Deck.Layers[o.Layer].Pitch
+		}
 		obstacles[o.Layer] = append(obstacles[o.Layer],
-			o.Rect.ExpandedDir(c.Dir(o.Layer), p.BlockageExtension))
+			o.Rect.ExpandedDir(c.Dir(o.Layer), ext))
 	}
 
 	// Wire edges: sum over tracks crossing the inter-center region of

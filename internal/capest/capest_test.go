@@ -91,6 +91,55 @@ func TestBlockageReducesCapacity(t *testing.T) {
 	}
 }
 
+func TestBlockageExtensionUsesOwnLayerPitch(t *testing.T) {
+	// The default deck doubles the pitch on layers ≥ 4, so on a 6-layer
+	// chip the default blockage extension must be the upper layer's own
+	// (coarser) pitch, not layer 0's. Compare against a run that forces
+	// the old behavior (extension = Layers[0].Pitch everywhere): the
+	// per-layer default expands upper-layer blockages further along the
+	// preferred direction, so the blocked layer loses more capacity,
+	// while layers whose pitch equals layer 0's are unchanged.
+	c, tg, g := buildWorld(t, chip.GenParams{Seed: 5, Rows: 4, Cols: 8, NumNets: 10, NumLayers: 6})
+	z := 5
+	if p0, pz := c.Deck.Layers[0].Pitch, c.Deck.Layers[z].Pitch; pz <= p0 {
+		t.Fatalf("test premise broken: layer %d pitch %d not coarser than layer 0 pitch %d", z, pz, p0)
+	}
+	// A blockage in the middle of the chip on the coarse layer, covering
+	// a partial stretch of several tiles so the extension length matters.
+	mid := g.TileRect(g.NX/2, g.NY/2)
+	c.Obstacles = append(c.Obstacles, chip.Obstacle{Rect: mid, Layer: z})
+
+	sumLayer := func(gr *grid.Graph, z int) float64 {
+		s := 0.0
+		for ty := 0; ty < gr.NY; ty++ {
+			for tx := 0; tx < gr.NX; tx++ {
+				if e := gr.WireEdge(tx, ty, z); e >= 0 {
+					s += gr.Cap[e]
+				}
+			}
+		}
+		return s
+	}
+
+	gOwn := grid.New(c.Area, g.TileW, g.TileH, layerDirs(c))
+	Compute(c, tg, gOwn, Params{}) // per-layer default
+	gOld := grid.New(c.Area, g.TileW, g.TileH, layerDirs(c))
+	Compute(c, tg, gOld, Params{BlockageExtension: c.Deck.Layers[0].Pitch})
+
+	if own, old := sumLayer(gOwn, z), sumLayer(gOld, z); own >= old {
+		t.Fatalf("layer %d: per-layer extension should block more than layer-0 pitch: %f >= %f", z, own, old)
+	}
+	// Layer 0 has identical pitch either way: capacities must match.
+	for ty := 0; ty < g.NY; ty++ {
+		for tx := 0; tx < g.NX; tx++ {
+			e := gOwn.WireEdge(tx, ty, 0)
+			if e >= 0 && gOwn.Cap[e] != gOld.Cap[e] {
+				t.Fatalf("layer 0 edge (%d,%d) differs: %f vs %f", tx, ty, gOwn.Cap[e], gOld.Cap[e])
+			}
+		}
+	}
+}
+
 func TestViaEdgeCapacities(t *testing.T) {
 	c, tg, g := buildWorld(t, chip.GenParams{Seed: 3, Rows: 4, Cols: 8, NumNets: 10})
 	Compute(c, tg, g, Params{})

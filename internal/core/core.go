@@ -81,14 +81,31 @@ type GlobalStats struct {
 	AlgTime, RRTime, Total time.Duration
 }
 
+// GlobalAssignment exposes the global routing solution for independent
+// verification: the grid graph with its capest capacities, the rounded
+// tree (edge list) per net, the per-edge extra widths of each chosen
+// candidate (nil entries when the solver granted none), the per-net
+// capacity widths, and — when the flow computed them — the reported
+// per-edge loads the overflow count was derived from.
+type GlobalAssignment struct {
+	Graph  *grid.Graph
+	Trees  [][]int32
+	Extras [][]float32
+	Widths []float64
+	Loads  []float64
+}
+
 // Result is a complete flow outcome.
 type Result struct {
 	Flow    string
 	Chip    *chip.Chip
 	Global  *GlobalStats
-	Detail  *detail.Result
-	Router  *detail.Router
-	Audit   drc.AuditResult
+	// Assignment carries the raw global routing solution (nil when the
+	// flow ran with SkipGlobal).
+	Assignment *GlobalAssignment
+	Detail     *detail.Result
+	Router     *detail.Router
+	Audit      drc.AuditResult
 	PerNet  []report.NetLength
 	Metrics report.Metrics
 	// CleanupTime is the DRC cleanup pass duration (BonnRoute flow).
@@ -216,9 +233,16 @@ func RouteBonnRoute(ctx context.Context, c *chip.Chip, opt Options) *Result {
 				gs.Overflowed++
 			}
 		}
+		extras := make([][]float32, len(c.Nets))
+		widths := make([]float64, len(c.Nets))
 		for ni := range sres.Nets {
-			t := sres.Nets[ni].Tree()
+			nr := &sres.Nets[ni]
+			t := nr.Tree()
 			trees[ni] = t
+			if nr.Chosen >= 0 && nr.Chosen < len(nr.Candidates) {
+				extras[ni] = nr.Candidates[nr.Chosen].Extra
+			}
+			widths[ni] = specs[ni].Width
 			edges := make([]int, len(t))
 			for i, e := range t {
 				edges[i] = int(e)
@@ -227,6 +251,9 @@ func RouteBonnRoute(ctx context.Context, c *chip.Chip, opt Options) *Result {
 			gs.PerNetVias[ni] = steiner.CountVias(g, edges)
 		}
 		res.Global = gs
+		res.Assignment = &GlobalAssignment{
+			Graph: g, Trees: trees, Extras: extras, Widths: widths, Loads: loads,
+		}
 		r.SetGlobalCorridors(g, trees)
 	}
 
@@ -317,6 +344,11 @@ func RouteBaseline(ctx context.Context, c *chip.Chip, opt Options) *Result {
 			gs.PerNetVias[ni] = steiner.CountVias(g, edges)
 		}
 		res.Global = gs
+		widths := make([]float64, len(gnets))
+		for _, gn := range gnets {
+			widths[gn.ID] = gn.Width
+		}
+		res.Assignment = &GlobalAssignment{Graph: g, Trees: gres.Trees, Widths: widths}
 		r.SetGlobalCorridors(g, gres.Trees)
 	}
 

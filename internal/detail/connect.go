@@ -829,10 +829,26 @@ func (r *Router) unrouteNet(ni int) {
 			r.FG.OnWiringChange(v.V, dirty)
 			r.FG.OnWiringChange(v.V+1, dirty)
 			r.FG.OnCutChange(v.V, dirty)
+			// An inter-layer via rule registers the cut a second time as
+			// a projection in cut plane v+1 (removed by RemoveVia), so
+			// that plane's caches go stale too — the commit path
+			// invalidates it via OnCutAdded(v+1, proj).
+			if pad.HasProjection {
+				r.FG.OnCutChange(v.V+1, dirty)
+			}
+		}
+	}
+	// Notch patches belong to the ripped-up wiring: leaving them behind
+	// would leak net metal into the space (phantom shapes that block
+	// other nets and corrupt the audit).
+	for _, p := range rt.patches {
+		if r.Space.RemoveShape(p.z, p.sh) {
+			r.FG.OnWiringChange(p.z, p.sh.Rect)
 		}
 	}
 	rt.segments = nil
 	rt.vias = nil
+	rt.patches = nil
 	rt.routed = false
 	rt.length = 0
 }

@@ -669,6 +669,13 @@ func (r *Router) reserveAccess(pi int, ap *pinaccess.AccessPath) {
 	net := int32(p.Net)
 	wt := r.Chip.WireTypes[0]
 	for i := 1; i < len(ap.Points); i++ {
+		if ap.Points[i-1] == ap.Points[i] {
+			// Degenerate zero-length stub pieces are never added —
+			// matching dynamicAccess and refreshAccess, whose removal
+			// loops skip them (an added-but-never-removed piece would
+			// leak into the space).
+			continue
+		}
 		sh := r.Space.AddWire(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net, shapegrid.RipupReserved)
 		r.FG.OnShapeAdded(ap.Layer, sh)
 	}
@@ -745,6 +752,60 @@ func (r *Router) Segments(ni int) []Segment {
 
 // FastGridHitRate exposes the §3.6 statistic.
 func (r *Router) FastGridHitRate() float64 { return r.FG.HitRate() }
+
+// ShapeRec is one committed shape of a net together with the plane it
+// lives on: Cut=false means wiring plane Plane (a layer), Cut=true
+// means cut plane Plane (a via layer).
+type ShapeRec struct {
+	Plane int
+	Cut   bool
+	Shape shapegrid.Shape
+}
+
+// CommittedShapes reconstructs every shape net ni currently owns in the
+// routing space — access-path reservations, routed segment metal, via
+// pads/cuts/projections, and notch patches — from the router's own
+// bookkeeping, without consulting the shape grids. Verification
+// compares this list against the grids' actual contents; any mismatch
+// means the incremental bookkeeping and the space have diverged.
+func (r *Router) CommittedShapes(ni int) []ShapeRec {
+	rt := &r.routes[ni]
+	net := int32(ni)
+	var out []ShapeRec
+	wt0 := r.Chip.WireTypes[0]
+	for _, ap := range rt.access {
+		if ap == nil {
+			continue
+		}
+		for i := 1; i < len(ap.Points); i++ {
+			if ap.Points[i-1] == ap.Points[i] {
+				continue
+			}
+			out = append(out, ShapeRec{Plane: ap.Layer,
+				Shape: r.Space.WireShape(ap.Layer, ap.Points[i-1], ap.Points[i], wt0, net, shapegrid.RipupReserved)})
+		}
+	}
+	wt := r.wireTypeOf(ni)
+	level := r.ripupLevelOf(ni)
+	for _, s := range rt.segments {
+		out = append(out, ShapeRec{Plane: s.Z,
+			Shape: r.Space.WireShape(s.Z, s.A, s.B, wt, net, level)})
+	}
+	for _, v := range rt.vias {
+		bot, top, cut, proj := r.Space.ViaShapes(v.V, v.At, wt, net, level)
+		out = append(out,
+			ShapeRec{Plane: v.V, Shape: bot},
+			ShapeRec{Plane: v.V + 1, Shape: top},
+			ShapeRec{Plane: v.V, Cut: true, Shape: cut})
+		if proj != nil {
+			out = append(out, ShapeRec{Plane: v.V + 1, Cut: true, Shape: *proj})
+		}
+	}
+	for _, p := range rt.patches {
+		out = append(out, ShapeRec{Plane: p.z, Shape: p.sh})
+	}
+	return out
+}
 
 // refreshAccess re-generates the access paths of pins whose on-track
 // endpoints are no longer usable (walled in by later wiring). Restricted

@@ -146,10 +146,27 @@ func (s *Space) Audit(area geom.Rect, netPins map[int32][]LayerRect) AuditResult
 			}
 		}
 		// Opens: components containing pins or wiring must all connect.
+		// Nets missing from netPins (or with an empty pin list) are
+		// skipped — with no pin set there is no connectivity obligation
+		// to count against.
 		pins := netPins[net]
 		if len(pins) > 0 {
 			res.Opens += s.openCount(shapes, comps, pins)
 		}
+	}
+
+	// Nets with pins but zero committed shapes never enter perNetShapes,
+	// yet their disconnected pins are still opens: a net with k mutually
+	// untouching pins and no wiring is k-1 opens (and a single-pin net
+	// with no wiring is none).
+	for net, pins := range netPins {
+		if len(pins) == 0 {
+			continue
+		}
+		if _, ok := perNetShapes[net]; ok {
+			continue
+		}
+		res.Opens += s.openCount(nil, newDSU(0), pins)
 	}
 	return res
 }

@@ -113,6 +113,13 @@ func (s *Space) wireShape(z int, a, b geom.Point, wt *rules.WireType, net int32,
 	}
 }
 
+// WireShape returns the shape AddWire would store for the same
+// arguments without adding it — verification uses it to reconstruct a
+// net's committed geometry from its segment list alone.
+func (s *Space) WireShape(z int, a, b geom.Point, wt *rules.WireType, net int32, ripup uint8) shapegrid.Shape {
+	return s.wireShape(z, a, b, wt, net, ripup)
+}
+
 // AddWire inserts the metal of a stick segment from a to b on layer z.
 // It returns the stored shape so the caller can remove it later.
 func (s *Space) AddWire(z int, a, b geom.Point, wt *rules.WireType, net int32, ripup uint8) shapegrid.Shape {

@@ -359,3 +359,100 @@ func TestAuditIgnoresFixedGeometryPairs(t *testing.T) {
 		t.Fatalf("fixed-geometry pairs must not count: %d", res.DiffNetViolations)
 	}
 }
+
+func TestAuditOpensCounting(t *testing.T) {
+	// Opens accounting at the edges: nets whose pins exist only in the
+	// netPins argument (zero committed shapes in the space), nets with
+	// shapes but no netPins entry, and ordinary multi-pin nets.
+	pinAt := func(x, y int) geom.Rect { return geom.R(x-10, y-10, x+10, y+10) }
+	cases := []struct {
+		name  string
+		build func(s *Space) map[int32][]LayerRect
+		want  int
+	}{
+		{
+			name: "no shapes, missing netPins entry",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{}
+			},
+			want: 0,
+		},
+		{
+			name: "no shapes, empty pin list",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{1: {}}
+			},
+			want: 0,
+		},
+		{
+			name: "no shapes, single pin is not an open",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{1: {{Rect: pinAt(100, 100), Layer: 0}}}
+			},
+			want: 0,
+		},
+		{
+			name: "no shapes, two disconnected pins",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{1: {
+					{Rect: pinAt(100, 100), Layer: 0},
+					{Rect: pinAt(900, 100), Layer: 0},
+				}}
+			},
+			want: 1,
+		},
+		{
+			name: "no shapes, three disconnected pins",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{1: {
+					{Rect: pinAt(100, 100), Layer: 0},
+					{Rect: pinAt(900, 100), Layer: 0},
+					{Rect: pinAt(100, 900), Layer: 1},
+				}}
+			},
+			want: 2,
+		},
+		{
+			name: "no shapes, two touching pins share cell metal",
+			build: func(s *Space) map[int32][]LayerRect {
+				return map[int32][]LayerRect{1: {
+					{Rect: pinAt(100, 100), Layer: 0},
+					{Rect: pinAt(120, 100), Layer: 0}, // abuts the first
+				}}
+			},
+			want: 0,
+		},
+		{
+			name: "shapes but no netPins entry is skipped",
+			build: func(s *Space) map[int32][]LayerRect {
+				s.AddWire(0, geom.Pt(100, 100), geom.Pt(500, 100), std(s), 7, shapegrid.RipupStandard)
+				return map[int32][]LayerRect{}
+			},
+			want: 0,
+		},
+		{
+			name: "mixed: routed net closed, shapeless net open",
+			build: func(s *Space) map[int32][]LayerRect {
+				pinA, pinB := pinAt(100, 100), pinAt(500, 100)
+				s.AddPin(0, 1, pinA)
+				s.AddPin(0, 1, pinB)
+				s.AddWire(0, geom.Pt(100, 100), geom.Pt(500, 100), std(s), 1, shapegrid.RipupStandard)
+				return map[int32][]LayerRect{
+					1: {{Rect: pinA, Layer: 0}, {Rect: pinB, Layer: 0}},
+					2: {{Rect: pinAt(100, 900), Layer: 0}, {Rect: pinAt(900, 900), Layer: 0}},
+				}
+			},
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSpace()
+			netPins := tc.build(s)
+			res := s.Audit(geom.R(0, 0, 2000, 2000), netPins)
+			if res.Opens != tc.want {
+				t.Fatalf("opens = %d, want %d", res.Opens, tc.want)
+			}
+		})
+	}
+}

@@ -332,14 +332,12 @@ func (s *Solver) Run(ctx context.Context) *Result {
 	for i := range states {
 		states[i].lastCand = -1
 	}
-	// addCandidate dedups by edge-set signature.
+	// addCandidate dedups by edge-set signature (with an exact
+	// comparison fallback on hash equality, see findCandidate).
 	addCandidate := func(ni int, edges []int, extras []float32) int {
 		nr := &res.Nets[ni]
-		sig := signature(edges, extras)
-		for ci := range nr.Candidates {
-			if signature32(nr.Candidates[ci].Edges, nr.Candidates[ci].Extra) == sig {
-				return ci
-			}
+		if ci := findCandidate(nr.Candidates, edges, extras); ci >= 0 {
+			return ci
 		}
 		es := make([]int32, len(edges))
 		for i, e := range edges {
@@ -523,6 +521,43 @@ func (s *Solver) candCost(n *NetSpec, c *Candidate) float64 {
 		}
 	}
 	return total
+}
+
+// findCandidate returns the index of an existing candidate identical
+// to (edges, extras), or -1. Candidates are screened by their 64-bit
+// signature; on signature equality the edge and extra slices are then
+// compared exactly, so a hash collision can never alias two distinct
+// candidates (dropping one would silently shrink the oracle's choice
+// set for the rest of the run).
+func findCandidate(cands []Candidate, edges []int, extras []float32) int {
+	sig := signature(edges, extras)
+	for ci := range cands {
+		c := &cands[ci]
+		if signature32(c.Edges, c.Extra) == sig && sameCandidate(c, edges, extras) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// sameCandidate reports whether the stored candidate is exactly the
+// proposed (edges, extras) pair — the collision fallback behind the
+// signature screen in findCandidate.
+func sameCandidate(c *Candidate, edges []int, extras []float32) bool {
+	if len(c.Edges) != len(edges) || len(c.Extra) != len(extras) {
+		return false
+	}
+	for i, e := range edges {
+		if int(c.Edges[i]) != e {
+			return false
+		}
+	}
+	for i, x := range extras {
+		if math.Float32bits(c.Extra[i]) != math.Float32bits(x) {
+			return false
+		}
+	}
+	return true
 }
 
 func signature(edges []int, extras []float32) uint64 {

@@ -317,3 +317,59 @@ func TestRoundingRepairStatistics(t *testing.T) {
 		t.Fatalf("repair touched %d of %d nets (paper: <10%%)", changes, len(nets))
 	}
 }
+
+func TestFindCandidateSurvivesSignatureCollision(t *testing.T) {
+	// Construct a genuine FNV-1a collision. The hash mixes each edge as
+	// a full 64-bit word, so for two 2-edge candidates with zero extras
+	// the state after (edge0, extra0) is s = ((off^e0)*p)*p and the
+	// final hash is ((s^e1)*p)*p — choosing e1' = e1 ^ s ^ s' makes two
+	// candidates with different edges hash identically.
+	const off uint64 = 1469598103934665603
+	const p uint64 = 1099511628211
+	state := func(e0 uint64) uint64 { return (off ^ e0) * p * p }
+	ea0, ea1, eb0 := uint64(1), uint64(2), uint64(3)
+	eb1 := ea1 ^ state(ea0) ^ state(eb0)
+
+	aEdges := []int{int(ea0), int(ea1)}
+	bEdges := []int{int(eb0), int(int64(eb1))}
+	extras := []float32{0, 0}
+	if signature(aEdges, extras) != signature(bEdges, extras) {
+		t.Fatal("test premise broken: crafted candidates do not collide")
+	}
+
+	toC := func(edges []int) Candidate {
+		es := make([]int32, len(edges))
+		for i, e := range edges {
+			es[i] = int32(e)
+		}
+		return Candidate{Edges: es, Extra: append([]float32(nil), extras...)}
+	}
+	// Store A as the solver would (int32 edges; A's edges fit) and query
+	// with both the identical and the colliding candidate.
+	cands := []Candidate{toC(aEdges)}
+	if ci := findCandidate(cands, aEdges, extras); ci != 0 {
+		t.Fatalf("identical candidate not found: got %d", ci)
+	}
+	if ci := findCandidate(cands, bEdges, extras); ci != -1 {
+		t.Fatalf("distinct colliding candidate aliased to %d; collision fallback missing", ci)
+	}
+	if sameCandidate(&cands[0], bEdges, extras) {
+		t.Fatal("sameCandidate must distinguish different edge slices")
+	}
+	if !sameCandidate(&cands[0], aEdges, extras) {
+		t.Fatal("sameCandidate must accept identical candidates")
+	}
+}
+
+func TestSameCandidateComparesExtras(t *testing.T) {
+	c := Candidate{Edges: []int32{1, 2}, Extra: []float32{0, 1.5}}
+	if sameCandidate(&c, []int{1, 2}, []float32{0, 2.5}) {
+		t.Fatal("differing extras must not match")
+	}
+	if !sameCandidate(&c, []int{1, 2}, []float32{0, 1.5}) {
+		t.Fatal("equal extras must match")
+	}
+	if sameCandidate(&c, []int{1}, []float32{0}) {
+		t.Fatal("differing lengths must not match")
+	}
+}

@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+)
+
+// Determinism runs the BonnRoute flow twice on independently generated
+// copies of the same chip — same seed, different worker counts — and
+// returns every observable difference. The parallel rounds partition
+// work by strip and merge results in net order, so the outcome must be
+// bit-identical regardless of Workers; any difference is a scheduling
+// leak (iteration-order dependence, racy tie-break, shared-state
+// corruption).
+func Determinism(ctx context.Context, params chip.GenParams, opt core.Options, workersA, workersB int) []Violation {
+	run := func(workers int) *core.Result {
+		o := opt
+		o.Workers = workers
+		return core.RouteBonnRoute(ctx, chip.Generate(params), o)
+	}
+	a := run(workersA)
+	b := run(workersB)
+	viol := CompareResults(a, b)
+	for i := range viol {
+		viol[i].Detail = fmt.Sprintf("Workers %d vs %d: %s", workersA, workersB, viol[i].Detail)
+	}
+	return viol
+}
+
+// CompareResults returns the observable differences between two flow
+// results that determinism requires to be identical: the quality
+// metrics, the global-routing lambda, the per-net reported geometry,
+// and the per-net committed segments.
+func CompareResults(a, b *core.Result) []Violation {
+	p := &reporter{rep: &Report{}, pass: "determinism"}
+	am, bm := a.Metrics, b.Metrics
+	if am.Netlength != bm.Netlength {
+		p.addf("netlength %d != %d", am.Netlength, bm.Netlength)
+	}
+	if am.Vias != bm.Vias {
+		p.addf("vias %d != %d", am.Vias, bm.Vias)
+	}
+	if am.Errors != bm.Errors {
+		p.addf("errors %d != %d", am.Errors, bm.Errors)
+	}
+	if am.Unrouted != bm.Unrouted {
+		p.addf("unrouted %d != %d", am.Unrouted, bm.Unrouted)
+	}
+	if am.Scenic25 != bm.Scenic25 || am.Scenic50 != bm.Scenic50 {
+		p.addf("scenic %d/%d != %d/%d", am.Scenic25, am.Scenic50, bm.Scenic25, bm.Scenic50)
+	}
+	if a.Global != nil && b.Global != nil && a.Global.Lambda != b.Global.Lambda {
+		p.addf("lambda %v != %v", a.Global.Lambda, b.Global.Lambda)
+	}
+	if len(a.PerNet) != len(b.PerNet) {
+		p.addf("per-net report length %d != %d", len(a.PerNet), len(b.PerNet))
+	} else {
+		for ni := range a.PerNet {
+			if a.PerNet[ni] != b.PerNet[ni] {
+				p.addf("net %d geometry %+v != %+v", ni, a.PerNet[ni], b.PerNet[ni])
+			}
+		}
+	}
+	if a.Router != nil && b.Router != nil && a.Chip != nil && b.Chip != nil &&
+		len(a.Chip.Nets) == len(b.Chip.Nets) {
+		for ni := range a.Chip.Nets {
+			sa, sb := a.Router.Segments(ni), b.Router.Segments(ni)
+			if len(sa) != len(sb) {
+				p.addf("net %d segment count %d != %d", ni, len(sa), len(sb))
+				continue
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					p.addf("net %d segment %d: %+v != %+v", ni, i, sa[i], sb[i])
+					break
+				}
+			}
+		}
+	}
+	return p.rep.Violations
+}

@@ -1,0 +1,511 @@
+// Package verify is an independent, from-scratch checker for finished
+// routing results. The router and its audit share the incremental data
+// structures (shape grids, fast grid, interval maps) that routing
+// mutates — a bookkeeping bug there would corrupt the routing and its
+// own audit in the same way, so neither would notice. Every pass here
+// re-derives its answer with simple O(n²)-tolerant reference algorithms
+// from the router's declarative bookkeeping and the chip alone:
+//
+//   - conservation: the shapes the space actually holds are exactly the
+//     chip's fixed geometry plus what each net claims to have committed;
+//   - spacing: brute-force diff-net check over all reconstructed shape
+//     pairs, compared against the audit's grid-driven count;
+//   - connectivity: union-find opens per net from raw geometry,
+//     compared against the audit's count;
+//   - capacity: global-edge loads re-accumulated from the chosen trees,
+//     compared element-wise against the solver's loads and the overflow
+//     count;
+//   - fastgrid: sampled differential of every fast-grid verdict against
+//     a first-principles rule-checker query.
+//
+// The determinism double-run check lives in determinism.go.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bonnroute/internal/core"
+	"bonnroute/internal/drc"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
+)
+
+// Violation is one verifier finding.
+type Violation struct {
+	Pass   string // conservation | spacing | connectivity | capacity | fastgrid | determinism
+	Detail string
+}
+
+func (v Violation) String() string { return v.Pass + ": " + v.Detail }
+
+// Report collects the findings of one verification run.
+type Report struct {
+	Violations []Violation
+
+	// Work counters, for reporting coverage.
+	ShapesChecked  int // shapes compared in the conservation pass
+	PairsChecked   int // brute-force pairs evaluated in the spacing pass
+	NetsChecked    int // nets whose connectivity was re-derived
+	EdgesChecked   int // global edges re-accumulated
+	SamplesChecked int // fast-grid sample points compared
+}
+
+// OK reports a clean run.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// maxPerPass caps recorded findings per pass so a systematic breakage
+// doesn't produce one finding per shape.
+const maxPerPass = 32
+
+type reporter struct {
+	rep  *Report
+	pass string
+	n    int
+}
+
+func (p *reporter) addf(format string, args ...any) {
+	p.n++
+	if p.n > maxPerPass {
+		if p.n == maxPerPass+1 {
+			p.rep.Violations = append(p.rep.Violations,
+				Violation{Pass: p.pass, Detail: "further findings suppressed"})
+		}
+		return
+	}
+	p.rep.Violations = append(p.rep.Violations,
+		Violation{Pass: p.pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Options tune a verification run.
+type Options struct {
+	// FastGridStride is the along-track sampling step of the fast-grid
+	// differential pass in DBU; 0 uses the layer pitch.
+	FastGridStride int
+	// SkipFastGrid disables the (comparatively slow) fast-grid pass.
+	SkipFastGrid bool
+}
+
+// Run executes every in-process pass against a finished result.
+func Run(res *core.Result, opt Options) *Report {
+	rep := &Report{}
+	exp := reconstruct(res)
+	checkConservation(rep, res, exp)
+	checkSpacing(rep, res, exp)
+	checkConnectivity(rep, res, exp)
+	checkCapacity(rep, res)
+	if !opt.SkipFastGrid {
+		checkFastGrid(rep, res, opt)
+	}
+	return rep
+}
+
+// planeKey addresses one shape plane: a wiring layer or a cut layer.
+type planeKey struct {
+	plane int
+	cut   bool
+}
+
+// expected is the from-scratch reconstruction of the routing space:
+// what every plane must hold, and which net claims each shape.
+type expected struct {
+	planes map[planeKey]map[shapegrid.Shape]bool
+	// perNet[ni] lists net ni's wiring shapes (pins included) and cut
+	// shapes — the raw geometry the connectivity pass runs on.
+	perNetWiring map[int][]layerShape
+	perNetCuts   map[int][]layerShape
+}
+
+type layerShape struct {
+	z  int
+	sh shapegrid.Shape
+}
+
+// reconstruct builds the expected space contents from the chip's fixed
+// geometry plus each net's claimed committed shapes. It never queries
+// the shape grids.
+func reconstruct(res *core.Result) *expected {
+	c := res.Chip
+	r := res.Router
+	exp := &expected{
+		planes:       map[planeKey]map[shapegrid.Shape]bool{},
+		perNetWiring: map[int][]layerShape{},
+		perNetCuts:   map[int][]layerShape{},
+	}
+	add := func(k planeKey, sh shapegrid.Shape) {
+		m := exp.planes[k]
+		if m == nil {
+			m = map[shapegrid.Shape]bool{}
+			exp.planes[k] = m
+		}
+		m[sh] = true
+	}
+	for _, o := range c.AllObstacles() {
+		add(planeKey{o.Layer, false}, shapegrid.Shape{
+			Rect:  o.Rect,
+			Net:   shapegrid.NoNet,
+			Class: rules.ClassBlockage,
+			Ripup: shapegrid.RipupNever,
+			Kind:  shapegrid.KindBlockage,
+		})
+	}
+	for pi := range c.Pins {
+		p := &c.Pins[pi]
+		for _, s := range p.Shapes {
+			sh := shapegrid.Shape{
+				Rect:  s.Rect,
+				Net:   int32(p.Net),
+				Class: rules.ClassStandard,
+				Ripup: shapegrid.RipupNever,
+				Kind:  shapegrid.KindPin,
+			}
+			add(planeKey{s.Layer, false}, sh)
+			exp.perNetWiring[p.Net] = append(exp.perNetWiring[p.Net], layerShape{s.Layer, sh})
+		}
+	}
+	for ni := range c.Nets {
+		for _, rec := range r.CommittedShapes(ni) {
+			add(planeKey{rec.Plane, rec.Cut}, rec.Shape)
+			if rec.Cut {
+				exp.perNetCuts[ni] = append(exp.perNetCuts[ni], layerShape{rec.Plane, rec.Shape})
+			} else {
+				exp.perNetWiring[ni] = append(exp.perNetWiring[ni], layerShape{rec.Plane, rec.Shape})
+			}
+		}
+	}
+	return exp
+}
+
+// checkConservation compares the reconstruction against the live shape
+// grids, both directions, per plane.
+func checkConservation(rep *Report, res *core.Result, exp *expected) {
+	p := &reporter{rep: rep, pass: "conservation"}
+	r := res.Router
+	area := res.Chip.Area.Expanded(64 * res.Chip.Deck.Layers[0].Pitch)
+
+	check := func(k planeKey, liveShapes []shapegrid.Shape) {
+		live := make(map[shapegrid.Shape]bool, len(liveShapes))
+		for _, sh := range liveShapes {
+			live[sh] = true
+		}
+		want := exp.planes[k]
+		rep.ShapesChecked += len(live) + len(want)
+		for sh := range live {
+			if !want[sh] {
+				p.addf("plane %v holds unclaimed shape %+v (phantom metal: no net or fixed geometry accounts for it)", k, sh)
+			}
+		}
+		for sh := range want {
+			if !live[sh] {
+				p.addf("plane %v is missing claimed shape %+v (bookkeeping says committed, space disagrees)", k, sh)
+			}
+		}
+	}
+	for z := range r.Space.Wiring {
+		check(planeKey{z, false}, r.Space.Wiring[z].QueryAll(area))
+	}
+	for v := range r.Space.Cuts {
+		check(planeKey{v, true}, r.Space.Cuts[v].QueryAll(area))
+	}
+}
+
+// spacingViolates is the reference diff-net predicate, restated from
+// the deck rules: overlap, or gap below the class/width/run-length
+// dependent spacing.
+func spacingViolates(deck *rules.Deck, z int, a, b shapegrid.Shape) bool {
+	if a.Rect.Intersects(b.Rect) {
+		return true
+	}
+	var rl int
+	switch {
+	case a.Rect.DistY(b.Rect) > 0 && a.Rect.DistX(b.Rect) == 0:
+		rl = a.Rect.RunLength(b.Rect, geom.Horizontal)
+	case a.Rect.DistX(b.Rect) > 0 && a.Rect.DistY(b.Rect) == 0:
+		rl = a.Rect.RunLength(b.Rect, geom.Vertical)
+	}
+	sp := deck.Spacing(z, a.Class, b.Class, a.Rect.Width(), b.Rect.Width(), rl)
+	return a.Rect.Dist2Sq(b.Rect) < int64(sp)*int64(sp)
+}
+
+// checkSpacing brute-forces diff-net spacing over all reconstructed
+// shapes of each wiring plane — no grid, no neighborhood query, no
+// margin logic — and compares the total against the audit.
+func checkSpacing(rep *Report, res *core.Result, exp *expected) {
+	p := &reporter{rep: rep, pass: "spacing"}
+	deck := res.Chip.Deck
+	count := 0
+	for z := range res.Router.Space.Wiring {
+		shapes := sortedShapes(exp.planes[planeKey{z, false}])
+		for i := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				a, b := shapes[i], shapes[j]
+				if a.Net == b.Net && a.Net != shapegrid.NoNet {
+					continue
+				}
+				routedA := a.Kind == shapegrid.KindWire || a.Kind == shapegrid.KindVia
+				routedB := b.Kind == shapegrid.KindWire || b.Kind == shapegrid.KindVia
+				if !routedA && !routedB {
+					continue // placement-vs-placement is not the router's error
+				}
+				rep.PairsChecked++
+				if spacingViolates(deck, z, a, b) {
+					count++
+				}
+			}
+		}
+	}
+	if count != res.Audit.DiffNetViolations {
+		p.addf("brute-force diff-net count %d != audit's %d (the audit's neighborhood query and the raw geometry disagree)",
+			count, res.Audit.DiffNetViolations)
+	}
+}
+
+func sortedShapes(m map[shapegrid.Shape]bool) []shapegrid.Shape {
+	out := make([]shapegrid.Shape, 0, len(m))
+	for sh := range m {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rect != b.Rect {
+			if a.Rect.XMin != b.Rect.XMin {
+				return a.Rect.XMin < b.Rect.XMin
+			}
+			if a.Rect.YMin != b.Rect.YMin {
+				return a.Rect.YMin < b.Rect.YMin
+			}
+			if a.Rect.XMax != b.Rect.XMax {
+				return a.Rect.XMax < b.Rect.XMax
+			}
+			return a.Rect.YMax < b.Rect.YMax
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Ripup != b.Ripup {
+			return a.Ripup < b.Ripup
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// checkConnectivity re-derives opens per routed net with a union-find
+// over raw geometry (same-layer touching shapes merge; via cuts join
+// the two adjacent layers; pins join what they touch) and compares the
+// total against the audit. The pin policy mirrors the flows' audit
+// call: routed nets only, one representative rectangle per pin.
+func checkConnectivity(rep *Report, res *core.Result, exp *expected) {
+	p := &reporter{rep: rep, pass: "connectivity"}
+	c := res.Chip
+	opens := 0
+	for ni := range c.Nets {
+		if !res.Router.NetStats(ni).Routed {
+			continue
+		}
+		rep.NetsChecked++
+		shapes := exp.perNetWiring[ni]
+		d := newDSU(len(shapes) + len(c.Nets[ni].Pins))
+		for i := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				if shapes[i].z == shapes[j].z && shapes[i].sh.Rect.Touches(shapes[j].sh.Rect) {
+					d.union(i, j)
+				}
+			}
+		}
+		for _, cut := range exp.perNetCuts[ni] {
+			if cut.sh.Class != rules.ClassViaCut {
+				continue // projections are rule metal, not connectivity
+			}
+			first := -1
+			for i := range shapes {
+				if (shapes[i].z == cut.z || shapes[i].z == cut.z+1) && shapes[i].sh.Rect.Touches(cut.sh.Rect) {
+					if first < 0 {
+						first = i
+					} else {
+						d.union(first, i)
+					}
+				}
+			}
+		}
+		// Pins: one representative rectangle each, joined to touching
+		// net shapes on the pin's layer and to touching sibling pins.
+		n := len(shapes)
+		pins := c.Nets[ni].Pins
+		for k, pi := range pins {
+			ps := c.Pins[pi].Shapes[0]
+			for i := range shapes {
+				if shapes[i].z == ps.Layer && shapes[i].sh.Rect.Touches(ps.Rect) {
+					d.union(n+k, i)
+				}
+			}
+			for q := 0; q < k; q++ {
+				qs := c.Pins[pins[q]].Shapes[0]
+				if qs.Layer == ps.Layer && qs.Rect.Touches(ps.Rect) {
+					d.union(n+k, n+q)
+				}
+			}
+		}
+		roots := map[int]bool{}
+		for k := range pins {
+			roots[d.find(n+k)] = true
+		}
+		if len(roots) > 1 {
+			opens += len(roots) - 1
+		}
+	}
+	if opens != res.Audit.Opens {
+		p.addf("union-find opens %d != audit's %d", opens, res.Audit.Opens)
+	}
+}
+
+// checkCapacity re-accumulates global-edge loads from the chosen trees
+// and compares them against the solver's reported loads (element-wise)
+// and the flow's overflow count.
+func checkCapacity(rep *Report, res *core.Result) {
+	p := &reporter{rep: rep, pass: "capacity"}
+	a := res.Assignment
+	if a == nil || a.Graph == nil {
+		return
+	}
+	g := a.Graph
+	load := make([]float64, g.NumEdges())
+	rep.EdgesChecked = g.NumEdges()
+	for ni, tree := range a.Trees {
+		w := 1.0
+		if a.Widths != nil {
+			w = a.Widths[ni]
+		}
+		for i, e := range tree {
+			if int(e) < 0 || int(e) >= len(load) {
+				p.addf("net %d tree references edge %d outside the graph (%d edges)", ni, e, len(load))
+				continue
+			}
+			x := w
+			if a.Extras != nil && a.Extras[ni] != nil && i < len(a.Extras[ni]) {
+				x += float64(a.Extras[ni][i])
+			}
+			load[e] += x
+		}
+	}
+	if a.Loads != nil {
+		for e := range load {
+			if math.Abs(load[e]-a.Loads[e]) > 1e-6 {
+				p.addf("edge %d: re-accumulated load %g != reported load %g", e, load[e], a.Loads[e])
+			}
+		}
+	}
+	over := 0
+	for e := range load {
+		if load[e] > g.Cap[e]+1e-9 {
+			over++
+		}
+	}
+	if res.Global != nil && over != res.Global.Overflowed {
+		p.addf("re-derived overflow count %d != flow's %d", over, res.Global.Overflowed)
+	}
+}
+
+// checkFastGrid samples every track of every layer and compares the
+// fast grid's cached verdicts — wire need, jog-up need, via need —
+// against first-principles rule-checker queries with AnyNet.
+func checkFastGrid(rep *Report, res *core.Result, opt Options) {
+	p := &reporter{rep: rep, pass: "fastgrid"}
+	r := res.Router
+	c := res.Chip
+	wt := c.WireTypes[0]
+	if r.FG.Slot(wt) < 0 {
+		return // wire type not cached: nothing to differ from
+	}
+	for z := range r.TG.Layers {
+		layer := &r.TG.Layers[z]
+		stride := opt.FastGridStride
+		if stride <= 0 {
+			stride = c.Deck.Layers[z].Pitch
+		}
+		pm := wt.Oriented(z, layer.Dir, layer.Dir)
+		span := c.Area.Span(layer.Dir)
+		for ti, coord := range layer.Coords {
+			for along := span.Lo; along < span.Hi; along += stride {
+				var pt geom.Point
+				if layer.Dir == geom.Horizontal {
+					pt = geom.Pt(along, coord)
+				} else {
+					pt = geom.Pt(coord, along)
+				}
+				rep.SamplesChecked++
+				want := r.Space.RectNeed(z, pm.Shape.Translated(pt), pm.Class, drc.AnyNet)
+				got, ok := r.FG.WireNeed(z, ti, along, wt)
+				if !ok || got != want {
+					p.addf("wire: layer %d track %d along %d: fast grid %d, rule checker %d", z, ti, along, got, want)
+				}
+				if ti+1 < len(layer.Coords) {
+					c1 := layer.Coords[ti+1]
+					var a, b geom.Point
+					if layer.Dir == geom.Horizontal {
+						a, b = geom.Pt(along, coord), geom.Pt(along, c1)
+					} else {
+						a, b = geom.Pt(coord, along), geom.Pt(c1, along)
+					}
+					rep.SamplesChecked++
+					jwant := r.Space.SegmentNeed(z, a, b, wt, drc.AnyNet)
+					jgot, jok := r.FG.JogUpNeed(z, ti, along, wt)
+					if !jok || jgot != jwant {
+						p.addf("jog: layer %d track %d along %d: fast grid %d, rule checker %d", z, ti, along, jgot, jwant)
+					}
+				}
+			}
+		}
+	}
+	// Via verdicts at (subsampled) track crossings of each via layer.
+	for v := 0; v+1 < c.NumLayers(); v++ {
+		lo, hi := &r.TG.Layers[v], &r.TG.Layers[v+1]
+		for bi := 0; bi < len(lo.Coords); bi += 2 {
+			for tj := 0; tj < len(hi.Coords); tj += 2 {
+				var pos geom.Point
+				if lo.Dir == geom.Horizontal {
+					pos = geom.Pt(hi.Coords[tj], lo.Coords[bi])
+				} else {
+					pos = geom.Pt(lo.Coords[bi], hi.Coords[tj])
+				}
+				rep.SamplesChecked++
+				want := r.Space.ViaNeed(v, pos, wt, drc.AnyNet)
+				got, ok := r.FG.ViaNeed(v, bi, tj, pos, wt)
+				if !ok || got != want {
+					p.addf("via: layer %d at %v: fast grid %d, rule checker %d", v, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+// dsu is a plain union-find.
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}

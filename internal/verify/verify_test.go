@@ -1,0 +1,217 @@
+package verify
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/geom"
+)
+
+func routeSmall(t *testing.T) *core.Result {
+	t.Helper()
+	c := chip.Generate(chip.GenParams{
+		Seed: 17, Rows: 5, Cols: 24, NumNets: 40, NumLayers: 4, LocalityRadius: 3,
+	})
+	return core.RouteBonnRoute(context.Background(), c, core.Options{Seed: 17, Workers: 2})
+}
+
+func passes(viol []Violation) map[string]bool {
+	m := map[string]bool{}
+	for _, v := range viol {
+		m[v.Pass] = true
+	}
+	return m
+}
+
+// TestVerify runs one flow and then drives every pass through a clean
+// check plus targeted corruptions, in an order that saves the
+// state-mutating corruption for last. Each corruption must trip exactly
+// the pass that owns the invariant — that is the verifier's liveness
+// proof (a checker that cannot fail proves nothing).
+func TestVerify(t *testing.T) {
+	res := routeSmall(t)
+
+	t.Run("clean", func(t *testing.T) {
+		rep := Run(res, Options{})
+		if !rep.OK() {
+			for _, v := range rep.Violations {
+				t.Errorf("unexpected violation: %s", v)
+			}
+		}
+		if rep.ShapesChecked == 0 || rep.PairsChecked == 0 || rep.NetsChecked == 0 ||
+			rep.EdgesChecked == 0 || rep.SamplesChecked == 0 {
+			t.Fatalf("a pass did no work: %+v", rep)
+		}
+	})
+
+	t.Run("spacing detects audit drift", func(t *testing.T) {
+		tampered := *res
+		tampered.Audit.DiffNetViolations += 3
+		got := passes(Run(&tampered, Options{SkipFastGrid: true}).Violations)
+		if !got["spacing"] || len(got) != 1 {
+			t.Fatalf("want exactly the spacing pass to fail, got %v", got)
+		}
+	})
+
+	t.Run("connectivity detects opens drift", func(t *testing.T) {
+		tampered := *res
+		tampered.Audit.Opens += 1
+		got := passes(Run(&tampered, Options{SkipFastGrid: true}).Violations)
+		if !got["connectivity"] || len(got) != 1 {
+			t.Fatalf("want exactly the connectivity pass to fail, got %v", got)
+		}
+	})
+
+	t.Run("capacity detects load corruption", func(t *testing.T) {
+		if res.Assignment == nil || len(res.Assignment.Loads) == 0 {
+			t.Fatal("flow produced no assignment to corrupt")
+		}
+		res.Assignment.Loads[0] += 0.5
+		defer func() { res.Assignment.Loads[0] -= 0.5 }()
+		got := passes(Run(res, Options{SkipFastGrid: true}).Violations)
+		if !got["capacity"] || len(got) != 1 {
+			t.Fatalf("want exactly the capacity pass to fail, got %v", got)
+		}
+	})
+
+	t.Run("capacity detects tree corruption", func(t *testing.T) {
+		a := res.Assignment
+		var ni int
+		for ni = range a.Trees {
+			if len(a.Trees[ni]) > 0 {
+				break
+			}
+		}
+		if len(a.Trees[ni]) == 0 {
+			t.Fatal("no net has a routed tree")
+		}
+		old := a.Trees[ni][0]
+		a.Trees[ni][0] = old ^ 1 // reroute one net over a different edge
+		defer func() { a.Trees[ni][0] = old }()
+		if got := passes(Run(res, Options{SkipFastGrid: true}).Violations); !got["capacity"] {
+			t.Fatalf("want the capacity pass to fail, got %v", got)
+		}
+	})
+
+	t.Run("conservation detects missing shape", func(t *testing.T) {
+		// Pull one fixed obstacle out of the space: bookkeeping still
+		// claims it, the grids no longer hold it.
+		obs := res.Chip.AllObstacles()
+		if len(obs) == 0 {
+			t.Skip("chip has no obstacles")
+		}
+		o := obs[0]
+		exp := reconstruct(res)
+		for cand := range exp.planes[planeKey{o.Layer, false}] {
+			if cand.Rect == o.Rect && cand.Net == -1 { // shapegrid.NoNet
+				if !res.Router.Space.RemoveShape(o.Layer, cand) {
+					t.Fatal("obstacle shape not present in the space")
+				}
+				defer res.Router.Space.AddShape(o.Layer, cand)
+				break
+			}
+		}
+		rep := Run(res, Options{SkipFastGrid: true})
+		found := false
+		for _, v := range rep.Violations {
+			if v.Pass == "conservation" && strings.Contains(v.Detail, "missing claimed shape") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("want a missing-shape conservation finding, got %v", rep.Violations)
+		}
+	})
+
+	// Mutates the routing space for good: keep this subtest last.
+	t.Run("conservation detects phantom shape", func(t *testing.T) {
+		mid := geom.Rect{
+			XMin: res.Chip.Area.XMin + 100, YMin: res.Chip.Area.YMin + 100,
+			XMax: res.Chip.Area.XMin + 160, YMax: res.Chip.Area.YMin + 140,
+		}
+		res.Router.Space.AddObstacle(0, mid)
+		rep := Run(res, Options{SkipFastGrid: true})
+		found := false
+		for _, v := range rep.Violations {
+			if v.Pass == "conservation" && strings.Contains(v.Detail, "unclaimed shape") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("want an unclaimed-shape conservation finding, got %v", rep.Violations)
+		}
+	})
+}
+
+// TestFastGridPassIsLive corrupts the fast grid relative to the rule
+// checker — an obstacle added to the space without the corresponding
+// invalidation callback — and requires the differential pass to notice.
+func TestFastGridPassIsLive(t *testing.T) {
+	res := routeSmall(t)
+	l0 := &res.Router.TG.Layers[0]
+	c0 := l0.Coords[len(l0.Coords)/2]
+	var r geom.Rect
+	if l0.Dir == geom.Horizontal {
+		mid := (res.Chip.Area.XMin + res.Chip.Area.XMax) / 2
+		r = geom.Rect{XMin: mid, YMin: c0 - 10, XMax: mid + 200, YMax: c0 + 10}
+	} else {
+		mid := (res.Chip.Area.YMin + res.Chip.Area.YMax) / 2
+		r = geom.Rect{XMin: c0 - 10, YMin: mid, XMax: c0 + 10, YMax: mid + 200}
+	}
+	res.Router.Space.AddObstacle(0, r) // no FG.OnWiringChange: cache is now stale
+	got := passes(Run(res, Options{}).Violations)
+	if !got["fastgrid"] {
+		t.Fatalf("want the fastgrid pass to fail on a stale cache, got %v", got)
+	}
+}
+
+// TestCompareResultsFlagsDifferences proves the determinism comparator
+// itself is live: identical results compare clean, genuinely different
+// routings do not.
+func TestCompareResultsFlagsDifferences(t *testing.T) {
+	gen := func(seed int64) *core.Result {
+		c := chip.Generate(chip.GenParams{
+			Seed: seed, Rows: 4, Cols: 10, NumNets: 16, NumLayers: 4, LocalityRadius: 3,
+		})
+		return core.RouteBonnRoute(context.Background(), c, core.Options{Seed: 17, Workers: 1})
+	}
+	a := gen(3)
+	if viol := CompareResults(a, a); len(viol) != 0 {
+		t.Fatalf("self-comparison must be clean, got %v", viol)
+	}
+	b := gen(4)
+	if viol := CompareResults(a, b); len(viol) == 0 {
+		t.Fatal("different chips routed identically — comparator is dead")
+	}
+}
+
+// TestFuzzRegressionSeed1007 pins the first bug the fuzz harness found
+// (routefuzz seed 1007, shrunk): ripping up a via whose cut carries an
+// inter-layer projection removed the projection from cut plane v+1 but
+// never invalidated that plane's fast-grid caches, leaving stale via
+// verdicts behind (fast grid claimed a rip-up need where the space was
+// free).
+func TestFuzzRegressionSeed1007(t *testing.T) {
+	params := chip.GenParams{
+		Seed: 1007, Rows: 5, Cols: 10, NumNets: 19,
+		NumLayers: 6, LocalityRadius: 5,
+	}
+	res := core.RouteBonnRoute(context.Background(), chip.Generate(params),
+		core.Options{Seed: 1007, Workers: 1})
+	for _, v := range Run(res, Options{}).Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestDeterminism is the double-run check itself on a small chip.
+func TestDeterminism(t *testing.T) {
+	viol := Determinism(context.Background(), chip.GenParams{
+		Seed: 11, Rows: 4, Cols: 12, NumNets: 24, NumLayers: 4, LocalityRadius: 3,
+	}, core.Options{Seed: 11}, 1, 4)
+	for _, v := range viol {
+		t.Errorf("%s", v)
+	}
+}
