@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke trace-smoke fuzz-smoke alloc-guard check bench-json bench-scaling
+.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard check bench-json bench-scaling bench-eco
 
 all: build
 
@@ -12,6 +12,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# test-race is the targeted race lane: the lock-free fast-grid and
+# striped interval-map stress tests, plus the ECO differential
+# equivalence suite (whose incremental runs exercise replay, restricted
+# global routing, and parallel detail together), all under the race
+# detector.
+test-race:
+	$(GO) test -race -run 'TestConcurrentReadsDuringCommits' ./internal/fastgrid
+	$(GO) test -race -run 'TestStripedConcurrentDisjoint|TestStripedMatchesMap' ./internal/intervalmap
+	$(GO) test -race -run 'TestECOEquivalence' ./internal/verify
+	$(GO) test -race ./internal/incremental
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +48,14 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/routefuzz -seeds 10 -base-seed 1000
 
+# fuzz-eco-smoke sweeps fixed-seed random scenarios through the ECO
+# path: each seed routes a chip, applies a seeded random delta both
+# incrementally and from scratch, and requires every verifier pass to
+# hold on both with identical opens/overflow plus worker-count
+# bit-identity of the incremental result.
+fuzz-eco-smoke:
+	$(GO) run ./cmd/routefuzz -eco -seeds 4 -base-seed 2000
+
 # alloc-guard re-runs the steady-state allocation tests: the no-op
 # tracer must stay allocation-free and the pooled path-search engine
 # must keep its per-search allocation budget — both serially and with
@@ -45,10 +64,12 @@ alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
 
-# check is the pre-merge gate: vet, build, the full test suite under the
-# race detector, the benchmark smoke test, the trace smoke test, the
-# verifier fuzz sweep, and the allocation guards.
-check: vet build race bench-smoke trace-smoke fuzz-smoke alloc-guard
+# check is the pre-merge gate: vet, build, the full test suite, the
+# targeted race lane, the benchmark smoke test, the trace smoke test,
+# the verifier fuzz sweeps (plain and ECO), and the allocation guards.
+# (`make race` — the whole suite under -race — stays available as the
+# long-form lane.)
+check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks).
@@ -63,3 +84,10 @@ bench-json:
 #   go run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -bench-json BENCH_parallel.json
 bench-scaling:
 	$(GO) run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -diff-parallel BENCH_parallel.json
+
+# bench-eco regenerates the committed incremental-rerouting artifact:
+# each eco-suite chip is routed, a small (<10%) random delta is applied,
+# and incremental.Reroute is timed against a from-scratch reroute of the
+# same mutated chip. Both results must clear every verifier pass.
+bench-eco:
+	$(GO) run ./cmd/routebench -eco -suite eco -bench-json BENCH_eco.json

@@ -37,8 +37,23 @@ import (
 
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
+	"bonnroute/internal/incremental"
 	"bonnroute/internal/obs"
 	"bonnroute/internal/report"
+)
+
+// ECO (incremental rerouting) re-exports: a Delta describes a scenario
+// change against an already-routed chip — nets added (NewNet) or
+// removed, pins moved (PinMove), blockages dropped in — and EcoStats
+// reports what Reroute reused versus redid. PinShape and Obstacle are
+// the chip geometry types deltas are built from.
+type (
+	Delta    = incremental.Delta
+	NewNet   = incremental.NewNet
+	PinMove  = incremental.PinMove
+	EcoStats = incremental.Stats
+	PinShape = chip.PinShape
+	Obstacle = chip.Obstacle
 )
 
 // ChipParams parameterize the synthetic chip generator (the substitute
@@ -148,6 +163,13 @@ func WithDetailConfig(d DetailConfig) Option {
 // WithoutGlobal is shorthand for WithGlobalConfig(GlobalConfig{Skip: true}).
 func WithoutGlobal() Option { return func(o *core.Options) { o.SkipGlobal = true } }
 
+// WithEcoThreshold sets the dirty-fraction above which Reroute falls
+// back to a full from-scratch run (default 0.35; negative never falls
+// back).
+func WithEcoThreshold(f float64) Option {
+	return func(o *core.Options) { o.EcoThreshold = f }
+}
+
 func buildOptions(opts []Option) core.Options {
 	var o core.Options
 	for _, fn := range opts {
@@ -175,6 +197,28 @@ func Route(ctx context.Context, c *Chip, opts ...Option) *Result {
 func RouteBaseline(ctx context.Context, c *Chip, opts ...Option) *Result {
 	return core.RouteBaseline(ctx, c, buildOptions(opts))
 }
+
+// Reroute applies an ECO delta to a finished run: committed wiring of
+// clean nets is reused verbatim, only affected global edges are
+// re-priced, and only the dirty set goes back through the detail
+// pipeline (full from-scratch fallback above WithEcoThreshold). An
+// empty delta returns prev itself, bit-identical. prev is never
+// modified. The options should match the ones prev was routed with —
+// in particular the seed, so the incremental result stays deterministic
+// for any worker count.
+func Reroute(ctx context.Context, prev *Result, delta Delta, opts ...Option) (*Result, *EcoStats, error) {
+	return incremental.Reroute(ctx, prev, delta, buildOptions(opts))
+}
+
+// RandomDelta builds a seeded random ECO scenario against a chip:
+// useful for stress tests and benchmarks. The zero GenConfig scales the
+// delta to roughly 3% of the chip's nets.
+func RandomDelta(c *Chip, seed int64, cfg incremental.GenConfig) Delta {
+	return incremental.RandomDelta(c, seed, cfg)
+}
+
+// EcoGenConfig sizes RandomDelta.
+type EcoGenConfig = incremental.GenConfig
 
 // RouteWithOptions is the escape hatch for callers that already hold a
 // fully-populated core.Options.

@@ -8,13 +8,20 @@
 // Usage:
 //
 //	routebench [-table 0|1|2|3|4] [-suite small|medium|large|scaling] [-workers N]
-//	           [-workers-sweep 1,2,4,8] [-diff-parallel f]
+//	           [-workers-sweep 1,2,4,8] [-diff-parallel f] [-eco]
 //	           [-cpuprofile f] [-memprofile f] [-bench-json f]
 //	           [-trace f.jsonl] [-progress]
 //
 // -table 0 (default) prints everything. -bench-json writes the runs'
 // machine-readable results (per-stage timings, path-search effort
 // counters, micro-benchmark rows) to the given file.
+//
+// -eco replaces the tables with the incremental (ECO) rerouting
+// comparison: every suite chip is routed once, a small random delta
+// (a few percent of the netlist) is applied, and incremental.Reroute
+// is timed against a from-scratch run of the same mutated chip. Both
+// results must clear the verifier; -bench-json then writes the
+// comparison document (BENCH_eco.json).
 //
 // -workers-sweep replaces the tables with the detail-stage scaling
 // sweep: every suite chip is routed once per worker count, the quality
@@ -101,6 +108,18 @@ var (
 // eight IBM designs (scaled to laptop size; three tiers).
 func suite(name string) []chip.GenParams {
 	switch name {
+	case "eco":
+		// The -eco chips: medium-to-large designs whose full-flow cost is
+		// dominated by routing work (global solve + detail search) rather
+		// than the stage costs both flows share (space/track construction,
+		// final audit), so the comparison measures what the ECO engine
+		// actually avoids.
+		return []chip.GenParams{
+			{Name: "eco1", Seed: 12, Rows: 8, Cols: 24, NumNets: 140, NumLayers: 6, LocalityRadius: 12, PowerStripePeriod: 4},
+			{Name: "eco2", Seed: 13, Rows: 10, Cols: 32, NumNets: 240, NumLayers: 6, LocalityRadius: 8, PowerStripePeriod: 8},
+			{Name: "eco3", Seed: 13, Rows: 12, Cols: 40, NumNets: 420, NumLayers: 6, LocalityRadius: 10, PowerStripePeriod: 8},
+			{Name: "eco4", Seed: 14, Rows: 12, Cols: 48, NumNets: 520, NumLayers: 6, LocalityRadius: 20, PowerStripePeriod: 8},
+		}
 	case "small":
 		return []chip.GenParams{
 			{Name: "chip1", Seed: 11, Rows: 6, Cols: 16, NumNets: 60, NumLayers: 4, LocalityRadius: 6, PowerStripePeriod: 6},
@@ -142,6 +161,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "print live span progress to stderr")
 		sweepArg   = flag.String("workers-sweep", "", "comma-separated worker counts (first must be 1); runs the detail-stage scaling sweep instead of the tables")
 		diffPar    = flag.String("diff-parallel", "", "with -workers-sweep: compare quality fields against this BENCH_parallel.json and exit non-zero on drift")
+		ecoMode    = flag.Bool("eco", false, "run the incremental (ECO) rerouting comparison instead of the tables; -bench-json writes BENCH_eco.json")
 	)
 	flag.Parse()
 
@@ -185,7 +205,9 @@ func main() {
 
 	params := suite(*suiteName)
 	var benchDoc any = collect
-	if *sweepArg != "" {
+	if *ecoMode {
+		benchDoc = ecoBench(*suiteName, params, *workers)
+	} else if *sweepArg != "" {
 		counts, err := parseWorkerCounts(*sweepArg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "workers-sweep:", err)

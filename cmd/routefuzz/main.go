@@ -10,10 +10,19 @@
 // and prints the minimal scenario as a ready-to-paste Go test before
 // exiting non-zero.
 //
+// With -eco each scenario additionally derives a seeded random ECO
+// delta (nets added/removed, a pin moved, a blockage dropped in) and
+// runs the differential equivalence check: the delta applied
+// incrementally (bonnroute.Reroute) and from scratch must both clear
+// every verifier pass with identical opens/overflow counts, and the
+// incremental route must be bit-identical across worker counts. The
+// shrinker then minimizes ECO scenarios too: after the chip, it drops
+// delta mutation classes one by one while the failure persists.
+//
 // Usage:
 //
 //	routefuzz [-seeds N] [-base-seed N] [-rows N] [-cols N] [-nets N]
-//	          [-layers N] [-workers N] [-skip-fastgrid] [-v]
+//	          [-layers N] [-workers N] [-eco] [-skip-fastgrid] [-v]
 //
 // Every scenario derives its geometry deterministically from its seed,
 // so a failure report's seed is a complete reproducer.
@@ -29,6 +38,7 @@ import (
 
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
+	"bonnroute/internal/incremental"
 	"bonnroute/internal/verify"
 )
 
@@ -36,6 +46,12 @@ type scenario struct {
 	params   chip.GenParams
 	workersA int
 	workersB int
+	// eco enables the differential ECO equivalence check; ecoSeed
+	// derives the delta and ecoCfg sizes it (negative fields drop a
+	// mutation class — the shrinker's knob).
+	eco     bool
+	ecoSeed int64
+	ecoCfg  incremental.GenConfig
 }
 
 func main() {
@@ -47,6 +63,7 @@ func main() {
 		nets     = flag.Int("nets", 48, "max number of nets")
 		layers   = flag.Int("layers", 6, "max wiring layers")
 		workers  = flag.Int("workers", 4, "worker count of the determinism double run")
+		eco      = flag.Bool("eco", false, "fuzz ECO deltas: differential incremental-vs-scratch equivalence")
 		skipFG   = flag.Bool("skip-fastgrid", false, "skip the fast-grid differential pass")
 		verbose  = flag.Bool("v", false, "print per-scenario pass counters")
 	)
@@ -62,6 +79,10 @@ func main() {
 			os.Exit(1)
 		}
 		sc := makeScenario(*baseSeed+int64(i), i, *rows, *cols, *nets, *layers, *workers)
+		if *eco {
+			sc.eco = true
+			sc.ecoSeed = sc.params.Seed*3 + 1
+		}
 		start := time.Now()
 		viol, rep := runScenario(ctx, sc, *skipFG)
 		if len(viol) == 0 {
@@ -123,8 +144,21 @@ func makeScenario(seed int64, i, maxRows, maxCols, maxNets, maxLayers, workers i
 }
 
 // runScenario routes the scenario once, applies every in-process
-// verifier pass, then performs the determinism double-run.
+// verifier pass, then performs the determinism double-run. In ECO mode
+// it instead runs the differential equivalence check (which verifies
+// both the incremental and the from-scratch result).
 func runScenario(ctx context.Context, sc scenario, skipFG bool) ([]verify.Violation, *verify.Report) {
+	if sc.eco {
+		viol := verify.ECOEquivalence(ctx, sc.params,
+			core.Options{Seed: sc.params.Seed, Workers: sc.workersA},
+			verify.ECOOptions{
+				DeltaSeed:    sc.ecoSeed,
+				Gen:          sc.ecoCfg,
+				WorkersB:     sc.workersB,
+				SkipFastGrid: skipFG,
+			})
+		return viol, nil
+	}
 	c := chip.Generate(sc.params)
 	res := core.RouteBonnRoute(ctx, c, core.Options{Seed: sc.params.Seed, Workers: sc.workersA})
 	rep := verify.Run(res, verify.Options{SkipFastGrid: skipFG})
@@ -166,12 +200,58 @@ func shrink(ctx context.Context, sc scenario, skipFG bool) scenario {
 		sc = cand
 		fmt.Printf("  grid -> %dx%d still fails\n", sc.params.Rows, sc.params.Cols)
 	}
+	// ECO scenarios shrink further: drop whole delta mutation classes
+	// (negative GenConfig fields generate none of that class) while the
+	// equivalence failure persists.
+	if sc.eco {
+		drop := []struct {
+			name  string
+			apply func(*incremental.GenConfig)
+		}{
+			{"blockages", func(g *incremental.GenConfig) { g.AddBlockages = -1 }},
+			{"pin moves", func(g *incremental.GenConfig) { g.MovePins = -1 }},
+			{"added nets", func(g *incremental.GenConfig) { g.AddNets = -1 }},
+			{"removed nets", func(g *incremental.GenConfig) { g.RemoveNets = -1 }},
+		}
+		for _, d := range drop {
+			cand := sc
+			d.apply(&cand.ecoCfg)
+			if fails(cand) {
+				sc = cand
+				fmt.Printf("  delta without %s still fails\n", d.name)
+			}
+		}
+	}
 	return sc
 }
 
 // printReproducer emits the minimal failing scenario as a Go test the
 // developer can paste into internal/verify and run directly.
 func printReproducer(sc scenario) {
+	if sc.eco {
+		fmt.Println("\nminimal ECO reproducer (paste into internal/verify):")
+		fmt.Printf(`
+func TestFuzzEcoRepro(t *testing.T) {
+	viol := ECOEquivalence(context.Background(), chip.GenParams{
+		Seed: %d, Rows: %d, Cols: %d, NumNets: %d,
+		NumLayers: %d, LocalityRadius: %d, PowerStripePeriod: %d,
+	}, core.Options{Seed: %d, Workers: %d}, ECOOptions{
+		DeltaSeed: %d,
+		Gen: incremental.GenConfig{AddNets: %d, RemoveNets: %d, MovePins: %d, AddBlockages: %d},
+		WorkersB:  %d,
+	})
+	for _, v := range viol {
+		t.Errorf("%%s", v)
+	}
+}
+`, sc.params.Seed, sc.params.Rows, sc.params.Cols, sc.params.NumNets,
+			sc.params.NumLayers, sc.params.LocalityRadius, sc.params.PowerStripePeriod,
+			sc.params.Seed, sc.workersA,
+			sc.ecoSeed,
+			sc.ecoCfg.AddNets, sc.ecoCfg.RemoveNets, sc.ecoCfg.MovePins, sc.ecoCfg.AddBlockages,
+			sc.workersB)
+		return
+	}
 	fmt.Println("\nminimal reproducer (paste into internal/verify):")
 	fmt.Printf(`
 func TestFuzzRepro(t *testing.T) {

@@ -43,6 +43,10 @@ type Options struct {
 	// UsePFuture enables the blockage-aware future cost in detailed
 	// routing.
 	UsePFuture bool
+	// EcoThreshold is the dirty-fraction above which incremental
+	// rerouting falls back to a full from-scratch run (see package
+	// incremental). Default 0.35; negative disables the fallback.
+	EcoThreshold float64
 	// Tracer receives spans, counters and events for the whole flow. A
 	// nil tracer is a no-op and costs nothing on the hot path.
 	Tracer *obs.Tracer
@@ -58,7 +62,14 @@ func (o *Options) setDefaults() {
 	if o.TileTracks <= 0 {
 		o.TileTracks = 8
 	}
+	if o.EcoThreshold == 0 {
+		o.EcoThreshold = 0.35
+	}
 }
+
+// SetDefaults fills zero-valued options in place (exported for flows —
+// like package incremental — assembled outside this package).
+func (o *Options) SetDefaults() { o.setDefaults() }
 
 // GlobalStats reports the global routing stage.
 type GlobalStats struct {
@@ -368,6 +379,18 @@ func RouteBaseline(ctx context.Context, c *chip.Chip, opt Options) *Result {
 		res.Cancelled = true
 	}
 	return res
+}
+
+// Finalize computes the PerNet report, full-chip DRC audit and §5.3
+// metrics for a Result whose stages were run outside this package (the
+// incremental ECO flow assembles Chip/Router/Global/Assignment/Detail
+// itself and then calls Finalize). total is the flow wall time recorded
+// in Metrics.Runtime.
+func (res *Result) Finalize(ctx context.Context, total time.Duration) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res.finish(ctx, res.Chip, res.Router, total)
 }
 
 // finish computes metrics shared by both flows and runs the final DRC

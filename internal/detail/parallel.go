@@ -56,6 +56,16 @@ type RoundStats struct {
 // snapshot. On cancellation Route stops routing further nets and returns
 // a partial Result with Cancelled set; wiring committed so far stays.
 func (r *Router) Route(ctx context.Context) *Result {
+	return r.RouteNets(ctx, nil)
+}
+
+// RouteNets is Route restricted to a subset of net indices (nil means
+// every net). Nets outside the subset are never searched or ripped up
+// as primaries, but their committed wiring participates normally as
+// obstacles and rip-up victims; the final Result still reports PerNet
+// stats for the whole chip. The ECO engine uses this to re-route only
+// the dirty set of a scenario delta over replayed clean wiring.
+func (r *Router) RouteNets(ctx context.Context, subset []int) *Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -63,11 +73,20 @@ func (r *Router) Route(ctx context.Context) *Result {
 	res := &Result{PerNet: make([]NetStats, len(r.Chip.Nets))}
 
 	var critical, normal []int
-	for ni := range r.Chip.Nets {
+	pick := func(ni int) {
 		if r.Chip.Nets[ni].Critical {
 			critical = append(critical, ni)
 		} else {
 			normal = append(normal, ni)
+		}
+	}
+	if subset == nil {
+		for ni := range r.Chip.Nets {
+			pick(ni)
+		}
+	} else {
+		for _, ni := range subset {
+			pick(ni)
 		}
 	}
 

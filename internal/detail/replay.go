@@ -1,0 +1,89 @@
+package detail
+
+import (
+	"bonnroute/internal/shapegrid"
+)
+
+// Patch is one exported same-net notch fill (see patchNotches); the ECO
+// engine replays these verbatim when it carries a net's committed
+// geometry from a previous run into a fresh router.
+type Patch struct {
+	Z     int
+	Shape shapegrid.Shape
+}
+
+// NetRecord is the portable committed geometry of one routed net:
+// everything the router added to the routing space on the net's behalf
+// beyond its access-path reservations (which the new router re-derives
+// itself during construction). A record round-trips through
+// ExportNet/ReplayNet bit-identically.
+type NetRecord struct {
+	Routed   bool
+	Segments []Segment
+	Vias     []ViaRec
+	Patches  []Patch
+}
+
+// ExportNet copies net ni's committed geometry out of the router. The
+// returned record is independent of the router (deep-copied slices).
+func (r *Router) ExportNet(ni int) NetRecord {
+	rt := &r.routes[ni]
+	rec := NetRecord{
+		Routed:   rt.routed,
+		Segments: append([]Segment(nil), rt.segments...),
+		Vias:     append([]ViaRec(nil), rt.vias...),
+	}
+	for _, p := range rt.patches {
+		rec.Patches = append(rec.Patches, Patch{Z: p.z, Shape: p.sh})
+	}
+	return rec
+}
+
+// ReplayNet commits a previously exported record as net ni's wiring:
+// the same shapes commitPath would add (segments, via pads/cuts/
+// projections, patches), with the same fast-grid invalidations, but
+// verbatim — no search, no postprocessing, no legality checks. The
+// caller guarantees the record was produced for geometrically the same
+// net (same pins, same access paths); patches are re-owned to ni so a
+// record survives net renumbering across a scenario delta.
+//
+// ReplayNet is not safe on a net that already has committed wiring;
+// callers replay into freshly constructed routers.
+func (r *Router) ReplayNet(ni int, rec NetRecord) {
+	rt := &r.routes[ni]
+	wt := r.wireTypeOf(ni)
+	level := r.ripupLevelOf(ni)
+	net := int32(ni)
+	for _, s := range rec.Segments {
+		sh := r.Space.AddWire(s.Z, s.A, s.B, wt, net, level)
+		r.FG.OnShapeAdded(s.Z, sh)
+	}
+	for _, v := range rec.Vias {
+		bot, top, cut, proj := r.Space.ViaShapes(v.V, v.At, wt, net, level)
+		r.Space.AddVia(v.V, v.At, wt, net, level)
+		r.FG.OnShapeAdded(v.V, bot)
+		r.FG.OnShapeAdded(v.V+1, top)
+		r.FG.OnCutAdded(v.V, cut)
+		if proj != nil {
+			r.FG.OnCutAdded(v.V+1, *proj)
+		}
+	}
+	for _, p := range rec.Patches {
+		sh := p.Shape
+		sh.Net = net
+		sh.Ripup = level
+		r.Space.AddShape(p.Z, sh)
+		r.FG.OnShapeAdded(p.Z, sh)
+		rt.patches = append(rt.patches, patchRec{z: p.Z, sh: sh})
+	}
+	rt.segments = append(rt.segments, rec.Segments...)
+	rt.vias = append(rt.vias, rec.Vias...)
+	rt.routed = rec.Routed
+	r.recomputeLength(ni)
+}
+
+// InteractionMargin is the router's worst-case data-structure
+// interaction distance: two shapes further apart than this cannot
+// affect each other's legality or fast-grid state. The ECO engine uses
+// it to decide which committed nets a scenario delta dirties.
+func (r *Router) InteractionMargin() int { return r.interact }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bonnroute/internal/blockgrid"
 	"bonnroute/internal/chip"
@@ -44,6 +45,25 @@ type Options struct {
 	UsePFuture bool
 	// SpreadCost is the optional wire-spreading hook (§4.2).
 	SpreadCost func(z, trackIdx, lo, hi int) int
+	// AccessCache seeds catalogue construction from a previous router's
+	// circuit-class catalogues (incremental rerouting). Every cached path
+	// is re-verified before reservation, so a cache from a different chip
+	// state degrades gracefully to a rebuild, never to a bad reservation.
+	AccessCache *AccessCache
+	// TrackGraph reuses an existing track graph instead of optimizing
+	// track positions for this chip (incremental rerouting: a small delta
+	// does not justify re-optimizing tracks, and replayed wiring stays
+	// on-track by construction). The graph must cover the same area and
+	// layer directions; legality around delta geometry is still enforced
+	// by the routing space, never by track positions.
+	TrackGraph *tracks.Graph
+	// AccessHints proposes a specific access path per global pin index
+	// (incremental rerouting: the path the previous run reserved for the
+	// surviving pin). A hint is used only after passing the same
+	// verification as a catalogue path — on-vertex endpoint, clean
+	// against the space, feasible continuation — so a stale hint falls
+	// back to the catalogue, never into the space.
+	AccessHints func(pi int) *pinaccess.AccessPath
 
 	// Baseline/ablation knobs. The ISR-like comparison router of §5.3 is
 	// this engine with the classical choices switched on:
@@ -141,6 +161,14 @@ type AccessStats struct {
 	Reserved int
 	// Dynamic counts pins that needed dynamically generated access stubs.
 	Dynamic int
+	// CataloguesReused counts circuit classes taken from a previous
+	// router's cache (Options.AccessCache) instead of being rebuilt.
+	CataloguesReused int
+	// Hinted counts pins reserved through a still-valid Options.
+	// AccessHints path (incremental rerouting reuse).
+	Hinted int
+	// CatalogueTime is the wall time spent building catalogues.
+	CatalogueTime time.Duration
 }
 
 // NetStats reports one net's routed geometry.
@@ -214,7 +242,21 @@ type Router struct {
 
 	// accessStats is filled during construction (prepareAccess).
 	accessStats AccessStats
+	// accessCache is this router's own catalogue set, exported through
+	// AccessCache() for reuse by a later incremental run.
+	accessCache *AccessCache
 }
+
+// AccessCache carries circuit-class access catalogues from one router to
+// a successor (see Options.AccessCache).
+type AccessCache struct {
+	cats  map[string]*pinaccess.Catalogue
+	cells map[string]int
+}
+
+// AccessCache returns this router's circuit-class catalogues for reuse
+// by a later run on a chip sharing the same cell list.
+func (r *Router) AccessCache() *AccessCache { return r.accessCache }
 
 // AccessStats reports the pin-access provisioning statistics gathered
 // during construction and routing.
@@ -269,33 +311,9 @@ func (r *Router) SearchStats() pathsearch.Stats {
 	return r.searchStats
 }
 
-// New builds the routing space, tracks, fast grid, and pin-access
-// reservations for the chip.
-func New(c *chip.Chip, opt Options) *Router {
-	pitch := c.Deck.Layers[0].Pitch
-	opt.setDefaults(pitch)
-
-	dirs := make([]geom.Direction, c.NumLayers())
-	for z := range dirs {
-		dirs[z] = c.Dir(z)
-	}
-	space := drc.NewSpace(c.Deck, c.Area, dirs)
-
-	// Fixed geometry: blockages and pins.
-	obstacles := make([][]geom.Rect, c.NumLayers())
-	for _, o := range c.AllObstacles() {
-		space.AddObstacle(o.Layer, o.Rect)
-		obstacles[o.Layer] = append(obstacles[o.Layer], o.Rect)
-	}
-	for pi := range c.Pins {
-		p := &c.Pins[pi]
-		for _, s := range p.Shapes {
-			space.AddPin(s.Layer, int32(p.Net), s.Rect)
-		}
-	}
-
-	// Routing tracks (§3.5): optimize per layer over the usable areas,
-	// or uniform-pitch tracks for the classical baseline.
+// buildTracks runs §3.5 track optimization (or uniform-pitch placement
+// for the classical baseline) and assembles the track graph.
+func buildTracks(c *chip.Chip, opt *Options, dirs []geom.Direction, obstacles [][]geom.Rect) *tracks.Graph {
 	coords := make([][]int, c.NumLayers())
 	for z := 0; z < c.NumLayers(); z++ {
 		lr := c.Deck.Layers[z]
@@ -327,7 +345,41 @@ func New(c *chip.Chip, opt Options) *Router {
 		}
 		coords[z], _ = tracks.OptimizeWithBonus(usable, bonus, c.Dir(z), lr.Pitch, span)
 	}
-	tg := tracks.BuildGraph(c.Area, dirs, coords)
+	return tracks.BuildGraph(c.Area, dirs, coords)
+}
+
+// New builds the routing space, tracks, fast grid, and pin-access
+// reservations for the chip.
+func New(c *chip.Chip, opt Options) *Router {
+	pitch := c.Deck.Layers[0].Pitch
+	opt.setDefaults(pitch)
+
+	dirs := make([]geom.Direction, c.NumLayers())
+	for z := range dirs {
+		dirs[z] = c.Dir(z)
+	}
+	space := drc.NewSpace(c.Deck, c.Area, dirs)
+
+	// Fixed geometry: blockages and pins.
+	obstacles := make([][]geom.Rect, c.NumLayers())
+	for _, o := range c.AllObstacles() {
+		space.AddObstacle(o.Layer, o.Rect)
+		obstacles[o.Layer] = append(obstacles[o.Layer], o.Rect)
+	}
+	for pi := range c.Pins {
+		p := &c.Pins[pi]
+		for _, s := range p.Shapes {
+			space.AddPin(s.Layer, int32(p.Net), s.Rect)
+		}
+	}
+
+	// Routing tracks (§3.5): optimize per layer over the usable areas,
+	// or uniform-pitch tracks for the classical baseline. A caller-
+	// provided graph (incremental rerouting) skips optimization entirely.
+	tg := opt.TrackGraph
+	if tg == nil {
+		tg = buildTracks(c, &opt, dirs, obstacles)
+	}
 
 	fg := fastgrid.New(space, tg, c.WireTypes)
 
@@ -587,6 +639,18 @@ func (r *Router) prepareAccess() {
 	pitch := c.Deck.Layers[0].Pitch
 	cats := map[string]*pinaccess.Catalogue{}
 	catCell := map[string]int{}
+	if ac := r.opt.AccessCache; ac != nil {
+		// Seed from a previous router's catalogues (ECO reuse). Safe:
+		// every catalogue path is re-verified against the current space
+		// and track graph below before being reserved, so a stale path
+		// only falls back to alternates or dynamic access.
+		for key, cat := range ac.cats {
+			cats[key] = cat
+			catCell[key] = ac.cells[key]
+			r.accessStats.CataloguesReused++
+		}
+	}
+	catStart := time.Now()
 	for ci := range c.Cells {
 		key := pinaccess.ClassKey(c, ci, pitch)
 		if _, ok := cats[key]; !ok {
@@ -599,9 +663,24 @@ func (r *Router) prepareAccess() {
 			r.accessStats.BBNodes += cat.BBNodes
 		}
 	}
+	r.accessStats.CatalogueTime = time.Since(catStart)
+	r.accessCache = &AccessCache{cats: cats, cells: catCell}
 
+	usableFor := func(net int32, a *pinaccess.AccessPath) bool {
+		return r.TG.IsVertex(geom.Pt3(a.End.X, a.End.Y, a.Layer)) &&
+			r.accessClean(a, net) &&
+			r.continuationOK(a.Layer, a.End, net)
+	}
 	for pi := range c.Pins {
 		p := &c.Pins[pi]
+		if hint := r.opt.AccessHints; hint != nil {
+			if ap := hint(pi); ap != nil && usableFor(int32(p.Net), ap) {
+				cp := *ap
+				r.reserveAccess(pi, &cp)
+				r.accessStats.Hinted++
+				continue
+			}
+		}
 		if p.Cell < 0 {
 			continue
 		}
@@ -628,11 +707,7 @@ func (r *Router) prepareAccess() {
 		// instances whose surroundings differ from the representative's
 		// (the paper folds track coordinates into its equivalence
 		// classes) fall back to alternates or dynamic access.
-		usable := func(a *pinaccess.AccessPath) bool {
-			return r.TG.IsVertex(geom.Pt3(a.End.X, a.End.Y, a.Layer)) &&
-				r.accessClean(a, int32(p.Net)) &&
-				r.continuationOK(a.Layer, a.End, int32(p.Net))
-		}
+		usable := func(a *pinaccess.AccessPath) bool { return usableFor(int32(p.Net), a) }
 		if !usable(&ap) {
 			ok := false
 			for ci := range cat.PerPin[p.ProtoPin] {

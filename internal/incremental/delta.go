@@ -1,0 +1,377 @@
+// Package incremental is the ECO (engineering change order) engine: it
+// takes a finished routing Result plus a scenario delta — nets added or
+// removed, pins moved, new blockages — and produces the routing of the
+// mutated chip by reusing everything the delta did not touch. Committed
+// wiring of clean nets is replayed verbatim into a fresh router, only
+// the affected global edges are re-priced, and only the dirty set goes
+// back through the detail pipeline. Above a dirty-fraction threshold
+// the engine falls back to a full from-scratch run.
+//
+// The dirty-set rules and the equivalence contract (incremental and
+// from-scratch results of the same mutated chip must both clear every
+// internal/verify pass) are documented in DESIGN.md §10.
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+)
+
+// NewNet describes a net a delta adds: its pins are free-standing metal
+// (no owning cell — the router connects them via dynamic pin access).
+type NewNet struct {
+	Name     string
+	WireType int
+	Critical bool
+	// Pins[k] is the shape list of the k-th pin (at least two pins,
+	// each with at least one shape).
+	Pins [][]chip.PinShape
+}
+
+// PinMove translates every shape of one existing pin. The pin detaches
+// from its cell prototype (the reserved catalogue access no longer
+// matches the moved geometry), so the router connects it dynamically.
+type PinMove struct {
+	// Net is the net index in the previous chip; Pin the slot within
+	// that net's pin list.
+	Net, Pin int
+	// By is the translation vector.
+	By geom.Point
+}
+
+// Delta is one ECO scenario against a previously routed chip.
+type Delta struct {
+	AddNets      []NewNet
+	RemoveNets   []int
+	MovePins     []PinMove
+	AddBlockages []chip.Obstacle
+}
+
+// Empty reports a delta with no changes at all.
+func (d *Delta) Empty() bool {
+	return len(d.AddNets) == 0 && len(d.RemoveNets) == 0 &&
+		len(d.MovePins) == 0 && len(d.AddBlockages) == 0
+}
+
+// NetMap relates net indices across a delta. Removed nets map to -1 in
+// OldToNew; added nets map to -1 in NewToOld.
+type NetMap struct {
+	OldToNew []int
+	NewToOld []int
+}
+
+// Apply materializes the delta as a brand-new chip: surviving nets keep
+// their relative order (and their pins keep their relative order in
+// Chip.Pins — pin order drives deterministic access reservation), added
+// nets append at the end, blockages append to Obstacles. The input chip
+// is not modified; immutable parts (deck, layers, prototypes, cells)
+// are shared. The result passes chip.Validate.
+func Apply(c *chip.Chip, d *Delta) (*chip.Chip, *NetMap, error) {
+	removed := make(map[int]bool, len(d.RemoveNets))
+	for _, ni := range d.RemoveNets {
+		if ni < 0 || ni >= len(c.Nets) {
+			return nil, nil, fmt.Errorf("delta: remove net %d out of range [0,%d)", ni, len(c.Nets))
+		}
+		if removed[ni] {
+			return nil, nil, fmt.Errorf("delta: net %d removed twice", ni)
+		}
+		removed[ni] = true
+	}
+	moved := make(map[[2]int]geom.Point, len(d.MovePins))
+	for _, m := range d.MovePins {
+		if m.Net < 0 || m.Net >= len(c.Nets) {
+			return nil, nil, fmt.Errorf("delta: move pin of net %d out of range", m.Net)
+		}
+		if removed[m.Net] {
+			return nil, nil, fmt.Errorf("delta: net %d both moved and removed", m.Net)
+		}
+		if m.Pin < 0 || m.Pin >= len(c.Nets[m.Net].Pins) {
+			return nil, nil, fmt.Errorf("delta: net %d has no pin %d", m.Net, m.Pin)
+		}
+		key := [2]int{m.Net, m.Pin}
+		if _, dup := moved[key]; dup {
+			return nil, nil, fmt.Errorf("delta: pin %d of net %d moved twice", m.Pin, m.Net)
+		}
+		moved[key] = m.By
+	}
+	for i, b := range d.AddBlockages {
+		if b.Layer < 0 || b.Layer >= c.NumLayers() {
+			return nil, nil, fmt.Errorf("delta: blockage %d on bad layer %d", i, b.Layer)
+		}
+		if b.Rect.Empty() || !c.Area.ContainsRect(b.Rect) {
+			return nil, nil, fmt.Errorf("delta: blockage %d outside chip area", i)
+		}
+	}
+	for i, nn := range d.AddNets {
+		if len(nn.Pins) < 2 {
+			return nil, nil, fmt.Errorf("delta: new net %d needs >= 2 pins", i)
+		}
+		if nn.WireType < 0 || nn.WireType >= len(c.WireTypes) {
+			return nil, nil, fmt.Errorf("delta: new net %d has bad wire type %d", i, nn.WireType)
+		}
+		for k, shapes := range nn.Pins {
+			if len(shapes) == 0 {
+				return nil, nil, fmt.Errorf("delta: new net %d pin %d has no shapes", i, k)
+			}
+			for _, s := range shapes {
+				if s.Layer < 0 || s.Layer >= c.NumLayers() {
+					return nil, nil, fmt.Errorf("delta: new net %d pin %d on bad layer %d", i, k, s.Layer)
+				}
+				if s.Rect.Empty() || !c.Area.ContainsRect(s.Rect) {
+					return nil, nil, fmt.Errorf("delta: new net %d pin %d outside chip area", i, k)
+				}
+			}
+		}
+	}
+
+	c2 := &chip.Chip{
+		Name:      c.Name,
+		Area:      c.Area,
+		Deck:      c.Deck,
+		Layers:    c.Layers,
+		WireTypes: c.WireTypes,
+		Protos:    c.Protos,
+		Cells:     c.Cells,
+		Obstacles: append(append([]chip.Obstacle{}, c.Obstacles...), d.AddBlockages...),
+	}
+	nm := &NetMap{OldToNew: make([]int, len(c.Nets))}
+
+	// Surviving nets first, in old order, with old→new index maps for
+	// both nets and pins.
+	pinMap := make([]int, len(c.Pins))
+	for i := range pinMap {
+		pinMap[i] = -1
+	}
+	for oldNi := range c.Nets {
+		if removed[oldNi] {
+			nm.OldToNew[oldNi] = -1
+			continue
+		}
+		nm.OldToNew[oldNi] = len(c2.Nets)
+		nm.NewToOld = append(nm.NewToOld, oldNi)
+		n := c.Nets[oldNi]
+		n.ID = nm.OldToNew[oldNi]
+		n.Pins = nil
+		c2.Nets = append(c2.Nets, n)
+	}
+	// Global pin order of survivors is preserved: iterate old Chip.Pins
+	// in order and keep pins whose net survives.
+	for oldPi := range c.Pins {
+		p := c.Pins[oldPi]
+		newNi := nm.OldToNew[p.Net]
+		if newNi < 0 {
+			continue
+		}
+		pinMap[oldPi] = len(c2.Pins)
+		p.Net = newNi
+		p.Shapes = append([]chip.PinShape(nil), p.Shapes...)
+		c2.Pins = append(c2.Pins, p)
+	}
+	for oldNi := range c.Nets {
+		newNi := nm.OldToNew[oldNi]
+		if newNi < 0 {
+			continue
+		}
+		for slot, oldPi := range c.Nets[oldNi].Pins {
+			newPi := pinMap[oldPi]
+			c2.Nets[newNi].Pins = append(c2.Nets[newNi].Pins, newPi)
+			if by, ok := moved[[2]int{oldNi, slot}]; ok {
+				p := &c2.Pins[newPi]
+				for si := range p.Shapes {
+					r := p.Shapes[si].Rect.Translated(by)
+					if r.Empty() || !c.Area.ContainsRect(r) {
+						return nil, nil, fmt.Errorf("delta: moved pin %d of net %d leaves chip area", slot, oldNi)
+					}
+					p.Shapes[si].Rect = r
+				}
+				// The reserved catalogue access of the cell pin no
+				// longer matches the moved metal: detach.
+				p.Cell, p.ProtoPin = -1, 0
+			}
+		}
+	}
+	// Added nets append after every survivor.
+	for _, nn := range d.AddNets {
+		ni := len(c2.Nets)
+		nm.NewToOld = append(nm.NewToOld, -1)
+		n := chip.Net{ID: ni, Name: nn.Name, WireType: nn.WireType, Critical: nn.Critical}
+		for _, shapes := range nn.Pins {
+			n.Pins = append(n.Pins, len(c2.Pins))
+			c2.Pins = append(c2.Pins, chip.Pin{
+				Net:    ni,
+				Shapes: append([]chip.PinShape(nil), shapes...),
+				Cell:   -1,
+			})
+		}
+		c2.Nets = append(c2.Nets, n)
+	}
+	if err := c2.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("delta: mutated chip invalid: %w", err)
+	}
+	return c2, nm, nil
+}
+
+// GenConfig sizes RandomDelta. Zero values scale with the chip: roughly
+// 3% of nets added and removed (at least one each), one pin move, one
+// blockage.
+type GenConfig struct {
+	AddNets, RemoveNets, MovePins, AddBlockages int
+}
+
+func (g *GenConfig) setDefaults(nets int) {
+	frac := nets / 32
+	if frac < 1 {
+		frac = 1
+	}
+	if g.AddNets == 0 {
+		g.AddNets = frac
+	}
+	if g.RemoveNets == 0 {
+		g.RemoveNets = frac
+	}
+	if g.MovePins == 0 {
+		g.MovePins = 1
+	}
+	if g.AddBlockages == 0 {
+		g.AddBlockages = 1
+	}
+	for _, p := range []*int{&g.AddNets, &g.RemoveNets, &g.MovePins, &g.AddBlockages} {
+		if *p < 0 {
+			*p = 0
+		}
+	}
+}
+
+// RandomDelta builds a seeded random ECO scenario against c: remove a
+// few nets, add a few local 2–3 pin nets of free-standing metal, move
+// one pin, drop one mid-stack blockage. All placements keep clearance
+// from existing pins and obstacles so the mutated chip stays routable —
+// the generator is for equivalence testing, where both the incremental
+// and the from-scratch route must fully succeed to be comparable.
+func RandomDelta(c *chip.Chip, seed int64, cfg GenConfig) Delta {
+	cfg.setDefaults(len(c.Nets))
+	rng := rand.New(rand.NewSource(seed))
+	pitch := c.Deck.Layers[0].Pitch
+	w := c.Deck.Layers[0].MinWidth
+	obstacles := c.AllObstacles()
+
+	clear := func(r geom.Rect, layer, margin int) bool {
+		rr := r.Expanded(margin)
+		for i := range c.Pins {
+			for _, s := range c.Pins[i].Shapes {
+				if !s.Rect.Intersection(rr).Empty() {
+					return false
+				}
+			}
+		}
+		for _, o := range obstacles {
+			if o.Layer == layer && !o.Rect.Intersection(rr).Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	randPoint := func(in geom.Rect) geom.Point {
+		x := in.XMin + pitch*(1+rng.Intn(max(1, in.W()/pitch-2)))
+		y := in.YMin + pitch*(1+rng.Intn(max(1, in.H()/pitch-2)))
+		return geom.Point{X: x, Y: y}
+	}
+
+	var d Delta
+	perm := rng.Perm(len(c.Nets))
+	for _, ni := range perm {
+		if len(d.RemoveNets) >= cfg.RemoveNets {
+			break
+		}
+		d.RemoveNets = append(d.RemoveNets, ni)
+	}
+	removed := map[int]bool{}
+	for _, ni := range d.RemoveNets {
+		removed[ni] = true
+	}
+
+	for n := 0; n < cfg.AddNets; n++ {
+		deg := 2 + rng.Intn(2)
+		var pins [][]chip.PinShape
+		anchor := randPoint(c.Area)
+		box := geom.Rect{
+			XMin: anchor.X - 12*pitch, YMin: anchor.Y - 12*pitch,
+			XMax: anchor.X + 12*pitch, YMax: anchor.Y + 12*pitch,
+		}.Intersection(c.Area)
+		if box.W() < 6*pitch || box.H() < 6*pitch {
+			continue
+		}
+		for k := 0; k < deg; k++ {
+			placed := false
+			for try := 0; try < 60 && !placed; try++ {
+				at := randPoint(box)
+				r := geom.Rect{XMin: at.X, YMin: at.Y, XMax: at.X + w, YMax: at.Y + 3*w}
+				if !c.Area.ContainsRect(r) || !clear(r, 0, 3*pitch) {
+					continue
+				}
+				pins = append(pins, []chip.PinShape{{Rect: r, Layer: 0}})
+				placed = true
+			}
+			if !placed {
+				break
+			}
+		}
+		if len(pins) >= 2 {
+			d.AddNets = append(d.AddNets, NewNet{
+				Name: fmt.Sprintf("eco%d", n),
+				Pins: pins,
+			})
+		}
+	}
+
+	for m := 0; m < cfg.MovePins; m++ {
+		for try := 0; try < 60; try++ {
+			ni := rng.Intn(len(c.Nets))
+			if removed[ni] {
+				continue
+			}
+			slot := rng.Intn(len(c.Nets[ni].Pins))
+			by := geom.Point{
+				X: pitch * (rng.Intn(7) - 3),
+				Y: pitch * (rng.Intn(7) - 3),
+			}
+			if by.X == 0 && by.Y == 0 {
+				continue
+			}
+			p := &c.Pins[c.Nets[ni].Pins[slot]]
+			ok := true
+			for _, s := range p.Shapes {
+				r := s.Rect.Translated(by)
+				if !c.Area.ContainsRect(r) || !clear(r, s.Layer, 2*pitch) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			d.MovePins = append(d.MovePins, PinMove{Net: ni, Pin: slot, By: by})
+			break
+		}
+	}
+
+	for b := 0; b < cfg.AddBlockages; b++ {
+		layer := 1 + rng.Intn(max(1, c.NumLayers()-1))
+		for try := 0; try < 60; try++ {
+			at := randPoint(c.Area)
+			r := geom.Rect{
+				XMin: at.X, YMin: at.Y,
+				XMax: at.X + (3+rng.Intn(4))*pitch, YMax: at.Y + (2+rng.Intn(3))*pitch,
+			}
+			if !c.Area.ContainsRect(r) || !clear(r, layer, 4*pitch) {
+				continue
+			}
+			d.AddBlockages = append(d.AddBlockages, chip.Obstacle{Rect: r, Layer: layer})
+			break
+		}
+	}
+	return d
+}

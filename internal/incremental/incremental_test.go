@@ -1,0 +1,255 @@
+package incremental
+
+import (
+	"context"
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/geom"
+)
+
+func routeSmall(t *testing.T, seed int64) (*chip.Chip, *core.Result) {
+	t.Helper()
+	c := chip.Generate(chip.GenParams{
+		Seed: seed, Rows: 5, Cols: 20, NumNets: 36, NumLayers: 4, LocalityRadius: 3,
+	})
+	return c, core.RouteBonnRoute(context.Background(), c, core.Options{Seed: seed, Workers: 1})
+}
+
+// TestEmptyDeltaIsNoOp pins the satellite fix: Reroute of an empty
+// delta must return prev itself — the same pointer, hence bit-identical
+// — and report NoOp without touching any pipeline stage.
+func TestEmptyDeltaIsNoOp(t *testing.T) {
+	_, prev := routeSmall(t, 21)
+	res, st, err := Reroute(context.Background(), prev, Delta{}, core.Options{Seed: 21})
+	if err != nil {
+		t.Fatalf("Reroute(empty) error: %v", err)
+	}
+	if res != prev {
+		t.Fatal("Reroute(empty) must return prev itself")
+	}
+	if !st.NoOp {
+		t.Fatal("Reroute(empty) must report NoOp")
+	}
+	if st.DirtyNets != 0 || st.ReplayedNets != 0 || st.FellBack {
+		t.Fatalf("no-op touched the pipeline: %+v", st)
+	}
+}
+
+// TestApplyMapsAndOrder checks the delta materialization invariants the
+// dirty-set rules depend on: surviving nets and their pins keep their
+// relative order, index maps are mutually consistent, added nets append
+// at the end, and the mutated chip validates.
+func TestApplyMapsAndOrder(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 5, Rows: 4, Cols: 12, NumNets: 20, NumLayers: 4, LocalityRadius: 3,
+	})
+	pitch := c.Deck.Layers[0].Pitch
+	w := c.Deck.Layers[0].MinWidth
+	mid := c.Area.Center()
+	d := Delta{
+		RemoveNets: []int{3, 11},
+		AddNets: []NewNet{{
+			Name: "added",
+			Pins: [][]chip.PinShape{
+				{{Rect: geom.R(mid.X, mid.Y, mid.X+w, mid.Y+3*w), Layer: 0}},
+				{{Rect: geom.R(mid.X+8*pitch, mid.Y, mid.X+8*pitch+w, mid.Y+3*w), Layer: 0}},
+			},
+		}},
+		AddBlockages: []chip.Obstacle{
+			{Rect: geom.R(mid.X-6*pitch, mid.Y-6*pitch, mid.X-3*pitch, mid.Y-4*pitch), Layer: 1},
+		},
+	}
+	c2, nm, err := Apply(c, &d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got, want := len(c2.Nets), len(c.Nets)-2+1; got != want {
+		t.Fatalf("net count %d, want %d", got, want)
+	}
+	if nm.OldToNew[3] != -1 || nm.OldToNew[11] != -1 {
+		t.Fatal("removed nets must map to -1")
+	}
+	if nm.NewToOld[len(c2.Nets)-1] != -1 {
+		t.Fatal("added net must map back to -1")
+	}
+	// Order preservation: surviving old indices appear strictly
+	// increasing under the map, and every mapped pin keeps its geometry.
+	last := -1
+	for newNi, oldNi := range nm.NewToOld {
+		if oldNi < 0 {
+			continue
+		}
+		if oldNi <= last {
+			t.Fatalf("surviving net order broken: old %d after %d", oldNi, last)
+		}
+		last = oldNi
+		if nm.OldToNew[oldNi] != newNi {
+			t.Fatalf("map inconsistency: old %d -> new %d -> old %d", oldNi, nm.OldToNew[oldNi], newNi)
+		}
+		op, np := c.Nets[oldNi].Pins, c2.Nets[newNi].Pins
+		if len(op) != len(np) {
+			t.Fatalf("net %d pin count changed", oldNi)
+		}
+		for k := range op {
+			if c.Pins[op[k]].Shapes[0].Rect != c2.Pins[np[k]].Shapes[0].Rect {
+				t.Fatalf("net %d pin %d geometry changed", oldNi, k)
+			}
+		}
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatalf("mutated chip invalid: %v", err)
+	}
+	// The input chip is untouched.
+	if err := c.Validate(); err != nil {
+		t.Fatalf("input chip corrupted: %v", err)
+	}
+	if len(c.Nets) != 20 || len(c.Obstacles) != len(c2.Obstacles)-1 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+// TestApplyRejectsBadDeltas exercises the validation errors.
+func TestApplyRejectsBadDeltas(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 5, Rows: 4, Cols: 12, NumNets: 10, NumLayers: 4, LocalityRadius: 3,
+	})
+	bad := []Delta{
+		{RemoveNets: []int{99}},
+		{RemoveNets: []int{2, 2}},
+		{MovePins: []PinMove{{Net: 2, Pin: 99}}},
+		{MovePins: []PinMove{{Net: 2, Pin: 0}}, RemoveNets: []int{2}},
+		{AddNets: []NewNet{{Pins: [][]chip.PinShape{{{Rect: geom.R(0, 0, 10, 10)}}}}}},
+		{AddBlockages: []chip.Obstacle{{Rect: geom.R(0, 0, 10, 10), Layer: 99}}},
+	}
+	for i, d := range bad {
+		if _, _, err := Apply(c, &d); err == nil {
+			t.Errorf("bad delta %d accepted", i)
+		}
+	}
+}
+
+// TestMovedPinDetaches checks that a moved pin loses its cell binding
+// (its catalogue access no longer matches) and its shapes translate.
+func TestMovedPinDetaches(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 7, Rows: 4, Cols: 12, NumNets: 16, NumLayers: 4, LocalityRadius: 3,
+	})
+	pitch := c.Deck.Layers[0].Pitch
+	var m PinMove
+	found := false
+	for ni := range c.Nets {
+		for k, pi := range c.Nets[ni].Pins {
+			p := &c.Pins[pi]
+			moved := p.Shapes[0].Rect.Translated(geom.Pt(pitch, 0))
+			if p.Cell >= 0 && c.Area.ContainsRect(moved) {
+				m = PinMove{Net: ni, Pin: k, By: geom.Pt(pitch, 0)}
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no movable cell pin")
+	}
+	c2, nm, err := Apply(c, &Delta{MovePins: []PinMove{m}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	np := &c2.Pins[c2.Nets[nm.OldToNew[m.Net]].Pins[m.Pin]]
+	op := &c.Pins[c.Nets[m.Net].Pins[m.Pin]]
+	if np.Cell != -1 {
+		t.Fatal("moved pin must detach from its cell")
+	}
+	if np.Shapes[0].Rect != op.Shapes[0].Rect.Translated(m.By) {
+		t.Fatal("moved pin geometry not translated")
+	}
+	if op.Cell < 0 {
+		t.Fatal("input pin mutated")
+	}
+}
+
+// TestRandomDeltaIsDeterministic pins the scenario generator: same seed
+// same delta, different seeds different deltas, and every generated
+// delta applies cleanly.
+func TestRandomDeltaIsDeterministic(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 9, Rows: 5, Cols: 20, NumNets: 40, NumLayers: 4, LocalityRadius: 3,
+	})
+	a := RandomDelta(c, 42, GenConfig{})
+	b := RandomDelta(c, 42, GenConfig{})
+	if len(a.AddNets) != len(b.AddNets) || len(a.RemoveNets) != len(b.RemoveNets) ||
+		len(a.MovePins) != len(b.MovePins) || len(a.AddBlockages) != len(b.AddBlockages) {
+		t.Fatal("same seed produced different deltas")
+	}
+	for i := range a.RemoveNets {
+		if a.RemoveNets[i] != b.RemoveNets[i] {
+			t.Fatal("same seed produced different removals")
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		d := RandomDelta(c, seed, GenConfig{})
+		if d.Empty() {
+			t.Fatalf("seed %d produced an empty delta", seed)
+		}
+		if _, _, err := Apply(c, &d); err != nil {
+			t.Fatalf("seed %d delta does not apply: %v", seed, err)
+		}
+	}
+}
+
+// TestRerouteSmoke drives one full incremental run end to end and
+// sanity-checks the stats: some nets dirty, most nets replayed, no
+// fallback, and the result describes the mutated chip.
+func TestRerouteSmoke(t *testing.T) {
+	c, prev := routeSmall(t, 33)
+	d := RandomDelta(c, 101, GenConfig{})
+	res, st, err := Reroute(context.Background(), prev, d, core.Options{Seed: 33, Workers: 1})
+	if err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if st.FellBack || st.NoOp {
+		t.Fatalf("unexpected path: %+v", st)
+	}
+	if st.DirtyNets == 0 {
+		t.Fatal("delta dirtied nothing")
+	}
+	if st.ReplayedNets == 0 {
+		t.Fatal("nothing replayed — dirty set is not incremental")
+	}
+	if st.ReplayedNets+st.DirtyNets > st.TotalNets {
+		t.Fatalf("replayed %d + dirty %d > total %d", st.ReplayedNets, st.DirtyNets, st.TotalNets)
+	}
+	if res.Chip == prev.Chip || len(res.Chip.Nets) != st.TotalNets {
+		t.Fatal("result does not describe the mutated chip")
+	}
+	if res.Flow != "BR+eco" {
+		t.Fatalf("flow label %q", res.Flow)
+	}
+	if prev.Flow != "BR+cleanup" {
+		t.Fatal("prev mutated")
+	}
+}
+
+// TestRerouteFallback forces the threshold and requires the full
+// from-scratch fallback to engage.
+func TestRerouteFallback(t *testing.T) {
+	c, prev := routeSmall(t, 33)
+	d := RandomDelta(c, 101, GenConfig{})
+	opt := core.Options{Seed: 33, Workers: 1}
+	opt.EcoThreshold = 1e-9 // anything dirty at all falls back
+	res, st, err := Reroute(context.Background(), prev, d, opt)
+	if err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if !st.FellBack {
+		t.Fatal("threshold not honoured")
+	}
+	if res.Flow != "BR+cleanup" {
+		t.Fatalf("fallback must run the full flow, got %q", res.Flow)
+	}
+}

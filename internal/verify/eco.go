@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/incremental"
+)
+
+// ECOOptions configures one ECOEquivalence check.
+type ECOOptions struct {
+	// Delta is the scenario applied to the routed chip. Nil derives a
+	// seeded random delta (DeltaSeed) scaled to the chip.
+	Delta *incremental.Delta
+	// DeltaSeed seeds the random delta when Delta is nil.
+	DeltaSeed int64
+	// Gen sizes the random delta (zero scales with the chip). Negative
+	// fields drop that mutation class — the fuzz shrinker uses this to
+	// minimize ECO scenarios component by component.
+	Gen incremental.GenConfig
+	// WorkersB, when > 0, reruns the incremental route with this worker
+	// count and requires the result to be bit-identical to the first
+	// (incremental determinism).
+	WorkersB int
+	// SkipFastGrid propagates to the per-result verification runs.
+	SkipFastGrid bool
+}
+
+// ECOEquivalence is the differential equivalence check for the ECO
+// engine: route the generated chip, apply a delta both incrementally
+// (incremental.Reroute over the finished result) and from scratch
+// (RouteBonnRoute on the mutated chip), and require
+//
+//   - every verification pass (shape conservation, brute-force spacing,
+//     connectivity, load re-accumulation, fast grid) to hold on BOTH
+//     results,
+//   - identical opens and overflow counts between them, and
+//   - (with WorkersB set) the incremental route to be bit-identical
+//     across worker counts for the fixed seed.
+//
+// Violations carry pass "eco" when they concern the equivalence itself;
+// per-result pass findings are prefixed with which route they came from.
+func ECOEquivalence(ctx context.Context, params chip.GenParams, opt core.Options, eopt ECOOptions) []Violation {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := chip.Generate(params)
+	prev := core.RouteBonnRoute(ctx, c, opt)
+
+	var delta incremental.Delta
+	if eopt.Delta != nil {
+		delta = *eopt.Delta
+	} else {
+		delta = incremental.RandomDelta(c, eopt.DeltaSeed, eopt.Gen)
+	}
+
+	var viol []Violation
+	inc, st, err := incremental.Reroute(ctx, prev, delta, opt)
+	if err != nil {
+		return []Violation{{Pass: "eco", Detail: fmt.Sprintf("Reroute failed: %v", err)}}
+	}
+	if st.NoOp && !delta.Empty() {
+		viol = append(viol, Violation{Pass: "eco",
+			Detail: "non-empty delta reported as no-op"})
+	}
+	scratch := core.RouteBonnRoute(ctx, inc.Chip, opt)
+
+	vopt := Options{SkipFastGrid: eopt.SkipFastGrid}
+	for _, v := range Run(inc, vopt).Violations {
+		v.Detail = "incremental: " + v.Detail
+		viol = append(viol, v)
+	}
+	for _, v := range Run(scratch, vopt).Violations {
+		v.Detail = "from-scratch: " + v.Detail
+		viol = append(viol, v)
+	}
+
+	if inc.Audit.Opens != scratch.Audit.Opens {
+		viol = append(viol, Violation{Pass: "eco", Detail: fmt.Sprintf(
+			"opens differ: incremental %d, from-scratch %d", inc.Audit.Opens, scratch.Audit.Opens)})
+	}
+	io, so := 0, 0
+	if inc.Global != nil {
+		io = inc.Global.Overflowed
+	}
+	if scratch.Global != nil {
+		so = scratch.Global.Overflowed
+	}
+	if io != so {
+		viol = append(viol, Violation{Pass: "eco", Detail: fmt.Sprintf(
+			"overflow differs: incremental %d, from-scratch %d", io, so)})
+	}
+	if inc.Metrics.Unrouted != scratch.Metrics.Unrouted {
+		viol = append(viol, Violation{Pass: "eco", Detail: fmt.Sprintf(
+			"unrouted differs: incremental %d, from-scratch %d",
+			inc.Metrics.Unrouted, scratch.Metrics.Unrouted)})
+	}
+
+	if eopt.WorkersB > 0 {
+		o2 := opt
+		o2.Workers = eopt.WorkersB
+		inc2, _, err := incremental.Reroute(ctx, prev, delta, o2)
+		if err != nil {
+			viol = append(viol, Violation{Pass: "eco", Detail: fmt.Sprintf(
+				"Workers=%d Reroute failed: %v", eopt.WorkersB, err)})
+		} else {
+			for _, v := range CompareResults(inc, inc2) {
+				v.Detail = fmt.Sprintf("eco Workers %d vs %d: %s", opt.Workers, eopt.WorkersB, v.Detail)
+				viol = append(viol, v)
+			}
+		}
+	}
+	return viol
+}

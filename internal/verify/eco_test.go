@@ -1,0 +1,54 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/incremental"
+)
+
+// TestECOEquivalenceMatrix is the differential equivalence suite: a
+// seeded scenario matrix where each delta is applied both incrementally
+// and from scratch. Every verification pass must hold on both results,
+// the opens/overflow/unrouted counts must match, and the incremental
+// route must be bit-identical between Workers=1 and Workers=4.
+func TestECOEquivalenceMatrix(t *testing.T) {
+	cases := []struct {
+		name      string
+		params    chip.GenParams
+		deltaSeed int64
+	}{
+		{"small-a", chip.GenParams{Seed: 101, Rows: 5, Cols: 20, NumNets: 36, NumLayers: 4, LocalityRadius: 3}, 1},
+		{"small-b", chip.GenParams{Seed: 202, Rows: 5, Cols: 20, NumNets: 36, NumLayers: 4, LocalityRadius: 3}, 2},
+		{"tall", chip.GenParams{Seed: 303, Rows: 8, Cols: 12, NumNets: 40, NumLayers: 6, LocalityRadius: 4}, 3},
+		{"dense", chip.GenParams{Seed: 404, Rows: 6, Cols: 24, NumNets: 64, NumLayers: 4, LocalityRadius: 3}, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			viol := ECOEquivalence(context.Background(), tc.params,
+				core.Options{Seed: tc.params.Seed, Workers: 1},
+				ECOOptions{DeltaSeed: tc.deltaSeed, WorkersB: 4})
+			for _, v := range viol {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestECOEquivalenceRemoveOnly pins the cheapest delta class: pure net
+// removal dirties nothing (removal only frees space), so the entire
+// surviving netlist must replay and still verify clean on both sides.
+func TestECOEquivalenceRemoveOnly(t *testing.T) {
+	params := chip.GenParams{Seed: 77, Rows: 5, Cols: 20, NumNets: 36, NumLayers: 4, LocalityRadius: 3}
+	d := incremental.Delta{RemoveNets: []int{3, 17}}
+	viol := ECOEquivalence(context.Background(), params,
+		core.Options{Seed: 77, Workers: 1},
+		ECOOptions{Delta: &d, WorkersB: 2})
+	for _, v := range viol {
+		t.Errorf("%s", v)
+	}
+}

@@ -188,23 +188,9 @@ func TestCompareResultsFlagsDifferences(t *testing.T) {
 	}
 }
 
-// TestFuzzRegressionSeed1007 pins the first bug the fuzz harness found
-// (routefuzz seed 1007, shrunk): ripping up a via whose cut carries an
-// inter-layer projection removed the projection from cut plane v+1 but
-// never invalidated that plane's fast-grid caches, leaving stale via
-// verdicts behind (fast grid claimed a rip-up need where the space was
-// free).
-func TestFuzzRegressionSeed1007(t *testing.T) {
-	params := chip.GenParams{
-		Seed: 1007, Rows: 5, Cols: 10, NumNets: 19,
-		NumLayers: 6, LocalityRadius: 5,
-	}
-	res := core.RouteBonnRoute(context.Background(), chip.Generate(params),
-		core.Options{Seed: 1007, Workers: 1})
-	for _, v := range Run(res, Options{}).Violations {
-		t.Errorf("%s", v)
-	}
-}
+// Fuzz regressions (e.g. the seed-1007 via-staleness case) live in the
+// golden corpus under testdata/ and run via TestGoldenCorpus in
+// corpus_test.go — add new reproducers there as JSON, not as code.
 
 // TestDeterminism is the double-run check itself on a small chip.
 func TestDeterminism(t *testing.T) {
