@@ -14,13 +14,15 @@ race:
 	$(GO) test -race ./...
 
 # test-race is the targeted race lane: the lock-free fast-grid and
-# striped interval-map stress tests, plus the ECO differential
-# equivalence suite (whose incremental runs exercise replay, restricted
-# global routing, and parallel detail together), all under the race
-# detector.
+# striped interval-map stress tests, the work-stealing scheduler's
+# forced-steal bit-identity sweep (Workers 1,2,4,8 with injected
+# steals), plus the ECO differential equivalence suite (whose
+# incremental runs exercise replay, restricted global routing, and
+# parallel detail together), all under the race detector.
 test-race:
 	$(GO) test -race -run 'TestConcurrentReadsDuringCommits' ./internal/fastgrid
 	$(GO) test -race -run 'TestStripedConcurrentDisjoint|TestStripedMatchesMap' ./internal/intervalmap
+	$(GO) test -race -run 'TestForcedStealEquivalence|TestRunScheduledExecution' ./internal/detail
 	$(GO) test -race -run 'TestECOEquivalence' ./internal/verify
 	$(GO) test -race ./internal/incremental
 
@@ -57,12 +59,15 @@ fuzz-eco-smoke:
 	$(GO) run ./cmd/routefuzz -eco -seeds 4 -base-seed 2000
 
 # alloc-guard re-runs the steady-state allocation tests: the no-op
-# tracer must stay allocation-free and the pooled path-search engine
-# must keep its per-search allocation budget — both serially and with
-# four engines searching concurrently (the Workers=4 regime).
+# tracer must stay allocation-free, the pooled path-search engine must
+# keep its per-search allocation budget — both serially and with four
+# engines searching concurrently (the Workers=4 regime) — and the
+# region-task scheduler's own dispatch overhead must stay bounded so
+# the parallel path cannot erode those budgets.
 alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
+	$(GO) test -run 'TestSchedulerAllocs' ./internal/detail
 
 # check is the pre-merge gate: vet, build, the full test suite, the
 # targeted race lane, the benchmark smoke test, the trace smoke test,
@@ -76,12 +81,15 @@ check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smok
 bench-json:
 	$(GO) run ./cmd/routebench -suite small -bench-json BENCH_pathsearch.json
 
-# bench-scaling runs the detail-stage workers sweep (Workers 1,2,4,8 on
-# the scaling suite) and diffs the quality fields against the committed
-# BENCH_parallel.json: any drift in netlength/vias/errors/unrouted —
-# across worker counts or against the artifact — fails the target.
-# Regenerate the artifact with:
-#   go run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -bench-json BENCH_parallel.json
+# bench-scaling runs the measured detail-stage workers sweep: each
+# worker count W runs at GOMAXPROCS=W (one warmup, median of 3 measured
+# runs; host CPU recorded in the artifact) and the quality fields are
+# diffed against the committed BENCH_parallel.json — any drift in
+# routed/netlength/vias/errors/unrouted, across worker counts, runs, or
+# against the artifact, fails the target. Regenerate the artifact with:
+#   go run ./cmd/routebench -workers-sweep 1,2,4,8 -sweep-runs 7 -suite scaling -bench-json BENCH_parallel.json
+# (the committed artifact uses median-of-7; the gate below uses the
+# faster default of 3 since it only diffs quality fields)
 bench-scaling:
 	$(GO) run ./cmd/routebench -workers-sweep 1,2,4,8 -suite scaling -diff-parallel BENCH_parallel.json
 

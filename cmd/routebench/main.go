@@ -8,7 +8,7 @@
 // Usage:
 //
 //	routebench [-table 0|1|2|3|4] [-suite small|medium|large|scaling] [-workers N]
-//	           [-workers-sweep 1,2,4,8] [-diff-parallel f] [-eco]
+//	           [-workers-sweep 1,2,4,8] [-sweep-runs N] [-diff-parallel f] [-eco]
 //	           [-cpuprofile f] [-memprofile f] [-bench-json f]
 //	           [-trace f.jsonl] [-progress]
 //
@@ -24,12 +24,16 @@
 // comparison document (BENCH_eco.json).
 //
 // -workers-sweep replaces the tables with the detail-stage scaling
-// sweep: every suite chip is routed once per worker count, the quality
-// fields are required to be bit-identical across counts (the §5.1
+// sweep: every suite chip is measured at each worker count with
+// runtime.GOMAXPROCS set to that count — one untimed warmup run, then
+// the median of -sweep-runs measured runs — and the host CPU model and
+// logical-CPU count are recorded alongside. The quality fields are
+// required to be bit-identical across counts and runs (the §5.1
 // determinism contract), and -bench-json then writes the scaling
-// document (BENCH_parallel.json). -diff-parallel compares the sweep's
-// quality fields against a committed artifact and exits non-zero on
-// drift (the `make bench-scaling` gate).
+// document (BENCH_parallel.json) carrying both the measured and the
+// clearly-labeled modeled (LPT critical path) speedups. -diff-parallel
+// compares the sweep's quality fields against a committed artifact and
+// exits non-zero on drift (the `make bench-scaling` gate).
 package main
 
 import (
@@ -127,11 +131,14 @@ func suite(name string) []chip.GenParams {
 		}
 	case "scaling":
 		// The -workers-sweep chips: wide (many columns) so regionSchedule
-		// opens with 8 strips, and local (small radius) so most nets are
-		// strip-assignable and the parallel rounds carry the flow.
+		// opens with 8+ strips, and local (small radius) so most nets are
+		// strip-assignable and the parallel rounds carry the flow. wide3
+		// is the large instance: wide enough for a 16-strip opening round,
+		// giving 8 workers real slack (≥2 tasks each before stealing).
 		return []chip.GenParams{
 			{Name: "wide1", Seed: 11, Rows: 8, Cols: 96, NumNets: 240, NumLayers: 4, LocalityRadius: 2, PowerStripePeriod: 6},
 			{Name: "wide2", Seed: 12, Rows: 6, Cols: 96, NumNets: 220, NumLayers: 4, LocalityRadius: 2, PowerStripePeriod: 4},
+			{Name: "wide3", Seed: 13, Rows: 10, Cols: 256, NumNets: 640, NumLayers: 4, LocalityRadius: 2, PowerStripePeriod: 6},
 		}
 	case "large":
 		return []chip.GenParams{
@@ -160,6 +167,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a JSONL trace to this file")
 		progress   = flag.Bool("progress", false, "print live span progress to stderr")
 		sweepArg   = flag.String("workers-sweep", "", "comma-separated worker counts (first must be 1); runs the detail-stage scaling sweep instead of the tables")
+		sweepRuns  = flag.Int("sweep-runs", 3, "with -workers-sweep: measured runs per worker count (median reported; one extra warmup run)")
 		diffPar    = flag.String("diff-parallel", "", "with -workers-sweep: compare quality fields against this BENCH_parallel.json and exit non-zero on drift")
 		ecoMode    = flag.Bool("eco", false, "run the incremental (ECO) rerouting comparison instead of the tables; -bench-json writes BENCH_eco.json")
 	)
@@ -213,7 +221,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "workers-sweep:", err)
 			os.Exit(1)
 		}
-		doc := workersSweep(*suiteName, params, counts)
+		doc := workersSweep(*suiteName, params, counts, *sweepRuns)
 		if *diffPar != "" {
 			if err := diffParallel(doc, *diffPar); err != nil {
 				fmt.Fprintln(os.Stderr, "diff-parallel:", err)

@@ -17,26 +17,46 @@ import (
 	"bonnroute/internal/pathsearch"
 )
 
-// modelNote is the honest label on the scaling artifact: this container
-// runs GOMAXPROCS=1, so measured wall time cannot exhibit real
-// concurrency. The strip schedule and per-strip task durations are the
-// same for every worker count (the result is bit-identical by the
-// determinism contract), so the modeled critical path — LPT-scheduling
-// the Workers=1 run's per-strip task durations onto W workers, plus the
-// serial rounds' wall time — is the scaling claim; detail_ms is the
-// measured wall time and is expected to be flat on one CPU.
-const modelNote = "modeled_detail_ms = LPT critical path of the Workers=1 run's per-strip task " +
-	"durations (parallel rounds) + serial-round wall time; measured detail_ms is flat because " +
-	"GOMAXPROCS=1 serializes the strip tasks"
+// modelNote labels the two speedup columns of the scaling artifact.
+// measured_speedup is real: every worker count runs at
+// GOMAXPROCS=min(workers, num_cpu) (one warmup, then median of
+// -sweep-runs measured runs) on the host recorded in host_cpu/num_cpu,
+// so on a multicore host it reflects genuine concurrency — and on a
+// single-core host it is honestly flat (the scheduler degenerates to
+// the inline serial loop). modeled_speedup is the machine-independent
+// claim:
+// LPT-scheduling the Workers=1 run's per-task durations onto W workers
+// (parallel and cluster rounds) plus the serial rounds' wall time. The
+// two columns agree when num_cpu >= workers; the model is what a wider
+// machine would measure.
+const modelNote = "measured_speedup = median detail_ms(workers=1) / median detail_ms(workers=W) " +
+	"at GOMAXPROCS=min(W, num_cpu) on host_cpu; modeled_speedup = detail critical path from " +
+	"LPT-scheduling the Workers=1 run's per-task durations onto W workers (machine-independent; " +
+	"tracks measured when num_cpu >= W)"
 
 // sweepRowJSON is one worker count's run of one chip.
 type sweepRowJSON struct {
 	Workers int `json:"workers"`
-	// DetailMS is the measured detail-stage wall time.
+	// GoMaxProcs is the runtime.GOMAXPROCS the row's runs executed
+	// under — always equal to Workers in this sweep.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// DetailMS is the measured detail-stage wall time: one warmup run,
+	// then the median of the measured runs.
 	DetailMS float64 `json:"detail_ms"`
+	// MeasuredSpeedup is DetailMS(workers=1) / DetailMS(this row) —
+	// real wall-clock scaling on the recorded host.
+	MeasuredSpeedup float64 `json:"measured_speedup"`
 	// ModeledDetailMS / ModeledSpeedup: see modelNote.
 	ModeledDetailMS float64 `json:"modeled_detail_ms"`
 	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// Scheduler observability, summed over the parallel/cluster rounds
+	// of the row's last measured run: region tasks executed, tasks run
+	// by a non-preferred worker, and summed worker idle time at round
+	// barriers. Steals and idle depend on real durations and may vary
+	// between runs; results never do.
+	Tasks  int     `json:"tasks"`
+	Steals int     `json:"steals"`
+	IdleMS float64 `json:"idle_ms"`
 	// Quality fields — identical for every worker count by construction;
 	// the sweep aborts if they drift.
 	Routed    int   `json:"routed"`
@@ -62,18 +82,39 @@ type sweepChipJSON struct {
 // parallelJSON is the -workers-sweep -bench-json document
 // (BENCH_parallel.json).
 type parallelJSON struct {
-	Suite      string          `json:"suite"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Model      string          `json:"model"`
-	Chips      []sweepChipJSON `json:"chips"`
+	Suite string `json:"suite"`
+	// HostCPU / NumCPU identify the machine the measured columns come
+	// from (model name from /proc/cpuinfo, logical CPU count).
+	HostCPU string `json:"host_cpu"`
+	NumCPU  int    `json:"num_cpu"`
+	// RunsPerCount is how many measured runs back each row's median
+	// (after one untimed warmup run).
+	RunsPerCount int             `json:"runs_per_count"`
+	Model        string          `json:"model"`
+	Chips        []sweepChipJSON `json:"chips"`
 	// SteadyAllocsPerOp re-measures the Interval/steady micro-benchmark
 	// so the artifact carries the path-search allocation budget alongside
 	// the scaling rows.
 	SteadyAllocsPerOp int64 `json:"pathsearch_steady_allocs_per_op"`
 }
 
+// hostCPU returns the machine's CPU model name (linux /proc/cpuinfo),
+// falling back to the architecture string.
+func hostCPU() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if k, v, ok := strings.Cut(line, ":"); ok &&
+				strings.TrimSpace(k) == "model name" {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
 // parseWorkerCounts parses the -workers-sweep argument. The sweep models
-// from the Workers=1 run, so 1 must come first.
+// and normalizes from the Workers=1 run, so 1 must come first.
 func parseWorkerCounts(s string) ([]int, error) {
 	var counts []int
 	for _, f := range strings.Split(s, ",") {
@@ -120,12 +161,19 @@ func lptMakespan(tasks []time.Duration, w int) time.Duration {
 	return makespan
 }
 
+// isParallelRound reports whether a round ran region tasks on the
+// work-stealing scheduler (strip rounds and the whole-chip cluster
+// round) as opposed to the serial prepass/cleanup/retry rounds.
+func isParallelRound(kind string) bool {
+	return kind == "parallel" || kind == "cluster"
+}
+
 // modelDetail computes the modeled detail-stage critical path at w
 // workers from a reference run's round details.
 func modelDetail(rounds []detail.RoundStats, w int) time.Duration {
 	var total time.Duration
 	for _, rd := range rounds {
-		if rd.Kind == "parallel" {
+		if isParallelRound(rd.Kind) {
 			total += lptMakespan(rd.StripTime, w)
 		} else {
 			total += rd.Elapsed
@@ -134,54 +182,122 @@ func modelDetail(rounds []detail.RoundStats, w int) time.Duration {
 	return total
 }
 
-// workersSweep runs every suite chip at each worker count, asserts the
-// quality fields are bit-identical across counts, and returns the
-// scaling document.
-func workersSweep(suiteName string, params []chip.GenParams, counts []int) *parallelJSON {
-	doc := &parallelJSON{
-		Suite:      suiteName,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Model:      modelNote,
+// medianDuration returns the median of ds (mean of the middle two for
+// even counts).
+func medianDuration(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	n := len(sorted)
+	if n == 0 {
+		return 0
 	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// workersSweep measures every suite chip at each worker count — real
+// wall clock at GOMAXPROCS=workers, one warmup then the median of
+// `runs` measured runs — asserts the quality fields are bit-identical
+// across counts and runs, and returns the scaling document.
+func workersSweep(suiteName string, params []chip.GenParams, counts []int, runs int) *parallelJSON {
+	if runs < 1 {
+		runs = 1
+	}
+	doc := &parallelJSON{
+		Suite:        suiteName,
+		HostCPU:      hostCPU(),
+		NumCPU:       runtime.NumCPU(),
+		RunsPerCount: runs,
+		Model:        modelNote,
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
 	fmt.Println("=== Workers sweep: detail-stage scaling ===")
+	fmt.Printf("host: %s (%d logical CPUs), %d measured runs per count\n\n", doc.HostCPU, doc.NumCPU, runs)
 	for _, p := range params {
 		cd := sweepChipJSON{Name: p.Name}
 		var refRounds []detail.RoundStats
 		var refRow sweepRowJSON
-		for _, w := range counts {
-			fmt.Fprintf(os.Stderr, "[sweep] %s workers=%d...\n", p.Name, w)
-			res := core.RouteBonnRoute(runCtx, chip.Generate(p),
-				core.Options{Workers: w, Seed: p.Seed, Tracer: tracer})
-			row := sweepRowJSON{
-				Workers:   w,
-				DetailMS:  float64(res.DetailTime.Microseconds()) / 1000,
-				Routed:    res.Detail.Routed,
-				Netlength: res.Metrics.Netlength,
-				Vias:      res.Metrics.Vias,
-				Errors:    res.Metrics.Errors,
-				Unrouted:  res.Metrics.Unrouted,
-				Ripups:    res.Detail.RipupEvents,
-			}
-			if w == 1 {
-				refRounds = res.Detail.RoundDetails
-				refRow = row
-				for _, rd := range refRounds {
-					if rd.Kind == "parallel" {
-						cd.ParallelRounds++
-						cd.StripTasks += len(rd.StripTime)
-						cd.ParallelNets += rd.Nets
+		rows := make([]sweepRowJSON, len(counts))
+		times := make([][]time.Duration, len(counts))
+		// Worker counts are interleaved round-robin — warmup pass first,
+		// then each measured repetition runs every count once — so a slow
+		// period on a shared host lands on every count about equally
+		// instead of biasing whichever count ran during it. Every run's
+		// quality fields must match the Workers=1 baseline — the
+		// determinism contract.
+		for rep := 0; rep <= runs; rep++ {
+			for ci, w := range counts {
+				// GOMAXPROCS follows the worker count onto real cores and
+				// stops at the host's CPU count: raising it past num_cpu
+				// only adds kernel timeslicing between threads that cannot
+				// run concurrently anyway (the row records what ran).
+				runtime.GOMAXPROCS(min(w, runtime.NumCPU()))
+				// Level the allocator between runs: without this, garbage
+				// from earlier runs inflates GC cost monotonically across
+				// the sweep and skews later rows slow.
+				runtime.GC()
+				fmt.Fprintf(os.Stderr, "[sweep] %s workers=%d run %d/%d...\n", p.Name, w, rep, runs)
+				res := core.RouteBonnRoute(runCtx, chip.Generate(p),
+					core.Options{Workers: w, Seed: p.Seed, Tracer: tracer})
+				row := sweepRowJSON{
+					Workers:    w,
+					GoMaxProcs: runtime.GOMAXPROCS(0),
+					Routed:     res.Detail.Routed,
+					Netlength:  res.Metrics.Netlength,
+					Vias:       res.Metrics.Vias,
+					Errors:     res.Metrics.Errors,
+					Unrouted:   res.Metrics.Unrouted,
+					Ripups:     res.Detail.RipupEvents,
+				}
+				for _, rd := range res.Detail.RoundDetails {
+					if isParallelRound(rd.Kind) {
+						row.Tasks += rd.Sched.Tasks
+						row.Steals += rd.Sched.Steals
+						row.IdleMS += float64(rd.Sched.Idle.Microseconds()) / 1000
 					}
 				}
-			} else if !sameQuality(row, refRow) {
-				fmt.Fprintf(os.Stderr,
-					"sweep: %s Workers=%d broke determinism:\n  got  %+v\n  want %+v\n",
-					p.Name, w, row, refRow)
-				os.Exit(1)
+				if rep > 0 {
+					times[ci] = append(times[ci], res.DetailTime)
+				}
+				if w == 1 {
+					// The last (warmed) run's per-task durations feed the
+					// LPT model; the cold warmup run would inflate it.
+					refRounds = res.Detail.RoundDetails
+				}
+				if ci == 0 && rep == 0 {
+					refRow = row
+				} else if !sameQuality(row, refRow) {
+					fmt.Fprintf(os.Stderr,
+						"sweep: %s Workers=%d broke determinism:\n  got  %+v\n  want %+v\n",
+						p.Name, w, row, refRow)
+					os.Exit(1)
+				}
+				rows[ci] = row
 			}
+		}
+		for _, rd := range refRounds {
+			if isParallelRound(rd.Kind) {
+				cd.ParallelRounds++
+				cd.StripTasks += len(rd.StripTime)
+				cd.ParallelNets += rd.Nets
+			}
+		}
+		for ci, w := range counts {
+			row := rows[ci]
+			row.DetailMS = float64(medianDuration(times[ci]).Microseconds()) / 1000
 			modeled := modelDetail(refRounds, w)
 			row.ModeledDetailMS = float64(modeled.Microseconds()) / 1000
 			if modeled > 0 {
 				row.ModeledSpeedup = float64(modelDetail(refRounds, 1)) / float64(modeled)
+			}
+			if len(cd.Rows) > 0 && row.DetailMS > 0 {
+				row.MeasuredSpeedup = cd.Rows[0].DetailMS / row.DetailMS
+			} else if row.DetailMS > 0 {
+				row.MeasuredSpeedup = 1
 			}
 			cd.Rows = append(cd.Rows, row)
 		}
@@ -192,6 +308,7 @@ func workersSweep(suiteName string, params []chip.GenParams, counts []int) *para
 		printSweepChip(cd)
 		doc.Chips = append(doc.Chips, cd)
 	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	r := testing.Benchmark(func(b *testing.B) {
 		cfg, S, T := searchWorld()
@@ -209,7 +326,8 @@ func workersSweep(suiteName string, params []chip.GenParams, counts []int) *para
 }
 
 // sameQuality compares the result-quality fields of two sweep rows —
-// the fields the determinism contract covers; timings are excluded.
+// the fields the determinism contract covers; timings and scheduler
+// observability are excluded.
 func sameQuality(a, b sweepRowJSON) bool {
 	return a.Routed == b.Routed && a.Netlength == b.Netlength &&
 		a.Vias == b.Vias && a.Errors == b.Errors &&
@@ -217,14 +335,15 @@ func sameQuality(a, b sweepRowJSON) bool {
 }
 
 func printSweepChip(cd sweepChipJSON) {
-	fmt.Printf("%s: %d parallel rounds, %d strip tasks, %d nets routed in strips\n",
+	fmt.Printf("%s: %d parallel rounds, %d region tasks, %d nets routed in regions\n",
 		cd.Name, cd.ParallelRounds, cd.StripTasks, cd.ParallelNets)
-	fmt.Printf("%8s %14s %18s %10s %10s %6s %7s %9s\n",
-		"workers", "detail_ms", "modeled_detail_ms", "speedup", "netlength", "vias", "errors", "unrouted")
+	fmt.Printf("%8s %10s %11s %9s %11s %9s %7s %10s %6s %7s\n",
+		"workers", "gomaxprocs", "detail_ms", "measured", "modeled_ms", "modeled", "steals", "netlength", "vias", "errors")
 	for _, r := range cd.Rows {
-		fmt.Printf("%8d %14.1f %18.1f %9.2fx %10d %6d %7d %9d\n",
-			r.Workers, r.DetailMS, r.ModeledDetailMS, r.ModeledSpeedup,
-			r.Netlength, r.Vias, r.Errors, r.Unrouted)
+		fmt.Printf("%8d %10d %11.1f %8.2fx %11.1f %8.2fx %7d %10d %6d %7d\n",
+			r.Workers, r.GoMaxProcs, r.DetailMS, r.MeasuredSpeedup,
+			r.ModeledDetailMS, r.ModeledSpeedup, r.Steals,
+			r.Netlength, r.Vias, r.Errors)
 	}
 	fmt.Println()
 }

@@ -177,6 +177,7 @@ func (r *Router) Audit() drc.AuditResult {
 // strip task's effects are confined to its strip, so a fixed seed must
 // produce bit-identical routing results for every worker count.
 func TestWorkerCountEquivalence(t *testing.T) {
+	withParallelism(t, 4)
 	gen := func() *chip.Chip {
 		return chip.Generate(chip.GenParams{
 			Seed: 11, Rows: 6, Cols: 40, NumNets: 60,

@@ -14,9 +14,10 @@ import (
 
 // RoundStats describes one routing round of Route.
 type RoundStats struct {
-	// Kind is "critical", "parallel", "serial", or "retry".
+	// Kind is "critical", "parallel", "cluster", "serial", or "retry".
 	Kind string
-	// Strips is the region count of a parallel round (1 otherwise).
+	// Strips is the strip count the round partitioned into (1 for the
+	// whole-chip cluster round and the serial rounds).
 	Strips int
 	// Nets and Failed count the nets attempted and failed in the round.
 	Nets, Failed int
@@ -27,26 +28,36 @@ type RoundStats struct {
 	// round's workers is attributed to this round, not smeared into a
 	// later one by an engine held across round boundaries.
 	Search pathsearch.Stats
-	// StripTime[i] is the wall time spent routing strip i's nets
-	// serially within its task (parallel rounds; a single entry for
-	// serial rounds). These per-strip task durations feed the modeled
-	// critical-path speedup in cmd/routebench -workers-sweep, which is
-	// how scaling is evaluated on machines with fewer cores than
-	// Workers.
+	// StripTime[i] is the wall time task i spent routing its nets
+	// serially, in canonical task order (parallel/cluster rounds; a
+	// single entry for serial rounds). These per-task durations feed the
+	// modeled critical-path speedup in cmd/routebench -workers-sweep,
+	// which is how scaling is evaluated on machines with fewer cores
+	// than Workers.
 	StripTime []time.Duration
+	// TaskEffort[i] is task i's attributed path-search effort
+	// (pathsearch.Stats.Effort) in the same canonical order — a
+	// machine-independent imbalance signal alongside StripTime.
+	TaskEffort []int64
+	// Sched reports the work-stealing scheduler's behaviour during a
+	// parallel/cluster round (zero for serial rounds).
+	Sched SchedStats
 	// Elapsed is the round's wall time.
 	Elapsed time.Duration
 }
 
 // Route runs the full detailed routing flow (§4.4, §5.1): a critical-net
 // prepass, then region-partitioned parallel rounds over progressively
-// fewer, wider strips, and final serial rounds with unrestricted rip-up
-// for whatever is left.
+// fewer, wider strips — each strip further decomposed into
+// interaction-disjoint net clusters, executed by the deterministic
+// work-stealing scheduler (see schedule.go) — then a whole-chip cluster
+// round, and final serial rounds with unrestricted rip-up for whatever
+// is left.
 //
-// The strip schedule is derived from chip geometry alone (regionSchedule)
-// and each strip task's effects are confined to its strip (see worker),
-// so the result is identical for every Workers value — Workers only caps
-// how many strip tasks run concurrently.
+// The round and task schedule is derived from chip geometry alone
+// (regionSchedule, regionTasks) and each task's effects are confined to
+// its region (see worker), so the result is identical for every Workers
+// value — Workers only caps how many region tasks run concurrently.
 //
 // ctx carries cancellation — checked at round boundaries and between
 // nets inside a round — and, via obs.SpanFrom, the parent span under
@@ -105,12 +116,13 @@ func (r *Router) RouteNets(ctx context.Context, subset []int) *Result {
 	var roundSpan *obs.Span
 	var roundStart time.Time
 	var roundRipups int64
-	drain := func(e *pathsearch.Engine) {
+	drain := func(e *pathsearch.Engine) pathsearch.Stats {
 		d := e.TakeStats()
 		rsMu.Lock()
 		rs.Search.Add(d)
 		rsMu.Unlock()
 		r.foldStats(d)
+		return d
 	}
 	beginRound := func(kind string, strips, nets int) {
 		res.RoundDetails = append(res.RoundDetails,
@@ -136,6 +148,10 @@ func (r *Router) RouteNets(ctx context.Context, subset []int) *Result {
 			obs.Int("heap_pops", rs.Search.HeapPops),
 			obs.Int("intervals", rs.Search.Intervals),
 			obs.Int("searches", rs.Search.Searches),
+			obs.Int("tasks", rs.Sched.Tasks),
+			obs.Int("steals", rs.Sched.Steals),
+			obs.F64("idle_ms", float64(rs.Sched.Idle.Microseconds())/1000),
+			obs.F64("imbalance_ms", float64(rs.Sched.Imbalance.Microseconds())/1000),
 			obs.F64("fastgrid_hit_rate", r.FG.HitRate()))
 	}
 
@@ -183,62 +199,48 @@ func (r *Router) RouteNets(ctx context.Context, subset []int) *Result {
 			}
 			assigned[si] = append(assigned[si], ni)
 		}
-		var tasks []int
-		for si := range assigned {
-			if len(assigned[si]) > 0 {
-				tasks = append(tasks, si)
-			}
-		}
+		// Decompose the strips into interaction-disjoint region tasks
+		// (clusters inside a strip become their own tasks) and run them on
+		// the work-stealing scheduler. Each task routes its nets in order
+		// on its own worker with region-owned rip-up and records failures
+		// in its canonical slot; merging in task-id order after the barrier
+		// keeps the next round's net order independent of execution order.
+		tasks := r.regionTasks(strips, assigned)
 		if len(tasks) == 0 {
 			continue
 		}
-		// Each strip task routes its nets in order on its own worker,
-		// with region-owned rip-up, and records failures in its own
-		// slot; merging in strip order after the barrier keeps the next
-		// round's net order independent of goroutine completion order.
-		// Tasks are handed out through a shared cursor to however many
-		// goroutines Workers allows — task effects are disjoint, so the
-		// handout order cannot influence the result.
-		beginRound("parallel", k, len(pending)-len(next))
-		fails := make([][]int, len(assigned))
-		times := make([]time.Duration, len(assigned))
-		var cursor int64
-		var wg sync.WaitGroup
-		for wi := 0; wi < min(r.opt.Workers, len(tasks)); wi++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					t := int(atomic.AddInt64(&cursor, 1)) - 1
-					if t >= len(tasks) {
-						return
-					}
-					si := tasks[t]
-					start := time.Now()
-					w := &worker{
-						e:          r.acquireEngine(),
-						restricted: true,
-						region:     strips[si],
-						clamp:      r.clampStrip(strips[si]),
-					}
-					var local []int
-					for _, ni := range assigned[si] {
-						if ctx.Err() != nil {
-							local = append(local, ni)
-							continue
-						}
-						if !r.routeNetWith(w, ni, 2) {
-							local = append(local, ni)
-						}
-					}
-					fails[si] = local
-					drain(w.e)
-					r.releaseEngine(w.e)
-					times[si] = time.Since(start)
-				}
-			}()
+		kind := "parallel"
+		if k == 1 {
+			kind = "cluster"
 		}
-		wg.Wait()
+		beginRound(kind, k, len(pending)-len(next))
+		fails := make([][]int, len(tasks))
+		times := make([]time.Duration, len(tasks))
+		efforts := make([]int64, len(tasks))
+		sched := runScheduled(r.opt.Workers, tasks, r.forceSteal, func(wi int, t *schedTask) {
+			start := time.Now()
+			w := &worker{
+				e:          r.acquireEngine(),
+				restricted: true,
+				region:     t.region,
+				clamp:      t.clamp,
+			}
+			var local []int
+			for _, ni := range t.nets {
+				if ctx.Err() != nil {
+					local = append(local, ni)
+					continue
+				}
+				if !r.routeNetWith(w, ni, 2) {
+					local = append(local, ni)
+				}
+			}
+			fails[t.id] = local
+			d := drain(w.e)
+			r.releaseEngine(w.e)
+			times[t.id] = time.Since(start)
+			efforts[t.id] = d.Effort()
+		})
 		roundFails := 0
 		for _, local := range fails {
 			roundFails += len(local)
@@ -246,6 +248,8 @@ func (r *Router) RouteNets(ctx context.Context, subset []int) *Result {
 		}
 		pending = next
 		rs.StripTime = times
+		rs.TaskEffort = efforts
+		rs.Sched = sched
 		endRound(roundFails)
 	}
 
@@ -309,21 +313,24 @@ func (r *Router) netSpan(ni int) int {
 }
 
 // regionSchedule returns the strip counts of the parallel rounds,
-// largest first, halving down to 2: the largest power of two k ≤ 8 whose
-// strips stay wide enough to hold the clamp margins plus working room.
-// The schedule depends only on chip geometry — never on opt.Workers — so
-// every worker count runs the same rounds and computes the same result.
+// largest first, halving down to the final whole-chip cluster round
+// (k=1): the largest power of two k ≤ 64 whose strips stay wide enough
+// to hold a net's full interaction rectangle plus working room — a
+// strip narrower than 2·assignMargin can never be assigned a net, so
+// thinner partitions only add empty rounds. The schedule depends only
+// on chip geometry — never on opt.Workers — so every worker count runs
+// the same rounds and computes the same result.
 func (r *Router) regionSchedule() []int {
 	pitch := r.Chip.Deck.Layers[0].Pitch
-	minW := max(32*pitch, 2*r.clampMargin+16*pitch)
+	minW := max(32*pitch, 2*r.assignMargin+16*pitch)
 	maxK := 1
-	for k := 2; k <= 8; k *= 2 {
+	for k := 2; k <= 64; k *= 2 {
 		if r.Chip.Area.W()/k >= minW {
 			maxK = k
 		}
 	}
 	var ks []int
-	for k := maxK; k >= 2; k /= 2 {
+	for k := maxK; k >= 1; k /= 2 {
 		ks = append(ks, k)
 	}
 	return ks
@@ -344,30 +351,11 @@ func (r *Router) partition(k int) []geom.Rect {
 	return strips
 }
 
-// clampStrip shrinks a strip by the commit margin at interior strip
-// boundaries; chip edges have no neighbor and keep their full extent.
-func (r *Router) clampStrip(s geom.Rect) geom.Rect {
-	area := r.Chip.Area
-	c := s
-	if c.XMin > area.XMin {
-		c.XMin += r.clampMargin
-	}
-	if c.XMax < area.XMax {
-		c.XMax -= r.clampMargin
-	}
-	return c
-}
-
 // stripOf returns the strip wholly containing the net's interaction
 // region (pin bbox + assignment margin, clipped to the chip), or -1 when
 // the net crosses strips and must wait for a wider round.
 func (r *Router) stripOf(ni int, strips []geom.Rect) int {
-	var bbox geom.Rect
-	for _, pi := range r.Chip.Nets[ni].Pins {
-		ctr := r.Chip.Pins[pi].Center()
-		bbox = bbox.Union(geom.Rect{XMin: ctr.X, YMin: ctr.Y, XMax: ctr.X + 1, YMax: ctr.Y + 1})
-	}
-	bbox = bbox.Expanded(r.assignMargin).Intersection(r.Chip.Area)
+	bbox := r.interactRect(ni)
 	for si, s := range strips {
 		if s.ContainsRect(bbox) {
 			return si

@@ -233,6 +233,13 @@ type Router struct {
 	engines     []*pathsearch.Engine
 	searchStats pathsearch.Stats
 
+	// forceSteal (tests only) makes scheduler pop `pop` of worker `wi`
+	// bypass the worker's own LPT share and steal instead. Stealing
+	// reassigns whole region tasks, which cannot change results — the
+	// hook exists so equivalence tests can exercise stolen schedules
+	// deliberately.
+	forceSteal func(wi, pop int) bool
+
 	// ripups counts victim nets ripped up during routing (atomic: rip-up
 	// commits happen on worker goroutines).
 	ripups int64

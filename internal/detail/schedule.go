@@ -1,0 +1,369 @@
+package detail
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bonnroute/internal/geom"
+)
+
+// schedTask is one unit of region-owned routing work in a parallel
+// round: a set of nets whose interaction rectangles all fit inside
+// region, routed serially in net order by whichever worker claims the
+// task. Tasks of one round have pairwise-disjoint regions, so the
+// claiming order cannot influence the routing result — only the wall
+// time.
+type schedTask struct {
+	// id is the task's canonical position within its round (strip-major,
+	// cluster-minor). Failure merging and per-task stats use this order,
+	// never the execution order.
+	id int
+	// region is the owned rectangle; clamp is region shrunk by the
+	// commit margin at sides interior to the chip.
+	region, clamp geom.Rect
+	// nets in global routing order.
+	nets []int
+	// cost is the deterministic effort estimate used for the ready-queue
+	// priority and the LPT pre-assignment (Σ net half-perimeters plus a
+	// per-net constant).
+	cost int64
+	// pref is the LPT-preferred worker (observability: executing on any
+	// other worker counts as a steal).
+	pref int
+}
+
+// SchedStats reports one parallel round's work-stealing scheduler
+// behaviour. None of these feed back into routing decisions — they
+// exist so the schedule is observable (obs round spans, routebench
+// scaling rows).
+type SchedStats struct {
+	// Tasks is how many region tasks the round decomposed into.
+	Tasks int
+	// Steals counts tasks executed by a worker other than their
+	// LPT-preferred one (idle workers claim the highest-priority
+	// remaining task regardless of preference).
+	Steals int
+	// Spawned is how many goroutines the round actually started (the
+	// calling goroutine always acts as worker 0, so a single-task or
+	// single-worker round spawns none).
+	Spawned int
+	// Idle is the summed time workers spent finished while the round's
+	// barrier waited on slower workers.
+	Idle time.Duration
+	// Imbalance is max−min worker busy time — the LPT/steal residual.
+	Imbalance time.Duration
+}
+
+// Add accumulates o into s (per-run totals across rounds).
+func (s *SchedStats) Add(o SchedStats) {
+	s.Tasks += o.Tasks
+	s.Steals += o.Steals
+	s.Spawned += o.Spawned
+	s.Idle += o.Idle
+	s.Imbalance += o.Imbalance
+}
+
+// runScheduled executes the round's tasks on up to `workers` concurrent
+// executors (capped at GOMAXPROCS — see below) and returns the
+// scheduler statistics.
+//
+// The ready queue is globally ordered by (cost descending, id
+// ascending). Workers prefer tasks LPT-pre-assigned to them and steal
+// the highest-priority remaining task when their own share is drained,
+// so the *assignment* of tasks to workers adapts to real durations —
+// but task effects are region-owned and pairwise disjoint, so any
+// assignment commits the same wiring. forceSteal (test injection) makes
+// a worker's pop deliberately bypass its own share; it may perturb
+// wall time only, never results.
+//
+// The calling goroutine participates as worker 0: with one worker or a
+// single task no goroutine is spawned and no lock is taken, so the
+// parallel path never costs more than a plain serial loop.
+func runScheduled(workers int, tasks []*schedTask, forceSteal func(wi, pop int) bool, run func(wi int, t *schedTask)) SchedStats {
+	st := SchedStats{Tasks: len(tasks)}
+	if len(tasks) == 0 {
+		return st
+	}
+	// Ready-queue order: cost descending, canonical id ascending. The
+	// id tie-break keeps the order total and deterministic.
+	order := append([]*schedTask(nil), tasks...)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].cost != order[b].cost {
+			return order[a].cost > order[b].cost
+		}
+		return order[a].id < order[b].id
+	})
+	// Cap concurrency at GOMAXPROCS: extra CPU-bound executors beyond
+	// the runtime's parallelism only add switching and cache pressure,
+	// so a saturated machine (GOMAXPROCS=1) runs the inline loop and
+	// Workers>1 never costs more than serial. The cap affects only the
+	// task→worker assignment, which cannot influence results.
+	n := min(workers, len(order), max(1, runtime.GOMAXPROCS(0)))
+	if n < 1 {
+		n = 1
+	}
+	// LPT pre-assignment over the estimates: longest task first onto the
+	// least-loaded worker. pref is advisory — stealing overrides it when
+	// real durations drift from the estimates.
+	loads := make([]int64, n)
+	for _, t := range order {
+		mi := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		t.pref = mi
+		loads[mi] += t.cost
+	}
+	if n == 1 {
+		for _, t := range order {
+			run(0, t)
+		}
+		return st
+	}
+
+	var (
+		mu      sync.Mutex
+		claimed = make([]bool, len(order))
+		left    = len(order)
+		steals  = 0
+		busy    = make([]time.Duration, n)
+	)
+	// claim pops one task for worker wi under the queue lock: the
+	// highest-priority unclaimed task preferring wi, else (a steal) the
+	// highest-priority unclaimed task overall.
+	claim := func(wi, pop int) *schedTask {
+		mu.Lock()
+		defer mu.Unlock()
+		if left == 0 {
+			return nil
+		}
+		own, other := -1, -1
+		for i, t := range order {
+			if claimed[i] {
+				continue
+			}
+			if t.pref == wi {
+				if own < 0 {
+					own = i
+				}
+			} else if other < 0 {
+				other = i
+			}
+			if own >= 0 && other >= 0 {
+				break
+			}
+		}
+		pick := own
+		if pick < 0 || (other >= 0 && forceSteal != nil && forceSteal(wi, pop)) {
+			pick = other
+		}
+		if pick < 0 {
+			pick = own
+		}
+		claimed[pick] = true
+		left--
+		if order[pick].pref != wi {
+			steals++
+		}
+		return order[pick]
+	}
+
+	start := time.Now()
+	exec := func(wi int) {
+		t0 := time.Now()
+		for pop := 0; ; pop++ {
+			t := claim(wi, pop)
+			if t == nil {
+				break
+			}
+			run(wi, t)
+		}
+		busy[wi] = time.Since(t0)
+	}
+	var wg sync.WaitGroup
+	for wi := 1; wi < n; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			exec(wi)
+		}(wi)
+	}
+	st.Spawned = n - 1
+	exec(0)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	minB, maxB := busy[0], busy[0]
+	for _, b := range busy {
+		minB, maxB = min(minB, b), max(maxB, b)
+		if idle := elapsed - b; idle > 0 {
+			st.Idle += idle
+		}
+	}
+	st.Imbalance = maxB - minB
+	st.Steals = steals
+	return st
+}
+
+// netBBox is the bounding box of the net's pin centers.
+func (r *Router) netBBox(ni int) geom.Rect {
+	var bbox geom.Rect
+	for _, pi := range r.Chip.Nets[ni].Pins {
+		ctr := r.Chip.Pins[pi].Center()
+		bbox = bbox.Union(geom.Rect{XMin: ctr.X, YMin: ctr.Y, XMax: ctr.X + 1, YMax: ctr.Y + 1})
+	}
+	return bbox
+}
+
+// interactRect is the rectangle a net's routing may read or write when
+// it owns a region just covering it: the pin bbox plus the strip
+// assignment margin (search box, commit overhang, patching, access
+// regeneration), clipped to the chip.
+func (r *Router) interactRect(ni int) geom.Rect {
+	return r.netBBox(ni).Expanded(r.assignMargin).Intersection(r.Chip.Area)
+}
+
+// clampRegion shrinks a region by the commit margin on every side
+// interior to the chip; chip edges have no neighbor and keep their full
+// extent. This generalizes the former x-only strip clamping to the 2D
+// cluster regions of the finer decomposition.
+func (r *Router) clampRegion(s geom.Rect) geom.Rect {
+	area := r.Chip.Area
+	c := s
+	if c.XMin > area.XMin {
+		c.XMin += r.clampMargin
+	}
+	if c.XMax < area.XMax {
+		c.XMax -= r.clampMargin
+	}
+	if c.YMin > area.YMin {
+		c.YMin += r.clampMargin
+	}
+	if c.YMax < area.YMax {
+		c.YMax -= r.clampMargin
+	}
+	return c
+}
+
+// clusterStrip splits a strip's net list into groups whose interaction
+// rectangles form pairwise-disjoint bounding boxes — the net-level
+// parallelism inside a strip. Nets whose interaction rects overlap are
+// unioned; clusters whose bounding boxes still overlap are merged again
+// until the boxes are disjoint, so two clusters can never interact even
+// through nets they don't share. The grouping depends only on pin
+// geometry and deck-derived margins — never on Workers or committed
+// wiring — so every worker count derives the same clusters.
+//
+// Each returned cluster keeps its nets in the input (global routing)
+// order; clusters are ordered by their first net.
+func (r *Router) clusterStrip(nets []int) [][]int {
+	if len(nets) <= 1 {
+		return [][]int{nets}
+	}
+	rects := make([]geom.Rect, len(nets))
+	for i, ni := range nets {
+		rects[i] = r.interactRect(ni)
+	}
+	// Union-find over net slots; roots carry the cluster bbox.
+	parent := make([]int, len(nets))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	bbox := append([]geom.Rect(nil), rects...)
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		bbox[rb] = bbox[rb].Union(bbox[ra])
+		return true
+	}
+	// Merge to fixpoint: overlap of cluster bounding boxes (not just the
+	// original rects) forces a merge, so the final boxes are disjoint.
+	for changed := true; changed; {
+		changed = false
+		for i := range nets {
+			ri := find(i)
+			for j := i + 1; j < len(nets); j++ {
+				rj := find(j)
+				if ri != rj && bbox[ri].Intersects(bbox[rj]) {
+					union(i, j)
+					ri = find(i)
+					changed = true
+				}
+			}
+		}
+	}
+	groups := map[int]int{} // root -> output index
+	var out [][]int
+	for i, ni := range nets {
+		root := find(i)
+		gi, ok := groups[root]
+		if !ok {
+			gi = len(out)
+			groups[root] = gi
+			out = append(out, nil)
+		}
+		out[gi] = append(out[gi], ni)
+	}
+	return out
+}
+
+// clusterBBox is the union of the cluster nets' interaction rects.
+func (r *Router) clusterBBox(nets []int) geom.Rect {
+	var bbox geom.Rect
+	for _, ni := range nets {
+		bbox = bbox.Union(r.interactRect(ni))
+	}
+	return bbox
+}
+
+// regionTasks decomposes one round's strip assignment into the task
+// list the scheduler runs: per strip, nets are clustered
+// (clusterStrip); a strip with several clusters becomes several tasks
+// whose regions are the cluster bounding boxes, a single-cluster strip
+// stays one task owning the whole strip (the wider region permits more
+// in-strip rip-up). Task ids are canonical: strip-major, cluster-minor.
+func (r *Router) regionTasks(strips []geom.Rect, assigned [][]int) []*schedTask {
+	var tasks []*schedTask
+	add := func(region geom.Rect, nets []int) {
+		var cost int64
+		for _, ni := range nets {
+			cost += int64(r.netSpan(ni)) + int64(16*r.Chip.Deck.Layers[0].Pitch)
+		}
+		tasks = append(tasks, &schedTask{
+			id:     len(tasks),
+			region: region,
+			clamp:  r.clampRegion(region),
+			nets:   nets,
+			cost:   cost,
+		})
+	}
+	for si := range assigned {
+		if len(assigned[si]) == 0 {
+			continue
+		}
+		clusters := r.clusterStrip(assigned[si])
+		if len(clusters) == 1 {
+			add(strips[si], clusters[0])
+			continue
+		}
+		for _, nets := range clusters {
+			add(r.clusterBBox(nets), nets)
+		}
+	}
+	return tasks
+}

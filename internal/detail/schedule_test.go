@@ -1,0 +1,237 @@
+package detail
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+)
+
+// withParallelism raises GOMAXPROCS for the duration of a test so the
+// scheduler's concurrent path (goroutines, steals) runs even on a
+// single-CPU host, where runScheduled would otherwise cap itself to
+// the inline loop. Results are GOMAXPROCS-independent; this only
+// makes the concurrency tests non-vacuous everywhere.
+func withParallelism(t *testing.T, n int) {
+	prev := runtime.GOMAXPROCS(max(n, runtime.GOMAXPROCS(0)))
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// stealEvery returns a forceSteal hook that makes every period-th pop of
+// every worker bypass its own LPT share — a deterministic function of
+// (worker, pop), so every run injects the same steal pattern.
+func stealEvery(period int) func(wi, pop int) bool {
+	return func(wi, pop int) bool { return (wi+pop)%period == 0 }
+}
+
+// TestForcedStealEquivalence is the work-stealing determinism contract:
+// stealing reassigns whole region tasks between workers, and region
+// effects are disjoint, so even an adversarial steal schedule must
+// produce bit-identical results at every worker count. The forceSteal
+// hook injects steals deterministically; run under -race this also
+// hunts cross-task data races on the shared routing space.
+func TestForcedStealEquivalence(t *testing.T) {
+	withParallelism(t, 4)
+	gen := func() *chip.Chip {
+		return chip.Generate(chip.GenParams{
+			Seed: 11, Rows: 6, Cols: 40, NumNets: 60,
+			NumLayers: 4, LocalityRadius: 2,
+		})
+	}
+	run := func(workers int, force func(wi, pop int) bool) *Result {
+		r := New(gen(), Options{Workers: workers})
+		r.forceSteal = force
+		return r.Route(context.Background())
+	}
+	ref := run(1, nil)
+	parallelNets := 0
+	for _, rd := range ref.RoundDetails {
+		if rd.Kind == "parallel" || rd.Kind == "cluster" {
+			parallelNets += rd.Nets
+		}
+	}
+	if parallelNets == 0 {
+		t.Fatal("no nets routed in parallel rounds; steal equivalence test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := run(workers, stealEvery(2))
+		if workers > 1 {
+			steals := 0
+			for _, rd := range got.RoundDetails {
+				steals += rd.Sched.Steals
+			}
+			if steals == 0 {
+				t.Fatalf("Workers=%d: forced-steal run recorded no steals; injection is vacuous", workers)
+			}
+		}
+		if got.Routed != ref.Routed || got.Failed != ref.Failed {
+			t.Fatalf("Workers=%d forced steals: routed/failed %d/%d, want %d/%d",
+				workers, got.Routed, got.Failed, ref.Routed, ref.Failed)
+		}
+		if got.RipupEvents != ref.RipupEvents {
+			t.Fatalf("Workers=%d forced steals: ripups %d, want %d",
+				workers, got.RipupEvents, ref.RipupEvents)
+		}
+		for ni := range ref.PerNet {
+			if got.PerNet[ni] != ref.PerNet[ni] {
+				t.Fatalf("Workers=%d forced steals: net %d stats %+v, want %+v",
+					workers, ni, got.PerNet[ni], ref.PerNet[ni])
+			}
+		}
+		gs, ws := got.SearchStats, ref.SearchStats
+		gs.PiReused, ws.PiReused = 0, 0
+		if gs != ws {
+			t.Fatalf("Workers=%d forced steals: search stats %+v, want %+v", workers, gs, ws)
+		}
+	}
+}
+
+// TestRegionTasksInvariants pins the properties the determinism proof
+// rests on: tasks of one round partition the assigned nets, task
+// regions are pairwise disjoint, every net's interaction rectangle lies
+// inside its task's region, and task ids are canonical (strip-major,
+// cluster-minor with nets in routing order).
+func TestRegionTasksInvariants(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 7, Rows: 8, Cols: 64, NumNets: 160,
+		NumLayers: 4, LocalityRadius: 2,
+	})
+	r := New(c, Options{Workers: 1})
+	for _, k := range r.regionSchedule() {
+		strips := r.partition(k)
+		assigned := make([][]int, len(strips))
+		total := 0
+		for ni := range c.Nets {
+			if si := r.stripOf(ni, strips); si >= 0 {
+				assigned[si] = append(assigned[si], ni)
+				total++
+			}
+		}
+		tasks := r.regionTasks(strips, assigned)
+		seen := map[int]bool{}
+		for i, task := range tasks {
+			if task.id != i {
+				t.Fatalf("k=%d: task %d has id %d", k, i, task.id)
+			}
+			for _, ni := range task.nets {
+				if seen[ni] {
+					t.Fatalf("k=%d: net %d appears in more than one task", k, ni)
+				}
+				seen[ni] = true
+				if !task.region.ContainsRect(r.interactRect(ni)) {
+					t.Fatalf("k=%d task %d: net %d interaction rect %v escapes region %v",
+						k, task.id, ni, r.interactRect(ni), task.region)
+				}
+			}
+			if !task.region.ContainsRect(task.clamp) {
+				t.Fatalf("k=%d task %d: clamp %v outside region %v", k, task.id, task.clamp, task.region)
+			}
+			for j := i + 1; j < len(tasks); j++ {
+				if task.region.Intersects(tasks[j].region) {
+					t.Fatalf("k=%d: task %d region %v intersects task %d region %v",
+						k, task.id, task.region, tasks[j].id, tasks[j].region)
+				}
+			}
+		}
+		if len(seen) != total {
+			t.Fatalf("k=%d: tasks cover %d nets, assigned %d", k, len(seen), total)
+		}
+	}
+}
+
+// TestClusterStripDisjoint checks the fixpoint property of the in-strip
+// clustering: the returned clusters' bounding boxes are pairwise
+// disjoint, so no net of one cluster can interact with any net of
+// another even transitively.
+func TestClusterStripDisjoint(t *testing.T) {
+	c := chip.Generate(chip.GenParams{
+		Seed: 3, Rows: 6, Cols: 48, NumNets: 120,
+		NumLayers: 4, LocalityRadius: 1,
+	})
+	r := New(c, Options{Workers: 1})
+	nets := make([]int, len(c.Nets))
+	for ni := range nets {
+		nets[ni] = ni
+	}
+	clusters := r.clusterStrip(nets)
+	covered := 0
+	boxes := make([]geom.Rect, len(clusters))
+	for i, cl := range clusters {
+		covered += len(cl)
+		boxes[i] = r.clusterBBox(cl)
+	}
+	if covered != len(nets) {
+		t.Fatalf("clusters cover %d nets, want %d", covered, len(nets))
+	}
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Intersects(boxes[j]) {
+				t.Fatalf("cluster %d bbox %v intersects cluster %d bbox %v", i, boxes[i], j, boxes[j])
+			}
+		}
+	}
+}
+
+// TestRunScheduledExecution pins the scheduler mechanics: every task
+// runs exactly once at any worker count and under forced steals, the
+// single-worker path spawns no goroutines, and steal counts are
+// reported when injection forces them.
+func TestRunScheduledExecution(t *testing.T) {
+	withParallelism(t, 8)
+	mkTasks := func(n int) []*schedTask {
+		tasks := make([]*schedTask, n)
+		for i := range tasks {
+			tasks[i] = &schedTask{id: i, cost: int64(100 - i)}
+		}
+		return tasks
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, force := range []func(wi, pop int) bool{nil, stealEvery(2)} {
+			tasks := mkTasks(13)
+			var ran [13]int32
+			st := runScheduled(workers, tasks, force, func(wi int, task *schedTask) {
+				ran[task.id]++
+			})
+			for i, n := range ran {
+				if n != 1 {
+					t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+				}
+			}
+			if st.Tasks != 13 {
+				t.Fatalf("workers=%d: Tasks=%d, want 13", workers, st.Tasks)
+			}
+			if workers == 1 && st.Spawned != 0 {
+				t.Fatalf("workers=1 spawned %d goroutines, want 0", st.Spawned)
+			}
+			if workers > 1 && force != nil && st.Steals == 0 {
+				t.Fatalf("workers=%d: forced steals reported 0", workers)
+			}
+		}
+	}
+	// A single task must not spawn either, regardless of Workers —
+	// the satellite fix for the Workers>1 regression on one core.
+	st := runScheduled(8, mkTasks(1), nil, func(wi int, task *schedTask) {})
+	if st.Spawned != 0 {
+		t.Fatalf("single task spawned %d goroutines, want 0", st.Spawned)
+	}
+}
+
+// TestSchedulerAllocs bounds the scheduler's own allocation overhead so
+// the parallel path cannot erode the per-search budgets pinned in
+// pathsearch: dispatching a round of tasks on one worker (the
+// steady-state of a saturated machine) must stay within a handful of
+// slice headers, independent of net count.
+func TestSchedulerAllocs(t *testing.T) {
+	tasks := make([]*schedTask, 16)
+	for i := range tasks {
+		tasks[i] = &schedTask{id: i, cost: int64(i)}
+	}
+	const maxAllocs = 8
+	if got := testing.AllocsPerRun(100, func() {
+		runScheduled(1, tasks, nil, func(wi int, task *schedTask) {})
+	}); got > maxAllocs {
+		t.Errorf("runScheduled(1 worker, 16 tasks): %v allocs/op, want <= %d", got, maxAllocs)
+	}
+}

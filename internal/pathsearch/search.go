@@ -61,6 +61,14 @@ type Stats struct {
 	PiReused  int `json:"pi_reused,omitempty"` // future-cost structures served from the engine cache
 }
 
+// Effort is a machine-independent scalar summary of search work — the
+// counters that track real exploration (labels, heap pops, crossing
+// expansions, intervals). Schedulers use it to compare per-task load
+// without depending on wall time.
+func (s Stats) Effort() int64 {
+	return int64(s.Labels) + int64(s.HeapPops) + int64(s.Expanded) + int64(s.Intervals)
+}
+
 // Add accumulates o into s — the merge step for per-engine tallies.
 func (s *Stats) Add(o Stats) {
 	s.Labels += o.Labels

@@ -417,9 +417,12 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		if s.Opt.Workers <= 1 {
 			work(0, 0, len(s.Nets))
 		} else {
+			// The calling goroutine handles the first chunk itself and
+			// spawns only the rest, so Workers>1 on a single-core host
+			// costs at most the chunk bookkeeping over the serial path.
 			var wg sync.WaitGroup
 			chunk := (len(s.Nets) + s.Opt.Workers - 1) / s.Opt.Workers
-			for w := 0; w < s.Opt.Workers; w++ {
+			for w := 1; w < s.Opt.Workers; w++ {
 				lo := w * chunk
 				hi := min(lo+chunk, len(s.Nets))
 				if lo >= hi {
@@ -431,6 +434,7 @@ func (s *Solver) Run(ctx context.Context) *Result {
 					work(w, lo, hi)
 				}(w, lo, hi)
 			}
+			work(0, 0, min(chunk, len(s.Nets)))
 			wg.Wait()
 		}
 

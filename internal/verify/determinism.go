@@ -11,9 +11,11 @@ import (
 // Determinism runs the BonnRoute flow twice on independently generated
 // copies of the same chip — same seed, different worker counts — and
 // returns every observable difference. The parallel rounds partition
-// work by strip and merge results in net order, so the outcome must be
-// bit-identical regardless of Workers; any difference is a scheduling
-// leak (iteration-order dependence, racy tie-break, shared-state
+// work into interaction-disjoint region tasks whose work-stealing
+// assignment cannot affect committed wiring, and failures merge in
+// canonical task order, so the outcome must be bit-identical
+// regardless of Workers; any difference is a scheduling leak
+// (iteration-order dependence, racy tie-break, shared-state
 // corruption).
 func Determinism(ctx context.Context, params chip.GenParams, opt core.Options, workersA, workersB int) []Violation {
 	run := func(workers int) *core.Result {
