@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard check bench-json bench-scaling bench-eco
+.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke check bench-json bench-scaling bench-eco bench-service
 
 all: build
 
@@ -25,6 +25,7 @@ test-race:
 	$(GO) test -race -run 'TestForcedStealEquivalence|TestRunScheduledExecution' ./internal/detail
 	$(GO) test -race -run 'TestECOEquivalence' ./internal/verify
 	$(GO) test -race ./internal/incremental
+	$(GO) test -race ./internal/service
 
 vet:
 	$(GO) vet ./...
@@ -69,12 +70,19 @@ alloc-guard:
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
 	$(GO) test -run 'TestSchedulerAllocs' ./internal/detail
 
+# service-smoke starts the routing daemon on a loopback port, walks one
+# session through create → reroute → assess → result → delete over real
+# HTTP, and shuts down gracefully. Self-contained (the daemon drives
+# its own round-trip), so no curl or port coordination is needed.
+service-smoke:
+	$(GO) run ./cmd/routed -smoke
+
 # check is the pre-merge gate: vet, build, the full test suite, the
 # targeted race lane, the benchmark smoke test, the trace smoke test,
-# the verifier fuzz sweeps (plain and ECO), and the allocation guards.
-# (`make race` — the whole suite under -race — stays available as the
-# long-form lane.)
-check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard
+# the verifier fuzz sweeps (plain and ECO), the allocation guards, and
+# the service daemon round-trip. (`make race` — the whole suite under
+# -race — stays available as the long-form lane.)
+check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks).
@@ -99,3 +107,11 @@ bench-scaling:
 # same mutated chip. Both results must clear every verifier pass.
 bench-eco:
 	$(GO) run ./cmd/routebench -eco -suite eco -bench-json BENCH_eco.json
+
+# bench-service regenerates the committed service-daemon artifact: one
+# session created over loopback HTTP, then a 30-delta seeded ECO stream
+# where every delta is pre-screened via /assess and applied via
+# /reroute. The artifact records p50/p99 latencies for both endpoints,
+# reroute throughput, and the assess-vs-reroute median speedup.
+bench-service:
+	$(GO) run ./cmd/routebench -service -bench-json BENCH_service.json

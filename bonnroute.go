@@ -26,6 +26,13 @@
 // sinks) to observe every stage, global-routing phase and detailed-
 // routing round as spans with metrics.
 //
+// For incremental (ECO) work, NewSession pins a chip, its finished
+// Result and the exact options used, and Session.Reroute applies deltas
+// against that pinned state with optimistic generation tokens — the
+// session-oriented API the routing service daemon (cmd/routed) serves
+// over HTTP. Summarize produces the trimmed, JSON-stable ResultSummary
+// wire view of a Result.
+//
 // The building blocks live in internal packages, one per subsystem of the
 // paper (see DESIGN.md for the full inventory); this package is the
 // stable façade.
@@ -77,6 +84,14 @@ type Result = core.Result
 // errors).
 type Metrics = report.Metrics
 
+// ResultSummary is the trimmed, JSON-stable wire view of a Result
+// (metrics, audit counts, per-net status — no geometry); the routing
+// service serves these over HTTP.
+type ResultSummary = core.ResultSummary
+
+// Summarize builds the wire view of a Result.
+func Summarize(res *Result) ResultSummary { return core.Summarize(res) }
+
 // Observability re-exports: a Tracer fans spans, events, counters and
 // gauges out to Sinks; nil tracers and spans are no-ops, so tracing can
 // be left off at zero cost.
@@ -103,6 +118,13 @@ func NewProgressSink(w io.Writer) *obs.ProgressSink { return obs.NewProgressSink
 func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
 
 // GlobalConfig collects the global-routing knobs for WithGlobalConfig.
+//
+// A plain struct literal keeps the historical merge semantics: zero
+// fields leave whatever an earlier option set. That makes zero and
+// false inexpressible from a literal, so every field also has a SetX
+// accessor that marks it explicitly set — SetPowerCap(0) really
+// disables the power resource and SetSkip(false) really re-enables
+// global routing, where the literal forms would silently be no-ops.
 type GlobalConfig struct {
 	// Phases is Algorithm 2's t (default 32).
 	Phases int
@@ -112,12 +134,63 @@ type GlobalConfig struct {
 	PowerCap float64
 	// Skip routes without global guidance (detailed-only mode).
 	Skip bool
+
+	set uint8
+}
+
+const (
+	gcPhases = 1 << iota
+	gcTileTracks
+	gcPowerCap
+	gcSkip
+)
+
+// SetPhases returns a copy with Phases explicitly set; 0 restores the
+// core default (32) even when an earlier option raised it.
+func (g GlobalConfig) SetPhases(n int) GlobalConfig {
+	g.Phases, g.set = n, g.set|gcPhases
+	return g
+}
+
+// SetTileTracks returns a copy with TileTracks explicitly set; 0
+// restores the core default (8).
+func (g GlobalConfig) SetTileTracks(n int) GlobalConfig {
+	g.TileTracks, g.set = n, g.set|gcTileTracks
+	return g
+}
+
+// SetPowerCap returns a copy with PowerCap explicitly set; 0 disables
+// the power resource even when an earlier option enabled it.
+func (g GlobalConfig) SetPowerCap(v float64) GlobalConfig {
+	g.PowerCap, g.set = v, g.set|gcPowerCap
+	return g
+}
+
+// SetSkip returns a copy with Skip explicitly set; false re-enables
+// global routing even after WithoutGlobal or an earlier Skip.
+func (g GlobalConfig) SetSkip(b bool) GlobalConfig {
+	g.Skip, g.set = b, g.set|gcSkip
+	return g
 }
 
 // DetailConfig collects the detailed-routing knobs for WithDetailConfig.
+// Like GlobalConfig, struct-literal fields merge (zero keeps earlier
+// settings) and SetX accessors set explicitly, including to false.
 type DetailConfig struct {
 	// UsePFuture enables the blockage-aware future cost (§3.5).
 	UsePFuture bool
+
+	set uint8
+}
+
+const dcUsePFuture = 1
+
+// SetUsePFuture returns a copy with UsePFuture explicitly set; false
+// disables the blockage-aware future cost even when an earlier option
+// enabled it.
+func (d DetailConfig) SetUsePFuture(b bool) DetailConfig {
+	d.UsePFuture, d.set = b, d.set|dcUsePFuture
+	return d
 }
 
 // Option configures a routing run.
@@ -132,29 +205,37 @@ func WithSeed(seed int64) Option { return func(o *core.Options) { o.Seed = seed 
 // WithTracer attaches an observability tracer; nil disables tracing.
 func WithTracer(t *Tracer) Option { return func(o *core.Options) { o.Tracer = t } }
 
-// WithGlobalConfig applies the global-routing configuration. Zero-valued
-// fields keep their defaults.
+// WithGlobalConfig applies the global-routing configuration. Fields of
+// a plain struct literal merge: zero values keep whatever is already
+// set. Fields marked with the SetX accessors apply unconditionally,
+// which is the only way to express zero and false (SetPowerCap(0),
+// SetSkip(false), ...).
 func WithGlobalConfig(g GlobalConfig) Option {
 	return func(o *core.Options) {
-		if g.Phases > 0 {
+		if g.Phases > 0 || g.set&gcPhases != 0 {
 			o.GlobalPhases = g.Phases
 		}
-		if g.TileTracks > 0 {
+		if g.TileTracks > 0 || g.set&gcTileTracks != 0 {
 			o.TileTracks = g.TileTracks
 		}
-		if g.PowerCap > 0 {
+		if g.PowerCap > 0 || g.set&gcPowerCap != 0 {
 			o.PowerCap = g.PowerCap
 		}
-		if g.Skip {
+		if g.set&gcSkip != 0 {
+			o.SkipGlobal = g.Skip
+		} else if g.Skip {
 			o.SkipGlobal = true
 		}
 	}
 }
 
-// WithDetailConfig applies the detailed-routing configuration.
+// WithDetailConfig applies the detailed-routing configuration, with the
+// same merge-vs-explicit semantics as WithGlobalConfig.
 func WithDetailConfig(d DetailConfig) Option {
 	return func(o *core.Options) {
-		if d.UsePFuture {
+		if d.set&dcUsePFuture != 0 {
+			o.UsePFuture = d.UsePFuture
+		} else if d.UsePFuture {
 			o.UsePFuture = true
 		}
 	}
@@ -162,6 +243,17 @@ func WithDetailConfig(d DetailConfig) Option {
 
 // WithoutGlobal is shorthand for WithGlobalConfig(GlobalConfig{Skip: true}).
 func WithoutGlobal() Option { return func(o *core.Options) { o.SkipGlobal = true } }
+
+// WithOptions replaces the whole option struct with a caller-held
+// core.Options — the single documented escape hatch for callers that
+// assemble configurations outside the functional options. It composes
+// like any other option: it overwrites everything applied before it,
+// and later options still win over it, so it normally goes first:
+//
+//	bonnroute.Route(ctx, c, bonnroute.WithOptions(opt), bonnroute.WithWorkers(4))
+func WithOptions(opt Options) Option {
+	return func(o *core.Options) { *o = opt }
+}
 
 // WithEcoThreshold sets the dirty-fraction above which Reroute falls
 // back to a full from-scratch run (default 0.35; negative never falls
@@ -203,9 +295,16 @@ func RouteBaseline(ctx context.Context, c *Chip, opts ...Option) *Result {
 // re-priced, and only the dirty set goes back through the detail
 // pipeline (full from-scratch fallback above WithEcoThreshold). An
 // empty delta returns prev itself, bit-identical. prev is never
-// modified. The options should match the ones prev was routed with —
-// in particular the seed, so the incremental result stays deterministic
-// for any worker count.
+// modified.
+//
+// The options MUST match the ones prev was routed with — in particular
+// the seed, or the incremental result silently loses the determinism
+// contract. Nothing in this signature enforces that pairing, which is
+// why it is deprecated in favour of Session, where the options are
+// pinned once and every reroute reuses them.
+//
+// Deprecated: use NewSession (or SessionFromResult) and
+// Session.Reroute, which cannot mispair options with the result.
 func Reroute(ctx context.Context, prev *Result, delta Delta, opts ...Option) (*Result, *EcoStats, error) {
 	return incremental.Reroute(ctx, prev, delta, buildOptions(opts))
 }
@@ -220,15 +319,20 @@ func RandomDelta(c *Chip, seed int64, cfg incremental.GenConfig) Delta {
 // EcoGenConfig sizes RandomDelta.
 type EcoGenConfig = incremental.GenConfig
 
-// RouteWithOptions is the escape hatch for callers that already hold a
-// fully-populated core.Options.
+// RouteWithOptions is the old escape hatch for callers that already
+// hold a fully-populated core.Options.
+//
+// Deprecated: use Route(ctx, c, WithOptions(opt)) — the same escape
+// hatch as a composable functional option.
 func RouteWithOptions(ctx context.Context, c *Chip, opt Options) *Result {
-	return core.RouteBonnRoute(ctx, c, opt)
+	return Route(ctx, c, WithOptions(opt))
 }
 
-// RouteBaselineWithOptions is the baseline-flow escape hatch.
+// RouteBaselineWithOptions is the old baseline-flow escape hatch.
+//
+// Deprecated: use RouteBaseline(ctx, c, WithOptions(opt)).
 func RouteBaselineWithOptions(ctx context.Context, c *Chip, opt Options) *Result {
-	return core.RouteBaseline(ctx, c, opt)
+	return RouteBaseline(ctx, c, WithOptions(opt))
 }
 
 // FormatMetrics renders Table-I-style rows.

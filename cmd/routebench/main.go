@@ -170,6 +170,8 @@ func main() {
 		sweepRuns  = flag.Int("sweep-runs", 3, "with -workers-sweep: measured runs per worker count (median reported; one extra warmup run)")
 		diffPar    = flag.String("diff-parallel", "", "with -workers-sweep: compare quality fields against this BENCH_parallel.json and exit non-zero on drift")
 		ecoMode    = flag.Bool("eco", false, "run the incremental (ECO) rerouting comparison instead of the tables; -bench-json writes BENCH_eco.json")
+		svcMode    = flag.Bool("service", false, "benchmark the routing service daemon over loopback HTTP instead of the tables; -bench-json writes BENCH_service.json")
+		svcDeltas  = flag.Int("service-deltas", 30, "with -service: length of the seeded ECO delta stream")
 	)
 	flag.Parse()
 
@@ -213,7 +215,9 @@ func main() {
 
 	params := suite(*suiteName)
 	var benchDoc any = collect
-	if *ecoMode {
+	if *svcMode {
+		benchDoc = serviceBench(*workers, *svcDeltas)
+	} else if *ecoMode {
 		benchDoc = ecoBench(*suiteName, params, *workers)
 	} else if *sweepArg != "" {
 		counts, err := parseWorkerCounts(*sweepArg)

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/incremental"
+	"bonnroute/internal/service"
+)
+
+// latencyJSON summarizes one endpoint's request latencies.
+type latencyJSON struct {
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// serviceBenchJSON is the BENCH_service.json document: the service
+// daemon measured end to end over loopback HTTP — session creation,
+// a seeded ECO delta stream applied via /reroute, and the same stream
+// pre-screened via /assess. AssessSpeedupMedian is the headline: how
+// many times cheaper (median latency) the capacity-only pre-screen is
+// than the full ECO reroute on the same deltas.
+type serviceBenchJSON struct {
+	Chip                string      `json:"chip"`
+	Nets                int         `json:"nets"`
+	Seed                int64       `json:"seed"`
+	Deltas              int         `json:"deltas"`
+	Workers             int         `json:"workers"`
+	GoMaxProcs          int         `json:"gomaxprocs"`
+	CreateMS            float64     `json:"create_ms"`
+	Reroute             latencyJSON `json:"reroute"`
+	Assess              latencyJSON `json:"assess"`
+	AssessSpeedupMedian float64     `json:"assess_speedup_median"`
+	RerouteThroughput   float64     `json:"reroute_throughput_per_sec"`
+	FinalGeneration     uint64      `json:"final_generation"`
+}
+
+func summarizeLatencies(lat []time.Duration) latencyJSON {
+	if len(lat) == 0 {
+		return latencyJSON{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	at := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return latencyJSON{
+		Count:  len(sorted),
+		P50MS:  ms(at(0.50)),
+		P99MS:  ms(at(0.99)),
+		MeanMS: ms(total / time.Duration(len(sorted))),
+		MinMS:  ms(sorted[0]),
+		MaxMS:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// serviceBench measures the routing service over loopback HTTP: create
+// one session, then replay a seeded delta stream, pre-screening every
+// delta with /assess and applying it with /reroute. The local chip
+// mirror (incremental.Apply is deterministic) keeps delta generation
+// valid against the daemon's evolving in-memory chip.
+func serviceBench(workers, deltas int) *serviceBenchJSON {
+	p := chip.GenParams{
+		Name: "svc1", Seed: 21, Rows: 8, Cols: 24, NumNets: 140,
+		NumLayers: 6, LocalityRadius: 12, PowerStripePeriod: 4,
+	}
+	svc := service.New(service.Config{MaxInFlight: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path string, body any) (int, []byte) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service bench:", err)
+			os.Exit(1)
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service bench:", err)
+			os.Exit(1)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, out
+	}
+
+	fmt.Fprintf(os.Stderr, "[service] creating session (%s, %d nets requested)...\n", p.Name, p.NumNets)
+	createReq := map[string]any{
+		"name": "bench",
+		"chip": service.ChipWire{
+			Name: p.Name, Seed: p.Seed, Rows: p.Rows, Cols: p.Cols,
+			NumNets: p.NumNets, NumLayers: p.NumLayers,
+			LocalityRadius: p.LocalityRadius, PowerStripePeriod: p.PowerStripePeriod,
+		},
+		"options": service.OptionsWire{Seed: p.Seed, Workers: workers},
+	}
+	createStart := time.Now()
+	code, body := post("/sessions", createReq)
+	createDur := time.Since(createStart)
+	if code != http.StatusCreated {
+		fmt.Fprintf(os.Stderr, "service bench: create failed: %d %s\n", code, body)
+		os.Exit(1)
+	}
+
+	// Local mirror of the daemon's chip so each delta is generated
+	// against the state it will actually be applied to.
+	cur := chip.Generate(p)
+	nets := len(cur.Nets)
+	gen := uint64(1)
+
+	var rerouteLat, assessLat []time.Duration
+	var rerouteWall time.Duration
+	for i := 0; i < deltas; i++ {
+		delta := incremental.RandomDelta(cur, p.Seed*1000+int64(i), incremental.GenConfig{})
+
+		start := time.Now()
+		code, body = post("/sessions/bench/assess", map[string]any{"delta": delta})
+		assessLat = append(assessLat, time.Since(start))
+		if code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "service bench: assess %d failed: %d %s\n", i, code, body)
+			os.Exit(1)
+		}
+
+		start = time.Now()
+		code, body = post("/sessions/bench/reroute", map[string]any{
+			"from_generation": gen, "delta": delta,
+		})
+		d := time.Since(start)
+		rerouteLat = append(rerouteLat, d)
+		rerouteWall += d
+		if code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "service bench: reroute %d failed: %d %s\n", i, code, body)
+			os.Exit(1)
+		}
+		var rr struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(body, &rr); err != nil {
+			fmt.Fprintln(os.Stderr, "service bench:", err)
+			os.Exit(1)
+		}
+		gen = rr.Generation
+
+		next, _, err := incremental.Apply(cur, &delta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service bench: mirror apply %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		cur = next
+		if (i+1)%10 == 0 {
+			fmt.Fprintf(os.Stderr, "[service] %d/%d deltas applied (generation %d)\n", i+1, deltas, gen)
+		}
+	}
+
+	doc := &serviceBenchJSON{
+		Chip: p.Name, Nets: nets, Seed: p.Seed, Deltas: deltas,
+		Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0),
+		CreateMS:        float64(createDur.Microseconds()) / 1000,
+		Reroute:         summarizeLatencies(rerouteLat),
+		Assess:          summarizeLatencies(assessLat),
+		FinalGeneration: gen,
+	}
+	if doc.Assess.P50MS > 0 {
+		doc.AssessSpeedupMedian = doc.Reroute.P50MS / doc.Assess.P50MS
+	}
+	if rerouteWall > 0 {
+		doc.RerouteThroughput = float64(len(rerouteLat)) / rerouteWall.Seconds()
+	}
+
+	fmt.Printf("=== Service bench: %d ECO deltas over HTTP ===\n", deltas)
+	fmt.Printf("create          %10.1f ms\n", doc.CreateMS)
+	fmt.Printf("reroute p50/p99 %10.1f / %.1f ms (%.2f/s)\n", doc.Reroute.P50MS, doc.Reroute.P99MS, doc.RerouteThroughput)
+	fmt.Printf("assess  p50/p99 %10.2f / %.2f ms\n", doc.Assess.P50MS, doc.Assess.P99MS)
+	fmt.Printf("assess speedup  %10.1fx (median)\n", doc.AssessSpeedupMedian)
+	return doc
+}

@@ -1,0 +1,185 @@
+// Command routed is the routing-as-a-service daemon: it serves the
+// bonnroute session API over HTTP JSON. Sessions pin a chip and its
+// finished routing result in memory; ECO deltas, result fetches and
+// cheap capacity-only routability assessments are applied against
+// them.
+//
+//	POST   /sessions                  create (routes the chip; stream:true or
+//	                                  Accept: text/event-stream for SSE progress)
+//	GET    /sessions                  list
+//	GET    /sessions/{name}           metadata
+//	GET    /sessions/{name}/result    current summary + last ECO stats
+//	POST   /sessions/{name}/reroute   apply an ECO delta (optimistic
+//	                                  from_generation token; FIFO per session)
+//	POST   /sessions/{name}/assess    capacity-only routability pre-screen
+//	DELETE /sessions/{name}           drop a session
+//	GET    /healthz                   liveness
+//
+// Routing flows are admission-controlled: at most -max-inflight run
+// concurrently, -max-queue more wait, the rest get 429 + Retry-After.
+// SIGINT/SIGTERM trigger graceful shutdown: in-flight flows are
+// cancelled at their next boundary, nothing partial is committed, and
+// the listener drains before exit.
+//
+// -smoke starts the daemon on a loopback port, runs one
+// create/reroute/assess round-trip against it over real HTTP, shuts
+// down cleanly and exits — the self-contained health check behind
+// `make service-smoke`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bonnroute/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7473", "listen address")
+	maxInFlight := flag.Int("max-inflight", 2, "maximum concurrently running routing flows")
+	maxQueue := flag.Int("max-queue", 0, "additional flows admitted to wait (0 = 2*max-inflight)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	streamBuf := flag.Int("stream-buffer", 256, "SSE trace-record buffer per streaming request")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	smoke := flag.Bool("smoke", false, "start on a loopback port, run one API round-trip, shut down, exit")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		RetryAfter:   *retryAfter,
+		StreamBuffer: *streamBuf,
+	})
+	httpSrv := &http.Server{Handler: svc}
+
+	if *smoke {
+		if err := runSmoke(svc, httpSrv, *shutdownTimeout); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("routed: serving on %s (max-inflight %d)", ln.Addr(), *maxInFlight)
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("routed: %v, shutting down", s)
+	case err := <-done:
+		log.Fatalf("routed: serve: %v", err)
+	}
+
+	// Cancel in-flight routing flows first (they commit nothing
+	// partial), then drain the HTTP layer.
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatalf("routed: shutdown: %v", err)
+	}
+	log.Print("routed: bye")
+}
+
+// runSmoke is the daemon's self-check: bind a loopback port, walk one
+// session through create → reroute → assess → result → delete over
+// real HTTP, then shut down gracefully.
+func runSmoke(svc *service.Server, httpSrv *http.Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	post := func(path string, body string) (int, []byte, error) {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	code, out, err := post("/sessions", `{
+		"name": "smoke",
+		"chip": {"seed": 7, "rows": 3, "cols": 8, "num_nets": 12, "num_layers": 3, "locality_radius": 3},
+		"options": {"seed": 7}
+	}`)
+	if err != nil || code != http.StatusCreated {
+		return fmt.Errorf("create: code %d err %v: %s", code, err, out)
+	}
+
+	code, out, err = post("/sessions/smoke/reroute", `{
+		"from_generation": 1,
+		"delta": {"remove_nets": [0]}
+	}`)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("reroute: code %d err %v: %s", code, err, out)
+	}
+	var rr struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(out, &rr); err != nil || rr.Generation != 2 {
+		return fmt.Errorf("reroute generation %d err %v: %s", rr.Generation, err, out)
+	}
+
+	code, out, err = post("/sessions/smoke/assess", `{"delta": {"remove_nets": [1]}}`)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("assess: code %d err %v: %s", code, err, out)
+	}
+
+	resp, err := client.Get(base + "/sessions/smoke/result")
+	if err != nil {
+		return fmt.Errorf("result: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: code %d: %s", resp.StatusCode, out)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/smoke", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		return fmt.Errorf("delete: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("delete: code %d", resp.StatusCode)
+	}
+
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package capest
+
+import (
+	"math"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+)
+
+// Assessment is the outcome of a capacity-only routability pre-screen:
+// a comparison of per-edge loads against per-edge capacities with no
+// routing at all. The service daemon uses it to answer "would this
+// delta plausibly fit?" orders of magnitude cheaper than an ECO
+// reroute; the tradeoff is that it sees congestion, not connectivity.
+type Assessment struct {
+	// Edges is the number of edges compared.
+	Edges int `json:"edges"`
+	// Overloaded counts edges whose load exceeds capacity.
+	Overloaded int `json:"overloaded"`
+	// Overflow sums load-over-capacity across overloaded edges.
+	Overflow float64 `json:"overflow"`
+	// WorstRatio is the maximum load/capacity over edges with positive
+	// capacity (+Inf when a zero-capacity edge carries load).
+	WorstRatio float64 `json:"worst_ratio"`
+	// TotalCap and TotalLoad are the grid-wide sums.
+	TotalCap  float64 `json:"total_cap"`
+	TotalLoad float64 `json:"total_load"`
+}
+
+// Routable reports whether no edge is overloaded.
+func (a Assessment) Routable() bool { return a.Overloaded == 0 }
+
+// Assess compares per-edge loads against capacities. The slices must
+// have equal length (edges beyond the shorter slice are ignored). A
+// small relative tolerance absorbs float accumulation noise so an edge
+// loaded exactly to capacity does not flap.
+func Assess(caps, loads []float64) Assessment {
+	n := len(caps)
+	if len(loads) < n {
+		n = len(loads)
+	}
+	a := Assessment{Edges: n}
+	for e := 0; e < n; e++ {
+		c, l := caps[e], loads[e]
+		a.TotalCap += c
+		a.TotalLoad += l
+		if c > 0 {
+			if r := l / c; r > a.WorstRatio {
+				a.WorstRatio = r
+			}
+			if l > c*(1+1e-9) {
+				a.Overloaded++
+				a.Overflow += l - c
+			}
+		} else if l > 1e-9 {
+			a.Overloaded++
+			a.Overflow += l
+			a.WorstRatio = math.Inf(1)
+		}
+	}
+	return a
+}
+
+// wireEdgeRegion is the inter-center region a wire edge's capacity was
+// counted over in Compute: from tile (tx,ty)'s center to its successor
+// in the layer's preferred direction, full tile extent orthogonally.
+func wireEdgeRegion(g *grid.Graph, tx, ty, z int) geom.Rect {
+	t0 := g.TileRect(tx, ty)
+	if g.Dirs[z] == geom.Horizontal {
+		t1 := g.TileRect(tx+1, ty)
+		return geom.Rect{XMin: t0.Center().X, XMax: t1.Center().X, YMin: t0.YMin, YMax: t0.YMax}
+	}
+	t1 := g.TileRect(tx, ty+1)
+	return geom.Rect{XMin: t0.XMin, XMax: t0.XMax, YMin: t0.Center().Y, YMax: t1.Center().Y}
+}
+
+// AddNetDemand spreads a net's estimated routing demand over the wire
+// edges of its terminal bounding box and adds it to loads, returning
+// the total demand added. The model is the classic probabilistic
+// congestion map: the net crosses every tile-boundary cut inside its
+// bounding box once, at an unknown row (or column), so each cut's
+// width-weighted crossing is spread uniformly over the bbox's rows
+// (columns) and over the layers running that direction. Terminals in a
+// single tile add nothing — their wiring is intra-tile and already
+// modelled by ReduceForIntraTile.
+func AddNetDemand(g *grid.Graph, terminals []geom.Point, width float64, loads []float64) float64 {
+	if len(terminals) == 0 || width <= 0 {
+		return 0
+	}
+	txMin, tyMin := g.TileOf(terminals[0])
+	txMax, tyMax := txMin, tyMin
+	for _, p := range terminals[1:] {
+		tx, ty := g.TileOf(p)
+		if tx < txMin {
+			txMin = tx
+		}
+		if tx > txMax {
+			txMax = tx
+		}
+		if ty < tyMin {
+			tyMin = ty
+		}
+		if ty > tyMax {
+			tyMax = ty
+		}
+	}
+	nH, nV := 0, 0
+	for z := 0; z < g.NZ; z++ {
+		if g.Dirs[z] == geom.Horizontal {
+			nH++
+		} else {
+			nV++
+		}
+	}
+	var added float64
+	rows := tyMax - tyMin + 1
+	cols := txMax - txMin + 1
+	if txMax > txMin && nH > 0 {
+		// One horizontal crossing per vertical cut, spread over bbox
+		// rows and horizontal layers.
+		per := width / (float64(rows) * float64(nH))
+		for z := 0; z < g.NZ; z++ {
+			if g.Dirs[z] != geom.Horizontal {
+				continue
+			}
+			for ty := tyMin; ty <= tyMax; ty++ {
+				for tx := txMin; tx < txMax; tx++ {
+					if e := g.WireEdge(tx, ty, z); e >= 0 {
+						loads[e] += per
+						added += per
+					}
+				}
+			}
+		}
+	}
+	if tyMax > tyMin && nV > 0 {
+		per := width / (float64(cols) * float64(nV))
+		for z := 0; z < g.NZ; z++ {
+			if g.Dirs[z] != geom.Vertical {
+				continue
+			}
+			for tx := txMin; tx <= txMax; tx++ {
+				for ty := tyMin; ty < tyMax; ty++ {
+					if e := g.WireEdge(tx, ty, z); e >= 0 {
+						loads[e] += per
+						added += per
+					}
+				}
+			}
+		}
+	}
+	return added
+}
+
+// ReduceCapsForObstacle lowers the capacities of wire edges on one
+// layer overlapped by a new obstacle, without recounting tracks: each
+// affected edge loses the area fraction of its inter-center region the
+// extended obstacle covers. ext extends the obstacle in the layer's
+// preferred direction first, matching Compute's blockage extension; it
+// is a fast proxy for a full Compute rerun, biased pessimistic (track
+// counting could find detours the area model does not).
+func ReduceCapsForObstacle(g *grid.Graph, layer int, r geom.Rect, ext int, caps []float64) {
+	if layer < 0 || layer >= g.NZ || r.Empty() {
+		return
+	}
+	dir := g.Dirs[layer]
+	obs := r.ExpandedDir(dir, ext)
+	txLo, tyLo := g.TileOf(geom.Pt(obs.XMin, obs.YMin))
+	txHi, tyHi := g.TileOf(geom.Pt(obs.XMax-1, obs.YMax-1))
+	// An inter-center region extends half a tile beyond the obstacle's
+	// tiles in the preferred direction; widen the scan by one tile.
+	for ty := tyLo - 1; ty <= tyHi; ty++ {
+		for tx := txLo - 1; tx <= txHi; tx++ {
+			e := g.WireEdge(tx, ty, layer)
+			if e < 0 {
+				continue
+			}
+			region := wireEdgeRegion(g, tx, ty, layer)
+			inter := region.Intersection(obs)
+			if inter.Empty() {
+				continue
+			}
+			frac := float64(inter.Area()) / float64(region.Area())
+			caps[e] *= 1 - frac
+			if caps[e] < 0 {
+				caps[e] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package capest
+
+import (
+	"math"
+	"testing"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+)
+
+func assessGrid(t *testing.T) *grid.Graph {
+	t.Helper()
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical, geom.Horizontal}
+	g := grid.New(geom.R(0, 0, 800, 600), 100, 100, dirs)
+	if g.NX != 8 || g.NY != 6 {
+		t.Fatalf("unexpected grid %dx%d", g.NX, g.NY)
+	}
+	return g
+}
+
+func TestAssess(t *testing.T) {
+	caps := []float64{2, 1, 0, 4, 0}
+	loads := []float64{1, 1.5, 0, 4, 0.5}
+	a := Assess(caps, loads)
+	if a.Edges != 5 {
+		t.Fatalf("edges = %d", a.Edges)
+	}
+	// Edge 1 overflows by 0.5; edge 4 has load on zero capacity; edge 3
+	// is exactly at capacity and must not count.
+	if a.Overloaded != 2 {
+		t.Fatalf("overloaded = %d, want 2", a.Overloaded)
+	}
+	if math.Abs(a.Overflow-1.0) > 1e-12 {
+		t.Fatalf("overflow = %g, want 1", a.Overflow)
+	}
+	if !math.IsInf(a.WorstRatio, 1) {
+		t.Fatalf("worst ratio = %g, want +Inf", a.WorstRatio)
+	}
+	if a.Routable() {
+		t.Fatal("overloaded assessment claims routable")
+	}
+	clean := Assess(caps, []float64{1, 0.5, 0, 4, 0})
+	if !clean.Routable() || clean.WorstRatio != 1 {
+		t.Fatalf("clean assessment: %+v", clean)
+	}
+}
+
+func TestAddNetDemandConservation(t *testing.T) {
+	g := assessGrid(t)
+	loads := make([]float64, g.NumEdges())
+
+	// Terminals spanning tiles (1,1)..(4,3): 3 vertical cuts, 2
+	// horizontal cuts, width 1.
+	terms := []geom.Point{geom.Pt(150, 150), geom.Pt(450, 350)}
+	added := AddNetDemand(g, terms, 1, loads)
+
+	// Expected crossings: 3 cuts * width 1 horizontally + 2 vertically.
+	want := 5.0
+	if math.Abs(added-want) > 1e-9 {
+		t.Fatalf("added = %g, want %g", added, want)
+	}
+	var sum float64
+	for e, l := range loads {
+		sum += l
+		if l > 0 && g.IsVia(e) {
+			t.Fatalf("via edge %d loaded", e)
+		}
+	}
+	if math.Abs(sum-added) > 1e-9 {
+		t.Fatalf("loads sum %g != added %g", sum, added)
+	}
+
+	// Horizontal demand is split over the two horizontal layers and the
+	// three bbox rows: each loaded horizontal edge carries 1/(3*2).
+	e := g.WireEdge(1, 1, 0)
+	if math.Abs(loads[e]-1.0/6) > 1e-9 {
+		t.Fatalf("edge load %g, want %g", loads[e], 1.0/6)
+	}
+	// Edges outside the bbox carry nothing.
+	if out := g.WireEdge(5, 1, 0); loads[out] != 0 {
+		t.Fatalf("edge outside bbox loaded: %g", loads[out])
+	}
+}
+
+func TestAddNetDemandSingleTile(t *testing.T) {
+	g := assessGrid(t)
+	loads := make([]float64, g.NumEdges())
+	added := AddNetDemand(g, []geom.Point{geom.Pt(10, 10), geom.Pt(20, 30)}, 1, loads)
+	if added != 0 {
+		t.Fatalf("single-tile net added %g demand", added)
+	}
+}
+
+func TestReduceCapsForObstacle(t *testing.T) {
+	g := assessGrid(t)
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = 10
+	}
+	before := append([]float64(nil), caps...)
+
+	// Obstacle covering the right half of tile (2,2) on layer 0
+	// (horizontal): the edge region (2,2)->(3,2) spans x 250..350.
+	ReduceCapsForObstacle(g, 0, geom.R(250, 200, 300, 300), 0, caps)
+
+	e := g.WireEdge(2, 2, 0)
+	if math.Abs(caps[e]-5) > 1e-9 {
+		t.Fatalf("half-covered edge cap %g, want 5", caps[e])
+	}
+	// The region (1,2)->(2,2) spans x 150..250: untouched.
+	if e2 := g.WireEdge(1, 2, 0); caps[e2] != 10 {
+		t.Fatalf("neighboring edge reduced to %g", caps[e2])
+	}
+	// Other layers untouched.
+	if e3 := g.WireEdge(2, 2, 2); caps[e3] != 10 {
+		t.Fatalf("layer-2 edge reduced to %g", caps[e3])
+	}
+	// Nothing increased anywhere.
+	for i := range caps {
+		if caps[i] > before[i] {
+			t.Fatalf("cap %d increased %g -> %g", i, before[i], caps[i])
+		}
+	}
+
+	// A full-coverage obstacle zeroes the edge; repeat application
+	// cannot go negative.
+	ReduceCapsForObstacle(g, 0, geom.R(200, 200, 400, 300), 0, caps)
+	ReduceCapsForObstacle(g, 0, geom.R(200, 200, 400, 300), 0, caps)
+	if caps[e] != 0 {
+		t.Fatalf("fully covered edge cap %g, want 0", caps[e])
+	}
+}

@@ -23,10 +23,11 @@ type Layer struct {
 	Dir geom.Direction
 }
 
-// PinShape is one rectangle of pin metal.
+// PinShape is one rectangle of pin metal. The JSON field names are part
+// of the service wire schema (ECO deltas travel over HTTP).
 type PinShape struct {
-	Rect  geom.Rect
-	Layer int
+	Rect  geom.Rect `json:"rect"`
+	Layer int       `json:"layer"`
 }
 
 // Pin is a connection point of a net: one or more metal shapes, usually on
@@ -60,10 +61,11 @@ type Net struct {
 	Critical bool
 }
 
-// Obstacle is fixed blockage metal (power rails/stripes, macros).
+// Obstacle is fixed blockage metal (power rails/stripes, macros). The
+// JSON field names are part of the service wire schema.
 type Obstacle struct {
-	Rect  geom.Rect
-	Layer int
+	Rect  geom.Rect `json:"rect"`
+	Layer int       `json:"layer"`
 }
 
 // CellProto is a library cell prototype. Instances of the same prototype

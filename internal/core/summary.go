@@ -1,0 +1,90 @@
+package core
+
+// ResultSummary is the trimmed, wire-ready view of a Result: the
+// Table-I metrics, the audit breakdown, the global-routing headline
+// numbers, and per-net status — no geometry, no router, no chip. It is
+// what the service daemon returns for a session; the JSON field names
+// are the wire schema, pinned by golden-file tests.
+type ResultSummary struct {
+	Flow      string  `json:"flow"`
+	Nets      int     `json:"nets"`
+	RuntimeMS float64 `json:"runtime_ms"`
+	Netlength int64   `json:"netlength"`
+	Vias      int     `json:"vias"`
+	Scenic25  int     `json:"scenic25"`
+	Scenic50  int     `json:"scenic50"`
+	Errors    int     `json:"errors"`
+	Unrouted  int     `json:"unrouted"`
+	Cancelled bool    `json:"cancelled,omitempty"`
+
+	Audit AuditSummary `json:"audit"`
+
+	// Global is present when the run included global routing.
+	Global *GlobalSummary `json:"global,omitempty"`
+
+	// PerNet is the per-net routing status, indexed by net ID.
+	PerNet []NetStatus `json:"per_net,omitempty"`
+}
+
+// AuditSummary is the DRC audit breakdown of a summary.
+type AuditSummary struct {
+	DiffNet   int `json:"diff_net"`
+	MinArea   int `json:"min_area"`
+	Notch     int `json:"notch"`
+	ShortEdge int `json:"short_edge"`
+	Opens     int `json:"opens"`
+	Total     int `json:"total"`
+}
+
+// GlobalSummary is the global-routing headline of a summary.
+type GlobalSummary struct {
+	Lambda     float64 `json:"lambda"`
+	Overflowed int     `json:"overflowed_edges"`
+	Unrouted   int     `json:"unrouted"`
+	Violations int     `json:"violations"`
+}
+
+// NetStatus is one net's routing outcome.
+type NetStatus struct {
+	ID     int   `json:"id"`
+	Routed bool  `json:"routed"`
+	Length int64 `json:"length"`
+	Vias   int   `json:"vias"`
+}
+
+// Summarize builds the wire view of a finished (or partial) Result.
+func Summarize(res *Result) ResultSummary {
+	s := ResultSummary{
+		Flow:      res.Flow,
+		Nets:      res.Metrics.Nets,
+		RuntimeMS: float64(res.Metrics.Runtime.Microseconds()) / 1000,
+		Netlength: res.Metrics.Netlength,
+		Vias:      res.Metrics.Vias,
+		Scenic25:  res.Metrics.Scenic25,
+		Scenic50:  res.Metrics.Scenic50,
+		Errors:    res.Metrics.Errors,
+		Unrouted:  res.Metrics.Unrouted,
+		Cancelled: res.Cancelled,
+		Audit: AuditSummary{
+			DiffNet:   res.Audit.DiffNetViolations,
+			MinArea:   res.Audit.MinAreaViolations,
+			Notch:     res.Audit.NotchViolations,
+			ShortEdge: res.Audit.ShortEdgeShapes,
+			Opens:     res.Audit.Opens,
+			Total:     res.Audit.Errors(),
+		},
+	}
+	if res.Global != nil {
+		s.Global = &GlobalSummary{
+			Lambda:     res.Global.Lambda,
+			Overflowed: res.Global.Overflowed,
+			Unrouted:   res.Global.Unrouted,
+			Violations: res.Global.Violations,
+		}
+	}
+	s.PerNet = make([]NetStatus, len(res.PerNet))
+	for ni, nl := range res.PerNet {
+		s.PerNet[ni] = NetStatus{ID: ni, Routed: nl.Routed, Length: nl.Length, Vias: nl.Vias}
+	}
+	return s
+}

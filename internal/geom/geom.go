@@ -35,9 +35,11 @@ func (d Direction) String() string {
 	return "vertical"
 }
 
-// Point is a point in one routing plane.
+// Point is a point in one routing plane. The JSON field names are part
+// of the service wire schema (see DESIGN.md §11); don't rename them.
 type Point struct {
-	X, Y int
+	X int `json:"x"`
+	Y int `json:"y"`
 }
 
 // Pt is shorthand for Point{x, y}.
@@ -78,8 +80,12 @@ func (p Point3) XY() Point { return Point{p.X, p.Y} }
 func (p Point3) Dist1(q Point3) int { return Abs(p.X-q.X) + Abs(p.Y-q.Y) }
 
 // Rect is a half-open axis-parallel rectangle [XMin, XMax) × [YMin, YMax).
+// The JSON field names are part of the service wire schema.
 type Rect struct {
-	XMin, YMin, XMax, YMax int
+	XMin int `json:"xmin"`
+	YMin int `json:"ymin"`
+	XMax int `json:"xmax"`
+	YMax int `json:"ymax"`
 }
 
 // R builds a rectangle from two corner coordinates, normalizing the order.

@@ -22,13 +22,17 @@ import (
 
 // NewNet describes a net a delta adds: its pins are free-standing metal
 // (no owning cell — the router connects them via dynamic pin access).
+//
+// The JSON field names of NewNet, PinMove and Delta are the service
+// wire schema (cmd/routed accepts deltas over HTTP); they are pinned by
+// golden-file tests and must stay stable.
 type NewNet struct {
-	Name     string
-	WireType int
-	Critical bool
+	Name     string `json:"name,omitempty"`
+	WireType int    `json:"wire_type,omitempty"`
+	Critical bool   `json:"critical,omitempty"`
 	// Pins[k] is the shape list of the k-th pin (at least two pins,
 	// each with at least one shape).
-	Pins [][]chip.PinShape
+	Pins [][]chip.PinShape `json:"pins"`
 }
 
 // PinMove translates every shape of one existing pin. The pin detaches
@@ -37,17 +41,18 @@ type NewNet struct {
 type PinMove struct {
 	// Net is the net index in the previous chip; Pin the slot within
 	// that net's pin list.
-	Net, Pin int
+	Net int `json:"net"`
+	Pin int `json:"pin"`
 	// By is the translation vector.
-	By geom.Point
+	By geom.Point `json:"by"`
 }
 
 // Delta is one ECO scenario against a previously routed chip.
 type Delta struct {
-	AddNets      []NewNet
-	RemoveNets   []int
-	MovePins     []PinMove
-	AddBlockages []chip.Obstacle
+	AddNets      []NewNet        `json:"add_nets,omitempty"`
+	RemoveNets   []int           `json:"remove_nets,omitempty"`
+	MovePins     []PinMove       `json:"move_pins,omitempty"`
+	AddBlockages []chip.Obstacle `json:"add_blockages,omitempty"`
 }
 
 // Empty reports a delta with no changes at all.

@@ -18,32 +18,45 @@ import (
 	"bonnroute/internal/steiner"
 )
 
-// Stats reports what one incremental run reused and what it redid.
+// Stats reports what one incremental run reused and what it redid. The
+// JSON field names are the service wire schema (EcoStats rides in every
+// cmd/routed reroute response), pinned by golden-file tests; durations
+// serialize as nanoseconds (encoding/json's time.Duration form).
 type Stats struct {
 	// TotalNets is the net count of the mutated chip; DirtyNets how
 	// many of them went back through the detail pipeline.
-	TotalNets, DirtyNets int
+	TotalNets int `json:"total_nets"`
+	DirtyNets int `json:"dirty_nets"`
 	// AddedNets/RemovedNets/MovedPins echo the delta size.
-	AddedNets, RemovedNets, MovedPins int
+	AddedNets   int `json:"added_nets"`
+	RemovedNets int `json:"removed_nets"`
+	MovedPins   int `json:"moved_pins"`
 	// ReplayedNets is the clean wiring carried over verbatim.
-	ReplayedNets int
+	ReplayedNets int `json:"replayed_nets"`
 	// RepricedEdges counts global-grid edges whose load the restricted
 	// global solve changed (0 when the previous run skipped global).
-	RepricedEdges int
+	RepricedEdges int `json:"repriced_edges"`
 	// DirtyByRule breaks DirtyNets down by the first dirty-set rule
 	// (DESIGN.md §10) that caught each net: added, moved pin, previously
 	// unrouted, access drift, impact region.
-	DirtyByRule [5]int
+	DirtyByRule [5]int `json:"dirty_by_rule"`
 	// DirtyFraction is DirtyNets/TotalNets.
-	DirtyFraction float64
+	DirtyFraction float64 `json:"dirty_fraction"`
 	// FellBack reports that the dirty fraction exceeded
 	// Options.EcoThreshold and a full from-scratch run was used.
-	FellBack bool
+	FellBack bool `json:"fell_back,omitempty"`
 	// NoOp reports an empty delta: the previous Result was returned
 	// unchanged.
-	NoOp bool
+	NoOp bool `json:"no_op,omitempty"`
 	// Stage timings.
-	ApplyTime, PrepTime, DirtyTime, ReplayTime, GlobalTime, DetailTime, CleanupTime, Total time.Duration
+	ApplyTime   time.Duration `json:"apply_ns"`
+	PrepTime    time.Duration `json:"prep_ns"`
+	DirtyTime   time.Duration `json:"dirty_ns"`
+	ReplayTime  time.Duration `json:"replay_ns"`
+	GlobalTime  time.Duration `json:"global_ns"`
+	DetailTime  time.Duration `json:"detail_ns"`
+	CleanupTime time.Duration `json:"cleanup_ns"`
+	Total       time.Duration `json:"total_ns"`
 }
 
 // Reroute applies an ECO delta to a finished routing run. The previous

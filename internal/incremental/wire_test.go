@@ -1,0 +1,110 @@
+package incremental
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/geom"
+)
+
+// wireDelta is a fixed delta exercising every field of the wire schema.
+func wireDelta() Delta {
+	return Delta{
+		AddNets: []NewNet{{
+			Name:     "eco0",
+			WireType: 1,
+			Critical: true,
+			Pins: [][]chip.PinShape{
+				{{Rect: geom.R(100, 200, 140, 320), Layer: 0}},
+				{{Rect: geom.R(500, 200, 540, 320), Layer: 0},
+					{Rect: geom.R(500, 200, 540, 240), Layer: 1}},
+			},
+		}},
+		RemoveNets: []int{3, 7},
+		MovePins:   []PinMove{{Net: 2, Pin: 1, By: geom.Pt(-40, 80)}},
+		AddBlockages: []chip.Obstacle{
+			{Rect: geom.R(900, 900, 1100, 1000), Layer: 2},
+		},
+	}
+}
+
+// wireStats is a fixed Stats value with every field populated.
+func wireStats() Stats {
+	return Stats{
+		TotalNets: 120, DirtyNets: 9,
+		AddedNets: 3, RemovedNets: 2, MovedPins: 1,
+		ReplayedNets: 108, RepricedEdges: 44,
+		DirtyByRule:   [5]int{3, 1, 0, 2, 3},
+		DirtyFraction: 0.075,
+		ApplyTime:     1_000_000, PrepTime: 2_000_000, DirtyTime: 500_000,
+		ReplayTime: 3_000_000, GlobalTime: 4_000_000, DetailTime: 25_000_000,
+		CleanupTime: 1_500_000, Total: 37_000_000,
+	}
+}
+
+// checkGolden marshals v, compares against the committed golden file
+// (regenerate with UPDATE_GOLDEN=1 go test ./internal/incremental), and
+// round-trips the golden bytes back into a fresh value that must equal
+// v — together this pins the wire schema: any field rename, type change
+// or dropped field fails here first.
+func checkGolden(t *testing.T, name string, v, fresh any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run UPDATE_GOLDEN=1 go test): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+	if err := json.Unmarshal(want, fresh); err != nil {
+		t.Fatalf("golden does not unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(reflect.ValueOf(fresh).Elem().Interface(), v) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", fresh, v)
+	}
+}
+
+func TestDeltaWireSchema(t *testing.T) {
+	var fresh Delta
+	checkGolden(t, "wire_delta.golden.json", wireDelta(), &fresh)
+}
+
+func TestStatsWireSchema(t *testing.T) {
+	var fresh Stats
+	checkGolden(t, "wire_stats.golden.json", wireStats(), &fresh)
+}
+
+// An empty delta must serialize to the empty object — the omitempty
+// contract clients rely on for terse requests.
+func TestEmptyDeltaWire(t *testing.T) {
+	data, err := json.Marshal(Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("empty delta = %s, want {}", data)
+	}
+	var d Delta
+	if err := json.Unmarshal([]byte("{}"), &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatal("round-tripped empty delta must be Empty")
+	}
+}

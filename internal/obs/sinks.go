@@ -2,7 +2,6 @@ package obs
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -190,22 +189,7 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 // Emit writes the record as one JSON line. Errors are sticky and
 // surfaced by Close.
 func (s *JSONLSink) Emit(r *Record) {
-	jr := jsonRecord{
-		Kind: r.Kind, TUS: r.Time.Sub(s.start).Microseconds(),
-		Span: r.Span, Parent: r.Parent, Name: r.Name,
-		DurUS: r.Dur.Microseconds(),
-	}
-	if r.Kind == RecCounter || r.Kind == RecGauge {
-		v := r.Value
-		jr.Value = &v
-	}
-	if len(r.Attrs) > 0 {
-		jr.Attrs = make(map[string]any, len(r.Attrs))
-		for _, a := range r.Attrs {
-			jr.Attrs[a.Key] = a.Value()
-		}
-	}
-	data, err := json.Marshal(&jr)
+	data, err := MarshalRecord(r, s.start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChanSink buffers trace records in a bounded channel for a live
+// streaming consumer — the sink behind the service daemon's
+// server-sent-events progress stream. Emit never blocks the routing hot
+// path: when the consumer falls behind and the buffer is full, records
+// are dropped and counted instead of applying back-pressure to the
+// flow. Close is safe against concurrent Emit; records emitted after
+// Close are dropped silently (a session's tracer outlives the one
+// streamed request that attached the sink).
+type ChanSink struct {
+	mu      sync.RWMutex
+	ch      chan Record
+	closed  bool
+	dropped atomic.Int64
+}
+
+// NewChanSink builds a streaming sink buffering up to buf records
+// (minimum 1).
+func NewChanSink(buf int) *ChanSink {
+	if buf < 1 {
+		buf = 1
+	}
+	return &ChanSink{ch: make(chan Record, buf)}
+}
+
+// Emit enqueues a deep-enough copy of the record, dropping it (and
+// counting the drop) when the buffer is full or the sink is closed.
+func (s *ChanSink) Emit(r *Record) {
+	cp := *r
+	if len(r.Attrs) > 0 {
+		cp.Attrs = append([]Attr(nil), r.Attrs...)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.ch <- cp:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Records returns the stream; it is closed by Close. Buffered records
+// remain readable after Close.
+func (s *ChanSink) Records() <-chan Record { return s.ch }
+
+// Dropped reports how many records were discarded because the buffer
+// was full or the sink closed.
+func (s *ChanSink) Dropped() int64 { return s.dropped.Load() }
+
+// Close ends the stream. Idempotent; concurrent Emit calls turn into
+// counted drops.
+func (s *ChanSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// MarshalRecord serializes one record in the same wire form JSONLSink
+// writes (kind, t_us relative to epoch, span/parent IDs, name, dur_us,
+// value, attrs) — so streamed progress events and -trace files share
+// one schema.
+func MarshalRecord(r *Record, epoch time.Time) ([]byte, error) {
+	jr := jsonRecord{
+		Kind: r.Kind, TUS: r.Time.Sub(epoch).Microseconds(),
+		Span: r.Span, Parent: r.Parent, Name: r.Name,
+		DurUS: r.Dur.Microseconds(),
+	}
+	if r.Kind == RecCounter || r.Kind == RecGauge {
+		v := r.Value
+		jr.Value = &v
+	}
+	if len(r.Attrs) > 0 {
+		jr.Attrs = make(map[string]any, len(r.Attrs))
+		for _, a := range r.Attrs {
+			jr.Attrs[a.Key] = a.Value()
+		}
+	}
+	return json.Marshal(&jr)
+}

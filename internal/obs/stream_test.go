@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A ChanSink must deliver records in order, never block the emitter
+// when full (counting drops instead), and survive Close racing Emit.
+func TestChanSinkDeliveryAndDrops(t *testing.T) {
+	s := NewChanSink(2)
+	tr := New(s)
+	sp := tr.Start("flow", Int("nets", 3))
+	sp.Event("e1")
+	sp.Event("e2") // third emit into a cap-2 buffer: dropped
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1 (third emit into cap-2 buffer)", s.Dropped())
+	}
+	s.Close()
+	var names []string
+	for r := range s.Records() {
+		names = append(names, r.Name)
+	}
+	if len(names) != 2 || names[0] != "flow" || names[1] != "e1" {
+		t.Fatalf("buffered records = %v", names)
+	}
+	// Emit after close: counted drop, no panic.
+	sp.Event("late")
+	if s.Dropped() != 2 {
+		t.Fatalf("dropped after close = %d, want 2", s.Dropped())
+	}
+}
+
+func TestChanSinkCloseRacesEmit(t *testing.T) {
+	s := NewChanSink(4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := Record{Kind: RecEvent, Name: "x"}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Emit(&r)
+			}
+		}
+	}()
+	go func() {
+		for range s.Records() {
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	s.Close()
+	close(stop)
+	wg.Wait()
+}
+
+// MarshalRecord must produce the same wire form JSONLSink writes.
+func TestMarshalRecordSchema(t *testing.T) {
+	epoch := time.Now()
+	r := Record{
+		Kind: RecSpanEnd, Time: epoch.Add(1500 * time.Microsecond),
+		Span: 2, Parent: 1, Name: "stage.detail",
+		Dur:   time.Millisecond,
+		Attrs: []Attr{Int("routed", 12), Bool("cancelled", false)},
+	}
+	data, err := MarshalRecord(&r, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "span_end" || m["name"] != "stage.detail" {
+		t.Fatalf("bad record: %s", data)
+	}
+	if m["t_us"] != float64(1500) || m["dur_us"] != float64(1000) {
+		t.Fatalf("bad timing fields: %s", data)
+	}
+	attrs := m["attrs"].(map[string]any)
+	if attrs["routed"] != float64(12) || attrs["cancelled"] != false {
+		t.Fatalf("bad attrs: %s", data)
+	}
+}

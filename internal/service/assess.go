@@ -1,0 +1,181 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"bonnroute"
+	"bonnroute/internal/capest"
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+)
+
+// errNoAssessment marks sessions the cheap pre-screen cannot serve:
+// routed without global routing, there are no capacity estimates to
+// assess against.
+var errNoAssessment = errors.New("assessment needs a session routed with global routing (not skip_global)")
+
+// AssessResponse is the outcome of the capacity-only routability
+// pre-screen: the congestion assessment of the session's current
+// result, the assessment after applying the delta's estimated demand
+// and capacity changes, and the verdict. It is computed from the
+// capest capacity estimates and demand arithmetic alone — no routing —
+// which is what makes it orders of magnitude cheaper than a reroute.
+type AssessResponse struct {
+	Generation uint64            `json:"generation"`
+	Before     capest.Assessment `json:"before"`
+	After      capest.Assessment `json:"after"`
+	// Routable is the pre-screen verdict: the delta does not increase
+	// the number of overloaded global edges. A true verdict is a
+	// plausibility statement, not a guarantee — it sees congestion, not
+	// connectivity.
+	Routable bool `json:"routable"`
+}
+
+// assessBase is the per-generation baseline the pre-screen diffs
+// against: the global grid with its estimated capacities, and per-edge
+// loads recomputed from the rounded global trees (so removing a net
+// subtracts exactly what it contributed).
+type assessBase struct {
+	graph  *grid.Graph
+	caps   []float64
+	loads  []float64
+	trees  [][]int32
+	widths []float64
+}
+
+func buildAssessBase(res *bonnroute.Result) (*assessBase, error) {
+	a := res.Assignment
+	if a == nil || a.Graph == nil {
+		return nil, errNoAssessment
+	}
+	b := &assessBase{
+		graph:  a.Graph,
+		caps:   append([]float64(nil), a.Graph.Cap...),
+		loads:  make([]float64, a.Graph.NumEdges()),
+		trees:  a.Trees,
+		widths: a.Widths,
+	}
+	for ni, tree := range a.Trees {
+		w := netWidth(b, ni)
+		for _, e := range tree {
+			b.loads[e] += w
+		}
+	}
+	return b, nil
+}
+
+func netWidth(b *assessBase, ni int) float64 {
+	if ni < len(b.widths) && b.widths[ni] > 0 {
+		return b.widths[ni]
+	}
+	return 1
+}
+
+// subtractNet removes a net's exact global-tree contribution from
+// loads.
+func (b *assessBase) subtractNet(ni int, loads []float64) {
+	if ni >= len(b.trees) {
+		return
+	}
+	w := netWidth(b, ni)
+	for _, e := range b.trees[ni] {
+		loads[e] -= w
+		if loads[e] < 0 {
+			loads[e] = 0
+		}
+	}
+}
+
+// assess runs the pre-screen for one delta against the session's
+// current generation. The baseline is cached per generation; the
+// per-call work is two O(E) copies plus bbox-local demand arithmetic.
+func (ss *session) assess(delta bonnroute.Delta) (AssessResponse, error) {
+	sess := ss.sess.Load()
+	res, _, gen := sess.Snapshot()
+
+	ss.assessMu.Lock()
+	defer ss.assessMu.Unlock()
+	if ss.assessGen != gen || (ss.base == nil && ss.assessErr == nil) {
+		ss.base, ss.assessErr = buildAssessBase(res)
+		ss.assessGen = gen
+	}
+	if ss.assessErr != nil {
+		return AssessResponse{}, ss.assessErr
+	}
+	b := ss.base
+	c := res.Chip
+
+	caps := append([]float64(nil), b.caps...)
+	loads := append([]float64(nil), b.loads...)
+
+	removed := make(map[int]bool, len(delta.RemoveNets))
+	for _, ni := range delta.RemoveNets {
+		if ni < 0 || ni >= len(c.Nets) {
+			return AssessResponse{}, fmt.Errorf("remove net %d out of range [0,%d)", ni, len(c.Nets))
+		}
+		removed[ni] = true
+		b.subtractNet(ni, loads)
+	}
+
+	// Moved pins: drop the net's exact tree contribution, re-add its
+	// demand estimate with the moved terminal positions.
+	movedBy := map[int]map[int]geom.Point{}
+	for _, m := range delta.MovePins {
+		if m.Net < 0 || m.Net >= len(c.Nets) {
+			return AssessResponse{}, fmt.Errorf("move pin of net %d out of range", m.Net)
+		}
+		if m.Pin < 0 || m.Pin >= len(c.Nets[m.Net].Pins) {
+			return AssessResponse{}, fmt.Errorf("net %d has no pin %d", m.Net, m.Pin)
+		}
+		if removed[m.Net] {
+			continue
+		}
+		if movedBy[m.Net] == nil {
+			movedBy[m.Net] = map[int]geom.Point{}
+		}
+		movedBy[m.Net][m.Pin] = m.By
+	}
+	for ni, moves := range movedBy {
+		b.subtractNet(ni, loads)
+		terms := make([]geom.Point, len(c.Nets[ni].Pins))
+		for slot, pi := range c.Nets[ni].Pins {
+			p := c.Pins[pi].Center()
+			if by, ok := moves[slot]; ok {
+				p = p.Add(by)
+			}
+			terms[slot] = p
+		}
+		capest.AddNetDemand(b.graph, terms, netWidth(b, ni), loads)
+	}
+
+	for i, nn := range delta.AddNets {
+		if len(nn.Pins) < 2 {
+			return AssessResponse{}, fmt.Errorf("new net %d needs >= 2 pins", i)
+		}
+		terms := make([]geom.Point, 0, len(nn.Pins))
+		for k, shapes := range nn.Pins {
+			if len(shapes) == 0 {
+				return AssessResponse{}, fmt.Errorf("new net %d pin %d has no shapes", i, k)
+			}
+			terms = append(terms, shapes[0].Rect.Center())
+		}
+		capest.AddNetDemand(b.graph, terms, 1, loads)
+	}
+
+	for i, o := range delta.AddBlockages {
+		if o.Layer < 0 || o.Layer >= c.NumLayers() {
+			return AssessResponse{}, fmt.Errorf("blockage %d on bad layer %d", i, o.Layer)
+		}
+		capest.ReduceCapsForObstacle(b.graph, o.Layer, o.Rect, c.Deck.Layers[o.Layer].Pitch, caps)
+	}
+
+	before := capest.Assess(b.caps, b.loads)
+	after := capest.Assess(caps, loads)
+	return AssessResponse{
+		Generation: gen,
+		Before:     before,
+		After:      after,
+		Routable:   after.Overloaded <= before.Overloaded,
+	}, nil
+}

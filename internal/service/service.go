@@ -1,0 +1,278 @@
+// Package service implements the routing-as-a-service layer behind
+// cmd/routed: named sessions pinning a chip and its finished routing
+// result in memory (bonnroute.Session), an HTTP JSON API to create
+// sessions, apply concurrent ECO deltas, fetch results and run cheap
+// capacity-only routability assessments, and the robustness machinery a
+// long-lived daemon needs — admission control bounding concurrent
+// routing flows, per-session FIFO serialization with optimistic
+// generation tokens, context-deadline propagation from request
+// timeouts, and graceful shutdown that cancels in-flight flows and
+// persists nothing partial.
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonnroute"
+)
+
+// Config tunes the server.
+type Config struct {
+	// MaxInFlight bounds concurrently running routing flows (session
+	// creation and reroutes; assessments are exempt — they exist to be
+	// cheap). Default 2.
+	MaxInFlight int
+	// MaxQueue bounds additionally admitted waiting flows; a request
+	// arriving beyond MaxInFlight+MaxQueue is rejected immediately with
+	// 429. Default 2*MaxInFlight.
+	MaxQueue int
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// StreamBuffer is the per-request trace-record buffer of the SSE
+	// progress stream; when the client falls behind, records are
+	// dropped, never blocking the routing flow. Default 256.
+	StreamBuffer int
+	// BeforeRoute, when non-nil, runs after a flow is admitted and
+	// serialized, immediately before routing starts — a test hook for
+	// deterministic concurrency tests.
+	BeforeRoute func(kind string)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
+}
+
+var (
+	errBusy     = errors.New("service: at capacity")
+	errShutdown = errors.New("service: shutting down")
+)
+
+// Server is the routing service: a session store plus the HTTP API over
+// it. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	// Admission: tokens holds one slot per running flow; pending counts
+	// running plus queued flows so overflow is rejected without ever
+	// blocking. running/runHigh instrument the "never more than k
+	// concurrent flows" invariant for tests.
+	tokens  chan struct{}
+	pending atomic.Int64
+	running atomic.Int64
+	runHigh atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	closed   bool
+}
+
+// session is one named entry of the store: the pinned routing session
+// plus its FIFO reroute queue and the cached assessment baseline. sess
+// is nil while the initial route is still running — the name is
+// reserved first so concurrent creates conflict deterministically.
+type session struct {
+	name string
+	sess atomic.Pointer[bonnroute.Session]
+	fifo fifoQueue
+
+	// Assessment baseline, cached per result generation (see assess.go).
+	assessMu  sync.Mutex
+	assessGen uint64
+	assessErr error
+	base      *assessBase
+}
+
+// New builds a server. Close must be called to release it.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		stop:     cancel,
+		tokens:   make(chan struct{}, cfg.MaxInFlight),
+		sessions: map[string]*session{},
+	}
+	s.mux = s.routes()
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close initiates graceful shutdown: new work is refused with 503 and
+// every in-flight routing flow is cancelled at its next boundary.
+// Cancelled flows commit nothing — sessions keep their last finished
+// result. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+}
+
+// RunningHighWater reports the maximum number of routing flows that
+// were ever running concurrently — tests assert it never exceeds
+// Config.MaxInFlight.
+func (s *Server) RunningHighWater() int64 { return s.runHigh.Load() }
+
+// admit acquires a routing-flow slot. It rejects immediately with
+// errBusy when MaxInFlight+MaxQueue flows are already admitted, else
+// waits for a running slot (honouring ctx and shutdown). The returned
+// release is idempotent.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	limit := int64(s.cfg.MaxInFlight + s.cfg.MaxQueue)
+	if s.pending.Add(1) > limit {
+		s.pending.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case s.tokens <- struct{}{}:
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		s.pending.Add(-1)
+		return nil, errShutdown
+	}
+	r := s.running.Add(1)
+	for {
+		h := s.runHigh.Load()
+		if r <= h || s.runHigh.CompareAndSwap(h, r) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.running.Add(-1)
+			<-s.tokens
+			s.pending.Add(-1)
+		})
+	}, nil
+}
+
+// flowContext derives the context a routing flow runs under: the
+// request's (so client disconnects cancel), bounded by timeoutMS when
+// positive, and additionally cancelled by server shutdown.
+func (s *Server) flowContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	var cancels []context.CancelFunc
+	if timeoutMS > 0 {
+		var c context.CancelFunc
+		ctx, c = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		cancels = append(cancels, c)
+	}
+	ctx, c := context.WithCancel(ctx)
+	cancels = append(cancels, c)
+	stop := context.AfterFunc(s.baseCtx, c)
+	return ctx, func() {
+		stop()
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// lookup returns the named session or nil.
+func (s *Server) lookup(name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[name]
+}
+
+// names lists the session names, sorted.
+func (s *Server) names() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.sessions))
+	for n := range s.sessions {
+		out = append(out, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// fifoQueue serializes the reroutes of one session in strict arrival
+// order. A plain mutex would serialize too, but grants in unspecified
+// order under contention; the explicit queue makes "concurrent deltas
+// are applied first-come-first-served" a guarantee, and lets a waiter
+// abandon its place when its request context dies.
+type fifoQueue struct {
+	mu   sync.Mutex
+	busy bool
+	q    []chan struct{}
+}
+
+// Acquire blocks until the caller reaches the front of the queue (or
+// ctx is done, in which case the place is given up).
+func (f *fifoQueue) Acquire(ctx context.Context) error {
+	f.mu.Lock()
+	if !f.busy {
+		f.busy = true
+		f.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	f.q = append(f.q, ch)
+	f.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		for i, c := range f.q {
+			if c == ch {
+				f.q = append(f.q[:i], f.q[i+1:]...)
+				f.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		f.mu.Unlock()
+		// The grant raced the cancellation and we already own the
+		// queue: pass ownership straight to the next waiter.
+		f.Release()
+		return ctx.Err()
+	}
+}
+
+// Release hands the queue to the next waiter, if any.
+func (f *fifoQueue) Release() {
+	f.mu.Lock()
+	if len(f.q) > 0 {
+		ch := f.q[0]
+		f.q = f.q[1:]
+		f.mu.Unlock()
+		close(ch)
+		return
+	}
+	f.busy = false
+	f.mu.Unlock()
+}

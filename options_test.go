@@ -66,3 +66,59 @@ func TestWithoutGlobalAndNilOption(t *testing.T) {
 		t.Fatal("WithoutGlobal must set SkipGlobal")
 	}
 }
+
+// The SetX accessors make zero and false expressible: a field set
+// explicitly applies even when its value is the zero value, where the
+// struct-literal form would merge (keep the earlier setting).
+func TestGlobalConfigExplicitZero(t *testing.T) {
+	o := buildOptions([]Option{
+		WithGlobalConfig(GlobalConfig{Phases: 12, TileTracks: 9, PowerCap: 30}),
+		WithGlobalConfig(GlobalConfig{}.SetPhases(0).SetTileTracks(0).SetPowerCap(0)),
+	})
+	if o.GlobalPhases != 0 || o.TileTracks != 0 || o.PowerCap != 0 {
+		t.Fatalf("explicit zeros must clear earlier settings: %+v", o)
+	}
+
+	// SetSkip(false) re-enables global routing after WithoutGlobal —
+	// the literal GlobalConfig{Skip: false} cannot.
+	o = buildOptions([]Option{WithoutGlobal(), WithGlobalConfig(GlobalConfig{})})
+	if !o.SkipGlobal {
+		t.Fatal("literal zero Skip must keep the earlier SkipGlobal")
+	}
+	o = buildOptions([]Option{WithoutGlobal(), WithGlobalConfig(GlobalConfig{}.SetSkip(false))})
+	if o.SkipGlobal {
+		t.Fatal("SetSkip(false) must re-enable global routing")
+	}
+}
+
+func TestDetailConfigExplicitFalse(t *testing.T) {
+	o := buildOptions([]Option{
+		WithDetailConfig(DetailConfig{UsePFuture: true}),
+		WithDetailConfig(DetailConfig{}), // literal zero merges
+	})
+	if !o.UsePFuture {
+		t.Fatal("literal zero UsePFuture must keep the earlier setting")
+	}
+	o = buildOptions([]Option{
+		WithDetailConfig(DetailConfig{UsePFuture: true}),
+		WithDetailConfig(DetailConfig{}.SetUsePFuture(false)),
+	})
+	if o.UsePFuture {
+		t.Fatal("SetUsePFuture(false) must disable the future cost")
+	}
+}
+
+// WithOptions replaces everything before it; later options still win.
+func TestWithOptionsComposition(t *testing.T) {
+	o := buildOptions([]Option{
+		WithWorkers(8),
+		WithOptions(Options{Seed: 5, GlobalPhases: 7}),
+		WithWorkers(2),
+	})
+	if o.Workers != 2 || o.Seed != 5 || o.GlobalPhases != 7 {
+		t.Fatalf("WithOptions composition wrong: %+v", o)
+	}
+	if o.TileTracks != 0 {
+		t.Fatalf("WithOptions must replace, not merge: %+v", o)
+	}
+}
