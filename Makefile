@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke check bench-json bench-scaling bench-eco bench-service
+.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke check bench-json bench-pathsearch bench-scaling bench-eco bench-service
 
 all: build
 
@@ -62,12 +62,13 @@ fuzz-eco-smoke:
 # alloc-guard re-runs the steady-state allocation tests: the no-op
 # tracer must stay allocation-free, the pooled path-search engine must
 # keep its per-search allocation budget — both serially and with four
-# engines searching concurrently (the Workers=4 regime) — and the
-# region-task scheduler's own dispatch overhead must stay bounded so
-# the parallel path cannot erode those budgets.
+# engines searching concurrently (the Workers=4 regime) — cached
+# future-cost requests (the rip-up retry / ECO re-query path) must be
+# allocation-free, and the region-task scheduler's own dispatch overhead
+# must stay bounded so the parallel path cannot erode those budgets.
 alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
-	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs' ./internal/pathsearch
+	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs|TestFutureSteadyStateAllocs' ./internal/pathsearch
 	$(GO) test -run 'TestSchedulerAllocs' ./internal/detail
 
 # service-smoke starts the routing daemon on a loopback port, walks one
@@ -85,9 +86,16 @@ service-smoke:
 check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke
 
 # bench-json regenerates the committed benchmark artifact (small suite
-# plus the path-search micro-benchmarks).
+# plus the path-search micro-benchmarks). Each chip's flows carry a `pi`
+# label and full (explicit-zero) search_stats; the BR+cleanup vs
+# BR+cleanup-piR pair is the committed search-effort comparison for the
+# reduced-graph future cost.
 bench-json:
 	$(GO) run ./cmd/routebench -suite small -bench-json BENCH_pathsearch.json
+
+# bench-pathsearch is the canonical name for the path-search artifact
+# regeneration lane (alias of bench-json).
+bench-pathsearch: bench-json
 
 # bench-scaling runs the measured detail-stage workers sweep: each
 # worker count W runs at GOMAXPROCS=W (one warmup, median of 3 measured

@@ -44,6 +44,7 @@ import (
 
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
+	"bonnroute/internal/detail"
 	"bonnroute/internal/incremental"
 	"bonnroute/internal/obs"
 	"bonnroute/internal/report"
@@ -173,23 +174,50 @@ func (g GlobalConfig) SetSkip(b bool) GlobalConfig {
 	return g
 }
 
+// FutureMode selects the future-cost family driving detailed routing's
+// goal-oriented search: FutureDefault (legacy π_H / UsePFuture behavior,
+// bit-identical to earlier releases), FutureAuto (per-net reduced-graph
+// π_R by degree/bbox heuristics — what incremental reroutes default to),
+// or FutureReduced (always π_R). See DESIGN.md §12.
+type FutureMode = detail.FutureMode
+
+// Future-cost modes for DetailConfig.FutureMode.
+const (
+	FutureDefault = detail.FutureDefault
+	FutureAuto    = detail.FutureAuto
+	FutureReduced = detail.FutureReduced
+)
+
 // DetailConfig collects the detailed-routing knobs for WithDetailConfig.
 // Like GlobalConfig, struct-literal fields merge (zero keeps earlier
 // settings) and SetX accessors set explicitly, including to false.
 type DetailConfig struct {
 	// UsePFuture enables the blockage-aware future cost (§3.5).
 	UsePFuture bool
+	// FutureMode selects the future-cost family (π_H/auto/reduced).
+	FutureMode FutureMode
 
 	set uint8
 }
 
-const dcUsePFuture = 1
+const (
+	dcUsePFuture = 1 << iota
+	dcFutureMode
+)
 
 // SetUsePFuture returns a copy with UsePFuture explicitly set; false
 // disables the blockage-aware future cost even when an earlier option
 // enabled it.
 func (d DetailConfig) SetUsePFuture(b bool) DetailConfig {
 	d.UsePFuture, d.set = b, d.set|dcUsePFuture
+	return d
+}
+
+// SetFutureMode returns a copy with FutureMode explicitly set;
+// FutureDefault restores the legacy selection even when an earlier
+// option chose another mode.
+func (d DetailConfig) SetFutureMode(m FutureMode) DetailConfig {
+	d.FutureMode, d.set = m, d.set|dcFutureMode
 	return d
 }
 
@@ -237,6 +265,11 @@ func WithDetailConfig(d DetailConfig) Option {
 			o.UsePFuture = d.UsePFuture
 		} else if d.UsePFuture {
 			o.UsePFuture = true
+		}
+		if d.set&dcFutureMode != 0 {
+			o.FutureMode = d.FutureMode
+		} else if d.FutureMode != FutureDefault {
+			o.FutureMode = d.FutureMode
 		}
 	}
 }

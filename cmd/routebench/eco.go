@@ -23,10 +23,10 @@ const ecoNote = "incremental_ms = incremental.Reroute wall time (apply+prep+dirt
 
 // ecoStageJSON is the incremental run's stage breakdown (milliseconds).
 type ecoStageJSON struct {
-	ApplyMS  float64 `json:"apply_ms"`
-	PrepMS   float64 `json:"prep_ms"`
-	DirtyMS  float64 `json:"dirty_ms"`
-	ReplayMS float64 `json:"replay_ms"`
+	ApplyMS   float64 `json:"apply_ms"`
+	PrepMS    float64 `json:"prep_ms"`
+	DirtyMS   float64 `json:"dirty_ms"`
+	ReplayMS  float64 `json:"replay_ms"`
 	GlobalMS  float64 `json:"global_ms"`
 	DetailMS  float64 `json:"detail_ms"`
 	CleanupMS float64 `json:"cleanup_ms"`
@@ -57,18 +57,18 @@ type ecoChipJSON struct {
 	DirtyFraction float64 `json:"dirty_fraction"`
 	// DirtyByRule: added, moved pin, previously unrouted, access drift,
 	// impact region (DESIGN.md §10).
-	DirtyByRule [5]int `json:"dirty_by_rule"`
-	ReplayedNets  int     `json:"replayed_nets"`
-	RepricedEdges int     `json:"repriced_edges"`
-	FellBack      bool    `json:"fell_back"`
+	DirtyByRule   [5]int `json:"dirty_by_rule"`
+	ReplayedNets  int    `json:"replayed_nets"`
+	RepricedEdges int    `json:"repriced_edges"`
+	FellBack      bool   `json:"fell_back"`
 
-	Incremental  ecoStageJSON `json:"incremental"`
-	FullMS       float64      `json:"full_ms"`
-	FullGlobalMS float64      `json:"full_global_ms"`
-	FullDetailMS float64      `json:"full_detail_ms"`
-	Speedup     float64        `json:"speedup"`
-	IncQuality  ecoQualityJSON `json:"incremental_quality"`
-	FullQuality ecoQualityJSON `json:"full_quality"`
+	Incremental  ecoStageJSON   `json:"incremental"`
+	FullMS       float64        `json:"full_ms"`
+	FullGlobalMS float64        `json:"full_global_ms"`
+	FullDetailMS float64        `json:"full_detail_ms"`
+	Speedup      float64        `json:"speedup"`
+	IncQuality   ecoQualityJSON `json:"incremental_quality"`
+	FullQuality  ecoQualityJSON `json:"full_quality"`
 }
 
 // ecoJSON is the -eco -bench-json document (BENCH_eco.json).

@@ -64,18 +64,33 @@ import (
 
 // flowJSON is one full-flow run in the -bench-json output.
 type flowJSON struct {
-	Name        string            `json:"name"`
-	GlobalMS    float64           `json:"global_ms"`
-	DetailMS    float64           `json:"detail_ms"`
-	CleanupMS   float64           `json:"cleanup_ms"`
-	TotalMS     float64           `json:"total_ms"`
-	Netlength   int64             `json:"netlength"`
-	Vias        int               `json:"vias"`
-	Scenic25    int               `json:"scenic25"`
-	Scenic50    int               `json:"scenic50"`
-	Errors      int               `json:"errors"`
-	Unrouted    int               `json:"unrouted"`
-	SearchStats *pathsearch.Stats `json:"search_stats,omitempty"`
+	Name        string     `json:"name"`
+	Pi          string     `json:"pi,omitempty"` // future cost the detail stage ran with
+	GlobalMS    float64    `json:"global_ms"`
+	DetailMS    float64    `json:"detail_ms"`
+	CleanupMS   float64    `json:"cleanup_ms"`
+	TotalMS     float64    `json:"total_ms"`
+	Netlength   int64      `json:"netlength"`
+	Vias        int        `json:"vias"`
+	Scenic25    int        `json:"scenic25"`
+	Scenic50    int        `json:"scenic50"`
+	Errors      int        `json:"errors"`
+	Unrouted    int        `json:"unrouted"`
+	SearchStats *statsJSON `json:"search_stats,omitempty"`
+}
+
+// statsJSON mirrors pathsearch.Stats without omitempty: the library type
+// elides zero counters (useful for compact traces), but in the committed
+// benchmark artifacts a missing counter is ambiguous — the ISR flows run
+// the node-based search, which legitimately performs zero crossing
+// expansions, and that zero must be visible rather than absent.
+type statsJSON struct {
+	Labels    int `json:"labels"`
+	HeapPops  int `json:"heap_pops"`
+	Expanded  int `json:"expanded"`
+	Intervals int `json:"intervals"`
+	Searches  int `json:"searches"`
+	PiReused  int `json:"pi_reused"`
 }
 
 // benchRowJSON is one micro-benchmark row (testing.Benchmark output).
@@ -285,25 +300,36 @@ func tableI(params []chip.GenParams, workers int) {
 		isr := core.RouteBaseline(runCtx, chip.Generate(p), opt)
 		isr.Metrics.Name = p.Name + "/ISR"
 		rows = append(rows, isr.Metrics)
-		collectFlow(isr)
+		collectFlow(isr, "pi_H")
 
 		br := core.RouteBonnRoute(runCtx, chip.Generate(p), opt)
 		br.Metrics.Name = p.Name + "/BR+cleanup"
 		rows = append(rows, br.Metrics)
-		collectFlow(br)
+		collectFlow(br, "pi_H")
+
+		// The same flow under the reduced-graph future cost: the
+		// search-effort comparison (heap pops / labels) against the
+		// pi_H row above is the benchmark for the stronger bound.
+		optR := opt
+		optR.FutureMode = detail.FutureReduced
+		brR := core.RouteBonnRoute(runCtx, chip.Generate(p), optR)
+		brR.Metrics.Name = p.Name + "/BR+cleanup-piR"
+		rows = append(rows, brR.Metrics)
+		collectFlow(brR, "pi_R")
 	}
 	fmt.Print(report.FormatTableI(rows))
 	fmt.Println()
 }
 
 // collectFlow records one flow run into the -bench-json document.
-func collectFlow(res *core.Result) {
+func collectFlow(res *core.Result, pi string) {
 	if collect == nil {
 		return
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fj := flowJSON{
 		Name:      res.Metrics.Name,
+		Pi:        pi,
 		DetailMS:  ms(res.DetailTime),
 		CleanupMS: ms(res.CleanupTime),
 		TotalMS:   ms(res.Metrics.Runtime),
@@ -319,7 +345,10 @@ func collectFlow(res *core.Result) {
 	}
 	if res.Router != nil {
 		st := res.Router.SearchStats()
-		fj.SearchStats = &st
+		fj.SearchStats = &statsJSON{
+			Labels: st.Labels, HeapPops: st.HeapPops, Expanded: st.Expanded,
+			Intervals: st.Intervals, Searches: st.Searches, PiReused: st.PiReused,
+		}
 	}
 	collect.Flows = append(collect.Flows, fj)
 }
@@ -524,6 +553,27 @@ func tableIV() {
 			if e.NodeSearch(cfg, S, T) == nil {
 				b.Fatal("no path")
 			}
+		}
+	})
+	run("Future/reduced-build", func(b *testing.B) {
+		// Construction cost of the reduced-graph future cost over the
+		// same world (the price a cache miss pays before a search).
+		nl := 4
+		costs := pathsearch.UniformCosts(nl, 3, 160)
+		dirs := make([]geom.Direction, nl)
+		for z := range dirs {
+			if z%2 == 0 {
+				dirs[z] = geom.Horizontal
+			} else {
+				dirs[z] = geom.Vertical
+			}
+		}
+		targets := map[int][]geom.Rect{0: {geom.R(7780, 20, 7781, 21)}}
+		bounds := geom.R(0, 0, 8000, 8000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pathsearch.NewRFuture(nl, costs, targets, bounds,
+				pathsearch.RFutureConfig{Cell: 160, Dirs: dirs})
 		}
 	})
 

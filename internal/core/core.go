@@ -43,6 +43,10 @@ type Options struct {
 	// UsePFuture enables the blockage-aware future cost in detailed
 	// routing.
 	UsePFuture bool
+	// FutureMode selects the detailed-routing future-cost family
+	// (detail.FutureDefault/Auto/Reduced). The zero value keeps the
+	// legacy π_H / UsePFuture behavior bit-identical.
+	FutureMode detail.FutureMode
 	// EcoThreshold is the dirty-fraction above which incremental
 	// rerouting falls back to a full from-scratch run (see package
 	// incremental). Default 0.35; negative disables the fallback.
@@ -108,17 +112,17 @@ type GlobalAssignment struct {
 
 // Result is a complete flow outcome.
 type Result struct {
-	Flow    string
-	Chip    *chip.Chip
-	Global  *GlobalStats
+	Flow   string
+	Chip   *chip.Chip
+	Global *GlobalStats
 	// Assignment carries the raw global routing solution (nil when the
 	// flow ran with SkipGlobal).
 	Assignment *GlobalAssignment
 	Detail     *detail.Result
 	Router     *detail.Router
 	Audit      drc.AuditResult
-	PerNet  []report.NetLength
-	Metrics report.Metrics
+	PerNet     []report.NetLength
+	Metrics    report.Metrics
 	// CleanupTime is the DRC cleanup pass duration (BonnRoute flow).
 	CleanupTime time.Duration
 	// DetailTime is the detailed routing duration.
@@ -187,7 +191,7 @@ func RouteBonnRoute(ctx context.Context, c *chip.Chip, opt Options) *Result {
 	// catalogues (§4.3) are built here, so the prep span carries the
 	// branch-and-bound effort.
 	prepSpan := root.Child("stage.prep")
-	r := detail.New(c, detail.Options{Workers: opt.Workers, UsePFuture: opt.UsePFuture})
+	r := detail.New(c, detail.Options{Workers: opt.Workers, UsePFuture: opt.UsePFuture, FutureMode: opt.FutureMode})
 	as := r.AccessStats()
 	prepSpan.End(obs.Int("access_catalogues", as.Catalogues),
 		obs.Int("access_bb_nodes", as.BBNodes),

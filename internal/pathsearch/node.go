@@ -122,7 +122,13 @@ func (e *Engine) runNode(S, T []geom.Point3) *Path {
 		if st.target && st.dist < best {
 			best = st.dist
 			bestSi = si
-			break // first settled target is optimal under feasible π
+			// First settled target is optimal under feasible π — π_H is
+			// exactly feasible (property-tested). The coarse-grid π_P/π_R
+			// can violate feasibility by up to one cell at the crossing
+			// axis' layer weight, which only the label-correcting interval
+			// search absorbs; detail's futureCost therefore pins NodeSearch
+			// flows to π_H whatever FutureMode says.
+			break
 		}
 		e.nbrBuf = e.nodeNeighbors(e.nbrBuf[:0], int(st.z), int(st.ti), st.along)
 		d := st.dist

@@ -440,7 +440,7 @@ func TestPFutureAdmissibleAndDirected(t *testing.T) {
 }
 
 func TestViaLB(t *testing.T) {
-	lb := viaLB(4, []int{10, 20, 30}, map[int]bool{2: true})
+	lb := viaLB(4, []int{10, 20, 30}, []bool{false, false, true, false})
 	want := []int{30, 20, 0, 30}
 	for i := range want {
 		if lb[i] != want[i] {
