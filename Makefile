@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke check bench-json bench-pathsearch bench-scaling bench-eco bench-service
+.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke steiner-smoke check bench-json bench-pathsearch bench-scaling bench-eco bench-service bench-steiner
 
 all: build
 
@@ -64,12 +64,15 @@ fuzz-eco-smoke:
 # keep its per-search allocation budget — both serially and with four
 # engines searching concurrently (the Workers=4 regime) — cached
 # future-cost requests (the rip-up retry / ECO re-query path) must be
-# allocation-free, and the region-task scheduler's own dispatch overhead
-# must stay bounded so the parallel path cannot erode those budgets.
+# allocation-free, the region-task scheduler's own dispatch overhead
+# must stay bounded so the parallel path cannot erode those budgets,
+# and the Steiner oracles (Path Composition and the exact goal-oriented
+# search) must hold their steady-state per-call budgets once warm.
 alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs|TestFutureSteadyStateAllocs' ./internal/pathsearch
 	$(GO) test -run 'TestSchedulerAllocs' ./internal/detail
+	$(GO) test -run 'TestOracleSteadyStateAllocs' ./internal/steiner
 
 # service-smoke starts the routing daemon on a loopback port, walks one
 # session through create → reroute → assess → result → delete over real
@@ -78,12 +81,22 @@ alloc-guard:
 service-smoke:
 	$(GO) run ./cmd/routed -smoke
 
+# steiner-smoke is the exact-oracle differential gate: every seeded
+# ≤9-group instance must come back provably optimal (matching an
+# independent reference solver) and never costlier than Path
+# Composition. fuzz-smoke runs a 64-instance slice of the same check;
+# this lane runs the full 400-instance suite plus the planar-RSMT
+# equivalence.
+steiner-smoke:
+	$(GO) test -run 'TestExactDifferential|TestExactPlanarMatchesRSMT' ./internal/steiner
+
 # check is the pre-merge gate: vet, build, the full test suite, the
 # targeted race lane, the benchmark smoke test, the trace smoke test,
-# the verifier fuzz sweeps (plain and ECO), the allocation guards, and
-# the service daemon round-trip. (`make race` — the whole suite under
-# -race — stays available as the long-form lane.)
-check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke
+# the verifier fuzz sweeps (plain and ECO), the Steiner oracle
+# differential, the allocation guards, and the service daemon
+# round-trip. (`make race` — the whole suite under -race — stays
+# available as the long-form lane.)
+check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke steiner-smoke alloc-guard service-smoke
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks). Each chip's flows carry a `pi`
@@ -115,6 +128,16 @@ bench-scaling:
 # same mutated chip. Both results must clear every verifier pass.
 bench-eco:
 	$(GO) run ./cmd/routebench -eco -suite eco -bench-json BENCH_eco.json
+
+# bench-steiner regenerates the committed Steiner-oracle artifact: each
+# medium-suite chip is prepared exactly as the global stage would (grid
+# graph + estimated capacities), then every net is answered by both the
+# exact goal-oriented oracle and Path Composition under identical edge
+# costs. The artifact records per-degree-bucket net counts, tree wire
+# length, vias, mean oracle runtime, and how many nets the exact oracle
+# certified or strictly improved.
+bench-steiner:
+	$(GO) run ./cmd/routebench -steiner -suite medium -bench-json BENCH_steiner.json
 
 # bench-service regenerates the committed service-daemon artifact: one
 # session created over loopback HTTP, then a 30-delta seeded ECO stream

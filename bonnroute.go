@@ -135,6 +135,12 @@ type GlobalConfig struct {
 	PowerCap float64
 	// Skip routes without global guidance (detailed-only mode).
 	Skip bool
+	// ExactSteiner is the net-degree threshold for the exact
+	// goal-oriented Steiner oracle: nets whose terminals merge to at
+	// most this many groups get provably minimum trees, larger nets the
+	// Path Composition heuristic. 0 keeps the core default (9); use
+	// SetExactSteiner(-1) to disable the exact oracle entirely.
+	ExactSteiner int
 
 	set uint8
 }
@@ -144,6 +150,7 @@ const (
 	gcTileTracks
 	gcPowerCap
 	gcSkip
+	gcExactSteiner
 )
 
 // SetPhases returns a copy with Phases explicitly set; 0 restores the
@@ -171,6 +178,15 @@ func (g GlobalConfig) SetPowerCap(v float64) GlobalConfig {
 // global routing even after WithoutGlobal or an earlier Skip.
 func (g GlobalConfig) SetSkip(b bool) GlobalConfig {
 	g.Skip, g.set = b, g.set|gcSkip
+	return g
+}
+
+// SetExactSteiner returns a copy with ExactSteiner explicitly set: 0
+// restores the core default threshold (9) even when an earlier option
+// changed it, and negative values disable the exact oracle — both
+// inexpressible from a struct literal, whose zero field merely merges.
+func (g GlobalConfig) SetExactSteiner(n int) GlobalConfig {
+	g.ExactSteiner, g.set = n, g.set|gcExactSteiner
 	return g
 }
 
@@ -253,6 +269,9 @@ func WithGlobalConfig(g GlobalConfig) Option {
 			o.SkipGlobal = g.Skip
 		} else if g.Skip {
 			o.SkipGlobal = true
+		}
+		if g.ExactSteiner != 0 || g.set&gcExactSteiner != 0 {
+			o.ExactSteinerMax = g.ExactSteiner
 		}
 	}
 }

@@ -187,6 +187,7 @@ func main() {
 		ecoMode    = flag.Bool("eco", false, "run the incremental (ECO) rerouting comparison instead of the tables; -bench-json writes BENCH_eco.json")
 		svcMode    = flag.Bool("service", false, "benchmark the routing service daemon over loopback HTTP instead of the tables; -bench-json writes BENCH_service.json")
 		svcDeltas  = flag.Int("service-deltas", 30, "with -service: length of the seeded ECO delta stream")
+		steinMode  = flag.Bool("steiner", false, "compare the exact Steiner oracle against Path Composition per degree bucket; -bench-json writes BENCH_steiner.json")
 	)
 	flag.Parse()
 
@@ -232,6 +233,8 @@ func main() {
 	var benchDoc any = collect
 	if *svcMode {
 		benchDoc = serviceBench(*workers, *svcDeltas)
+	} else if *steinMode {
+		benchDoc = steinerBench(*suiteName, params)
 	} else if *ecoMode {
 		benchDoc = ecoBench(*suiteName, params, *workers)
 	} else if *sweepArg != "" {

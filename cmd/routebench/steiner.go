@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bonnroute/internal/capest"
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/detail"
+	"bonnroute/internal/steiner"
+)
+
+// The -steiner mode: the Steiner-oracle comparison behind the global
+// router's per-net oracle choice. Every suite chip is prepared exactly
+// as the global stage would (grid graph + capest capacities), then each
+// net is answered by both oracles under identical edge costs and the
+// results are aggregated per degree bucket — tree wire length, vias,
+// and oracle runtime. The exact oracle must never lose on cost; the
+// bucket rows show what the optimality is worth (length recovered) and
+// what it costs (ns/net) as degree grows.
+
+// steinerBucketJSON is one degree bucket of BENCH_steiner.json.
+type steinerBucketJSON struct {
+	// Degree labels the bucket by raw terminal count ("2".."9", "10+").
+	Degree string `json:"degree"`
+	Nets   int    `json:"nets"`
+	// ExactCertified counts nets the exact oracle answered with a
+	// certified optimum (vs. falling back to Path Composition).
+	ExactCertified int `json:"exact_certified"`
+	// Improved counts nets where the exact tree is strictly shorter
+	// (wire length + via equivalent) than Path Composition's.
+	Improved int `json:"improved"`
+	// Tree wire length and via totals per oracle.
+	PCLength    int64 `json:"pc_length"`
+	ExactLength int64 `json:"exact_length"`
+	PCVias      int   `json:"pc_vias"`
+	ExactVias   int   `json:"exact_vias"`
+	// Mean oracle runtime per net, nanoseconds.
+	PCNsPerNet    float64 `json:"pc_ns_per_net"`
+	ExactNsPerNet float64 `json:"exact_ns_per_net"`
+}
+
+// steinerChipJSON is one chip's bucket table.
+type steinerChipJSON struct {
+	Name    string              `json:"name"`
+	Nets    int                 `json:"nets"`
+	Buckets []steinerBucketJSON `json:"buckets"`
+}
+
+// steinerBenchJSON is the -steiner -bench-json document
+// (BENCH_steiner.json).
+type steinerBenchJSON struct {
+	Suite string `json:"suite"`
+	// ExactMax is the degree threshold the exact oracle ran with.
+	ExactMax int                 `json:"exact_max"`
+	Chips    []steinerChipJSON   `json:"chips"`
+	Totals   []steinerBucketJSON `json:"totals"`
+}
+
+const steinerBuckets = 9 // "2".."9" then "10+"
+
+func bucketOf(degree int) int {
+	if degree >= 10 {
+		return steinerBuckets - 1
+	}
+	return degree - 2
+}
+
+func bucketLabel(b int) string {
+	if b == steinerBuckets-1 {
+		return "10+"
+	}
+	return fmt.Sprintf("%d", b+2)
+}
+
+// steinerBench runs the oracle comparison over the suite chips.
+func steinerBench(suiteName string, params []chip.GenParams) *steinerBenchJSON {
+	doc := &steinerBenchJSON{Suite: suiteName, ExactMax: steiner.DefaultExactMax}
+	totals := make([]steinerBucketJSON, steinerBuckets)
+	var totalNS [steinerBuckets][2]int64 // summed ns: [bucket][pc, exact]
+	fmt.Println("=== Steiner oracle: exact goal-oriented vs Path Composition ===")
+
+	for _, p := range params {
+		fmt.Fprintf(os.Stderr, "[steiner] %s...\n", p.Name)
+		c := chip.Generate(p)
+		r := detail.New(c, detail.Options{})
+		g := core.BuildGlobalGraph(c, 8)
+		capest.Compute(c, r.TG, g, capest.Params{})
+		capest.ReduceForIntraTile(c, g)
+		specs := core.NetSpecs(c, g)
+
+		// The phase-start cost function of Algorithm 2 (all prices 1):
+		// wire length plus the via length equivalent, unusable when the
+		// capacity estimator granted nothing.
+		viaLen := float64(g.TileW) / 2
+		cost := func(e int) float64 {
+			if g.Cap[e] <= 0 {
+				return -1
+			}
+			if g.IsVia(e) {
+				return viaLen
+			}
+			return float64(g.EdgeLength(e))
+		}
+		treeCost := func(edges []int) float64 {
+			var s float64
+			for _, e := range edges {
+				s += cost(e)
+			}
+			return s
+		}
+
+		pc := steiner.NewOracle(g)
+		ex := steiner.NewExact(g, 0)
+		buckets := make([]steinerBucketJSON, steinerBuckets)
+		var ns [steinerBuckets][2]int64
+		for ni := range specs {
+			n := &specs[ni]
+			if len(n.Terminals) < 2 {
+				continue
+			}
+			b := bucketOf(len(n.Terminals))
+
+			t0 := time.Now()
+			pcEdges, pcOK := pc.Tree(cost, n.Terminals)
+			pcNS := time.Since(t0).Nanoseconds()
+			t0 = time.Now()
+			exEdges, certified, exOK := ex.Tree(cost, n.Terminals)
+			exNS := time.Since(t0).Nanoseconds()
+			if !pcOK || !exOK {
+				continue
+			}
+
+			bk := &buckets[b]
+			bk.Nets++
+			bk.PCLength += steiner.TreeLength(g, pcEdges)
+			bk.ExactLength += steiner.TreeLength(g, exEdges)
+			bk.PCVias += steiner.CountVias(g, pcEdges)
+			bk.ExactVias += steiner.CountVias(g, exEdges)
+			ns[b][0] += pcNS
+			ns[b][1] += exNS
+			if certified {
+				bk.ExactCertified++
+			}
+			pcCost, exCost := treeCost(pcEdges), treeCost(exEdges)
+			if exCost < pcCost-1e-9 {
+				bk.Improved++
+			}
+			if exCost > pcCost+1e-9 {
+				fmt.Fprintf(os.Stderr, "[steiner] BUG: exact tree costlier than PC on %s net %d (%.3f > %.3f)\n",
+					p.Name, ni, exCost, pcCost)
+				os.Exit(1)
+			}
+		}
+
+		cj := steinerChipJSON{Name: p.Name}
+		for b := range buckets {
+			bk := buckets[b]
+			if bk.Nets == 0 {
+				continue
+			}
+			bk.Degree = bucketLabel(b)
+			bk.PCNsPerNet = float64(ns[b][0]) / float64(bk.Nets)
+			bk.ExactNsPerNet = float64(ns[b][1]) / float64(bk.Nets)
+			cj.Nets += bk.Nets
+			cj.Buckets = append(cj.Buckets, bk)
+
+			t := &totals[b]
+			t.Nets += bk.Nets
+			t.ExactCertified += bk.ExactCertified
+			t.Improved += bk.Improved
+			t.PCLength += bk.PCLength
+			t.ExactLength += bk.ExactLength
+			t.PCVias += bk.PCVias
+			t.ExactVias += bk.ExactVias
+			totalNS[b][0] += ns[b][0]
+			totalNS[b][1] += ns[b][1]
+		}
+		doc.Chips = append(doc.Chips, cj)
+	}
+
+	fmt.Printf("%-6s %8s %8s %10s %10s %7s %7s %12s %12s %9s\n",
+		"deg", "nets", "exact", "pc_len", "exact_len", "pc_via", "ex_via", "pc_ns/net", "ex_ns/net", "improved")
+	for b := range totals {
+		t := &totals[b]
+		if t.Nets == 0 {
+			continue
+		}
+		t.Degree = bucketLabel(b)
+		t.PCNsPerNet = float64(totalNS[b][0]) / float64(t.Nets)
+		t.ExactNsPerNet = float64(totalNS[b][1]) / float64(t.Nets)
+		doc.Totals = append(doc.Totals, *t)
+		fmt.Printf("%-6s %8d %8d %10d %10d %7d %7d %12.0f %12.0f %9d\n",
+			t.Degree, t.Nets, t.ExactCertified, t.PCLength, t.ExactLength,
+			t.PCVias, t.ExactVias, t.PCNsPerNet, t.ExactNsPerNet, t.Improved)
+	}
+	return doc
+}

@@ -58,6 +58,10 @@ type OptionsWire struct {
 	// 2 always reduced-graph.
 	FutureMode   int     `json:"future_mode,omitempty"`
 	EcoThreshold float64 `json:"eco_threshold,omitempty"`
+	// ExactSteinerMax is the net-degree threshold for the exact
+	// goal-oriented Steiner oracle in global routing (0 = default 9,
+	// negative = Path Composition only).
+	ExactSteinerMax int `json:"exact_steiner_max,omitempty"`
 }
 
 func (o OptionsWire) toOptions() bonnroute.Options {
@@ -65,8 +69,9 @@ func (o OptionsWire) toOptions() bonnroute.Options {
 		Seed: o.Seed, Workers: o.Workers, GlobalPhases: o.GlobalPhases,
 		TileTracks: o.TileTracks, PowerCap: o.PowerCap,
 		SkipGlobal: o.SkipGlobal, UsePFuture: o.UsePFuture,
-		FutureMode:   bonnroute.FutureMode(o.FutureMode),
-		EcoThreshold: o.EcoThreshold,
+		FutureMode:      bonnroute.FutureMode(o.FutureMode),
+		EcoThreshold:    o.EcoThreshold,
+		ExactSteinerMax: o.ExactSteinerMax,
 	}
 }
 

@@ -67,6 +67,14 @@ type Options struct {
 	// netlength objective (the paper optimizes wire length AND via
 	// count); 0 derives half a tile.
 	ViaLengthEquiv float64
+	// ExactSteinerMax is the net-degree threshold for the exact
+	// goal-oriented Steiner oracle ("Dijkstra meets Steiner"): nets
+	// whose terminals merge to at most this many groups are answered
+	// with a provably minimum tree, larger nets with Path Composition.
+	// 0 selects steiner.DefaultExactMax (9); negative disables the
+	// exact oracle entirely. The choice depends only on the net, so the
+	// phase-snapshot determinism across worker counts is unaffected.
+	ExactSteinerMax int
 }
 
 func (o *Options) setDefaults() {
@@ -84,6 +92,9 @@ func (o *Options) setDefaults() {
 	}
 	if len(o.ExtraLevels) == 0 {
 		o.ExtraLevels = []float64{0, 0.5, 1}
+	}
+	if o.ExactSteinerMax == 0 {
+		o.ExactSteinerMax = steiner.DefaultExactMax
 	}
 }
 
@@ -121,6 +132,14 @@ type Result struct {
 	LambdaHistory []float64
 	// OracleCalls and OracleReuses count oracle invocations vs. reuses.
 	OracleCalls, OracleReuses int64
+	// Per-oracle attribution: calls answered by the exact goal-oriented
+	// oracle vs. Path Composition (including the exact oracle's own
+	// above-threshold fallbacks), the summed wire length of the returned
+	// trees, and the oracle wall time. Observational only — no solver
+	// decision reads these, so determinism across worker counts holds.
+	ExactCalls, PCCalls           int64
+	ExactTreeLength, PCTreeLength int64
+	ExactOracleTime, PCOracleTime time.Duration
 	// RoundingViolations is the number of overloaded resources right
 	// after randomized rounding; RepairedByRechoose and Rerouted count
 	// the §2.4 repair actions.
@@ -155,9 +174,18 @@ type Solver struct {
 	powerCap float64
 	viaLen   float64
 	nRes     int
-	oracles  []*steiner.Oracle
-	calls    int64
-	reuses   int64
+	// Per-worker oracles: exacts when the exact oracle is enabled
+	// (each embeds its own Path Composition fallback), plain Path
+	// Composition oracles otherwise. Neither is concurrency-safe, hence
+	// one per worker.
+	oracles []*steiner.Oracle
+	exacts  []*steiner.Exact
+	calls   int64
+	reuses  int64
+	// Oracle attribution (atomics; see Result).
+	exactCalls, pcCalls int64
+	exactLen, pcLen     int64
+	exactNanos, pcNanos int64
 }
 
 const (
@@ -188,11 +216,48 @@ func New(g *grid.Graph, nets []NetSpec, opt Options) *Solver {
 	if s.viaLen <= 0 {
 		s.viaLen = float64(g.TileW) / 2
 	}
-	s.oracles = make([]*steiner.Oracle, opt.Workers)
-	for i := range s.oracles {
-		s.oracles[i] = steiner.NewOracle(g)
+	if opt.ExactSteinerMax > 0 {
+		s.exacts = make([]*steiner.Exact, opt.Workers)
+		for i := range s.exacts {
+			s.exacts[i] = steiner.NewExact(g, opt.ExactSteinerMax)
+		}
+	} else {
+		s.oracles = make([]*steiner.Oracle, opt.Workers)
+		for i := range s.oracles {
+			s.oracles[i] = steiner.NewOracle(g)
+		}
 	}
 	return s
+}
+
+// treeFor answers one Steiner oracle call on worker w's oracle pair,
+// attributing wire length and wall time to the oracle that actually
+// produced the tree (the exact oracle reports its own above-threshold
+// Path Composition fallbacks as such).
+func (s *Solver) treeFor(w int, cost func(e int) float64, terminals [][]int) ([]int, bool) {
+	start := time.Now()
+	var edges []int
+	var isExact, ok bool
+	if s.exacts != nil {
+		edges, isExact, ok = s.exacts[w].Tree(cost, terminals)
+	} else {
+		edges, ok = s.oracles[w].Tree(cost, terminals)
+	}
+	dt := time.Since(start).Nanoseconds()
+	if isExact {
+		atomic.AddInt64(&s.exactCalls, 1)
+		atomic.AddInt64(&s.exactNanos, dt)
+		if ok {
+			atomic.AddInt64(&s.exactLen, int64(steiner.TreeLength(s.G, edges)))
+		}
+	} else {
+		atomic.AddInt64(&s.pcCalls, 1)
+		atomic.AddInt64(&s.pcNanos, dt)
+		if ok {
+			atomic.AddInt64(&s.pcLen, int64(steiner.TreeLength(s.G, edges)))
+		}
+	}
+	return edges, ok
 }
 
 // terminalBBoxLength estimates the Steiner lower bound of a net as the
@@ -357,6 +422,7 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		}
 		phSpan := span.Child("global.phase", obs.Int("phase", phase))
 		callsBefore, reusesBefore := atomic.LoadInt64(&s.calls), atomic.LoadInt64(&s.reuses)
+		exactBefore, pcBefore := atomic.LoadInt64(&s.exactCalls), atomic.LoadInt64(&s.pcCalls)
 		phaseLoad := make([]float64, s.nRes)
 		var priceUpdates int64
 
@@ -368,7 +434,6 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		// goroutine scheduling.
 		chosen := make([]int, len(s.Nets))
 		work := func(worker, lo, hi int) {
-			oracle := s.oracles[worker]
 			for ni := lo; ni < hi; ni++ {
 				chosen[ni] = -1
 				if ctx.Err() != nil {
@@ -391,7 +456,7 @@ func (s *Solver) Run(ctx context.Context) *Result {
 				}
 				if ci < 0 {
 					extras := map[int]float64{}
-					edges, ok := oracle.Tree(func(e int) float64 {
+					edges, ok := s.treeFor(worker, func(e int) float64 {
 						c, lv := s.edgeCost(n, e)
 						if c >= 0 {
 							extras[e] = lv
@@ -465,6 +530,8 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		phSpan.End(obs.F64("lambda", lambda),
 			obs.Int64("oracle_calls", atomic.LoadInt64(&s.calls)-callsBefore),
 			obs.Int64("oracle_reuses", atomic.LoadInt64(&s.reuses)-reusesBefore),
+			obs.Int64("oracle_exact", atomic.LoadInt64(&s.exactCalls)-exactBefore),
+			obs.Int64("oracle_pc", atomic.LoadInt64(&s.pcCalls)-pcBefore),
 			obs.Int64("price_updates", priceUpdates))
 	}
 
@@ -500,6 +567,12 @@ func (s *Solver) Run(ctx context.Context) *Result {
 	res.RepairTime = time.Since(repairStart)
 	res.OracleCalls = s.calls
 	res.OracleReuses = s.reuses
+	res.ExactCalls = s.exactCalls
+	res.PCCalls = s.pcCalls
+	res.ExactTreeLength = s.exactLen
+	res.PCTreeLength = s.pcLen
+	res.ExactOracleTime = time.Duration(s.exactNanos)
+	res.PCOracleTime = time.Duration(s.pcNanos)
 	if ctx.Err() != nil {
 		res.Cancelled = true
 	}
@@ -698,7 +771,6 @@ func (s *Solver) roundAndRepair(ctx context.Context, span *obs.Span, res *Result
 	// Reroute: for nets still on overloaded edges, one oracle call with
 	// overflow-penalized prices.
 	if t, _ := totalOverflow(); t > 1e-9 {
-		oracle := s.oracles[0]
 		for ni := range res.Nets {
 			if ctx.Err() != nil {
 				return
@@ -719,7 +791,7 @@ func (s *Solver) roundAndRepair(ctx context.Context, span *obs.Span, res *Result
 			}
 			n := &s.Nets[ni]
 			apply(ni, nr.Chosen, -1)
-			edges, ok := oracle.Tree(func(e int) float64 {
+			edges, ok := s.treeFor(0, func(e int) float64 {
 				cap := s.G.Cap[e]
 				if cap <= 0 || n.Width > cap {
 					return -1

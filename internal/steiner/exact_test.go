@@ -1,0 +1,232 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bonnroute/internal/geom"
+	"bonnroute/internal/grid"
+)
+
+// TestExactDifferential cross-checks the exact oracle against the
+// independent reference solver and Path Composition on seeded random
+// instances (≤9 terminal groups, random costs, blocked edges,
+// multi-vertex and shared-vertex groups).
+func TestExactDifferential(t *testing.T) {
+	if err := RunDifferential(1, 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactPlanarMatchesRSMT pins the exact oracle to the router-
+// independent Dreyfus–Wagner RSMT baseline: on a 2-layer H+V grid with
+// free vias and unconstrained wires, the optimal grid Steiner wire
+// length equals the planar RSMT of the tile points.
+func TestExactPlanarMatchesRSMT(t *testing.T) {
+	dirs := []geom.Direction{geom.Horizontal, geom.Vertical}
+	g := grid.New(geom.R(0, 0, 1200, 1200), 100, 100, dirs)
+	wireOnly := func(e int) float64 { return float64(g.EdgeLength(e)) }
+	ex := NewExact(g, 0)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		k := 2 + rng.Intn(8)
+		terms := make([][]int, k)
+		pts := make([]geom.Point, k)
+		for i := range terms {
+			tx, ty := rng.Intn(g.NX), rng.Intn(g.NY)
+			terms[i] = []int{g.Vertex(tx, ty, rng.Intn(2))}
+			pts[i] = geom.Pt(tx*100, ty*100)
+		}
+		edges, isExact, ok := ex.Tree(wireOnly, terms)
+		if !ok || !isExact {
+			t.Fatalf("trial %d: ok=%v exact=%v", trial, ok, isExact)
+		}
+		if !ValidateTree(g, edges, terms) {
+			t.Fatalf("trial %d: invalid tree", trial)
+		}
+		want := RSMTLength(pts)
+		if got := int64(TreeLength(g, edges)); got != want {
+			t.Fatalf("trial %d: grid Steiner length %d, RSMT %d (pts %v)", trial, got, want, pts)
+		}
+	}
+}
+
+// TestExactDegreeCapFallback checks that nets above the configured cap
+// fall back to Path Composition (same tree, exact=false) and that the
+// cap applies to merged groups, not the raw pin-group count.
+func TestExactDegreeCapFallback(t *testing.T) {
+	g := testGrid()
+	cost := unitCost(g)
+	var terms [][]int
+	for i := 0; i < 5; i++ {
+		terms = append(terms, []int{g.Vertex(i*2, 0, 0)}, []int{g.Vertex(i*2, 9, 1)})
+	}
+	ex := NewExact(g, 4)
+	edges, isExact, ok := ex.Tree(cost, terms)
+	if !ok || isExact {
+		t.Fatalf("ok=%v exact=%v, want fallback", ok, isExact)
+	}
+	pcEdges, _ := PathComposition(g, cost, terms)
+	if TreeCost(cost, edges) != TreeCost(cost, pcEdges) {
+		t.Fatal("fallback tree differs from Path Composition")
+	}
+
+	// Ten raw groups that merge down to two stay exact under the cap.
+	shared := g.Vertex(5, 5, 0)
+	var dup [][]int
+	for i := 0; i < 9; i++ {
+		dup = append(dup, []int{shared})
+	}
+	dup = append(dup, []int{g.Vertex(0, 0, 0)})
+	_, isExact, ok = ex.Tree(cost, dup)
+	if !ok || !isExact {
+		t.Fatalf("merged instance: ok=%v exact=%v, want exact", ok, isExact)
+	}
+}
+
+// TestOracleEpochWraparound pins the int32 stamp wraparound guard: the
+// counters sit at MaxInt32 with every stamp array poisoned to collide
+// with the post-wrap epoch values. Without the hard clear, the stale
+// dist/done/comp entries read as current and the oracle returns garbage.
+func TestOracleEpochWraparound(t *testing.T) {
+	g := testGrid()
+	o := NewOracle(g)
+	terms := [][]int{{g.Vertex(0, 0, 0)}, {g.Vertex(5, 0, 0)}, {g.Vertex(0, 5, 1)}}
+
+	for wrapAt := int32(0); wrapAt < 4; wrapAt++ {
+		// A Tree call bumps the dijkstra epoch once per component and the
+		// comp epoch twice; vary the distance to MaxInt32 so the wrap
+		// lands on different internal bumps.
+		o.cur = math.MaxInt32 - wrapAt
+		o.compCur = math.MaxInt32 - wrapAt
+		for i := range o.ver {
+			o.ver[i] = wrapAt + 1 // collides with post-wrap epochs 1..4
+			o.dist[i] = 0
+			o.done[i] = true
+			o.parentV[i] = -1
+			o.compVer[i] = wrapAt + 1
+			o.comp[i] = 0
+		}
+		edges, ok := o.Tree(unitCost(g), terms)
+		if !ok || !ValidateTree(g, edges, terms) {
+			t.Fatalf("wrapAt=%d: invalid tree after wraparound", wrapAt)
+		}
+		if got := TreeLength(g, edges); got != 1000 {
+			t.Fatalf("wrapAt=%d: length %d, want 1000", wrapAt, got)
+		}
+		// Tree bumps each counter twice here, so the wrap fires for
+		// wrapAt ≤ 1 and the rest exercise the approach to the boundary.
+		if wrapAt <= 1 && o.cur >= math.MaxInt32-wrapAt {
+			t.Fatalf("wrapAt=%d: epoch %d did not restart", wrapAt, o.cur)
+		}
+	}
+}
+
+// TestExactEpochWraparound does the same for the exact oracle's
+// call-wide epoch (cost cache, subset states, settled lists).
+func TestExactEpochWraparound(t *testing.T) {
+	g := testGrid()
+	ex := NewExact(g, 0)
+	cost := unitCost(g)
+	terms := [][]int{
+		{g.Vertex(0, 0, 0)}, {g.Vertex(5, 0, 0)},
+		{g.Vertex(0, 5, 1)}, {g.Vertex(7, 7, 1)},
+	}
+	want, refOK := ReferenceTreeCost(g, cost, terms)
+	if !refOK {
+		t.Fatal("reference infeasible")
+	}
+	// Warm up so the lazy subset arrays exist, then poison them.
+	if _, _, ok := ex.Tree(cost, terms); !ok {
+		t.Fatal("warmup failed")
+	}
+	ex.cur = math.MaxInt32
+	poison := func(ver []int32) {
+		for i := range ver {
+			ver[i] = 1
+		}
+	}
+	for _, s := range ex.sub {
+		if s != nil {
+			poison(s.ver)
+			for i := range s.dist {
+				s.dist[i] = 0
+				s.done[i] = true
+				s.parentEdge[i] = -2
+			}
+		}
+	}
+	for _, tv := range ex.tver {
+		poison(tv)
+	}
+	poison(ex.slVer)
+	poison(ex.costVer)
+	poison(ex.edgeVer)
+	for i := range ex.costs {
+		ex.costs[i] = 0
+	}
+	edges, isExact, ok := ex.Tree(cost, terms)
+	if !ok || !isExact || !ValidateTree(g, edges, terms) {
+		t.Fatalf("ok=%v exact=%v after wraparound", ok, isExact)
+	}
+	if got := TreeCost(cost, edges); got != want {
+		t.Fatalf("cost %.1f after wraparound, want %.1f", got, want)
+	}
+	if ex.cur >= math.MaxInt32 {
+		t.Fatal("epoch did not restart")
+	}
+}
+
+// TestOracleSteadyStateAllocs pins the pooled-scratch contract: after
+// warmup a Tree call allocates only the returned edge slice. The same
+// budgets back the make alloc-guard gate.
+func TestOracleSteadyStateAllocs(t *testing.T) {
+	g := testGrid()
+	cost := unitCost(g)
+	terms := [][]int{
+		{g.Vertex(0, 0, 0)}, {g.Vertex(9, 2, 0)},
+		{g.Vertex(3, 9, 1)}, {g.Vertex(7, 5, 1)}, {g.Vertex(1, 6, 0)},
+	}
+
+	o := NewOracle(g)
+	for i := 0; i < 3; i++ {
+		if _, ok := o.Tree(cost, terms); !ok {
+			t.Fatal("warmup failed")
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		o.Tree(cost, terms)
+	}); avg > 1 {
+		t.Fatalf("Oracle.Tree steady state: %.1f allocs/call, budget 1", avg)
+	}
+
+	ex := NewExact(g, 0)
+	for i := 0; i < 3; i++ {
+		if _, _, ok := ex.Tree(cost, terms); !ok {
+			t.Fatal("warmup failed")
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		ex.Tree(cost, terms)
+	}); avg > 3 {
+		t.Fatalf("Exact.Tree steady state: %.1f allocs/call, budget 3", avg)
+	}
+}
+
+func BenchmarkExactOracle(b *testing.B) {
+	g := testGrid()
+	cost := unitCost(g)
+	rng := rand.New(rand.NewSource(3))
+	terms := make([][]int, 7)
+	for i := range terms {
+		terms[i] = []int{g.Vertex(rng.Intn(g.NX), rng.Intn(g.NY), rng.Intn(g.NZ))}
+	}
+	ex := NewExact(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ex.Tree(cost, terms); !ok {
+			b.Fatal("no tree")
+		}
+	}
+}

@@ -52,10 +52,13 @@ func ValidateTree(g *grid.Graph, edges []int, terminals [][]int) bool {
 		return true
 	}
 	// BFS from terminal 0 over tree edges plus intra-terminal cliques.
-	group := map[int]int{}
+	// A vertex can belong to several groups (duplicate pins), so track
+	// all of them — keeping only the last would leave the earlier
+	// groups unreachable and misreport a valid tree as invalid.
+	group := map[int][]int{}
 	for ti, vs := range terminals {
 		for _, v := range vs {
-			group[v] = ti
+			group[v] = append(group[v], ti)
 		}
 	}
 	seen := map[int]bool{}
@@ -73,7 +76,7 @@ func ValidateTree(g *grid.Graph, edges []int, terminals [][]int) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if gi, ok := group[v]; ok {
+		for _, gi := range group[v] {
 			if !grpSeen[gi] {
 				grpSeen[gi] = true
 				for _, w := range terminals[gi] {

@@ -91,6 +91,33 @@ func TestGlobalConfigExplicitZero(t *testing.T) {
 	}
 }
 
+// ExactSteiner follows the same semantics: non-zero literals merge in,
+// SetExactSteiner makes 0 (restore default) and -1 (disable) expressible.
+func TestGlobalConfigExactSteiner(t *testing.T) {
+	o := buildOptions([]Option{WithGlobalConfig(GlobalConfig{ExactSteiner: 7})})
+	if o.ExactSteinerMax != 7 {
+		t.Fatalf("literal ExactSteiner not applied: %+v", o)
+	}
+	o = buildOptions([]Option{
+		WithGlobalConfig(GlobalConfig{ExactSteiner: 7}),
+		WithGlobalConfig(GlobalConfig{Phases: 16}), // zero ExactSteiner merges
+	})
+	if o.ExactSteinerMax != 7 {
+		t.Fatalf("literal zero must keep the earlier threshold: %+v", o)
+	}
+	o = buildOptions([]Option{
+		WithGlobalConfig(GlobalConfig{ExactSteiner: 7}),
+		WithGlobalConfig(GlobalConfig{}.SetExactSteiner(0)),
+	})
+	if o.ExactSteinerMax != 0 {
+		t.Fatalf("SetExactSteiner(0) must restore the core default: %+v", o)
+	}
+	o = buildOptions([]Option{WithGlobalConfig(GlobalConfig{ExactSteiner: -1})})
+	if o.ExactSteinerMax != -1 {
+		t.Fatalf("disabling via negative literal must apply: %+v", o)
+	}
+}
+
 func TestDetailConfigExplicitFalse(t *testing.T) {
 	o := buildOptions([]Option{
 		WithDetailConfig(DetailConfig{UsePFuture: true}),
