@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke alloc-guard service-smoke steiner-smoke check bench-json bench-pathsearch bench-scaling bench-eco bench-service bench-steiner
+.PHONY: all build test race test-race vet bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke fuzz-scale-smoke alloc-guard service-smoke steiner-smoke scale-smoke check bench-json bench-pathsearch bench-scaling bench-eco bench-service bench-steiner bench-scale
 
 all: build
 
@@ -59,6 +59,21 @@ fuzz-smoke:
 fuzz-eco-smoke:
 	$(GO) run ./cmd/routefuzz -eco -seeds 4 -base-seed 2000
 
+# fuzz-scale-smoke sweeps fixed-seed scenarios through the scale-tier
+# slice: each seed routes the same chip unsharded/serial and sharded
+# (congestion-region tiles)/parallel, requires bit-identical results,
+# and runs the verifier with the seeded sampled spacing mode engaged.
+fuzz-scale-smoke:
+	$(GO) run ./cmd/routefuzz -scale -seeds 3 -base-seed 3000 -nets 120 -steiner-diff 0
+
+# scale-smoke is the order-of-magnitude gate below the 10⁵-net bench:
+# a 10⁴-net ScaledParams chip routed end to end and verified with the
+# sampled pass matrix, plus the full-flow sharded-vs-unsharded worker
+# bit-identity check. Behind the `scale` build tag so `go test ./...`
+# never pays for it; takes several minutes on one core.
+scale-smoke:
+	$(GO) test -tags scale -timeout 60m -run 'TestScaleSmoke|TestShardedFlowBitIdentity' ./internal/scale
+
 # alloc-guard re-runs the steady-state allocation tests: the no-op
 # tracer must stay allocation-free, the pooled path-search engine must
 # keep its per-search allocation budget — both serially and with four
@@ -68,11 +83,16 @@ fuzz-eco-smoke:
 # must stay bounded so the parallel path cannot erode those budgets,
 # and the Steiner oracles (Path Composition and the exact goal-oriented
 # search) must hold their steady-state per-call budgets once warm.
+# The scale lane pins deterministic bytes-per-net budgets (shape grid
+# and fast grid on freshly built 10³- and 10⁴-net spaces, interval map
+# per run) with +10% headroom: the accounting derives from element
+# counts, so any overshoot is a data-structure layout regression.
 alloc-guard:
 	$(GO) test -run 'TestNoopTracerAllocs' ./internal/obs
 	$(GO) test -run 'TestSteadyStateAllocs|TestParallelSteadyStateAllocs|TestFutureSteadyStateAllocs' ./internal/pathsearch
 	$(GO) test -run 'TestSchedulerAllocs' ./internal/detail
 	$(GO) test -run 'TestOracleSteadyStateAllocs' ./internal/steiner
+	$(GO) test -tags scale -timeout 30m -run 'TestBytesPerNetBudget|TestIntervalMapBytesPerRun' ./internal/scale
 
 # service-smoke starts the routing daemon on a loopback port, walks one
 # session through create → reroute → assess → result → delete over real
@@ -92,11 +112,12 @@ steiner-smoke:
 
 # check is the pre-merge gate: vet, build, the full test suite, the
 # targeted race lane, the benchmark smoke test, the trace smoke test,
-# the verifier fuzz sweeps (plain and ECO), the Steiner oracle
-# differential, the allocation guards, and the service daemon
-# round-trip. (`make race` — the whole suite under -race — stays
-# available as the long-form lane.)
-check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke steiner-smoke alloc-guard service-smoke
+# the verifier fuzz sweeps (plain, ECO, and scale), the Steiner oracle
+# differential, the allocation guards (including the scale-tier memory
+# budgets), the service daemon round-trip, and the 10⁴-net scale smoke.
+# (`make race` — the whole suite under -race — stays available as the
+# long-form lane.)
+check: vet build test test-race bench-smoke trace-smoke fuzz-smoke fuzz-eco-smoke fuzz-scale-smoke steiner-smoke alloc-guard service-smoke scale-smoke
 
 # bench-json regenerates the committed benchmark artifact (small suite
 # plus the path-search micro-benchmarks). Each chip's flows carry a `pi`
@@ -146,3 +167,13 @@ bench-steiner:
 # reroute throughput, and the assess-vs-reroute median speedup.
 bench-service:
 	$(GO) run ./cmd/routebench -service -bench-json BENCH_service.json
+
+# bench-scale regenerates the committed scale artifact: the 10⁵-net
+# ScaledParams chip routed end to end (global sharded by congestion-
+# region tiles) and verified with the sampled pass matrix — the spacing
+# sample seed, fast-grid strides, peak RSS, bytes-per-net, and the
+# deterministic structure footprints are all recorded in the artifact.
+# Takes on the order of an hour on one core; scale down with
+# `-scale-nets` for a spot check.
+bench-scale:
+	$(GO) run ./cmd/routebench -suite huge -bench-json BENCH_scale.json

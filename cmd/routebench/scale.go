@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/core"
+	"bonnroute/internal/verify"
+)
+
+// passJSON is one verifier pass in the scale artifact: how much work it
+// did and how many findings it produced.
+type passJSON struct {
+	Checked    int `json:"checked"`
+	Violations int `json:"violations"`
+}
+
+// verifyJSON is the full pass matrix of the scale run. Quadratic passes
+// run sampled; the sampling parameters are recorded so the exact point
+// and pair sets can be replayed.
+type verifyJSON struct {
+	OK                  bool     `json:"ok"`
+	Conservation        passJSON `json:"conservation"`
+	Spacing             passJSON `json:"spacing"`
+	Connectivity        passJSON `json:"connectivity"`
+	Capacity            passJSON `json:"capacity"`
+	FastGrid            passJSON `json:"fastgrid"`
+	SpacingSampled      bool     `json:"spacing_sampled"`
+	SpacingSampleCap    int      `json:"spacing_sample_cap"`
+	SpacingSampleSeed   int64    `json:"spacing_sample_seed"`
+	FastGridStride      int      `json:"fastgrid_stride"`
+	FastGridTrackStride int      `json:"fastgrid_track_stride"`
+	VerifyMS            float64  `json:"verify_ms"`
+	Findings            []string `json:"findings,omitempty"`
+}
+
+// structMemJSON is the deterministic footprint of the routing data
+// structures, from their own element-count accounting (not heap
+// sampling): the shape grids per plane kind, and the fast grid's
+// interval maps.
+type structMemJSON struct {
+	ShapeGridBytes int64 `json:"shapegrid_bytes"`
+	ShapeRowBytes  int64 `json:"shapegrid_row_bytes"`
+	ShapePoolBytes int64 `json:"shapegrid_pool_bytes"`
+	FastGridBytes  int64 `json:"fastgrid_bytes"`
+}
+
+// scaleJSON is the BENCH_scale.json document: one verified large run.
+type scaleJSON struct {
+	Name        string  `json:"name"`
+	Nets        int     `json:"nets"`
+	Seed        int64   `json:"seed"`
+	Workers     int     `json:"workers"`
+	ShardTiles  int     `json:"shard_tiles"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Cells       int     `json:"cells"`
+	Pins        int     `json:"pins"`
+	GenerateMS  float64 `json:"generate_ms"`
+	GlobalMS    float64 `json:"global_ms"`
+	DetailMS    float64 `json:"detail_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	Netlength   int64   `json:"netlength"`
+	Vias        int     `json:"vias"`
+	Errors      int     `json:"errors"`
+	Unrouted    int     `json:"unrouted"`
+	PeakRSSMB   float64 `json:"peak_rss_mb"`
+	BytesPerNet float64 `json:"bytes_per_net"`
+	HeapAllocMB float64 `json:"heap_alloc_mb"`
+
+	Structures structMemJSON `json:"structures"`
+	Verify     verifyJSON    `json:"verify"`
+}
+
+// peakRSSBytes reads VmHWM (peak resident set) from /proc/self/status;
+// 0 when unavailable (non-Linux).
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseInt(fields[0], 10, 64)
+				if err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// scaleBench routes one order-of-magnitude chip end to end, verifies it
+// with the sampled pass matrix, and reports the footprint. The suite
+// name picks the tier; "huge" is the 10⁵-net acceptance run.
+func scaleBench(nets int, seed int64, workers, shardTiles int) *scaleJSON {
+	p := chip.ScaledParams(fmt.Sprintf("scale%d", nets), seed, nets)
+	doc := &scaleJSON{
+		Name: p.Name, Nets: nets, Seed: seed,
+		Workers: workers, ShardTiles: shardTiles,
+		Rows: p.Rows, Cols: p.Cols,
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	fmt.Fprintf(os.Stderr, "[scale] generating %d-net chip (%d×%d slots)...\n", nets, p.Rows, p.Cols)
+	genStart := time.Now()
+	c := chip.Generate(p)
+	doc.GenerateMS = ms(time.Since(genStart))
+	doc.Cells = len(c.Cells)
+	doc.Pins = len(c.Pins)
+	fmt.Fprintf(os.Stderr, "[scale] %d cells, %d pins, %d nets in %.1fs; routing...\n",
+		len(c.Cells), len(c.Pins), len(c.Nets), time.Since(genStart).Seconds())
+
+	res := core.RouteBonnRoute(runCtx, c, core.Options{
+		Workers: workers, Seed: seed, ShardTiles: shardTiles, Tracer: tracer,
+	})
+	doc.DetailMS = ms(res.DetailTime)
+	doc.TotalMS = ms(res.Metrics.Runtime)
+	if res.Global != nil {
+		doc.GlobalMS = ms(res.Global.Total)
+	}
+	doc.Netlength = res.Metrics.Netlength
+	doc.Vias = res.Metrics.Vias
+	doc.Errors = res.Metrics.Errors
+	doc.Unrouted = res.Metrics.Unrouted
+	fmt.Fprintf(os.Stderr, "[scale] routed in %.1fs (errors %d, unrouted %d); verifying...\n",
+		res.Metrics.Runtime.Seconds(), res.Metrics.Errors, res.Metrics.Unrouted)
+
+	// Sampled verify: the spacing pass caps shapes per plane and the
+	// fast-grid differential strides tracks and along-track positions.
+	// All sampling is seeded/strided deterministically and recorded.
+	vopt := verify.Options{
+		SpacingSampleCap:    400,
+		SpacingSampleSeed:   seed,
+		FastGridStride:      16 * c.Deck.Layers[0].Pitch,
+		FastGridTrackStride: 8,
+	}
+	vStart := time.Now()
+	rep := verify.Run(res, vopt)
+	doc.Verify = verifyJSON{
+		OK:                  rep.OK(),
+		Conservation:        passJSON{Checked: rep.ShapesChecked},
+		Spacing:             passJSON{Checked: rep.PairsChecked},
+		Connectivity:        passJSON{Checked: rep.NetsChecked},
+		Capacity:            passJSON{Checked: rep.EdgesChecked},
+		FastGrid:            passJSON{Checked: rep.SamplesChecked},
+		SpacingSampled:      rep.SpacingSampled,
+		SpacingSampleCap:    vopt.SpacingSampleCap,
+		SpacingSampleSeed:   rep.SpacingSampleSeed,
+		FastGridStride:      vopt.FastGridStride,
+		FastGridTrackStride: vopt.FastGridTrackStride,
+		VerifyMS:            ms(time.Since(vStart)),
+	}
+	for _, v := range rep.Violations {
+		switch v.Pass {
+		case "conservation":
+			doc.Verify.Conservation.Violations++
+		case "spacing":
+			doc.Verify.Spacing.Violations++
+		case "connectivity":
+			doc.Verify.Connectivity.Violations++
+		case "capacity":
+			doc.Verify.Capacity.Violations++
+		case "fastgrid":
+			doc.Verify.FastGrid.Violations++
+		}
+		if len(doc.Verify.Findings) < 16 {
+			doc.Verify.Findings = append(doc.Verify.Findings, v.String())
+		}
+	}
+
+	// Deterministic structure footprints from element counts, plus the
+	// process-level peak RSS the acceptance budget is pinned on.
+	r := res.Router
+	for z := range r.Space.Wiring {
+		m := r.Space.Wiring[z].Mem()
+		doc.Structures.ShapeGridBytes += m.Total()
+		doc.Structures.ShapeRowBytes += m.RowBytes
+		doc.Structures.ShapePoolBytes += m.ShapeBytes + m.ConfigBytes
+	}
+	for v := range r.Space.Cuts {
+		m := r.Space.Cuts[v].Mem()
+		doc.Structures.ShapeGridBytes += m.Total()
+		doc.Structures.ShapeRowBytes += m.RowBytes
+		doc.Structures.ShapePoolBytes += m.ShapeBytes + m.ConfigBytes
+	}
+	doc.Structures.FastGridBytes = r.FG.Mem()
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	doc.HeapAllocMB = float64(mem.HeapAlloc) / (1 << 20)
+	rss := peakRSSBytes()
+	doc.PeakRSSMB = float64(rss) / (1 << 20)
+	doc.BytesPerNet = float64(rss) / float64(nets)
+
+	fmt.Fprintf(os.Stderr, "[scale] verify %s in %.1fs; peak RSS %.0f MB (%.0f KB/net)\n",
+		map[bool]string{true: "clean", false: "FAILED"}[rep.OK()],
+		time.Since(vStart).Seconds(), doc.PeakRSSMB, doc.BytesPerNet/1024)
+	return doc
+}

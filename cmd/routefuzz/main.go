@@ -59,6 +59,12 @@ type scenario struct {
 	eco     bool
 	ecoSeed int64
 	ecoCfg  incremental.GenConfig
+	// scale enables the sharded-vs-unsharded equivalence slice: the
+	// same chip routed unsharded at one worker and sharded (shardTiles
+	// congestion-region tiles) at workersB must be bit-identical, and
+	// the unsharded result must clear the sampled verifier matrix.
+	scale      bool
+	shardTiles int
 }
 
 func main() {
@@ -71,6 +77,7 @@ func main() {
 		layers   = flag.Int("layers", 6, "max wiring layers")
 		workers  = flag.Int("workers", 4, "worker count of the determinism double run")
 		eco      = flag.Bool("eco", false, "fuzz ECO deltas: differential incremental-vs-scratch equivalence")
+		scale    = flag.Bool("scale", false, "fuzz the scale tier: sharded-vs-unsharded global-routing bit-identity plus the sampled verifier matrix")
 		skipFG   = flag.Bool("skip-fastgrid", false, "skip the fast-grid differential pass")
 		stDiff   = flag.Int("steiner-diff", 64, "seeded Steiner-oracle differential instances run before the scenarios (0 disables)")
 		verbose  = flag.Bool("v", false, "print per-scenario pass counters")
@@ -105,6 +112,10 @@ func main() {
 		if *eco {
 			sc.eco = true
 			sc.ecoSeed = sc.params.Seed*3 + 1
+		}
+		if *scale {
+			sc.scale = true
+			sc.shardTiles = 1 + int(sc.params.Seed)%8
 		}
 		start := time.Now()
 		viol, rep := runScenario(ctx, sc, *skipFG)
@@ -182,6 +193,9 @@ func runScenario(ctx context.Context, sc scenario, skipFG bool) ([]verify.Violat
 			})
 		return viol, nil
 	}
+	if sc.scale {
+		return runScaleScenario(ctx, sc, skipFG)
+	}
 	c := chip.Generate(sc.params)
 	res := core.RouteBonnRoute(ctx, c, core.Options{Seed: sc.params.Seed, Workers: sc.workersA})
 	rep := verify.Run(res, verify.Options{SkipFastGrid: skipFG})
@@ -189,6 +203,30 @@ func runScenario(ctx context.Context, sc scenario, skipFG bool) ([]verify.Violat
 	viol = append(viol, verify.Determinism(ctx, sc.params,
 		core.Options{Seed: sc.params.Seed}, sc.workersA, sc.workersB)...)
 	return viol, rep
+}
+
+// runScaleScenario is the scale-tier slice: the identical seed routed
+// unsharded serial and sharded parallel must produce bit-identical
+// results (the congestion-region sharding is pure work decomposition),
+// and the unsharded result must clear the verifier with the sampled
+// spacing mode engaged — the same seeded sampling the huge benchmark
+// records in its artifact.
+func runScaleScenario(ctx context.Context, sc scenario, skipFG bool) ([]verify.Violation, *verify.Report) {
+	a := core.RouteBonnRoute(ctx, chip.Generate(sc.params),
+		core.Options{Seed: sc.params.Seed, Workers: sc.workersA})
+	b := core.RouteBonnRoute(ctx, chip.Generate(sc.params),
+		core.Options{Seed: sc.params.Seed, Workers: sc.workersB, ShardTiles: sc.shardTiles})
+	viol := verify.CompareResults(a, b)
+	for i := range viol {
+		viol[i].Detail = fmt.Sprintf("unsharded/w%d vs ShardTiles=%d/w%d: %s",
+			sc.workersA, sc.shardTiles, sc.workersB, viol[i].Detail)
+	}
+	rep := verify.Run(a, verify.Options{
+		SkipFastGrid:      skipFG,
+		SpacingSampleCap:  64,
+		SpacingSampleSeed: sc.params.Seed,
+	})
+	return append(viol, rep.Violations...), rep
 }
 
 // shrink reduces a failing scenario while it still fails: first halve
@@ -273,6 +311,32 @@ func TestFuzzEcoRepro(t *testing.T) {
 			sc.ecoSeed,
 			sc.ecoCfg.AddNets, sc.ecoCfg.RemoveNets, sc.ecoCfg.MovePins, sc.ecoCfg.AddBlockages,
 			sc.workersB)
+		return
+	}
+	if sc.scale {
+		fmt.Println("\nminimal scale reproducer (paste into internal/verify):")
+		fmt.Printf(`
+func TestFuzzScaleRepro(t *testing.T) {
+	params := chip.GenParams{
+		Seed: %d, Rows: %d, Cols: %d, NumNets: %d,
+		NumLayers: %d, LocalityRadius: %d, PowerStripePeriod: %d,
+	}
+	a := core.RouteBonnRoute(context.Background(), chip.Generate(params),
+		core.Options{Seed: %d, Workers: %d})
+	b := core.RouteBonnRoute(context.Background(), chip.Generate(params),
+		core.Options{Seed: %d, Workers: %d, ShardTiles: %d})
+	for _, v := range CompareResults(a, b) {
+		t.Errorf("%%s", v)
+	}
+	for _, v := range Run(a, Options{SpacingSampleCap: 64, SpacingSampleSeed: %d}).Violations {
+		t.Errorf("%%s", v)
+	}
+}
+`, sc.params.Seed, sc.params.Rows, sc.params.Cols, sc.params.NumNets,
+			sc.params.NumLayers, sc.params.LocalityRadius, sc.params.PowerStripePeriod,
+			sc.params.Seed, sc.workersA,
+			sc.params.Seed, sc.workersB, sc.shardTiles,
+			sc.params.Seed)
 		return
 	}
 	fmt.Println("\nminimal reproducer (paste into internal/verify):")

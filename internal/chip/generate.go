@@ -2,6 +2,7 @@ package chip
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"bonnroute/internal/geom"
@@ -68,6 +69,38 @@ func (p *GenParams) setDefaults() {
 	}
 }
 
+// ScaledParams sizes a generator parameter set for a target net count:
+// the placement grid is made just large enough (with slack) that the
+// netlist loop reaches nets before exhausting free pins, and the aspect
+// ratio tracks the 8×12-pitch slot geometry so chips come out roughly
+// square in DBU. This is the sizing rule behind the scale tier — the
+// same curve produces the 10³-net budget chips, the 10⁴-net smoke
+// slice, and the 10⁵-net huge bench chip. Deterministic in (seed, nets).
+func ScaledParams(name string, seed int64, nets int) GenParams {
+	// The 5-proto library yields ≈1.2 placeable pins per slot at 70%
+	// utilization and nets consume ≈2.6 pins each; 3 slots per net
+	// leaves headroom for pins stranded in unreachable rings.
+	slots := nets * 3
+	rows := int(math.Ceil(math.Sqrt(float64(slots) / 1.5)))
+	if rows < 4 {
+		rows = 4
+	}
+	cols := (slots + rows - 1) / rows
+	if cols < 8 {
+		cols = 8
+	}
+	return GenParams{
+		Name:              name,
+		Seed:              seed,
+		Rows:              rows,
+		Cols:              cols,
+		NumNets:           nets,
+		PowerStripePeriod: 64,
+		WideNetPct:        10,
+		CriticalPct:       10,
+	}
+}
+
 // Generate builds a synthetic chip. The result always passes Validate.
 func Generate(p GenParams) *Chip {
 	p.setDefaults()
@@ -100,13 +133,20 @@ func Generate(p GenParams) *Chip {
 
 	// Place cells row by row; alternate rows mirror (as real placements
 	// flip for power-rail sharing), multiplying circuit classes.
-	type slotPin struct{ cell, pin int }
-	var freePins []slotPin               // all placeable pin endpoints
-	bySlot := make(map[[2]int][]slotPin) // (col,row) -> pins
-	occupied := make([][]bool, p.Rows)   // slot occupancy
-	for r := range occupied {
-		occupied[r] = make([]bool, p.Cols)
+	//
+	// Everything here is slice-indexed — per-slot pin lists addressed by
+	// row-major slot index, a flat occupancy bitmap, a flat used bitmap
+	// over pin endpoints — so generation at 10⁵ nets streams with memory
+	// proportional to the emitted chip (no maps, no quadratic candidate
+	// sets). The RNG call sequence is identical to the original
+	// map-backed generator, so fixed seeds produce bit-identical chips.
+	type slotPin struct {
+		cell int32
+		pin  int16
+		idx  int32 // index into the used bitmap below
 	}
+	nFree := 0                                 // placeable pin endpoints
+	bySlot := make([][]slotPin, p.Rows*p.Cols) // row*Cols+col -> pins
 	for row := 0; row < p.Rows; row++ {
 		for col := 0; col < p.Cols; {
 			proto := rng.Intn(len(c.Protos))
@@ -125,14 +165,10 @@ func Generate(p GenParams) *Chip {
 				Origin:   geom.Pt(col*slotW, row*rowH),
 				Mirrored: row%2 == 1,
 			})
+			si := row*p.Cols + col
 			for pi := range c.Protos[proto].Pins {
-				sp := slotPin{cellIdx, pi}
-				freePins = append(freePins, sp)
-				key := [2]int{col, row}
-				bySlot[key] = append(bySlot[key], sp)
-			}
-			for dc := 0; dc < wSlots; dc++ {
-				occupied[row][col+dc] = true
+				bySlot[si] = append(bySlot[si], slotPin{int32(cellIdx), int16(pi), int32(nFree)})
+				nFree++
 			}
 			col += wSlots
 		}
@@ -161,11 +197,11 @@ func Generate(p GenParams) *Chip {
 	}
 
 	// Netlist: locality-clustered pin groups over the free pins.
-	used := make(map[slotPin]bool)
-	takeFrom := func(key [2]int) (slotPin, bool) {
-		for _, sp := range bySlot[key] {
-			if !used[sp] {
-				used[sp] = true
+	used := make([]bool, nFree)
+	takeFrom := func(si int) (slotPin, bool) {
+		for _, sp := range bySlot[si] {
+			if !used[sp.idx] {
+				used[sp.idx] = true
 				return sp, true
 			}
 		}
@@ -179,7 +215,10 @@ func Generate(p GenParams) *Chip {
 		}
 		return d
 	}
-	unused := len(freePins)
+	unused := nFree
+	c.Nets = make([]Net, 0, p.NumNets)
+	var ringBuf [][2]int // ring scratch, reused across nets
+	var members []slotPin
 	for netID := 0; len(c.Nets) < p.NumNets && unused >= 2; netID++ {
 		if netID > 20*p.NumNets {
 			break // placement exhausted
@@ -190,15 +229,17 @@ func Generate(p GenParams) *Chip {
 			radius = max(p.Cols, p.Rows) // chip-spanning net
 		}
 		seedCol, seedRow := rng.Intn(p.Cols), rng.Intn(p.Rows)
-		var members []slotPin
+		members = members[:0]
 		for r := 0; r <= radius && len(members) < deg; r++ {
 			// Visit the ring of slots at Chebyshev radius r in random
 			// phase so nets do not all grow the same way.
-			ring := ringSlots(seedCol, seedRow, r, p.Cols, p.Rows)
+			ring := ringSlots(ringBuf[:0], seedCol, seedRow, r, p.Cols, p.Rows)
+			ringBuf = ring
 			rng.Shuffle(len(ring), func(i, j int) { ring[i], ring[j] = ring[j], ring[i] })
 			for _, key := range ring {
+				si := key[1]*p.Cols + key[0]
 				for len(members) < deg {
-					sp, ok := takeFrom(key)
+					sp, ok := takeFrom(si)
 					if !ok {
 						break
 					}
@@ -208,7 +249,7 @@ func Generate(p GenParams) *Chip {
 		}
 		if len(members) < 2 {
 			for _, sp := range members {
-				used[sp] = false // return to pool
+				used[sp.idx] = false // return to pool
 			}
 			continue
 		}
@@ -226,7 +267,7 @@ func Generate(p GenParams) *Chip {
 		for _, sp := range members {
 			cell := &c.Cells[sp.cell]
 			proto := &c.Protos[cell.Proto]
-			pin := Pin{Net: n.ID, Cell: sp.cell, ProtoPin: sp.pin}
+			pin := Pin{Net: n.ID, Cell: int(sp.cell), ProtoPin: int(sp.pin)}
 			for _, ps := range proto.Pins[sp.pin] {
 				pin.Shapes = append(pin.Shapes, PinShape{
 					Rect:  c.cellRect(cell, ps.Rect),
@@ -242,10 +283,10 @@ func Generate(p GenParams) *Chip {
 	return c
 }
 
-// ringSlots returns the slot coordinates at Chebyshev distance r from
-// (col,row) clipped to the grid; r == 0 returns the center itself.
-func ringSlots(col, row, r, cols, rows int) [][2]int {
-	var out [][2]int
+// ringSlots appends to out the slot coordinates at Chebyshev distance r
+// from (col,row) clipped to the grid; r == 0 returns the center itself.
+// Callers pass a reused scratch slice to keep generation allocation-light.
+func ringSlots(out [][2]int, col, row, r, cols, rows int) [][2]int {
 	add := func(cx, cy int) {
 		if cx >= 0 && cx < cols && cy >= 0 && cy < rows {
 			out = append(out, [2]int{cx, cy})

@@ -57,6 +57,12 @@ type Options struct {
 	// nets of ≤ 9 merged terminal groups), negative disables it so every
 	// oracle call uses Path Composition.
 	ExactSteinerMax int
+	// ShardTiles shards the global-routing phase work by
+	// congestion-region tiles of this many grid tiles per side (see
+	// sharing.Options.ShardTiles). Pure work decomposition — results are
+	// bit-identical with sharding on or off at any worker count. 0
+	// disables sharding.
+	ShardTiles int
 	// Tracer receives spans, counters and events for the whole flow. A
 	// nil tracer is a no-op and costs nothing on the hot path.
 	Tracer *obs.Tracer
@@ -226,6 +232,7 @@ func RouteBonnRoute(ctx context.Context, c *chip.Chip, opt Options) *Result {
 			Seed:            opt.Seed,
 			PowerCap:        opt.PowerCap,
 			ExactSteinerMax: opt.ExactSteinerMax,
+			ShardTiles:      opt.ShardTiles,
 		})
 		sres := solver.Run(obs.ContextWithSpan(ctx, gSpan))
 		total := time.Since(algStart)

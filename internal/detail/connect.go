@@ -49,10 +49,11 @@ func (r *Router) netExtent(ni int) geom.Rect {
 	}
 	rt := &r.routes[ni]
 	for _, ap := range rt.access {
-		if ap == nil {
+		if !ap.Valid() {
 			continue
 		}
-		for _, p := range ap.Points {
+		for i := 0; i < ap.NumPoints(); i++ {
+			p := ap.Point(i)
 			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
 		}
 	}
@@ -198,14 +199,15 @@ func (r *Router) ownGeometry(ni int) [][]geom.Rect {
 		}
 	}
 	for _, ap := range rt.access {
-		if ap == nil {
+		if !ap.Valid() {
 			continue
 		}
 		var bbox geom.Rect
-		for _, p := range ap.Points {
+		for i := 0; i < ap.NumPoints(); i++ {
+			p := ap.Point(i)
 			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
 		}
-		add(ap.Layer, bbox)
+		add(ap.Layer(), bbox)
 	}
 	for _, s := range rt.segments {
 		add(s.Z, geom.R(s.A.X, s.A.Y, s.B.X, s.B.Y))
@@ -337,8 +339,9 @@ func (r *Router) components(ni int) []component {
 func (r *Router) pinAttachment(ni, k int) geom.Point3 {
 	rt := &r.routes[ni]
 	n := &r.Chip.Nets[ni]
-	if ap := rt.access[k]; ap != nil {
-		return geom.Pt3(ap.End.X, ap.End.Y, ap.Layer)
+	if ap := rt.access[k]; ap.Valid() {
+		e := ap.End()
+		return geom.Pt3(e.X, e.Y, ap.Layer())
 	}
 	p := &r.Chip.Pins[n.Pins[k]]
 	s := p.Shapes[0]
@@ -515,10 +518,11 @@ func (r *Router) patchNotches(ni int) {
 		bbox = bbox.Union(geom.R(s.A.X, s.A.Y, s.B.X, s.B.Y))
 	}
 	for _, ap := range rt.access {
-		if ap == nil {
+		if !ap.Valid() {
 			continue
 		}
-		for _, p := range ap.Points {
+		for i := 0; i < ap.NumPoints(); i++ {
+			p := ap.Point(i)
 			bbox = bbox.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X + 1, YMax: p.Y + 1})
 		}
 	}
@@ -942,8 +946,8 @@ func (r *Router) recomputeLength(ni int) {
 		total += int64(s.A.Dist1(s.B))
 	}
 	for _, ap := range rt.access {
-		if ap != nil {
-			total += int64(ap.Length)
+		if ap.Valid() {
+			total += int64(ap.Length())
 		}
 	}
 	rt.length = total

@@ -32,7 +32,7 @@ func TestRouterConstruction(t *testing.T) {
 	withAccess := 0
 	for ni := range r.routes {
 		for _, ap := range r.routes[ni].access {
-			if ap != nil {
+			if ap.Valid() {
 				withAccess++
 			}
 		}

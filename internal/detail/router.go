@@ -141,8 +141,10 @@ type netRoute struct {
 	segments []Segment
 	vias     []ViaRec
 	// access[k] is the reserved/used access path of the net's k-th pin
-	// (nil entries: pin has no off-track access and connects directly).
-	access []*pinaccess.AccessPath
+	// (invalid entries: pin has no off-track access and connects
+	// directly). Refs share the catalogue's prototype-frame paths across
+	// cell instances instead of holding per-pin translated copies.
+	access []pinaccess.Ref
 	// patches are same-net notch fills added by postprocessing (§4.4).
 	patches []patchRec
 	length  int64
@@ -461,7 +463,7 @@ func New(c *chip.Chip, opt Options) *Router {
 	// inside the clamp, with slack for corridor tiles.
 	r.assignMargin = r.clampMargin + 18*pitch
 	for ni := range r.routes {
-		r.routes[ni].access = make([]*pinaccess.AccessPath, len(c.Nets[ni].Pins))
+		r.routes[ni].access = make([]pinaccess.Ref, len(c.Nets[ni].Pins))
 	}
 	r.prepareAccess()
 	// Pins without a catalogue path get a dynamically generated access
@@ -469,7 +471,7 @@ func New(c *chip.Chip, opt Options) *Router {
 	// pin is physically connected to its on-track attachment point.
 	for ni := range r.routes {
 		for k := range r.routes[ni].access {
-			if r.routes[ni].access[k] == nil {
+			if !r.routes[ni].access[k].Valid() {
 				r.dynamicAccess(ni, k)
 			}
 		}
@@ -662,7 +664,7 @@ func (r *Router) dynamicAccess(ni, k int) {
 		sh := r.Space.AddWire(z, pts[i-1], pts[i], wt, net, shapegrid.RipupReserved)
 		r.FG.OnShapeAdded(z, sh)
 	}
-	r.routes[ni].access[k] = ap
+	r.routes[ni].access[k] = pinaccess.Ref{Path: ap}
 	atomic.AddInt64(&r.dynAccess, 1)
 }
 
@@ -707,17 +709,18 @@ func (r *Router) prepareAccess() {
 	r.accessStats.CatalogueTime = time.Since(catStart)
 	r.accessCache = &AccessCache{cats: cats, cells: catCell}
 
-	usableFor := func(net int32, a *pinaccess.AccessPath) bool {
-		return r.TG.IsVertex(geom.Pt3(a.End.X, a.End.Y, a.Layer)) &&
+	usableFor := func(net int32, a pinaccess.Ref) bool {
+		end := a.End()
+		return r.TG.IsVertex(geom.Pt3(end.X, end.Y, a.Layer())) &&
 			r.accessClean(a, net) &&
-			r.continuationOK(a.Layer, a.End, net)
+			r.continuationOK(a.Layer(), end, net)
 	}
 	for pi := range c.Pins {
 		p := &c.Pins[pi]
 		if hint := r.opt.AccessHints; hint != nil {
-			if ap := hint(pi); ap != nil && usableFor(int32(p.Net), ap) {
+			if ap := hint(pi); ap != nil && usableFor(int32(p.Net), pinaccess.Ref{Path: ap}) {
 				cp := *ap
-				r.reserveAccess(pi, &cp)
+				r.reserveAccess(pi, pinaccess.Ref{Path: &cp})
 				r.accessStats.Hinted++
 				continue
 			}
@@ -738,7 +741,7 @@ func (r *Router) prepareAccess() {
 			continue
 		}
 		off := c.Cells[p.Cell].Origin.Sub(c.Cells[catCell[key]].Origin)
-		ap := cat.PerPin[p.ProtoPin][chosen].Translated(off)
+		ap := pinaccess.Ref{Path: &cat.PerPin[p.ProtoPin][chosen], Off: off}
 
 		// Verify against current routing space (diff-net, §4.3), demand a
 		// feasible on-track continuation at the endpoint, and try
@@ -748,12 +751,12 @@ func (r *Router) prepareAccess() {
 		// instances whose surroundings differ from the representative's
 		// (the paper folds track coordinates into its equivalence
 		// classes) fall back to alternates or dynamic access.
-		usable := func(a *pinaccess.AccessPath) bool { return usableFor(int32(p.Net), a) }
-		if !usable(&ap) {
+		usable := func(a pinaccess.Ref) bool { return usableFor(int32(p.Net), a) }
+		if !usable(ap) {
 			ok := false
 			for ci := range cat.PerPin[p.ProtoPin] {
-				alt := cat.PerPin[p.ProtoPin][ci].Translated(off)
-				if usable(&alt) {
+				alt := pinaccess.Ref{Path: &cat.PerPin[p.ProtoPin][ci], Off: off}
+				if usable(alt) {
 					ap = alt
 					ok = true
 					break
@@ -763,16 +766,17 @@ func (r *Router) prepareAccess() {
 				continue
 			}
 		}
-		r.reserveAccess(pi, &ap)
+		r.reserveAccess(pi, ap)
 	}
 }
 
 // accessClean checks an access path against the routing space for the
 // given net.
-func (r *Router) accessClean(ap *pinaccess.AccessPath, net int32) bool {
+func (r *Router) accessClean(ap pinaccess.Ref, net int32) bool {
 	wt := r.Chip.WireTypes[0]
-	for i := 1; i < len(ap.Points); i++ {
-		if r.Space.SegmentNeed(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net) != 0 {
+	z := ap.Layer()
+	for i := 1; i < ap.NumPoints(); i++ {
+		if r.Space.SegmentNeed(z, ap.Point(i-1), ap.Point(i), wt, net) != 0 {
 			return false
 		}
 	}
@@ -780,20 +784,22 @@ func (r *Router) accessClean(ap *pinaccess.AccessPath, net int32) bool {
 }
 
 // reserveAccess inserts the access path metal as a reservation.
-func (r *Router) reserveAccess(pi int, ap *pinaccess.AccessPath) {
+func (r *Router) reserveAccess(pi int, ap pinaccess.Ref) {
 	p := &r.Chip.Pins[pi]
 	net := int32(p.Net)
 	wt := r.Chip.WireTypes[0]
-	for i := 1; i < len(ap.Points); i++ {
-		if ap.Points[i-1] == ap.Points[i] {
+	z := ap.Layer()
+	for i := 1; i < ap.NumPoints(); i++ {
+		a, b := ap.Point(i-1), ap.Point(i)
+		if a == b {
 			// Degenerate zero-length stub pieces are never added —
 			// matching dynamicAccess and refreshAccess, whose removal
 			// loops skip them (an added-but-never-removed piece would
 			// leak into the space).
 			continue
 		}
-		sh := r.Space.AddWire(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net, shapegrid.RipupReserved)
-		r.FG.OnShapeAdded(ap.Layer, sh)
+		sh := r.Space.AddWire(z, a, b, wt, net, shapegrid.RipupReserved)
+		r.FG.OnShapeAdded(z, sh)
 	}
 	// Find this pin's slot within the net.
 	n := &r.Chip.Nets[p.Net]
@@ -890,15 +896,17 @@ func (r *Router) CommittedShapes(ni int) []ShapeRec {
 	var out []ShapeRec
 	wt0 := r.Chip.WireTypes[0]
 	for _, ap := range rt.access {
-		if ap == nil {
+		if !ap.Valid() {
 			continue
 		}
-		for i := 1; i < len(ap.Points); i++ {
-			if ap.Points[i-1] == ap.Points[i] {
+		z := ap.Layer()
+		for i := 1; i < ap.NumPoints(); i++ {
+			a, b := ap.Point(i-1), ap.Point(i)
+			if a == b {
 				continue
 			}
-			out = append(out, ShapeRec{Plane: ap.Layer,
-				Shape: r.Space.WireShape(ap.Layer, ap.Points[i-1], ap.Points[i], wt0, net, shapegrid.RipupReserved)})
+			out = append(out, ShapeRec{Plane: z,
+				Shape: r.Space.WireShape(z, a, b, wt0, net, shapegrid.RipupReserved)})
 		}
 	}
 	wt := r.wireTypeOf(ni)
@@ -933,23 +941,25 @@ func (r *Router) refreshAccess(ni int) {
 	net := int32(ni)
 	wt := r.Chip.WireTypes[0]
 	for k, ap := range rt.access {
-		if ap == nil {
+		if !ap.Valid() {
 			continue
 		}
-		if r.continuationOK(ap.Layer, ap.End, net) {
+		z := ap.Layer()
+		if r.continuationOK(z, ap.End(), net) {
 			continue
 		}
 		// Remove the stub metal and synthesize a fresh path.
-		for i := 1; i < len(ap.Points); i++ {
-			if ap.Points[i-1] == ap.Points[i] {
+		for i := 1; i < ap.NumPoints(); i++ {
+			a, b := ap.Point(i-1), ap.Point(i)
+			if a == b {
 				continue
 			}
-			if r.Space.RemoveWire(ap.Layer, ap.Points[i-1], ap.Points[i], wt, net, shapegrid.RipupReserved) {
-				m := wt.Oriented(ap.Layer, segDirPts(ap.Points[i-1], ap.Points[i]), r.Chip.Dir(ap.Layer))
-				r.FG.OnWiringChange(ap.Layer, m.Metal(ap.Points[i-1], ap.Points[i]))
+			if r.Space.RemoveWire(z, a, b, wt, net, shapegrid.RipupReserved) {
+				m := wt.Oriented(z, segDirPts(a, b), r.Chip.Dir(z))
+				r.FG.OnWiringChange(z, m.Metal(a, b))
 			}
 		}
-		rt.access[k] = nil
+		rt.access[k] = pinaccess.Ref{}
 		r.dynamicAccess(ni, k)
 	}
 }
@@ -965,4 +975,11 @@ func segDirPts(a, b geom.Point) geom.Direction {
 func (r *Router) Unroute(ni int) { r.unrouteNet(ni) }
 
 // AccessPath exposes a pin's reserved access path (inspection/tests).
-func (r *Router) AccessPath(ni, k int) *pinaccess.AccessPath { return r.routes[ni].access[k] }
+// Shared catalogue paths are materialized into the pin's frame.
+func (r *Router) AccessPath(ni, k int) *pinaccess.AccessPath {
+	ref := r.routes[ni].access[k]
+	if !ref.Valid() {
+		return nil
+	}
+	return ref.Materialize()
+}

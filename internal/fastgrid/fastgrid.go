@@ -65,20 +65,37 @@ type Grid struct {
 	Hits, Misses int64
 }
 
+// shardBudgetPerLayer caps the total stripe count summed over one
+// layer's tracks. Striping a track pays off only when concurrent writers
+// hit that same track, which becomes vanishingly rare as track counts
+// grow into the tens of thousands, while the fixed per-shard cost
+// (mutex, node arena, published snapshot) does not shrink. Small chips
+// (≤ 256 tracks per layer) keep the full 16-way striping; a 10⁵-net
+// chip's layers collapse toward one stripe per track.
+const shardBudgetPerLayer = 4096
+
 // stripesFor picks the shard count of one track's interval map: roughly
 // one stripe per 32 pitches of track length, capped so tiny chips stay
-// unsharded and huge ones don't fragment runs needlessly. Finer than the
-// routing scheduler's strips, so a strip always spans whole stripes.
-func stripesFor(span geom.Interval, pitch int) int {
+// unsharded, huge ones don't fragment runs needlessly, and the layer as
+// a whole stays inside shardBudgetPerLayer. Finer than the routing
+// scheduler's strips, so a strip always spans whole stripes.
+func stripesFor(span geom.Interval, pitch, nTracks int) int {
 	if pitch <= 0 {
 		return 1
+	}
+	limit := 16
+	if nTracks > 0 && shardBudgetPerLayer/nTracks < limit {
+		limit = shardBudgetPerLayer / nTracks
+	}
+	if limit < 1 {
+		limit = 1
 	}
 	n := span.Len() / (32 * pitch)
 	if n < 1 {
 		n = 1
 	}
-	if n > 16 {
-		n = 16
+	if n > limit {
+		n = limit
 	}
 	return n
 }
@@ -94,7 +111,7 @@ func New(space *drc.Space, tg *tracks.Graph, wts []*rules.WireType) *Grid {
 	g.cuts = make([][]*intervalmap.Striped, tg.NumLayers()-1)
 	for z := range g.wiring {
 		span := tg.Area.Span(tg.Layers[z].Dir)
-		n := stripesFor(span, space.Deck.Layers[z].Pitch)
+		n := stripesFor(span, space.Deck.Layers[z].Pitch, len(tg.Layers[z].Coords))
 		g.wiring[z] = make([]*intervalmap.Striped, len(tg.Layers[z].Coords))
 		for t := range g.wiring[z] {
 			g.wiring[z][t] = intervalmap.NewStriped(span.Lo, span.Hi, n)
@@ -102,7 +119,7 @@ func New(space *drc.Space, tg *tracks.Graph, wts []*rules.WireType) *Grid {
 	}
 	for v := range g.cuts {
 		span := tg.Area.Span(tg.Layers[v].Dir)
-		n := stripesFor(span, space.Deck.Layers[v].Pitch)
+		n := stripesFor(span, space.Deck.Layers[v].Pitch, len(tg.Layers[v].Coords))
 		g.cuts[v] = make([]*intervalmap.Striped, len(tg.Layers[v].Coords))
 		for t := range g.cuts[v] {
 			g.cuts[v][t] = intervalmap.NewStriped(span.Lo, span.Hi, n)
@@ -376,6 +393,26 @@ func (g *Grid) IntervalCount() int {
 		}
 	}
 	return n
+}
+
+// Mem returns the approximate heap bytes held by the per-track interval
+// maps (node arenas + published snapshots), derived from element counts
+// so the scale-tier byte-budget tests can pin it deterministically.
+func (g *Grid) Mem() int64 {
+	var b int64
+	for z := range g.wiring {
+		b += int64(len(g.wiring[z])) * 8
+		for t := range g.wiring[z] {
+			b += g.wiring[z][t].Footprint()
+		}
+	}
+	for v := range g.cuts {
+		b += int64(len(g.cuts[v])) * 8
+		for t := range g.cuts[v] {
+			b += g.cuts[v][t].Footprint()
+		}
+	}
+	return b
 }
 
 // HitRate returns the fraction of legality queries answered from the

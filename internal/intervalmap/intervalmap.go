@@ -8,31 +8,59 @@
 // Positions not covered by any stored run implicitly hold the zero value;
 // runs with value zero are never stored, and adjacent runs with equal
 // values are always coalesced, so the representation is canonical.
+//
+// Nodes live in a contiguous per-map arena addressed by int32 offsets
+// (no per-node heap allocation, no child pointers), with deleted nodes
+// recycled through a free list. Positions must fit in int32 — routing
+// coordinates are DBU and cell indices, far inside that range — and
+// arguments outside it are clamped, so full-range queries with huge
+// sentinel bounds behave as before.
 package intervalmap
+
+import "unsafe"
 
 // Map is a run-length-compressed int → uint64 map. The zero value is an
 // empty map ready for use. Map is not safe for concurrent mutation.
 type Map struct {
-	root *node
-	runs int
+	nodes []node // arena; index 0 is the nil sentinel
+	root  int32  // 0 = empty
+	free  int32  // head of the free list, linked through node.left
+	runs  int32
 }
 
 type node struct {
-	lo, hi      int // run [lo, hi)
+	lo, hi      int32 // run [lo, hi)
+	left, right int32 // arena indices; 0 = nil
 	val         uint64
-	left, right *node
 	height      int8
+}
+
+const (
+	minPos = -1 << 31
+	maxPos = 1<<31 - 1
+)
+
+func clampPos(x int) int32 {
+	if x < minPos {
+		return minPos
+	}
+	if x > maxPos {
+		return maxPos
+	}
+	return int32(x)
 }
 
 // Get returns the value at position x (zero if uncovered).
 func (m *Map) Get(x int) uint64 {
-	n := m.root
-	for n != nil {
+	cx := clampPos(x)
+	ni := m.root
+	for ni != 0 {
+		n := &m.nodes[ni]
 		switch {
-		case x < n.lo:
-			n = n.left
-		case x >= n.hi:
-			n = n.right
+		case cx < n.lo:
+			ni = n.left
+		case cx >= n.hi:
+			ni = n.right
 		default:
 			return n.val
 		}
@@ -41,16 +69,23 @@ func (m *Map) Get(x int) uint64 {
 }
 
 // Len returns the number of stored (nonzero) runs.
-func (m *Map) Len() int { return m.runs }
+func (m *Map) Len() int { return int(m.runs) }
+
+// Footprint returns the heap bytes held by the map's node arena,
+// including free-listed slots (capacity, not live count).
+func (m *Map) Footprint() int64 {
+	return int64(cap(m.nodes)) * int64(unsafe.Sizeof(node{}))
+}
 
 // SetRange sets [lo, hi) to v, overwriting any previous values.
 func (m *Map) SetRange(lo, hi int, v uint64) {
-	if lo >= hi {
+	clo, chi := clampPos(lo), clampPos(hi)
+	if clo >= chi {
 		return
 	}
-	m.clear(lo, hi)
+	m.clear(clo, chi)
 	if v != 0 {
-		m.insertCoalesce(lo, hi, v)
+		m.insertCoalesce(clo, chi, v)
 	}
 }
 
@@ -58,27 +93,28 @@ func (m *Map) SetRange(lo, hi int, v uint64) {
 // holding equal old values are transformed together. f must be a pure
 // function of the old value.
 func (m *Map) Update(lo, hi int, f func(old uint64) uint64) {
-	if lo >= hi {
+	clo, chi := clampPos(lo), clampPos(hi)
+	if clo >= chi {
 		return
 	}
 	type piece struct {
-		lo, hi int
+		lo, hi int32
 		v      uint64
 	}
 	var pieces []piece
-	cur := lo
-	m.Runs(lo, hi, func(rlo, rhi int, v uint64) bool {
-		if rlo > cur {
-			pieces = append(pieces, piece{cur, rlo, f(0)})
+	cur := clo
+	m.Runs(int(clo), int(chi), func(rlo, rhi int, v uint64) bool {
+		if int32(rlo) > cur {
+			pieces = append(pieces, piece{cur, int32(rlo), f(0)})
 		}
-		pieces = append(pieces, piece{rlo, rhi, f(v)})
-		cur = rhi
+		pieces = append(pieces, piece{int32(rlo), int32(rhi), f(v)})
+		cur = int32(rhi)
 		return true
 	})
-	if cur < hi {
-		pieces = append(pieces, piece{cur, hi, f(0)})
+	if cur < chi {
+		pieces = append(pieces, piece{cur, chi, f(0)})
 	}
-	m.clear(lo, hi)
+	m.clear(clo, chi)
 	for _, p := range pieces {
 		if p.v != 0 {
 			m.insertCoalesce(p.lo, p.hi, p.v)
@@ -90,24 +126,25 @@ func (m *Map) Update(lo, hi int, f func(old uint64) uint64) {
 // ascending order, clipped to [lo, hi). Return false from visit to stop.
 // The map must not be mutated during iteration.
 func (m *Map) Runs(lo, hi int, visit func(lo, hi int, v uint64) bool) {
-	m.visitRuns(m.root, lo, hi, visit)
+	m.visitRuns(m.root, clampPos(lo), clampPos(hi), visit)
 }
 
-func (m *Map) visitRuns(n *node, lo, hi int, visit func(int, int, uint64) bool) bool {
-	if n == nil {
+func (m *Map) visitRuns(ni int32, lo, hi int32, visit func(int, int, uint64) bool) bool {
+	if ni == 0 {
 		return true
 	}
-	if n.hi > lo && n.left != nil {
+	n := &m.nodes[ni]
+	if n.hi > lo && n.left != 0 {
 		if !m.visitRuns(n.left, lo, hi, visit) {
 			return false
 		}
 	}
 	if n.lo < hi && n.hi > lo {
-		if !visit(max(n.lo, lo), min(n.hi, hi), n.val) {
+		if !visit(int(max(n.lo, lo)), int(min(n.hi, hi)), n.val) {
 			return false
 		}
 	}
-	if n.lo < hi && n.right != nil {
+	if n.lo < hi && n.right != 0 {
 		return m.visitRuns(n.right, lo, hi, visit)
 	}
 	return true
@@ -115,26 +152,27 @@ func (m *Map) visitRuns(n *node, lo, hi int, visit func(int, int, uint64) bool) 
 
 // All visits every stored run in ascending order.
 func (m *Map) All(visit func(lo, hi int, v uint64) bool) {
-	var walk func(*node) bool
-	walk = func(n *node) bool {
-		if n == nil {
+	var walk func(int32) bool
+	walk = func(ni int32) bool {
+		if ni == 0 {
 			return true
 		}
-		return walk(n.left) && visit(n.lo, n.hi, n.val) && walk(n.right)
+		n := &m.nodes[ni]
+		return walk(n.left) && visit(int(n.lo), int(n.hi), n.val) && walk(n.right)
 	}
 	walk(m.root)
 }
 
 // clear removes coverage of [lo, hi), trimming boundary runs.
-func (m *Map) clear(lo, hi int) {
+func (m *Map) clear(lo, hi int32) {
 	// Collect affected runs first (iteration and mutation don't mix).
 	type run struct {
-		lo, hi int
+		lo, hi int32
 		v      uint64
 	}
 	var affected []run
-	m.Runs(lo, hi, func(rlo, rhi int, v uint64) bool {
-		affected = append(affected, run{rlo, rhi, v})
+	m.visitRuns(m.root, lo, hi, func(rlo, rhi int, v uint64) bool {
+		affected = append(affected, run{int32(rlo), int32(rhi), v})
 		return true
 	})
 	if len(affected) == 0 {
@@ -156,18 +194,19 @@ func (m *Map) clear(lo, hi int) {
 }
 
 type runInfo struct {
-	lo, hi int
+	lo, hi int32
 	val    uint64
 }
 
-func (m *Map) findRun(x int) runInfo {
-	n := m.root
-	for n != nil {
+func (m *Map) findRun(x int32) runInfo {
+	ni := m.root
+	for ni != 0 {
+		n := &m.nodes[ni]
 		switch {
 		case x < n.lo:
-			n = n.left
+			ni = n.left
 		case x >= n.hi:
-			n = n.right
+			ni = n.right
 		default:
 			return runInfo{n.lo, n.hi, n.val}
 		}
@@ -177,7 +216,7 @@ func (m *Map) findRun(x int) runInfo {
 
 // insertCoalesce inserts [lo, hi) = v, merging with equal-valued
 // neighbors that abut the new run.
-func (m *Map) insertCoalesce(lo, hi int, v uint64) {
+func (m *Map) insertCoalesce(lo, hi int32, v uint64) {
 	if prev, ok := m.runEndingAt(lo); ok && prev.val == v {
 		m.deleteRun(prev.lo)
 		lo = prev.lo
@@ -189,151 +228,195 @@ func (m *Map) insertCoalesce(lo, hi int, v uint64) {
 	m.insert(lo, hi, v)
 }
 
-func (m *Map) runEndingAt(x int) (runInfo, bool) {
-	var best *node
-	n := m.root
-	for n != nil {
+func (m *Map) runEndingAt(x int32) (runInfo, bool) {
+	best := int32(0)
+	ni := m.root
+	for ni != 0 {
+		n := &m.nodes[ni]
 		if n.hi <= x {
-			best = n
-			n = n.right
+			best = ni
+			ni = n.right
 		} else {
-			n = n.left
+			ni = n.left
 		}
 	}
-	if best != nil && best.hi == x {
-		return runInfo{best.lo, best.hi, best.val}, true
+	if best != 0 && m.nodes[best].hi == x {
+		b := &m.nodes[best]
+		return runInfo{b.lo, b.hi, b.val}, true
 	}
 	return runInfo{}, false
 }
 
-func (m *Map) runStartingAt(x int) (runInfo, bool) {
-	var best *node
-	n := m.root
-	for n != nil {
+func (m *Map) runStartingAt(x int32) (runInfo, bool) {
+	best := int32(0)
+	ni := m.root
+	for ni != 0 {
+		n := &m.nodes[ni]
 		if n.lo >= x {
-			best = n
-			n = n.left
+			best = ni
+			ni = n.left
 		} else {
-			n = n.right
+			ni = n.right
 		}
 	}
-	if best != nil && best.lo == x {
-		return runInfo{best.lo, best.hi, best.val}, true
+	if best != 0 && m.nodes[best].lo == x {
+		b := &m.nodes[best]
+		return runInfo{b.lo, b.hi, b.val}, true
 	}
 	return runInfo{}, false
 }
 
 // --- AVL mechanics (keyed by run lo; runs never overlap) ---
 
-func (m *Map) insert(lo, hi int, v uint64) {
-	m.root = avlInsert(m.root, lo, hi, v)
+func (m *Map) insert(lo, hi int32, v uint64) {
+	m.root = m.avlInsert(m.root, lo, hi, v)
 	m.runs++
 }
 
-func (m *Map) deleteRun(lo int) {
-	m.root = avlDelete(m.root, lo)
+func (m *Map) deleteRun(lo int32) {
+	m.root = m.avlDelete(m.root, lo)
 	m.runs--
 }
 
-func height(n *node) int8 {
-	if n == nil {
+// alloc returns a fresh node index, reusing the free list when possible.
+// May grow the arena: callers must not hold *node pointers across it.
+func (m *Map) alloc(lo, hi int32, v uint64) int32 {
+	if m.free != 0 {
+		i := m.free
+		m.free = m.nodes[i].left
+		m.nodes[i] = node{lo: lo, hi: hi, val: v, height: 1}
+		return i
+	}
+	if len(m.nodes) == 0 {
+		m.nodes = append(m.nodes, node{}) // index 0 = nil sentinel
+	}
+	m.nodes = append(m.nodes, node{lo: lo, hi: hi, val: v, height: 1})
+	return int32(len(m.nodes) - 1)
+}
+
+func (m *Map) freeNode(i int32) {
+	m.nodes[i] = node{left: m.free}
+	m.free = i
+}
+
+func (m *Map) nodeHeight(i int32) int8 {
+	if i == 0 {
 		return 0
 	}
-	return n.height
+	return m.nodes[i].height
 }
 
-func fix(n *node) *node {
-	n.height = 1 + max(height(n.left), height(n.right))
-	bf := height(n.left) - height(n.right)
+func (m *Map) fix(ni int32) int32 {
+	n := &m.nodes[ni]
+	n.height = 1 + max(m.nodeHeight(n.left), m.nodeHeight(n.right))
+	bf := m.nodeHeight(n.left) - m.nodeHeight(n.right)
 	switch {
 	case bf > 1:
-		if height(n.left.left) < height(n.left.right) {
-			n.left = rotateLeft(n.left)
+		l := &m.nodes[n.left]
+		if m.nodeHeight(l.left) < m.nodeHeight(l.right) {
+			n.left = m.rotateLeft(n.left)
 		}
-		return rotateRight(n)
+		return m.rotateRight(ni)
 	case bf < -1:
-		if height(n.right.right) < height(n.right.left) {
-			n.right = rotateRight(n.right)
+		r := &m.nodes[n.right]
+		if m.nodeHeight(r.right) < m.nodeHeight(r.left) {
+			n.right = m.rotateRight(n.right)
 		}
-		return rotateLeft(n)
+		return m.rotateLeft(ni)
 	}
-	return n
+	return ni
 }
 
-func rotateRight(n *node) *node {
-	l := n.left
+func (m *Map) rotateRight(ni int32) int32 {
+	n := &m.nodes[ni]
+	li := n.left
+	l := &m.nodes[li]
 	n.left = l.right
-	l.right = n
-	n.height = 1 + max(height(n.left), height(n.right))
-	l.height = 1 + max(height(l.left), height(l.right))
-	return l
+	l.right = ni
+	n.height = 1 + max(m.nodeHeight(n.left), m.nodeHeight(n.right))
+	l.height = 1 + max(m.nodeHeight(l.left), m.nodeHeight(l.right))
+	return li
 }
 
-func rotateLeft(n *node) *node {
-	r := n.right
+func (m *Map) rotateLeft(ni int32) int32 {
+	n := &m.nodes[ni]
+	ri := n.right
+	r := &m.nodes[ri]
 	n.right = r.left
-	r.left = n
-	n.height = 1 + max(height(n.left), height(n.right))
-	r.height = 1 + max(height(r.left), height(r.right))
-	return r
+	r.left = ni
+	n.height = 1 + max(m.nodeHeight(n.left), m.nodeHeight(n.right))
+	r.height = 1 + max(m.nodeHeight(r.left), m.nodeHeight(r.right))
+	return ri
 }
 
-func avlInsert(n *node, lo, hi int, v uint64) *node {
-	if n == nil {
-		return &node{lo: lo, hi: hi, val: v, height: 1}
+func (m *Map) avlInsert(ni int32, lo, hi int32, v uint64) int32 {
+	if ni == 0 {
+		return m.alloc(lo, hi, v)
 	}
-	if lo < n.lo {
-		n.left = avlInsert(n.left, lo, hi, v)
+	// Recursive calls may grow the arena; re-index instead of holding a
+	// *node across them.
+	if lo < m.nodes[ni].lo {
+		l := m.avlInsert(m.nodes[ni].left, lo, hi, v)
+		m.nodes[ni].left = l
 	} else {
-		n.right = avlInsert(n.right, lo, hi, v)
+		r := m.avlInsert(m.nodes[ni].right, lo, hi, v)
+		m.nodes[ni].right = r
 	}
-	return fix(n)
+	return m.fix(ni)
 }
 
-func avlDelete(n *node, lo int) *node {
-	if n == nil {
-		return nil
+func (m *Map) avlDelete(ni int32, lo int32) int32 {
+	if ni == 0 {
+		return 0
 	}
+	// Deletion never grows the arena, so holding n is safe here.
+	n := &m.nodes[ni]
 	switch {
 	case lo < n.lo:
-		n.left = avlDelete(n.left, lo)
+		n.left = m.avlDelete(n.left, lo)
 	case lo > n.lo:
-		n.right = avlDelete(n.right, lo)
+		n.right = m.avlDelete(n.right, lo)
 	default:
-		if n.left == nil {
-			return n.right
+		if n.left == 0 {
+			r := n.right
+			m.freeNode(ni)
+			return r
 		}
-		if n.right == nil {
-			return n.left
+		if n.right == 0 {
+			l := n.left
+			m.freeNode(ni)
+			return l
 		}
-		succ := n.right
-		for succ.left != nil {
-			succ = succ.left
+		si := n.right
+		for m.nodes[si].left != 0 {
+			si = m.nodes[si].left
 		}
-		n.lo, n.hi, n.val = succ.lo, succ.hi, succ.val
-		n.right = avlDelete(n.right, succ.lo)
+		s := m.nodes[si]
+		n.lo, n.hi, n.val = s.lo, s.hi, s.val
+		n.right = m.avlDelete(n.right, s.lo)
 	}
-	return fix(n)
+	return m.fix(ni)
 }
 
 // checkInvariants verifies AVL balance and run disjointness; used by
 // tests.
 func (m *Map) checkInvariants() error {
-	prevHi := minInt
+	prevHi := int64(minPos) - 1
 	var err error
-	var walk func(n *node) int8
-	walk = func(n *node) int8 {
-		if n == nil || err != nil {
+	var walk func(ni int32) int8
+	walk = func(ni int32) int8 {
+		if ni == 0 || err != nil {
 			return 0
 		}
+		n := &m.nodes[ni]
 		lh := walk(n.left)
 		if n.lo >= n.hi {
 			err = errEmptyRun
 		}
-		if n.lo < prevHi {
+		if int64(n.lo) < prevHi {
 			err = errOverlap
 		}
-		prevHi = n.hi
+		prevHi = int64(n.hi)
 		rh := walk(n.right)
 		if d := lh - rh; d < -1 || d > 1 {
 			err = errUnbalanced
@@ -346,8 +429,6 @@ func (m *Map) checkInvariants() error {
 	walk(m.root)
 	return err
 }
-
-const minInt = -int(^uint(0)>>1) - 1
 
 type mapError string
 

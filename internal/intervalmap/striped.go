@@ -12,7 +12,7 @@ import (
 // reads" half of §5.1's parallel detailed routing: searches must stay
 // synchronization-free on the hot path).
 type Snapshot struct {
-	los, his []int
+	los, his []int32 // run coordinates fit int32 (see Map)
 	vals     []uint64
 }
 
@@ -24,13 +24,13 @@ func snapshotOf(m *Map) *Snapshot {
 		return emptySnapshot
 	}
 	s := &Snapshot{
-		los:  make([]int, 0, m.Len()),
-		his:  make([]int, 0, m.Len()),
+		los:  make([]int32, 0, m.Len()),
+		his:  make([]int32, 0, m.Len()),
 		vals: make([]uint64, 0, m.Len()),
 	}
 	m.All(func(lo, hi int, v uint64) bool {
-		s.los = append(s.los, lo)
-		s.his = append(s.his, hi)
+		s.los = append(s.los, int32(lo))
+		s.his = append(s.his, int32(hi))
 		s.vals = append(s.vals, v)
 		return true
 	})
@@ -39,9 +39,10 @@ func snapshotOf(m *Map) *Snapshot {
 
 // Get returns the value at x (zero if uncovered).
 func (s *Snapshot) Get(x int) uint64 {
+	cx := clampPos(x)
 	// First run with hi > x; it covers x iff its lo <= x.
-	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > x })
-	if i < len(s.los) && s.los[i] <= x {
+	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > cx })
+	if i < len(s.los) && s.los[i] <= cx {
 		return s.vals[i]
 	}
 	return 0
@@ -53,9 +54,10 @@ func (s *Snapshot) Len() int { return len(s.los) }
 // runs visits stored runs intersecting [lo, hi), clipped. Returns false
 // if visit stopped the iteration.
 func (s *Snapshot) runs(lo, hi int, visit func(lo, hi int, v uint64) bool) bool {
-	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > lo })
-	for ; i < len(s.los) && s.los[i] < hi; i++ {
-		if !visit(max(s.los[i], lo), min(s.his[i], hi), s.vals[i]) {
+	clo, chi := clampPos(lo), clampPos(hi)
+	i := sort.Search(len(s.his), func(i int) bool { return s.his[i] > clo })
+	for ; i < len(s.los) && s.los[i] < chi; i++ {
+		if !visit(int(max(s.los[i], clo)), int(min(s.his[i], chi)), s.vals[i]) {
 			return false
 		}
 	}
@@ -220,7 +222,7 @@ func (s *Striped) Runs(lo, hi int, visit func(lo, hi int, v uint64) bool) {
 // (runs split at cuts count once).
 func (s *Striped) Len() int {
 	n := 0
-	var lastHi int
+	var lastHi int32
 	var lastVal uint64
 	haveLast := false
 	for i := range s.shards {
@@ -242,4 +244,18 @@ func (s *Striped) Len() int {
 func (s *Striped) All(visit func(lo, hi int, v uint64) bool) {
 	const big = int(^uint(0) >> 2)
 	s.Runs(-big, big, visit)
+}
+
+// Footprint returns the heap bytes held by the shard maps' node arenas
+// and the currently published snapshots (parallel int32/int32/uint64
+// run arrays).
+func (s *Striped) Footprint() int64 {
+	var b int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		b += sh.m.Footprint()
+		snap := sh.snap.Load()
+		b += int64(cap(snap.los))*4 + int64(cap(snap.his))*4 + int64(cap(snap.vals))*8
+	}
+	return b
 }

@@ -45,6 +45,43 @@ func (a AccessPath) Translated(off geom.Point) AccessPath {
 	return out
 }
 
+// Ref is a compact reference to an access-path instance: a pointer to
+// the shared prototype-frame path (owned by a catalogue and shared by
+// every cell instance of the circuit class) plus the instance's
+// placement offset. The detail router stores one Ref per pin — 24 bytes,
+// no allocation — instead of a translated per-pin copy of the whole
+// path, which is what keeps pin-access bookkeeping affordable at 10⁵
+// nets. Paths that are inherently per-pin (dynamic stubs, ECO hints)
+// wrap their own AccessPath with a zero offset.
+type Ref struct {
+	Path *AccessPath
+	Off  geom.Point
+}
+
+// Valid reports whether the ref points at a path.
+func (r Ref) Valid() bool { return r.Path != nil }
+
+// Layer returns the wiring layer the path runs on.
+func (r Ref) Layer() int { return r.Path.Layer }
+
+// NumPoints returns the number of path points.
+func (r Ref) NumPoints() int { return len(r.Path.Points) }
+
+// Point returns the i-th path point in the instance frame.
+func (r Ref) Point(i int) geom.Point { return r.Path.Points[i].Add(r.Off) }
+
+// End returns the on-track endpoint in the instance frame.
+func (r Ref) End() geom.Point { return r.Path.End.Add(r.Off) }
+
+// Length returns the total ℓ1 length (translation-invariant).
+func (r Ref) Length() int { return r.Path.Length }
+
+// Materialize returns a standalone instance-frame copy of the path.
+func (r Ref) Materialize() *AccessPath {
+	ap := r.Path.Translated(r.Off)
+	return &ap
+}
+
 // Catalogue holds the candidate paths of one circuit class.
 type Catalogue struct {
 	// PerPin[pi] lists candidates for prototype pin pi, best first.

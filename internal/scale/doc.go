@@ -1,0 +1,15 @@
+// Package scale holds the scale-tier test lanes: the 10⁴-net routed
+// and verified smoke run, the full-flow sharded-vs-unsharded worker
+// bit-identity check, and the bytes-per-net memory-budget regressions
+// for the shape grid, fast grid, and interval maps.
+//
+// Every test in this package is behind the `scale` build tag — the
+// tier-1 suite (`go test ./...`) never pays for routing a 10⁴-net
+// chip. Run the lanes with:
+//
+//	go test -tags scale ./internal/scale              (make scale-smoke)
+//	go test -tags scale -run BytesPerNet ./internal/scale  (part of make alloc-guard)
+//
+// The -short flag skips the 10⁴-net route and shrinks the budget sweep
+// to its 10³-net point.
+package scale

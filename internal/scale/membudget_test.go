@@ -1,0 +1,108 @@
+//go:build scale
+
+package scale
+
+import (
+	"testing"
+
+	"bonnroute/internal/chip"
+	"bonnroute/internal/detail"
+	"bonnroute/internal/intervalmap"
+)
+
+// Memory budgets, bytes per net (shape grid and fast grid, measured on
+// the freshly built routing space of a ScaledParams chip: pins,
+// obstacles, power stripes, tracks — the structures the footprint work
+// of the scale tier compacted) and bytes per run (interval map). The
+// accounting is deterministic — Mem()/Footprint() derive from element
+// counts, not heap sampling — so growth beyond the +10% headroom is a
+// regression in the data-structure layout, not measurement noise.
+const (
+	budgetShapeGridPerNet1e3 = 8200
+	budgetShapeGridPerNet1e4 = 7600
+	budgetFastGridPerNet1e3  = 10600
+	budgetFastGridPerNet1e4  = 9400
+	budgetIntervalMapPerRun  = 38
+)
+
+// buildSpace constructs the routing space (no routing) for a
+// ScaledParams chip of the given net count and returns the per-net
+// footprints of the shape grids and the fast grid.
+func buildSpace(t *testing.T, nets int) (shapePerNet, fastPerNet int64) {
+	t.Helper()
+	c := chip.Generate(chip.ScaledParams("mem", 777, nets))
+	if len(c.Nets) != nets {
+		t.Fatalf("generated %d nets, want %d", len(c.Nets), nets)
+	}
+	r := detail.New(c, detail.Options{})
+	var shapeBytes int64
+	for z := range r.Space.Wiring {
+		shapeBytes += r.Space.Wiring[z].Mem().Total()
+	}
+	for v := range r.Space.Cuts {
+		shapeBytes += r.Space.Cuts[v].Mem().Total()
+	}
+	return shapeBytes / int64(nets), r.FG.Mem() / int64(nets)
+}
+
+func checkBudget(t *testing.T, name string, got, budget int64) {
+	t.Helper()
+	limit := budget + budget/10
+	if got > limit {
+		t.Errorf("%s: %d bytes/net exceeds budget %d (+10%% = %d) — a footprint regression",
+			name, got, budget, limit)
+	} else {
+		t.Logf("%s: %d bytes/net (budget %d)", name, got, budget)
+	}
+	if got < budget/4 {
+		t.Errorf("%s: %d bytes/net is under a quarter of budget %d — the accounting likely broke",
+			name, got, budget)
+	}
+}
+
+// TestBytesPerNetBudget1e3 pins the per-net footprint of the compact
+// structures at the 10³-net tier.
+func TestBytesPerNetBudget1e3(t *testing.T) {
+	shape, fast := buildSpace(t, 1000)
+	checkBudget(t, "shapegrid@1e3", shape, budgetShapeGridPerNet1e3)
+	checkBudget(t, "fastgrid@1e3", fast, budgetFastGridPerNet1e3)
+}
+
+// TestBytesPerNetBudget1e4 pins the same budgets at 10⁴ nets, where
+// per-net cost must not grow with design size (the structures are
+// linear in content, and the fast grid amortizes better as tracks
+// lengthen).
+func TestBytesPerNetBudget1e4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁴-net space build skipped in -short mode")
+	}
+	shape, fast := buildSpace(t, 10000)
+	checkBudget(t, "shapegrid@1e4", shape, budgetShapeGridPerNet1e4)
+	checkBudget(t, "fastgrid@1e4", fast, budgetFastGridPerNet1e4)
+}
+
+// TestIntervalMapBytesPerRun pins the arena cost of the offset-indexed
+// AVL interval map: a 10⁴-run workload with churn (overlapping
+// re-writes exercising node reuse through the free list) must stay
+// within the per-run budget. Footprint counts arena capacity, so the
+// budget covers append growth slack too.
+func TestIntervalMapBytesPerRun(t *testing.T) {
+	var m intervalmap.Map
+	const n = 10000
+	for i := 0; i < n; i++ {
+		lo := (i * 7) % (4 * n)
+		m.SetRange(lo, lo+5, uint64(i%13))
+	}
+	runs := int64(m.Len())
+	if runs < n/4 {
+		t.Fatalf("workload collapsed to %d runs — not a meaningful budget point", runs)
+	}
+	perRun := m.Footprint() / runs
+	limit := int64(budgetIntervalMapPerRun) + int64(budgetIntervalMapPerRun)/10
+	if perRun > limit {
+		t.Errorf("intervalmap: %d bytes/run exceeds budget %d (+10%% = %d)",
+			perRun, budgetIntervalMapPerRun, limit)
+	} else {
+		t.Logf("intervalmap: %d bytes/run over %d runs (budget %d)", perRun, runs, budgetIntervalMapPerRun)
+	}
+}

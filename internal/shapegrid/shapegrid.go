@@ -10,6 +10,13 @@
 // configuration and merge into one interval, so long wires and repetitive
 // blockage patterns compress extremely well.
 //
+// Shape records themselves are interned exactly once in an append-only
+// chunked table and addressed by 32-bit ids; a cell configuration is a
+// list of shape ids (4 bytes per entry) rather than a copy of the shape
+// records. Since a cell accumulating k shapes interns configurations of
+// every size 1..k, storing ids instead of 48-byte records shrinks the
+// configuration store by an order of magnitude at scale.
+//
 // One deliberate deviation from the paper: configuration entries store the
 // full absolute rectangle of each shape rather than the cell-clipped
 // relative rectangle. This sacrifices configuration sharing between
@@ -23,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"bonnroute/internal/geom"
 	"bonnroute/internal/intervalmap"
@@ -68,10 +76,10 @@ type Shape struct {
 //
 // Concurrency: rows are striped interval maps (package intervalmap), so
 // queries are lock-free against atomically published snapshots and
-// mutations in disjoint stripes proceed concurrently. The configuration
-// intern table is an append-only chunked vector behind an atomic
-// pointer: readers index it without locking; writers serialize on
-// internMu. Concurrent mutators whose shapes (plus clearance) live in
+// mutations in disjoint stripes proceed concurrently. The shape and
+// configuration intern tables are append-only chunked vectors behind
+// atomic pointers: readers index them without locking; writers serialize
+// on internMu. Concurrent mutators whose shapes (plus clearance) live in
 // disjoint regions observe and produce exactly the serial result; that
 // regional disjointness is the detail router's ownership contract
 // (§5.1).
@@ -82,21 +90,31 @@ type Grid struct {
 	cellO int            // cell extent orthogonal to it
 	rows  []*intervalmap.Striped
 
-	// configs is the interned configuration vector: id -> entries
-	// (id 0 = empty, nil). Chunks are write-once slots; the chunk table
-	// is copied on growth, so a loaded table stays valid forever.
-	configs  atomic.Pointer[[]*cfgChunk]
-	internMu sync.Mutex
-	intern   map[string]uint64 // canonical key -> id; guarded by internMu
-	nConfigs uint64            // next id; guarded by internMu
+	// configs is the interned configuration vector: id -> shape-id list
+	// (id 0 = empty, nil). shapes is the interned shape vector: shape id
+	// -> record (id 0 reserved). Chunks are write-once slots; the chunk
+	// tables are copied on growth, so a loaded table stays valid forever.
+	configs atomic.Pointer[[]*cfgChunk]
+	shapes  atomic.Pointer[[]*shapeChunk]
+
+	internMu   sync.Mutex
+	intern     map[string]uint64 // canonical id-list key -> config id
+	shapeIDs   map[Shape]uint32  // shape record -> shape id
+	nConfigs   uint64            // next config id
+	nShapes    uint32            // next shape id
+	cfgEntries int64             // total ids across interned configs
 }
 
 const (
 	cfgChunkBits = 9
 	cfgChunkSize = 1 << cfgChunkBits
+	shpChunkBits = 12
+	shpChunkSize = 1 << shpChunkBits
 )
 
-type cfgChunk [cfgChunkSize][]Shape
+type cfgChunk [cfgChunkSize][]uint32
+
+type shapeChunk [shpChunkSize]Shape
 
 // NewGrid creates a shape grid over area for a plane with the given
 // preferred direction. cell is the cell edge length; the paper chooses it
@@ -107,15 +125,19 @@ func NewGrid(area geom.Rect, dir geom.Direction, cell int) *Grid {
 		panic("shapegrid: cell size must be positive")
 	}
 	g := &Grid{
-		area:   area,
-		dir:    dir,
-		cellP:  cell,
-		cellO:  cell,
-		intern: make(map[string]uint64),
+		area:     area,
+		dir:      dir,
+		cellP:    cell,
+		cellO:    cell,
+		intern:   make(map[string]uint64),
+		shapeIDs: make(map[Shape]uint32),
 	}
 	table := []*cfgChunk{new(cfgChunk)}
 	g.configs.Store(&table)
+	shapeTable := []*shapeChunk{new(shapeChunk)}
+	g.shapes.Store(&shapeTable)
 	g.nConfigs = 1 // id 0 = empty configuration
+	g.nShapes = 1  // shape id 0 reserved
 	nRows := (g.orthoSpan().Len() + cell - 1) / cell
 	nCells := (g.prefSpan().Len() + cell - 1) / cell
 	stripes := nCells / 32
@@ -132,8 +154,8 @@ func NewGrid(area geom.Rect, dir geom.Direction, cell int) *Grid {
 	return g
 }
 
-// config returns the entry list of a configuration id without locking.
-func (g *Grid) config(id uint64) []Shape {
+// config returns the shape-id list of a configuration id without locking.
+func (g *Grid) config(id uint64) []uint32 {
 	if id == 0 {
 		return nil
 	}
@@ -145,6 +167,16 @@ func (g *Grid) config(id uint64) []Shape {
 		table = *g.configs.Load()
 	}
 	return table[ci][id&(cfgChunkSize-1)]
+}
+
+// shape returns the record of a shape id without locking.
+func (g *Grid) shape(id uint32) Shape {
+	table := *g.shapes.Load()
+	ci := int(id >> shpChunkBits)
+	if ci >= len(table) {
+		table = *g.shapes.Load()
+	}
+	return table[ci][id&(shpChunkSize-1)]
 }
 
 func (g *Grid) orthoSpan() geom.Interval { return g.area.Span(g.dir.Perp()) }
@@ -179,9 +211,10 @@ func (g *Grid) Add(s Shape) {
 	if r1 < r0 || c1 < c0 {
 		return
 	}
+	sid := g.internShape(s)
 	for row := r0; row <= r1; row++ {
 		g.rows[row].Update(c0, c1+1, func(old uint64) uint64 {
-			return g.withEntry(old, s)
+			return g.withEntry(old, s, sid)
 		})
 	}
 }
@@ -220,15 +253,19 @@ func (g *Grid) Query(r geom.Rect, visit func(Shape) bool) {
 	if r1 < r0 || c1 < c0 {
 		return
 	}
-	seen := make(map[Shape]bool)
+	seen := make(map[uint32]struct{})
 	stop := false
 	for row := r0; row <= r1 && !stop; row++ {
 		g.rows[row].Runs(c0, c1+1, func(lo, hi int, id uint64) bool {
-			for _, s := range g.config(id) {
-				if !s.Rect.Touches(r) || seen[s] {
+			for _, sid := range g.config(id) {
+				if _, dup := seen[sid]; dup {
 					continue
 				}
-				seen[s] = true
+				seen[sid] = struct{}{}
+				s := g.shape(sid)
+				if !s.Rect.Touches(r) {
+					continue
+				}
 				if !visit(s) {
 					stop = true
 					return false
@@ -283,12 +320,14 @@ type Stats struct {
 	// Configs is the number of distinct non-empty cell configurations
 	// ever interned.
 	Configs int
+	// Shapes is the number of distinct shape records ever interned.
+	Shapes int
 }
 
 // Stats returns current storage statistics.
 func (g *Grid) Stats() Stats {
 	g.internMu.Lock()
-	st := Stats{Configs: int(g.nConfigs) - 1}
+	st := Stats{Configs: int(g.nConfigs) - 1, Shapes: int(g.nShapes) - 1}
 	g.internMu.Unlock()
 	for i := range g.rows {
 		st.Intervals += g.rows[i].Len()
@@ -296,12 +335,60 @@ func (g *Grid) Stats() Stats {
 	return st
 }
 
-// withEntry returns the config id for config old plus shape s.
-func (g *Grid) withEntry(old uint64, s Shape) uint64 {
+// MemStats is the approximate heap footprint of the grid's storage,
+// derived from element counts and fixed per-record sizes. Unlike runtime
+// heap sampling it is deterministic for a fixed workload, which is what
+// the scale-tier byte-budget regression tests pin.
+type MemStats struct {
+	RowBytes    int64 // striped interval trees + published snapshots
+	ShapeBytes  int64 // interned shape records (table chunks)
+	ConfigBytes int64 // interned configuration id lists + slice headers
+	InternBytes int64 // intern map entries (keys, values, bucket overhead)
+}
+
+// Total sums all components.
+func (m MemStats) Total() int64 {
+	return m.RowBytes + m.ShapeBytes + m.ConfigBytes + m.InternBytes
+}
+
+// Mem returns the grid's approximate storage footprint.
+func (g *Grid) Mem() MemStats {
+	var m MemStats
+	for i := range g.rows {
+		m.RowBytes += g.rows[i].Footprint()
+	}
+	g.internMu.Lock()
+	nCfg := int64(g.nConfigs) - 1
+	nShp := int64(g.nShapes) - 1
+	entries := g.cfgEntries
+	g.internMu.Unlock()
+	const shapeBytes = int64(unsafe.Sizeof(Shape{}))
+	const sliceHeader = 24
+	const mapSlot = 16 // rough per-entry bucket overhead
+	m.ShapeBytes = ((nShp + shpChunkSize - 1) / shpChunkSize) * shpChunkSize * shapeBytes
+	m.ConfigBytes = entries*4 + nCfg*sliceHeader
+	// Config intern keys are 4 bytes per entry plus string headers; the
+	// shape intern map stores the 48-byte record inline as its key.
+	m.InternBytes = entries*4 + nCfg*(16+mapSlot) + nShp*(shapeBytes+4+mapSlot)
+	return m
+}
+
+// withEntry returns the config id for config old plus shape s (already
+// interned as sid), keeping the id list in canonical content order.
+func (g *Grid) withEntry(old uint64, s Shape, sid uint32) uint64 {
 	entries := g.config(old)
-	next := make([]Shape, 0, len(entries)+1)
-	next = append(next, entries...)
-	next = append(next, s)
+	next := make([]uint32, 0, len(entries)+1)
+	inserted := false
+	for _, e := range entries {
+		if !inserted && shapeLess(s, g.shape(e)) {
+			next = append(next, sid)
+			inserted = true
+		}
+		next = append(next, e)
+	}
+	if !inserted {
+		next = append(next, sid)
+	}
 	return g.internConfig(next)
 }
 
@@ -311,7 +398,7 @@ func (g *Grid) withoutEntry(old uint64, s Shape) (uint64, bool) {
 	entries := g.config(old)
 	idx := -1
 	for i, e := range entries {
-		if e == s {
+		if g.shape(e) == s {
 			idx = i
 			break
 		}
@@ -322,20 +409,48 @@ func (g *Grid) withoutEntry(old uint64, s Shape) (uint64, bool) {
 	if len(entries) == 1 {
 		return 0, true
 	}
-	next := make([]Shape, 0, len(entries)-1)
+	next := make([]uint32, 0, len(entries)-1)
 	next = append(next, entries[:idx]...)
 	next = append(next, entries[idx+1:]...)
 	return g.internConfig(next), true
 }
 
-// internConfig canonicalizes and interns an entry list. Interning is
-// content-keyed, so the id assignment order under concurrent mutators
-// never changes what queries observe.
-func (g *Grid) internConfig(entries []Shape) uint64 {
+// internShape returns the id of shape s, interning it on first sight.
+func (g *Grid) internShape(s Shape) uint32 {
+	g.internMu.Lock()
+	defer g.internMu.Unlock()
+	if id, ok := g.shapeIDs[s]; ok {
+		return id
+	}
+	id := g.nShapes
+	g.nShapes++
+	table := *g.shapes.Load()
+	ci := int(id >> shpChunkBits)
+	if ci == len(table) {
+		next := make([]*shapeChunk, len(table)+1)
+		copy(next, table)
+		next[ci] = new(shapeChunk)
+		g.shapes.Store(&next)
+		table = next
+	}
+	// The slot write precedes the id's escape from this function, and
+	// the id reaches readers only through a subsequent atomic row
+	// snapshot publication, so unlocked readers see the filled record.
+	table[ci][id&(shpChunkSize-1)] = s
+	g.shapeIDs[s] = id
+	return id
+}
+
+// internConfig interns an id list that is already in canonical content
+// order (withEntry inserts in shapeLess position, withoutEntry preserves
+// order). Shape interning is content-keyed per grid, so equal-content
+// configurations always produce identical id lists within a run, and the
+// id assignment order under concurrent mutators never changes what
+// queries observe.
+func (g *Grid) internConfig(entries []uint32) uint64 {
 	if len(entries) == 0 {
 		return 0
 	}
-	sort.Slice(entries, func(i, j int) bool { return shapeLess(entries[i], entries[j]) })
 	key := configKey(entries)
 	g.internMu.Lock()
 	defer g.internMu.Unlock()
@@ -344,6 +459,7 @@ func (g *Grid) internConfig(entries []Shape) uint64 {
 	}
 	id := g.nConfigs
 	g.nConfigs++
+	g.cfgEntries += int64(len(entries))
 	table := *g.configs.Load()
 	ci := int(id >> cfgChunkBits)
 	if ci == len(table) {
@@ -353,9 +469,6 @@ func (g *Grid) internConfig(entries []Shape) uint64 {
 		g.configs.Store(&next)
 		table = next
 	}
-	// The slot write precedes the id's escape from this function, and
-	// the id reaches readers only through a subsequent atomic row
-	// snapshot publication, so unlocked readers see the filled slot.
 	table[ci][id&(cfgChunkSize-1)] = entries
 	g.intern[key] = id
 	return id
@@ -387,20 +500,10 @@ func shapeLess(a, b Shape) bool {
 	return a.Kind < b.Kind
 }
 
-func configKey(entries []Shape) string {
-	buf := make([]byte, 0, len(entries)*24)
-	var tmp [8]byte
-	put := func(x int) {
-		binary.LittleEndian.PutUint64(tmp[:], uint64(x))
-		buf = append(buf, tmp[:]...)
-	}
-	for _, e := range entries {
-		put(e.Rect.XMin)
-		put(e.Rect.YMin)
-		put(e.Rect.XMax)
-		put(e.Rect.YMax)
-		put(int(e.Net))
-		buf = append(buf, byte(e.Class), e.Ripup, byte(e.Kind))
+func configKey(entries []uint32) string {
+	buf := make([]byte, len(entries)*4)
+	for i, id := range entries {
+		binary.LittleEndian.PutUint32(buf[i*4:], id)
 	}
 	return string(buf)
 }

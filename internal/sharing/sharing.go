@@ -75,6 +75,21 @@ type Options struct {
 	// exact oracle entirely. The choice depends only on the net, so the
 	// phase-snapshot determinism across worker counts is unaffected.
 	ExactSteinerMax int
+	// ShardTiles shards the per-phase pricing work by congestion-region
+	// tiles: the NX×NY tile array is covered with square regions of
+	// ShardTiles×ShardTiles tiles, nets are bucketed by the region
+	// holding their terminal bounding-box center, and workers drain the
+	// region list — ordered by (region row, region col), nets in net-index
+	// order within a region — through an atomic cursor. Spatially close
+	// nets then price on the same worker (shared oracle search windows,
+	// warm caches) and the queue balances hot regions across workers,
+	// unlike the static contiguous chunking used when sharding is off.
+	// This is pure work decomposition: every net is still priced exactly
+	// once per phase against the frozen phase-start snapshot and prices
+	// are applied serially in net order at the barrier, so the solution
+	// is bit-identical at any worker count, sharding on or off.
+	// 0 disables sharding (static chunks).
+	ShardTiles int
 }
 
 func (o *Options) setDefaults() {
@@ -186,6 +201,9 @@ type Solver struct {
 	exactCalls, pcCalls int64
 	exactLen, pcLen     int64
 	exactNanos, pcNanos int64
+	// shards groups net indices by congestion-region tile when
+	// Opt.ShardTiles > 0 (see Options.ShardTiles); nil otherwise.
+	shards [][]int32
 }
 
 const (
@@ -227,7 +245,50 @@ func New(g *grid.Graph, nets []NetSpec, opt Options) *Solver {
 			s.oracles[i] = steiner.NewOracle(g)
 		}
 	}
+	if opt.ShardTiles > 0 {
+		s.shards = buildShards(g, nets, opt.ShardTiles)
+	}
 	return s
+}
+
+// buildShards buckets nets into congestion-region tiles: square regions
+// of st×st grid tiles, keyed by the region containing the net's
+// terminal bounding-box center. The returned shard order — (region row,
+// region col) major, net index within a region — is a pure function of
+// the instance, independent of worker count and scheduling.
+func buildShards(g *grid.Graph, nets []NetSpec, st int) [][]int32 {
+	rx := (g.NX + st - 1) / st
+	ry := (g.NY + st - 1) / st
+	buckets := make([][]int32, rx*ry)
+	for ni := range nets {
+		first := true
+		var minX, maxX, minY, maxY int
+		for _, vs := range nets[ni].Terminals {
+			for _, v := range vs {
+				tx, ty, _ := g.VertexCoords(v)
+				if first {
+					minX, maxX, minY, maxY = tx, tx, ty, ty
+					first = false
+				} else {
+					minX, maxX = min(minX, tx), max(maxX, tx)
+					minY, maxY = min(minY, ty), max(maxY, ty)
+				}
+			}
+		}
+		cx, cy := 0, 0
+		if !first {
+			cx, cy = (minX+maxX)/2/st, (minY+maxY)/2/st
+		}
+		key := cy*rx + cx
+		buckets[key] = append(buckets[key], int32(ni))
+	}
+	shards := buckets[:0]
+	for _, b := range buckets {
+		if len(b) > 0 {
+			shards = append(shards, b)
+		}
+	}
+	return shards
 }
 
 // treeFor answers one Steiner oracle call on worker w's oracle pair,
@@ -433,55 +494,84 @@ func (s *Solver) Run(ctx context.Context) *Result {
 		// accumulation order are independent of the worker count and of
 		// goroutine scheduling.
 		chosen := make([]int, len(s.Nets))
-		work := func(worker, lo, hi int) {
-			for ni := lo; ni < hi; ni++ {
-				chosen[ni] = -1
-				if ctx.Err() != nil {
-					continue
-				}
-				n := &s.Nets[ni]
-				st := &states[ni]
-				nr := &res.Nets[ni]
-
-				ci := -1
-				// Oracle reuse (§2.3): keep the previous tree while its
-				// re-priced cost has not degraded too much.
-				if st.lastCand >= 0 && s.Opt.ReuseSlack >= 0 {
-					c := &nr.Candidates[st.lastCand]
-					cost := s.candCost(n, c)
-					if cost >= 0 && cost <= (1+s.Opt.ReuseSlack)*st.lastCost {
-						ci = st.lastCand
-						atomic.AddInt64(&s.reuses, 1)
-					}
-				}
-				if ci < 0 {
-					extras := map[int]float64{}
-					edges, ok := s.treeFor(worker, func(e int) float64 {
-						c, lv := s.edgeCost(n, e)
-						if c >= 0 {
-							extras[e] = lv
-						}
-						return c
-					}, n.Terminals)
-					atomic.AddInt64(&s.calls, 1)
-					if !ok {
-						continue
-					}
-					ex := make([]float32, len(edges))
-					for i, e := range edges {
-						ex[i] = float32(extras[e])
-					}
-					ci = addCandidate(ni, edges, ex)
-					st.lastCand = ci
-					st.lastCost = s.candCost(n, &nr.Candidates[ci])
-				}
-				chosen[ni] = ci
+		priceNet := func(worker, ni int) {
+			chosen[ni] = -1
+			if ctx.Err() != nil {
+				return
 			}
+			n := &s.Nets[ni]
+			st := &states[ni]
+			nr := &res.Nets[ni]
+
+			ci := -1
+			// Oracle reuse (§2.3): keep the previous tree while its
+			// re-priced cost has not degraded too much.
+			if st.lastCand >= 0 && s.Opt.ReuseSlack >= 0 {
+				c := &nr.Candidates[st.lastCand]
+				cost := s.candCost(n, c)
+				if cost >= 0 && cost <= (1+s.Opt.ReuseSlack)*st.lastCost {
+					ci = st.lastCand
+					atomic.AddInt64(&s.reuses, 1)
+				}
+			}
+			if ci < 0 {
+				extras := map[int]float64{}
+				edges, ok := s.treeFor(worker, func(e int) float64 {
+					c, lv := s.edgeCost(n, e)
+					if c >= 0 {
+						extras[e] = lv
+					}
+					return c
+				}, n.Terminals)
+				atomic.AddInt64(&s.calls, 1)
+				if !ok {
+					return
+				}
+				ex := make([]float32, len(edges))
+				for i, e := range edges {
+					ex[i] = float32(extras[e])
+				}
+				ci = addCandidate(ni, edges, ex)
+				st.lastCand = ci
+				st.lastCost = s.candCost(n, &nr.Candidates[ci])
+			}
+			chosen[ni] = ci
 		}
 
-		if s.Opt.Workers <= 1 {
-			work(0, 0, len(s.Nets))
-		} else {
+		switch {
+		case s.Opt.Workers <= 1:
+			for ni := range s.Nets {
+				priceNet(0, ni)
+			}
+		case s.shards != nil:
+			// Congestion-region shard queue: workers take whole regions
+			// in the fixed buildShards order through an atomic cursor.
+			// Which worker prices which net affects only scheduling —
+			// chosen[ni] slots and per-net state keep the outcome
+			// independent of the interleaving.
+			var cursor atomic.Int64
+			drain := func(w int) {
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(s.shards) {
+						return
+					}
+					for _, ni := range s.shards[i] {
+						priceNet(w, int(ni))
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			for w := 1; w < s.Opt.Workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					drain(w)
+				}(w)
+			}
+			drain(0)
+			wg.Wait()
+		default:
 			// The calling goroutine handles the first chunk itself and
 			// spawns only the rest, so Workers>1 on a single-core host
 			// costs at most the chunk bookkeeping over the serial path.
@@ -496,10 +586,14 @@ func (s *Solver) Run(ctx context.Context) *Result {
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
-					work(w, lo, hi)
+					for ni := lo; ni < hi; ni++ {
+						priceNet(w, ni)
+					}
 				}(w, lo, hi)
 			}
-			work(0, 0, min(chunk, len(s.Nets)))
+			for ni := 0; ni < min(chunk, len(s.Nets)); ni++ {
+				priceNet(0, ni)
+			}
 			wg.Wait()
 		}
 

@@ -373,3 +373,70 @@ func TestSameCandidateComparesExtras(t *testing.T) {
 		t.Fatal("differing lengths must not match")
 	}
 }
+
+// TestShardedDeterminism extends the worker-count determinism contract
+// to congestion-region sharding: for a fixed seed, every combination of
+// worker count and shard size must produce the identical solution the
+// unsharded serial solve does — trees, λ history, and repair counts.
+func TestShardedDeterminism(t *testing.T) {
+	run := func(workers, shardTiles int) *Result {
+		g, nets := congestedInstance(24, 2)
+		return New(g, nets, Options{Phases: 16, Seed: 9, Workers: workers,
+			ShardTiles: shardTiles}).Run(context.Background())
+	}
+	ref := run(1, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, st := range []int{1, 2, 5} {
+			got := run(workers, st)
+			if got.LambdaFrac != ref.LambdaFrac {
+				t.Fatalf("Workers=%d ShardTiles=%d: λ %v, want %v", workers, st, got.LambdaFrac, ref.LambdaFrac)
+			}
+			for p := range ref.LambdaHistory {
+				if got.LambdaHistory[p] != ref.LambdaHistory[p] {
+					t.Fatalf("Workers=%d ShardTiles=%d: phase %d λ differs", workers, st, p)
+				}
+			}
+			if got.RoundingViolations != ref.RoundingViolations ||
+				got.RechooseChanges != ref.RechooseChanges || got.Rerouted != ref.Rerouted {
+				t.Fatalf("Workers=%d ShardTiles=%d: repair counts differ", workers, st)
+			}
+			for ni := range ref.Nets {
+				gt, rt := got.Nets[ni].Tree(), ref.Nets[ni].Tree()
+				if len(gt) != len(rt) {
+					t.Fatalf("Workers=%d ShardTiles=%d: net %d tree size differs", workers, st, ni)
+				}
+				for i := range rt {
+					if gt[i] != rt[i] {
+						t.Fatalf("Workers=%d ShardTiles=%d: net %d edge %d differs", workers, st, ni, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildShardsCoversAllNets checks the shard partition: every net
+// appears in exactly one shard and shards are non-empty.
+func TestBuildShardsCoversAllNets(t *testing.T) {
+	g, nets := congestedInstance(24, 2)
+	for _, st := range []int{1, 2, 3, 7, 100} {
+		shards := buildShards(g, nets, st)
+		seen := make([]bool, len(nets))
+		for si, sh := range shards {
+			if len(sh) == 0 {
+				t.Fatalf("ShardTiles=%d: shard %d empty", st, si)
+			}
+			for _, ni := range sh {
+				if seen[ni] {
+					t.Fatalf("ShardTiles=%d: net %d in two shards", st, ni)
+				}
+				seen[ni] = true
+			}
+		}
+		for ni, ok := range seen {
+			if !ok {
+				t.Fatalf("ShardTiles=%d: net %d missing from shards", st, ni)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ package verify
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"bonnroute/internal/core"
@@ -51,6 +52,13 @@ type Report struct {
 	NetsChecked    int // nets whose connectivity was re-derived
 	EdgesChecked   int // global edges re-accumulated
 	SamplesChecked int // fast-grid sample points compared
+
+	// SpacingSampled reports that at least one wiring plane exceeded
+	// Options.SpacingSampleCap and the spacing pass ran in sampled mode
+	// there; SpacingSampleSeed is the seed that drew the sample, recorded
+	// so artifacts can reproduce the exact pair set.
+	SpacingSampled    bool
+	SpacingSampleSeed int64
 }
 
 // OK reports a clean run.
@@ -84,8 +92,30 @@ type Options struct {
 	// FastGridStride is the along-track sampling step of the fast-grid
 	// differential pass in DBU; 0 uses the layer pitch.
 	FastGridStride int
+	// FastGridTrackStride subsamples the tracks the fast-grid pass
+	// visits (every k-th track, and every k-th track pair for via
+	// verdicts); 0 or 1 visits every track. Deterministic: the stride
+	// fully determines the sample, so recording it in an artifact
+	// replays the identical point set.
+	FastGridTrackStride int
 	// SkipFastGrid disables the (comparatively slow) fast-grid pass.
 	SkipFastGrid bool
+	// SpacingSampleCap bounds the quadratic spacing pass for large
+	// designs: a wiring plane holding more than this many shapes is
+	// checked in sampled mode — SpacingSampleCap shapes are drawn by a
+	// deterministic seeded permutation (SpacingSampleSeed, recorded in
+	// the report) and each drawn shape is checked against EVERY shape of
+	// its plane, so a violating pair is found whenever either endpoint
+	// is drawn; pairs with both endpoints drawn are counted once. The
+	// audit comparison then turns one-sided: every counted pair is a
+	// genuine diff-net violation, so the sampled count exceeding the
+	// audit's total proves the audit undercounts, while an exact match
+	// is no longer required. 0 keeps the exhaustive all-pairs check.
+	SpacingSampleCap int
+	// SpacingSampleSeed seeds the sampled spacing mode. The seed fully
+	// determines the sample — re-running with the seed recorded in a
+	// report replays the identical pair set.
+	SpacingSampleSeed int64
 }
 
 // Run executes every in-process pass against a finished result.
@@ -93,7 +123,7 @@ func Run(res *core.Result, opt Options) *Report {
 	rep := &Report{}
 	exp := reconstruct(res)
 	checkConservation(rep, res, exp)
-	checkSpacing(rep, res, exp)
+	checkSpacing(rep, res, exp, opt)
 	checkConnectivity(rep, res, exp)
 	checkCapacity(rep, res)
 	if !opt.SkipFastGrid {
@@ -229,34 +259,69 @@ func spacingViolates(deck *rules.Deck, z int, a, b shapegrid.Shape) bool {
 	return a.Rect.Dist2Sq(b.Rect) < int64(sp)*int64(sp)
 }
 
-// checkSpacing brute-forces diff-net spacing over all reconstructed
-// shapes of each wiring plane — no grid, no neighborhood query, no
-// margin logic — and compares the total against the audit.
-func checkSpacing(rep *Report, res *core.Result, exp *expected) {
+// checkSpacing brute-forces diff-net spacing over reconstructed shapes
+// of each wiring plane — no grid, no neighborhood query, no margin
+// logic — and compares against the audit. Planes larger than
+// opt.SpacingSampleCap run in sampled mode (see Options); the audit
+// comparison is exact when every plane was exhaustive and one-sided
+// otherwise.
+func checkSpacing(rep *Report, res *core.Result, exp *expected, opt Options) {
 	p := &reporter{rep: rep, pass: "spacing"}
 	deck := res.Chip.Deck
 	count := 0
+	sampled := false
+	// checkPair applies the diff-net filter shared by both modes and
+	// counts a violating pair at most once across the whole pass.
+	checkPair := func(z int, a, b shapegrid.Shape) {
+		if a.Net == b.Net && a.Net != shapegrid.NoNet {
+			return
+		}
+		routedA := a.Kind == shapegrid.KindWire || a.Kind == shapegrid.KindVia
+		routedB := b.Kind == shapegrid.KindWire || b.Kind == shapegrid.KindVia
+		if !routedA && !routedB {
+			return // placement-vs-placement is not the router's error
+		}
+		rep.PairsChecked++
+		if spacingViolates(deck, z, a, b) {
+			count++
+		}
+	}
 	for z := range res.Router.Space.Wiring {
 		shapes := sortedShapes(exp.planes[planeKey{z, false}])
-		for i := range shapes {
-			for j := i + 1; j < len(shapes); j++ {
-				a, b := shapes[i], shapes[j]
-				if a.Net == b.Net && a.Net != shapegrid.NoNet {
-					continue
+		if opt.SpacingSampleCap > 0 && len(shapes) > opt.SpacingSampleCap {
+			sampled = true
+			// Deterministic per-plane sample: the seed and the canonical
+			// sortedShapes order fully determine the drawn set.
+			rng := rand.New(rand.NewSource(opt.SpacingSampleSeed + int64(z)))
+			drawn := rng.Perm(len(shapes))[:opt.SpacingSampleCap]
+			inSample := make([]bool, len(shapes))
+			for _, i := range drawn {
+				inSample[i] = true
+			}
+			for _, i := range drawn {
+				for j := range shapes {
+					if j == i || (inSample[j] && j < i) {
+						continue // both drawn: count the pair once
+					}
+					checkPair(z, shapes[i], shapes[j])
 				}
-				routedA := a.Kind == shapegrid.KindWire || a.Kind == shapegrid.KindVia
-				routedB := b.Kind == shapegrid.KindWire || b.Kind == shapegrid.KindVia
-				if !routedA && !routedB {
-					continue // placement-vs-placement is not the router's error
-				}
-				rep.PairsChecked++
-				if spacingViolates(deck, z, a, b) {
-					count++
+			}
+		} else {
+			for i := range shapes {
+				for j := i + 1; j < len(shapes); j++ {
+					checkPair(z, shapes[i], shapes[j])
 				}
 			}
 		}
 	}
-	if count != res.Audit.DiffNetViolations {
+	if sampled {
+		rep.SpacingSampled = true
+		rep.SpacingSampleSeed = opt.SpacingSampleSeed
+		if count > res.Audit.DiffNetViolations {
+			p.addf("sampled diff-net count %d exceeds audit's total %d (every sampled pair is a real violation, so the audit undercounts; seed %d replays the sample)",
+				count, res.Audit.DiffNetViolations, opt.SpacingSampleSeed)
+		}
+	} else if count != res.Audit.DiffNetViolations {
 		p.addf("brute-force diff-net count %d != audit's %d (the audit's neighborhood query and the raw geometry disagree)",
 			count, res.Audit.DiffNetViolations)
 	}
@@ -422,6 +487,10 @@ func checkFastGrid(rep *Report, res *core.Result, opt Options) {
 	if r.FG.Slot(wt) < 0 {
 		return // wire type not cached: nothing to differ from
 	}
+	tstride := opt.FastGridTrackStride
+	if tstride <= 0 {
+		tstride = 1
+	}
 	for z := range r.TG.Layers {
 		layer := &r.TG.Layers[z]
 		stride := opt.FastGridStride
@@ -430,7 +499,8 @@ func checkFastGrid(rep *Report, res *core.Result, opt Options) {
 		}
 		pm := wt.Oriented(z, layer.Dir, layer.Dir)
 		span := c.Area.Span(layer.Dir)
-		for ti, coord := range layer.Coords {
+		for ti := 0; ti < len(layer.Coords); ti += tstride {
+			coord := layer.Coords[ti]
 			for along := span.Lo; along < span.Hi; along += stride {
 				var pt geom.Point
 				if layer.Dir == geom.Horizontal {
@@ -463,10 +533,11 @@ func checkFastGrid(rep *Report, res *core.Result, opt Options) {
 		}
 	}
 	// Via verdicts at (subsampled) track crossings of each via layer.
+	vstride := max(2, tstride)
 	for v := 0; v+1 < c.NumLayers(); v++ {
 		lo, hi := &r.TG.Layers[v], &r.TG.Layers[v+1]
-		for bi := 0; bi < len(lo.Coords); bi += 2 {
-			for tj := 0; tj < len(hi.Coords); tj += 2 {
+		for bi := 0; bi < len(lo.Coords); bi += vstride {
+			for tj := 0; tj < len(hi.Coords); tj += vstride {
 				var pos geom.Point
 				if lo.Dir == geom.Horizontal {
 					pos = geom.Pt(hi.Coords[tj], lo.Coords[bi])

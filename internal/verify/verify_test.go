@@ -8,6 +8,8 @@ import (
 	"bonnroute/internal/chip"
 	"bonnroute/internal/core"
 	"bonnroute/internal/geom"
+	"bonnroute/internal/rules"
+	"bonnroute/internal/shapegrid"
 )
 
 func routeSmall(t *testing.T) *core.Result {
@@ -200,4 +202,71 @@ func TestDeterminism(t *testing.T) {
 	for _, v := range viol {
 		t.Errorf("%s", v)
 	}
+}
+
+// TestSpacingSampledMode covers the deterministic sampled spacing mode:
+// a clean result stays clean under sampling, the same seed replays the
+// identical pair set, and — the mutation self-test — a planted diff-net
+// violation is still caught. The plant is a wire rectangle spanning the
+// whole chip on a fresh net id: every sampled shape of another net
+// violates against it, so detection is guaranteed for ANY seed, not just
+// a lucky draw.
+func TestSpacingSampledMode(t *testing.T) {
+	res := routeSmall(t)
+	const cap = 16
+
+	exhaustive := Run(res, Options{SkipFastGrid: true})
+	if !exhaustive.OK() {
+		t.Fatalf("exhaustive run not clean: %v", exhaustive.Violations)
+	}
+	if exhaustive.SpacingSampled {
+		t.Fatal("exhaustive run reported sampling")
+	}
+
+	t.Run("clean and deterministic", func(t *testing.T) {
+		a := Run(res, Options{SkipFastGrid: true, SpacingSampleCap: cap, SpacingSampleSeed: 42})
+		if !a.OK() {
+			t.Fatalf("sampled run not clean: %v", a.Violations)
+		}
+		if !a.SpacingSampled || a.SpacingSampleSeed != 42 {
+			t.Fatalf("sampling not recorded: sampled=%v seed=%d", a.SpacingSampled, a.SpacingSampleSeed)
+		}
+		if a.PairsChecked >= exhaustive.PairsChecked {
+			t.Fatalf("sampled mode checked %d pairs, exhaustive %d — cap had no effect",
+				a.PairsChecked, exhaustive.PairsChecked)
+		}
+		b := Run(res, Options{SkipFastGrid: true, SpacingSampleCap: cap, SpacingSampleSeed: 42})
+		if b.PairsChecked != a.PairsChecked || len(b.Violations) != len(a.Violations) {
+			t.Fatalf("same seed, different run: %d/%d pairs, %d/%d violations",
+				a.PairsChecked, b.PairsChecked, len(a.Violations), len(b.Violations))
+		}
+	})
+
+	t.Run("mutation self-test", func(t *testing.T) {
+		exp := reconstruct(res)
+		planted := shapegrid.Shape{
+			Rect:  res.Chip.Area,
+			Net:   int32(len(res.Chip.Nets)),
+			Class: rules.ClassStandard,
+			Ripup: shapegrid.RipupNever,
+			Kind:  shapegrid.KindWire,
+		}
+		exp.planes[planeKey{0, false}][planted] = true
+		for _, seed := range []int64{0, 1, 99} {
+			rep := &Report{}
+			checkSpacing(rep, res, exp, Options{SpacingSampleCap: cap, SpacingSampleSeed: seed})
+			if !rep.SpacingSampled {
+				t.Fatalf("seed %d: plane below cap, sampled mode never engaged", seed)
+			}
+			found := false
+			for _, v := range rep.Violations {
+				if v.Pass == "spacing" && strings.Contains(v.Detail, "exceeds audit") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: sampled pass missed the planted violation", seed)
+			}
+		}
+	})
 }
